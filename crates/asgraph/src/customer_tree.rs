@@ -1,0 +1,326 @@
+//! Customer trees and cones, and the tree-union path metrics of Figure 2.
+//!
+//! The *customer tree* of an AS (the paper's terminology, after
+//! Dimitropoulos et al.) is the set of ASes the root can reach by
+//! descending provider-to-customer links only. It captures "everything the
+//! AS sells transit towards". Misclassifying a single p2p link as p2c (or
+//! vice versa) can radically change a tree, which is exactly the
+//! sensitivity the paper demonstrates in Figures 1 and 2.
+
+use std::collections::VecDeque;
+
+use bgp_types::{Asn, IpVersion, Relationship};
+
+use crate::graph::{AsGraph, NodeId};
+use crate::valley::valley_free_distances;
+
+/// The customer tree of `root` on the given plane: every AS reachable from
+/// `root` by following only p2c links downward. The root itself is *not*
+/// included. Sibling links are treated as transparent (they join
+/// organisations, not customers), matching the transit semantics used by
+/// the valley-free traversal.
+pub fn customer_tree(graph: &AsGraph, root: Asn, plane: IpVersion) -> Vec<Asn> {
+    let Some(root_node) = graph.node(root) else { return Vec::new() };
+    let mut visited = vec![false; graph.node_count()];
+    visited[root_node.index()] = true;
+    let mut queue = VecDeque::new();
+    queue.push_back(root_node);
+    let mut members = Vec::new();
+    while let Some(node) = queue.pop_front() {
+        for (next, rel) in graph.neighbors_by_id(node, plane) {
+            let descend = matches!(
+                rel,
+                Some(Relationship::ProviderToCustomer) | Some(Relationship::SiblingToSibling)
+            );
+            if descend && !visited[next.index()] {
+                visited[next.index()] = true;
+                // Sibling hops extend the search but only customer hops
+                // put the neighbor in the tree; a sibling of the root is
+                // not the root's customer.
+                if rel == Some(Relationship::ProviderToCustomer) {
+                    members.push(graph.asn(next));
+                }
+                queue.push_back(next);
+            }
+        }
+    }
+    members.sort();
+    members
+}
+
+/// The size of every AS's customer tree (customer cone, in CAIDA terms) on
+/// the given plane, as `(asn, size)` pairs sorted by descending size.
+pub fn customer_cone_sizes(graph: &AsGraph, plane: IpVersion) -> Vec<(Asn, usize)> {
+    let mut sizes: Vec<(Asn, usize)> =
+        graph.asns().map(|asn| (asn, customer_tree(graph, asn, plane).len())).collect();
+    sizes.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    sizes
+}
+
+/// The union of all non-empty customer trees on a plane, including the
+/// roots of those trees. This is the node set over which the Figure 2
+/// metrics are computed.
+pub fn customer_tree_union(graph: &AsGraph, plane: IpVersion) -> Vec<Asn> {
+    let mut in_union = vec![false; graph.node_count()];
+    for asn in graph.asns() {
+        let tree = customer_tree(graph, asn, plane);
+        if tree.is_empty() {
+            continue;
+        }
+        in_union[graph.node(asn).unwrap().index()] = true;
+        for member in tree {
+            in_union[graph.node(member).unwrap().index()] = true;
+        }
+    }
+    (0..graph.node_count())
+        .filter(|&i| in_union[i])
+        .map(|i| graph.asn(NodeId(i as u32)))
+        .collect()
+}
+
+/// Path-length metrics over the union of customer trees: the mean and the
+/// maximum (diameter) of the shortest valley-free path lengths between
+/// reachable ordered pairs of union members.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TreeMetrics {
+    /// Number of ASes in the union of customer trees.
+    pub union_size: usize,
+    /// Mean shortest valley-free path length over reachable ordered pairs.
+    pub avg_path_length: f64,
+    /// Maximum shortest valley-free path length (the diameter).
+    pub diameter: u32,
+    /// Ordered pairs with a valley-free path between them.
+    pub reachable_pairs: u64,
+    /// Ordered pairs with no valley-free path (the valley-free partition
+    /// the paper mentions shows up here).
+    pub unreachable_pairs: u64,
+}
+
+impl TreeMetrics {
+    /// Fraction of ordered pairs that are valley-free reachable.
+    pub fn reachability(&self) -> f64 {
+        let total = self.reachable_pairs + self.unreachable_pairs;
+        if total == 0 {
+            0.0
+        } else {
+            self.reachable_pairs as f64 / total as f64
+        }
+    }
+}
+
+/// Compute [`TreeMetrics`] on the given plane.
+///
+/// `source_cap` bounds how many union members are used as path sources
+/// (targets are always the full union); `None` uses every member. Sources
+/// are taken in ascending ASN order so results are deterministic. The
+/// paper's own metric is the full all-pairs computation; the cap exists so
+/// large synthetic topologies stay tractable inside unit tests.
+pub fn tree_union_metrics(
+    graph: &AsGraph,
+    plane: IpVersion,
+    source_cap: Option<usize>,
+) -> TreeMetrics {
+    let mut union = customer_tree_union(graph, plane);
+    union.sort();
+    let union_size = union.len();
+    if union_size < 2 {
+        return TreeMetrics { union_size, ..Default::default() };
+    }
+    let in_union: Vec<bool> = {
+        let mut v = vec![false; graph.node_count()];
+        for asn in &union {
+            v[graph.node(*asn).unwrap().index()] = true;
+        }
+        v
+    };
+    let sources: Vec<Asn> = match source_cap {
+        Some(cap) if cap < union.len() => union.iter().copied().take(cap).collect(),
+        _ => union.clone(),
+    };
+
+    let mut sum = 0u64;
+    let mut reachable = 0u64;
+    let mut unreachable = 0u64;
+    let mut diameter = 0u32;
+    for &src in &sources {
+        let dist = valley_free_distances(graph, src, plane);
+        let src_idx = graph.node(src).unwrap().index();
+        for (idx, d) in dist.iter().enumerate() {
+            if idx == src_idx || !in_union[idx] {
+                continue;
+            }
+            match d {
+                Some(d) => {
+                    sum += *d as u64;
+                    reachable += 1;
+                    diameter = diameter.max(*d);
+                }
+                None => unreachable += 1,
+            }
+        }
+    }
+    let avg = if reachable == 0 { 0.0 } else { sum as f64 / reachable as f64 };
+    TreeMetrics {
+        union_size,
+        avg_path_length: avg,
+        diameter,
+        reachable_pairs: reachable,
+        unreachable_pairs: unreachable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure 1 topology from the paper: five ASes where AS1-AS2 is
+    /// either p2c (a) or p2p (b), AS1-AS3 is p2c, AS2-AS4 and AS2-AS5 are
+    /// p2c.
+    fn figure1(link_1_2: Relationship) -> AsGraph {
+        let mut g = AsGraph::new();
+        g.annotate_both(Asn(1), Asn(2), link_1_2);
+        g.annotate_both(Asn(1), Asn(3), Relationship::ProviderToCustomer);
+        g.annotate_both(Asn(2), Asn(4), Relationship::ProviderToCustomer);
+        g.annotate_both(Asn(2), Asn(5), Relationship::ProviderToCustomer);
+        g
+    }
+
+    #[test]
+    fn figure1_p2c_tree_contains_everything() {
+        // Figure 1(a): when 1-2 is p2c, AS1's customer tree is {2,3,4,5}.
+        let g = figure1(Relationship::ProviderToCustomer);
+        assert_eq!(
+            customer_tree(&g, Asn(1), IpVersion::V6),
+            vec![Asn(2), Asn(3), Asn(4), Asn(5)]
+        );
+    }
+
+    #[test]
+    fn figure1_p2p_tree_shrinks_to_as3() {
+        // Figure 1(b): when 1-2 is p2p, AS1 can only reach AS3 via p2c.
+        let g = figure1(Relationship::PeerToPeer);
+        assert_eq!(customer_tree(&g, Asn(1), IpVersion::V6), vec![Asn(3)]);
+        // AS2's own tree is unaffected.
+        assert_eq!(customer_tree(&g, Asn(2), IpVersion::V6), vec![Asn(4), Asn(5)]);
+    }
+
+    #[test]
+    fn customer_tree_is_per_plane() {
+        let mut g = AsGraph::new();
+        g.annotate(Asn(1), Asn(2), IpVersion::V4, Relationship::PeerToPeer);
+        g.annotate(Asn(1), Asn(2), IpVersion::V6, Relationship::ProviderToCustomer);
+        assert!(customer_tree(&g, Asn(1), IpVersion::V4).is_empty());
+        assert_eq!(customer_tree(&g, Asn(1), IpVersion::V6), vec![Asn(2)]);
+    }
+
+    #[test]
+    fn customer_tree_of_unknown_or_stub_as_is_empty() {
+        let g = figure1(Relationship::ProviderToCustomer);
+        assert!(customer_tree(&g, Asn(999), IpVersion::V6).is_empty());
+        assert!(customer_tree(&g, Asn(4), IpVersion::V6).is_empty());
+    }
+
+    #[test]
+    fn sibling_links_bridge_but_do_not_count() {
+        // 1 --s2s-- 2, 2 --p2c--> 3: 3 is in 1's tree (via the sibling), 2 is not.
+        let mut g = AsGraph::new();
+        g.annotate_both(Asn(1), Asn(2), Relationship::SiblingToSibling);
+        g.annotate_both(Asn(2), Asn(3), Relationship::ProviderToCustomer);
+        assert_eq!(customer_tree(&g, Asn(1), IpVersion::V4), vec![Asn(3)]);
+    }
+
+    #[test]
+    fn customer_tree_handles_cycles_in_annotation() {
+        // A (bogus but possible) p2c cycle must terminate.
+        let mut g = AsGraph::new();
+        g.annotate_both(Asn(1), Asn(2), Relationship::ProviderToCustomer);
+        g.annotate_both(Asn(2), Asn(3), Relationship::ProviderToCustomer);
+        g.annotate_both(Asn(3), Asn(1), Relationship::ProviderToCustomer);
+        assert_eq!(customer_tree(&g, Asn(1), IpVersion::V4), vec![Asn(2), Asn(3)]);
+    }
+
+    #[test]
+    fn cone_sizes_are_sorted_descending() {
+        let g = figure1(Relationship::ProviderToCustomer);
+        let sizes = customer_cone_sizes(&g, IpVersion::V6);
+        assert_eq!(sizes[0], (Asn(1), 4));
+        assert_eq!(sizes[1], (Asn(2), 2));
+        assert_eq!(sizes.iter().filter(|(_, s)| *s == 0).count(), 3);
+    }
+
+    #[test]
+    fn union_contains_roots_and_members() {
+        let g = figure1(Relationship::PeerToPeer);
+        let mut union = customer_tree_union(&g, IpVersion::V6);
+        union.sort();
+        // Trees: 1 -> {3}, 2 -> {4,5}; union = {1,2,3,4,5}.
+        assert_eq!(union, vec![Asn(1), Asn(2), Asn(3), Asn(4), Asn(5)]);
+    }
+
+    /// Figure 1 extended with a provider above AS1 (AS9) and a second
+    /// customer of that provider (AS8), so that routes *descend into* AS1
+    /// before crossing the 1-2 link. Only then does the p2c/p2p nature of
+    /// 1-2 affect valley-free reachability.
+    fn figure1_extended(link_1_2: Relationship) -> AsGraph {
+        let mut g = figure1(link_1_2);
+        g.annotate_both(Asn(9), Asn(1), Relationship::ProviderToCustomer);
+        g.annotate_both(Asn(9), Asn(8), Relationship::ProviderToCustomer);
+        g
+    }
+
+    #[test]
+    fn metrics_shrink_when_relationship_is_corrected_to_transit() {
+        // This is the Figure 2 effect in miniature: flipping the 1-2 link
+        // from (misinferred) p2p to (actual) p2c shortens valley-free paths
+        // across the union and removes unreachable pairs, because routes
+        // that descend through AS1 may then continue down into AS2's
+        // customer tree.
+        let peer =
+            tree_union_metrics(&figure1_extended(Relationship::PeerToPeer), IpVersion::V6, None);
+        let transit = tree_union_metrics(
+            &figure1_extended(Relationship::ProviderToCustomer),
+            IpVersion::V6,
+            None,
+        );
+        assert_eq!(peer.union_size, 7);
+        assert_eq!(transit.union_size, 7);
+        // With 1-2 as p2p, AS8 and AS9 cannot reach AS2/AS4/AS5 valley-free.
+        assert!(peer.unreachable_pairs > 0);
+        assert_eq!(transit.unreachable_pairs, 0);
+        assert!(transit.reachability() > peer.reachability());
+        // Pairs that were unreachable under the p2p misinference become
+        // reachable (at 4 hops: 8-9-1-2-4), so the transit diameter covers
+        // the whole union while the p2p one only covers a fragment.
+        assert_eq!(transit.diameter, 4);
+        assert_eq!(peer.diameter, 3);
+        assert!(transit.avg_path_length > 0.0 && peer.avg_path_length > 0.0);
+    }
+
+    #[test]
+    fn metrics_on_trivial_graphs() {
+        let g = AsGraph::new();
+        let m = tree_union_metrics(&g, IpVersion::V6, None);
+        assert_eq!(m.union_size, 0);
+        assert_eq!(m.avg_path_length, 0.0);
+        assert_eq!(m.reachability(), 0.0);
+
+        let mut g = AsGraph::new();
+        g.annotate_both(Asn(1), Asn(2), Relationship::ProviderToCustomer);
+        let m = tree_union_metrics(&g, IpVersion::V6, None);
+        assert_eq!(m.union_size, 2);
+        assert_eq!(m.diameter, 1);
+        assert_eq!(m.avg_path_length, 1.0);
+        assert_eq!(m.reachable_pairs, 2);
+        assert_eq!(m.unreachable_pairs, 0);
+    }
+
+    #[test]
+    fn source_cap_limits_work_but_not_targets() {
+        let g = figure1(Relationship::ProviderToCustomer);
+        let full = tree_union_metrics(&g, IpVersion::V6, None);
+        let capped = tree_union_metrics(&g, IpVersion::V6, Some(2));
+        assert_eq!(full.union_size, capped.union_size);
+        assert!(capped.reachable_pairs <= full.reachable_pairs);
+        assert!(capped.reachable_pairs > 0);
+    }
+}

@@ -1,0 +1,524 @@
+//! The annotated AS-level graph.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use bgp_types::{Asn, IpVersion, Relationship};
+
+/// Dense node identifier inside one [`AsGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The index as a usize, for vector indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Dense edge identifier inside one [`AsGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// The index as a usize, for vector indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Per-plane state of one undirected AS link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct PlaneEdge {
+    /// The link was observed carrying routes of this plane.
+    present: bool,
+    /// Relationship oriented from the edge's canonical `a` endpoint to its
+    /// `b` endpoint, if known.
+    rel: Option<Relationship>,
+}
+
+/// One undirected AS link with its per-plane annotations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Edge {
+    a: NodeId,
+    b: NodeId,
+    planes: [PlaneEdge; 2],
+}
+
+fn plane_index(v: IpVersion) -> usize {
+    match v {
+        IpVersion::V4 => 0,
+        IpVersion::V6 => 1,
+    }
+}
+
+/// A read-only view of one edge, with endpoints as ASNs and the
+/// relationship oriented from `a` to `b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeView {
+    /// First endpoint.
+    pub a: Asn,
+    /// Second endpoint.
+    pub b: Asn,
+    /// Whether the link carries IPv4 routes.
+    pub present_v4: bool,
+    /// Whether the link carries IPv6 routes.
+    pub present_v6: bool,
+    /// IPv4 relationship oriented `a → b`, if annotated.
+    pub rel_v4: Option<Relationship>,
+    /// IPv6 relationship oriented `a → b`, if annotated.
+    pub rel_v6: Option<Relationship>,
+}
+
+impl EdgeView {
+    /// The relationship on the requested plane, oriented `a → b`.
+    pub fn rel(&self, plane: IpVersion) -> Option<Relationship> {
+        match plane {
+            IpVersion::V4 => self.rel_v4,
+            IpVersion::V6 => self.rel_v6,
+        }
+    }
+
+    /// Whether the link is present on the requested plane.
+    pub fn present(&self, plane: IpVersion) -> bool {
+        match plane {
+            IpVersion::V4 => self.present_v4,
+            IpVersion::V6 => self.present_v6,
+        }
+    }
+
+    /// True when the link is present on both planes.
+    pub fn is_dual_stack(&self) -> bool {
+        self.present_v4 && self.present_v6
+    }
+
+    /// True when both planes are annotated and the relationships differ —
+    /// the paper's hybrid condition.
+    pub fn is_hybrid(&self) -> bool {
+        matches!((self.rel_v4, self.rel_v6), (Some(r4), Some(r6)) if r4 != r6)
+    }
+}
+
+/// An undirected AS-level multigraph-free graph where every link carries
+/// independent IPv4 and IPv6 presence flags and relationship annotations.
+///
+/// All mutating methods are idempotent: adding a node or link that already
+/// exists returns the existing id.
+#[derive(Debug, Clone, Default)]
+pub struct AsGraph {
+    asn_to_node: HashMap<Asn, NodeId>,
+    node_to_asn: Vec<Asn>,
+    adjacency: Vec<Vec<(NodeId, EdgeId)>>,
+    edges: Vec<Edge>,
+    edge_lookup: HashMap<(NodeId, NodeId), EdgeId>,
+}
+
+impl AsGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of ASes.
+    pub fn node_count(&self) -> usize {
+        self.node_to_asn.len()
+    }
+
+    /// Number of links, regardless of plane.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of links present on the given plane.
+    pub fn plane_edge_count(&self, plane: IpVersion) -> usize {
+        let idx = plane_index(plane);
+        self.edges.iter().filter(|e| e.planes[idx].present).count()
+    }
+
+    /// Add (or look up) a node for an ASN.
+    pub fn add_node(&mut self, asn: Asn) -> NodeId {
+        if let Some(&id) = self.asn_to_node.get(&asn) {
+            return id;
+        }
+        let id = NodeId(self.node_to_asn.len() as u32);
+        self.asn_to_node.insert(asn, id);
+        self.node_to_asn.push(asn);
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// The node id of an ASN, if present.
+    pub fn node(&self, asn: Asn) -> Option<NodeId> {
+        self.asn_to_node.get(&asn).copied()
+    }
+
+    /// The ASN of a node id.
+    pub fn asn(&self, node: NodeId) -> Asn {
+        self.node_to_asn[node.index()]
+    }
+
+    /// True if the AS is in the graph.
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.asn_to_node.contains_key(&asn)
+    }
+
+    /// All ASNs, in insertion order.
+    pub fn asns(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.node_to_asn.iter().copied()
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.node_to_asn.len() as u32).map(NodeId)
+    }
+
+    fn canonical(&self, x: NodeId, y: NodeId) -> (NodeId, NodeId, bool) {
+        if x.0 <= y.0 {
+            (x, y, false)
+        } else {
+            (y, x, true)
+        }
+    }
+
+    /// Add (or look up) the undirected link between two ASes, without
+    /// marking it present on any plane. Self-links are rejected.
+    pub fn add_link(&mut self, a: Asn, b: Asn) -> Option<EdgeId> {
+        if a == b {
+            return None;
+        }
+        let na = self.add_node(a);
+        let nb = self.add_node(b);
+        let (lo, hi, _) = self.canonical(na, nb);
+        if let Some(&eid) = self.edge_lookup.get(&(lo, hi)) {
+            return Some(eid);
+        }
+        let eid = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge { a: lo, b: hi, planes: [PlaneEdge::default(); 2] });
+        self.edge_lookup.insert((lo, hi), eid);
+        self.adjacency[lo.index()].push((hi, eid));
+        self.adjacency[hi.index()].push((lo, eid));
+        Some(eid)
+    }
+
+    /// Mark a link as observed on a plane (creating it if necessary).
+    pub fn observe_link(&mut self, a: Asn, b: Asn, plane: IpVersion) -> Option<EdgeId> {
+        let eid = self.add_link(a, b)?;
+        self.edges[eid.index()].planes[plane_index(plane)].present = true;
+        Some(eid)
+    }
+
+    /// Annotate the relationship of a link on one plane. `rel` is oriented
+    /// `a → b` (e.g. `ProviderToCustomer` means "`a` is `b`'s provider").
+    /// The link is created and marked present on that plane if needed.
+    pub fn annotate(&mut self, a: Asn, b: Asn, plane: IpVersion, rel: Relationship) -> Option<EdgeId> {
+        let eid = self.observe_link(a, b, plane)?;
+        let edge = &mut self.edges[eid.index()];
+        let na = self.asn_to_node[&a];
+        let stored = if edge.a == na { rel } else { rel.reverse() };
+        edge.planes[plane_index(plane)].rel = Some(stored);
+        Some(eid)
+    }
+
+    /// Annotate both planes with the same relationship (oriented `a → b`).
+    pub fn annotate_both(&mut self, a: Asn, b: Asn, rel: Relationship) -> Option<EdgeId> {
+        self.annotate(a, b, IpVersion::V4, rel)?;
+        self.annotate(a, b, IpVersion::V6, rel)
+    }
+
+    /// Remove the relationship annotation of a link on one plane (the link
+    /// itself and its presence flags stay).
+    pub fn clear_relationship(&mut self, a: Asn, b: Asn, plane: IpVersion) {
+        if let Some(eid) = self.edge_id(a, b) {
+            self.edges[eid.index()].planes[plane_index(plane)].rel = None;
+        }
+    }
+
+    /// The edge id of a link, if it exists.
+    pub fn edge_id(&self, a: Asn, b: Asn) -> Option<EdgeId> {
+        let na = self.node(a)?;
+        let nb = self.node(b)?;
+        let (lo, hi, _) = self.canonical(na, nb);
+        self.edge_lookup.get(&(lo, hi)).copied()
+    }
+
+    /// True if the link exists and is present on the plane.
+    pub fn has_link(&self, a: Asn, b: Asn, plane: IpVersion) -> bool {
+        self.edge_id(a, b)
+            .map(|eid| self.edges[eid.index()].planes[plane_index(plane)].present)
+            .unwrap_or(false)
+    }
+
+    /// The relationship of the link on a plane, oriented `a → b`.
+    pub fn relationship(&self, a: Asn, b: Asn, plane: IpVersion) -> Option<Relationship> {
+        let eid = self.edge_id(a, b)?;
+        let edge = &self.edges[eid.index()];
+        let rel = edge.planes[plane_index(plane)].rel?;
+        let na = self.node(a)?;
+        Some(if edge.a == na { rel } else { rel.reverse() })
+    }
+
+    /// A read-only view of an edge by id.
+    pub fn edge_view(&self, eid: EdgeId) -> EdgeView {
+        let e = &self.edges[eid.index()];
+        EdgeView {
+            a: self.asn(e.a),
+            b: self.asn(e.b),
+            present_v4: e.planes[0].present,
+            present_v6: e.planes[1].present,
+            rel_v4: e.planes[0].rel,
+            rel_v6: e.planes[1].rel,
+        }
+    }
+
+    /// Iterate all edges as views.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeView> + '_ {
+        (0..self.edges.len() as u32).map(|i| self.edge_view(EdgeId(i)))
+    }
+
+    /// Iterate edges present on a plane.
+    pub fn plane_edges(&self, plane: IpVersion) -> impl Iterator<Item = EdgeView> + '_ {
+        self.edges().filter(move |e| e.present(plane))
+    }
+
+    /// Iterate the neighbors of an AS on a plane together with the edge's
+    /// relationship oriented `asn → neighbor`.
+    pub fn neighbors(
+        &self,
+        asn: Asn,
+        plane: IpVersion,
+    ) -> impl Iterator<Item = (Asn, Option<Relationship>)> + '_ {
+        let node = self.node(asn);
+        let idx = plane_index(plane);
+        node.into_iter().flat_map(move |n| {
+            self.adjacency[n.index()].iter().filter_map(move |&(other, eid)| {
+                let edge = &self.edges[eid.index()];
+                if !edge.planes[idx].present {
+                    return None;
+                }
+                let rel = edge.planes[idx].rel.map(|r| if edge.a == n { r } else { r.reverse() });
+                Some((self.asn(other), rel))
+            })
+        })
+    }
+
+    /// Adjacency in node-id space: the neighbors of a node on a plane with
+    /// the relationship oriented `node → neighbor`. This is the fast path
+    /// used by the traversal modules and the route simulator; prefer
+    /// [`AsGraph::neighbors`] when working with ASNs.
+    pub fn neighbors_by_id(
+        &self,
+        node: NodeId,
+        plane: IpVersion,
+    ) -> impl Iterator<Item = (NodeId, Option<Relationship>)> + '_ {
+        let idx = plane_index(plane);
+        self.adjacency[node.index()].iter().filter_map(move |&(other, eid)| {
+            let edge = &self.edges[eid.index()];
+            if !edge.planes[idx].present {
+                return None;
+            }
+            let rel = edge.planes[idx].rel.map(|r| if edge.a == node { r } else { r.reverse() });
+            Some((other, rel))
+        })
+    }
+
+    /// The degree of an AS on a plane (number of present links).
+    pub fn degree(&self, asn: Asn, plane: IpVersion) -> usize {
+        self.neighbors(asn, plane).count()
+    }
+
+    /// The number of customers of an AS on a plane (present links where the
+    /// AS is the provider).
+    pub fn customer_degree(&self, asn: Asn, plane: IpVersion) -> usize {
+        self.neighbors(asn, plane)
+            .filter(|(_, rel)| *rel == Some(Relationship::ProviderToCustomer))
+            .count()
+    }
+
+    /// The number of providers of an AS on a plane.
+    pub fn provider_degree(&self, asn: Asn, plane: IpVersion) -> usize {
+        self.neighbors(asn, plane)
+            .filter(|(_, rel)| *rel == Some(Relationship::CustomerToProvider))
+            .count()
+    }
+
+    /// The number of peers of an AS on a plane.
+    pub fn peer_degree(&self, asn: Asn, plane: IpVersion) -> usize {
+        self.neighbors(asn, plane)
+            .filter(|(_, rel)| *rel == Some(Relationship::PeerToPeer))
+            .count()
+    }
+
+    /// Links present on both planes (the "dual-stack" links the hybrid
+    /// analysis inspects).
+    pub fn dual_stack_edges(&self) -> impl Iterator<Item = EdgeView> + '_ {
+        self.edges().filter(|e| e.is_dual_stack())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_graph() -> AsGraph {
+        let mut g = AsGraph::new();
+        g.annotate_both(Asn(1), Asn(2), Relationship::ProviderToCustomer);
+        g.annotate(Asn(1), Asn(3), IpVersion::V4, Relationship::PeerToPeer);
+        g.annotate(Asn(1), Asn(3), IpVersion::V6, Relationship::ProviderToCustomer);
+        g.observe_link(Asn(2), Asn(3), IpVersion::V6);
+        g
+    }
+
+    #[test]
+    fn nodes_are_deduplicated() {
+        let mut g = AsGraph::new();
+        let a = g.add_node(Asn(10));
+        let b = g.add_node(Asn(10));
+        assert_eq!(a, b);
+        assert_eq!(g.node_count(), 1);
+        assert!(g.contains(Asn(10)));
+        assert!(!g.contains(Asn(11)));
+        assert_eq!(g.asn(a), Asn(10));
+        assert_eq!(g.node(Asn(10)), Some(a));
+        assert_eq!(g.node(Asn(11)), None);
+    }
+
+    #[test]
+    fn links_are_deduplicated_and_undirected() {
+        let mut g = AsGraph::new();
+        let e1 = g.add_link(Asn(1), Asn(2)).unwrap();
+        let e2 = g.add_link(Asn(2), Asn(1)).unwrap();
+        assert_eq!(e1, e2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edge_id(Asn(2), Asn(1)), Some(e1));
+    }
+
+    #[test]
+    fn self_links_are_rejected() {
+        let mut g = AsGraph::new();
+        assert_eq!(g.add_link(Asn(5), Asn(5)), None);
+        assert_eq!(g.annotate_both(Asn(5), Asn(5), Relationship::PeerToPeer), None);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn presence_is_per_plane() {
+        let g = small_graph();
+        assert!(g.has_link(Asn(1), Asn(2), IpVersion::V4));
+        assert!(g.has_link(Asn(1), Asn(2), IpVersion::V6));
+        assert!(!g.has_link(Asn(2), Asn(3), IpVersion::V4));
+        assert!(g.has_link(Asn(2), Asn(3), IpVersion::V6));
+        assert_eq!(g.plane_edge_count(IpVersion::V4), 2);
+        assert_eq!(g.plane_edge_count(IpVersion::V6), 3);
+        assert!(!g.has_link(Asn(1), Asn(99), IpVersion::V4));
+    }
+
+    #[test]
+    fn relationship_orientation_is_consistent() {
+        let g = small_graph();
+        assert_eq!(
+            g.relationship(Asn(1), Asn(2), IpVersion::V4),
+            Some(Relationship::ProviderToCustomer)
+        );
+        assert_eq!(
+            g.relationship(Asn(2), Asn(1), IpVersion::V4),
+            Some(Relationship::CustomerToProvider)
+        );
+        assert_eq!(
+            g.relationship(Asn(1), Asn(3), IpVersion::V4),
+            Some(Relationship::PeerToPeer)
+        );
+        assert_eq!(
+            g.relationship(Asn(3), Asn(1), IpVersion::V6),
+            Some(Relationship::CustomerToProvider)
+        );
+        // Unannotated plane of an existing link.
+        assert_eq!(g.relationship(Asn(2), Asn(3), IpVersion::V6), None);
+        // Missing link.
+        assert_eq!(g.relationship(Asn(2), Asn(99), IpVersion::V4), None);
+    }
+
+    #[test]
+    fn annotation_overwrite_and_clear() {
+        let mut g = AsGraph::new();
+        g.annotate(Asn(1), Asn(2), IpVersion::V6, Relationship::PeerToPeer);
+        g.annotate(Asn(2), Asn(1), IpVersion::V6, Relationship::ProviderToCustomer);
+        assert_eq!(
+            g.relationship(Asn(1), Asn(2), IpVersion::V6),
+            Some(Relationship::CustomerToProvider)
+        );
+        g.clear_relationship(Asn(1), Asn(2), IpVersion::V6);
+        assert_eq!(g.relationship(Asn(1), Asn(2), IpVersion::V6), None);
+        assert!(g.has_link(Asn(1), Asn(2), IpVersion::V6), "presence survives clearing");
+    }
+
+    #[test]
+    fn neighbors_and_degrees() {
+        let g = small_graph();
+        let mut v6_neighbors: Vec<_> = g.neighbors(Asn(1), IpVersion::V6).collect();
+        v6_neighbors.sort_by_key(|(a, _)| *a);
+        assert_eq!(
+            v6_neighbors,
+            vec![
+                (Asn(2), Some(Relationship::ProviderToCustomer)),
+                (Asn(3), Some(Relationship::ProviderToCustomer)),
+            ]
+        );
+        assert_eq!(g.degree(Asn(1), IpVersion::V4), 2);
+        assert_eq!(g.degree(Asn(1), IpVersion::V6), 2);
+        assert_eq!(g.degree(Asn(3), IpVersion::V4), 1);
+        assert_eq!(g.customer_degree(Asn(1), IpVersion::V6), 2);
+        assert_eq!(g.customer_degree(Asn(1), IpVersion::V4), 1);
+        assert_eq!(g.peer_degree(Asn(1), IpVersion::V4), 1);
+        assert_eq!(g.provider_degree(Asn(2), IpVersion::V4), 1);
+        assert_eq!(g.degree(Asn(999), IpVersion::V4), 0, "unknown AS has degree 0");
+    }
+
+    #[test]
+    fn edge_views_and_hybrid_flag() {
+        let g = small_graph();
+        let views: Vec<_> = g.edges().collect();
+        assert_eq!(views.len(), 3);
+        let hybrid: Vec<_> = g.dual_stack_edges().filter(|e| e.is_hybrid()).collect();
+        assert_eq!(hybrid.len(), 1);
+        let h = hybrid[0];
+        assert_eq!((h.a.min(h.b), h.a.max(h.b)), (Asn(1), Asn(3)));
+        assert!(h.is_dual_stack());
+        assert_eq!(h.rel(IpVersion::V4), h.rel_v4);
+        assert!(h.present(IpVersion::V6));
+
+        let plain = g.edge_view(g.edge_id(Asn(1), Asn(2)).unwrap());
+        assert!(!plain.is_hybrid());
+        assert!(plain.is_dual_stack());
+
+        let v6_only = g.edge_view(g.edge_id(Asn(2), Asn(3)).unwrap());
+        assert!(!v6_only.is_dual_stack());
+        assert!(!v6_only.is_hybrid(), "unannotated links are never hybrid");
+    }
+
+    #[test]
+    fn plane_edges_filters_by_presence() {
+        let g = small_graph();
+        assert_eq!(g.plane_edges(IpVersion::V4).count(), 2);
+        assert_eq!(g.plane_edges(IpVersion::V6).count(), 3);
+    }
+
+    #[test]
+    fn asns_and_nodes_iterate_everything() {
+        let g = small_graph();
+        assert_eq!(g.asns().count(), 3);
+        assert_eq!(g.nodes().count(), 3);
+        assert_eq!(g.dual_stack_edges().count(), 2);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let g = small_graph();
+        let mut clone = g.clone();
+        clone.annotate(Asn(7), Asn(8), IpVersion::V6, Relationship::PeerToPeer);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(clone.node_count(), 5);
+    }
+}

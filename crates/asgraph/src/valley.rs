@@ -1,0 +1,363 @@
+//! Valley-free path validation and valley-free shortest-path traversal.
+//!
+//! The *valley-free* rule (Gao 2001) says a legitimate AS path, read from
+//! one end to the other, climbs zero or more customer-to-provider links,
+//! optionally crosses exactly one peer-to-peer link, then descends zero or
+//! more provider-to-customer links. Sibling links may appear anywhere.
+//!
+//! The paper relies on this twice: to count how many observed IPv6 paths
+//! *violate* the rule (13% do), and to compute shortest *valley-free*
+//! paths over the customer-tree union for Figure 2.
+
+use std::collections::VecDeque;
+
+use bgp_types::{Asn, IpVersion, Relationship};
+
+use crate::graph::{AsGraph, NodeId};
+
+/// The verdict on one AS path, given a relationship annotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathValidity {
+    /// The path obeys the valley-free rule.
+    ValleyFree,
+    /// The path violates the valley-free rule; the index is the position
+    /// (0-based, in links) of the first offending link.
+    Valley {
+        /// Index of the first link that breaks the rule.
+        violation_index: usize,
+    },
+    /// At least one link on the path has no relationship annotation on the
+    /// requested plane, so the path cannot be judged.
+    Unknown {
+        /// Index of the first unannotated link.
+        missing_index: usize,
+    },
+}
+
+impl PathValidity {
+    /// True for [`PathValidity::ValleyFree`].
+    pub fn is_valley_free(&self) -> bool {
+        matches!(self, PathValidity::ValleyFree)
+    }
+
+    /// True for [`PathValidity::Valley`].
+    pub fn is_valley(&self) -> bool {
+        matches!(self, PathValidity::Valley { .. })
+    }
+}
+
+/// State machine position while walking a path from its first AS toward
+/// its origin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Phase {
+    /// Still allowed to climb (c2p), peer once, or start descending.
+    Climbing,
+    /// Crossed the single allowed peering link; only descending is allowed.
+    Peered,
+    /// Started descending (p2c); only further descending is allowed.
+    Descending,
+}
+
+/// Check the valley-free rule for a sequence of link relationships along a
+/// path. Each relationship is oriented in the direction of travel: the
+/// relationship of hop `i` is "AS_i → AS_{i+1}".
+///
+/// Sibling links are transparent: they never change the phase and never
+/// violate the rule.
+pub fn is_valley_free(rels: &[Relationship]) -> bool {
+    first_violation(rels).is_none()
+}
+
+/// The index of the first link that violates the valley-free rule, if any.
+pub fn first_violation(rels: &[Relationship]) -> Option<usize> {
+    let mut phase = Phase::Climbing;
+    for (i, rel) in rels.iter().enumerate() {
+        phase = match (phase, rel) {
+            (_, Relationship::SiblingToSibling) => phase,
+            (Phase::Climbing, Relationship::CustomerToProvider) => Phase::Climbing,
+            (Phase::Climbing, Relationship::PeerToPeer) => Phase::Peered,
+            (Phase::Climbing, Relationship::ProviderToCustomer) => Phase::Descending,
+            (Phase::Peered | Phase::Descending, Relationship::ProviderToCustomer) => {
+                Phase::Descending
+            }
+            // Climbing or peering after the peak is a valley.
+            (Phase::Peered | Phase::Descending, _) => return Some(i),
+        };
+    }
+    None
+}
+
+/// Map an AS path (as a slice of ASNs) to the relationships of its links on
+/// the given plane. Returns `Err(index)` with the first link that is
+/// missing from the graph or unannotated.
+pub fn path_relationships(
+    graph: &AsGraph,
+    path: &[Asn],
+    plane: IpVersion,
+) -> Result<Vec<Relationship>, usize> {
+    let mut rels = Vec::with_capacity(path.len().saturating_sub(1));
+    for (i, pair) in path.windows(2).enumerate() {
+        match graph.relationship(pair[0], pair[1], plane) {
+            Some(rel) => rels.push(rel),
+            None => return Err(i),
+        }
+    }
+    Ok(rels)
+}
+
+/// Classify an AS path against the graph's relationship annotation.
+pub fn classify_path(graph: &AsGraph, path: &[Asn], plane: IpVersion) -> PathValidity {
+    match path_relationships(graph, path, plane) {
+        Err(missing_index) => PathValidity::Unknown { missing_index },
+        Ok(rels) => match first_violation(&rels) {
+            None => PathValidity::ValleyFree,
+            Some(violation_index) => PathValidity::Valley { violation_index },
+        },
+    }
+}
+
+/// Shortest valley-free distances (in AS hops) from `root` to every AS in
+/// the graph on the given plane.
+///
+/// The traversal walks paths *from the root outward*, i.e. it asks "what is
+/// the shortest AS path the root could use to reach X under export
+/// policies consistent with the annotated relationships". Links without a
+/// relationship annotation are not traversed. Returns `None` for
+/// unreachable ASes (including ASes not in the graph's node range).
+///
+/// The result vector is indexed by [`NodeId`] index.
+pub fn valley_free_distances(graph: &AsGraph, root: Asn, plane: IpVersion) -> Vec<Option<u32>> {
+    let n = graph.node_count();
+    let mut best = vec![[u32::MAX; 3]; n];
+    let mut out = vec![None; n];
+    let root_node = match graph.node(root) {
+        Some(r) => r,
+        None => return out,
+    };
+
+    // Phase encoding for the BFS: 0 = climbing, 1 = peered, 2 = descending.
+    // A route the root uses to reach a destination climbs through the
+    // root's providers, crosses at most one peering, then descends.
+    let mut queue: VecDeque<(NodeId, u8, u32)> = VecDeque::new();
+    best[root_node.index()] = [0; 3];
+    out[root_node.index()] = Some(0);
+    queue.push_back((root_node, 0, 0));
+
+    while let Some((node, phase, dist)) = queue.pop_front() {
+        if best[node.index()][phase as usize] < dist {
+            continue;
+        }
+        for (next, rel) in graph.neighbors_by_id(node, plane) {
+            let Some(rel) = rel else { continue };
+            let next_phase = match (phase, rel) {
+                (_, Relationship::SiblingToSibling) => Some(phase),
+                (0, Relationship::CustomerToProvider) => Some(0),
+                (0, Relationship::PeerToPeer) => Some(1),
+                (0, Relationship::ProviderToCustomer) => Some(2),
+                (1 | 2, Relationship::ProviderToCustomer) => Some(2),
+                _ => None,
+            };
+            let Some(next_phase) = next_phase else { continue };
+            let next_dist = dist + 1;
+            if next_dist < best[next.index()][next_phase as usize] {
+                best[next.index()][next_phase as usize] = next_dist;
+                let entry = &mut out[next.index()];
+                if entry.map_or(true, |d| next_dist < d) {
+                    *entry = Some(next_dist);
+                }
+                queue.push_back((next, next_phase, next_dist));
+            }
+        }
+    }
+    out
+}
+
+/// The set of ASes reachable from `root` through valley-free paths on the
+/// given plane (always contains the root itself if it is in the graph).
+pub fn valley_free_reachable(graph: &AsGraph, root: Asn, plane: IpVersion) -> Vec<Asn> {
+    valley_free_distances(graph, root, plane)
+        .iter()
+        .enumerate()
+        .filter_map(|(i, d)| d.map(|_| graph.asn(NodeId(i as u32))))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Relationship::*;
+
+    #[test]
+    fn valley_free_rule_accepts_canonical_shapes() {
+        // pure uphill
+        assert!(is_valley_free(&[CustomerToProvider, CustomerToProvider]));
+        // pure downhill
+        assert!(is_valley_free(&[ProviderToCustomer, ProviderToCustomer]));
+        // up, peer, down
+        assert!(is_valley_free(&[CustomerToProvider, PeerToPeer, ProviderToCustomer]));
+        // up then down without peering
+        assert!(is_valley_free(&[CustomerToProvider, ProviderToCustomer]));
+        // single link of any kind
+        for r in Relationship::ALL {
+            assert!(is_valley_free(&[r]));
+        }
+        // empty path (single AS)
+        assert!(is_valley_free(&[]));
+    }
+
+    #[test]
+    fn valley_free_rule_rejects_valleys() {
+        // down then up: classic valley
+        assert!(!is_valley_free(&[ProviderToCustomer, CustomerToProvider]));
+        assert_eq!(first_violation(&[ProviderToCustomer, CustomerToProvider]), Some(1));
+        // peer then up
+        assert!(!is_valley_free(&[PeerToPeer, CustomerToProvider]));
+        // two peering links
+        assert!(!is_valley_free(&[PeerToPeer, PeerToPeer]));
+        // peer after descending
+        assert!(!is_valley_free(&[ProviderToCustomer, PeerToPeer]));
+        // leak: up, peer, up
+        assert_eq!(
+            first_violation(&[CustomerToProvider, PeerToPeer, CustomerToProvider]),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn siblings_are_transparent() {
+        assert!(is_valley_free(&[SiblingToSibling, CustomerToProvider, SiblingToSibling]));
+        assert!(is_valley_free(&[ProviderToCustomer, SiblingToSibling, ProviderToCustomer]));
+        assert!(is_valley_free(&[CustomerToProvider, SiblingToSibling, PeerToPeer,
+                                 SiblingToSibling, ProviderToCustomer]));
+        // A sibling link does not reset the phase: still a valley.
+        assert!(!is_valley_free(&[ProviderToCustomer, SiblingToSibling, CustomerToProvider]));
+    }
+
+    /// A small annotated topology used by the traversal tests:
+    ///
+    /// ```text
+    ///        10 ---- 20        (10-20 p2p)
+    ///       /  \       \
+    ///      1    2       3      (10 provider of 1,2; 20 provider of 3)
+    ///            \     /
+    ///             4   /        (2 provider of 4; 3 p2p 4 on v6 only)
+    /// ```
+    fn topology() -> AsGraph {
+        let mut g = AsGraph::new();
+        g.annotate_both(Asn(10), Asn(20), Relationship::PeerToPeer);
+        g.annotate_both(Asn(10), Asn(1), Relationship::ProviderToCustomer);
+        g.annotate_both(Asn(10), Asn(2), Relationship::ProviderToCustomer);
+        g.annotate_both(Asn(20), Asn(3), Relationship::ProviderToCustomer);
+        g.annotate_both(Asn(2), Asn(4), Relationship::ProviderToCustomer);
+        g.annotate(Asn(3), Asn(4), IpVersion::V6, Relationship::PeerToPeer);
+        g
+    }
+
+    #[test]
+    fn classify_path_on_graph() {
+        let g = topology();
+        // 1 climbs to 10, peers to 20, descends to 3: valley-free.
+        assert_eq!(
+            classify_path(&g, &[Asn(1), Asn(10), Asn(20), Asn(3)], IpVersion::V4),
+            PathValidity::ValleyFree
+        );
+        // 1 -> 10 -> 2 -> 4: up then down, fine.
+        assert!(classify_path(&g, &[Asn(1), Asn(10), Asn(2), Asn(4)], IpVersion::V4)
+            .is_valley_free());
+        // 10 -> 1 (down) then 1 -> 10 is a loop, but 10 -> 2 -> 4 -> 3 on v6:
+        // down, down, then peer after descending = valley at link index 2.
+        assert_eq!(
+            classify_path(&g, &[Asn(10), Asn(2), Asn(4), Asn(3)], IpVersion::V6),
+            PathValidity::Valley { violation_index: 2 }
+        );
+        // Same path on v4: the 4-3 link is not annotated (not even present).
+        assert_eq!(
+            classify_path(&g, &[Asn(10), Asn(2), Asn(4), Asn(3)], IpVersion::V4),
+            PathValidity::Unknown { missing_index: 2 }
+        );
+        assert!(PathValidity::Valley { violation_index: 2 }.is_valley());
+        assert!(!PathValidity::Valley { violation_index: 2 }.is_valley_free());
+    }
+
+    #[test]
+    fn valley_free_distances_from_stub() {
+        let g = topology();
+        let dist = valley_free_distances(&g, Asn(1), IpVersion::V4);
+        let d = |asn: u32| dist[g.node(Asn(asn)).unwrap().index()];
+        assert_eq!(d(1), Some(0));
+        assert_eq!(d(10), Some(1));
+        assert_eq!(d(2), Some(2)); // 1 up 10 down 2
+        assert_eq!(d(4), Some(3)); // 1 up 10 down 2 down 4
+        assert_eq!(d(20), Some(2)); // 1 up 10 peer 20
+        assert_eq!(d(3), Some(3)); // 1 up 10 peer 20 down 3
+    }
+
+    #[test]
+    fn valley_free_distances_respect_the_rule() {
+        let g = topology();
+        // From 4 on the v4 plane: 4 can climb to 2, to 10, peer to 20, down to 3.
+        let dist = valley_free_distances(&g, Asn(4), IpVersion::V4);
+        let d = |asn: u32| dist[g.node(Asn(asn)).unwrap().index()];
+        assert_eq!(d(3), Some(4));
+        // On the v6 plane the 4-3 peering gives a 1-hop path.
+        let dist6 = valley_free_distances(&g, Asn(4), IpVersion::V6);
+        let d6 = |asn: u32| dist6[g.node(Asn(asn)).unwrap().index()];
+        assert_eq!(d6(3), Some(1));
+        // But from 3's side, 3 cannot reach 1 via 4 (peer then up is a
+        // valley); it must go 3 up 20 peer 10 down 1 = 3 hops.
+        let dist3 = valley_free_distances(&g, Asn(3), IpVersion::V6);
+        let d3 = |asn: u32| dist3[g.node(Asn(asn)).unwrap().index()];
+        assert_eq!(d3(1), Some(3));
+    }
+
+    #[test]
+    fn peer_only_islands_are_unreachable_beyond_one_hop() {
+        let mut g = AsGraph::new();
+        g.annotate_both(Asn(1), Asn(2), Relationship::PeerToPeer);
+        g.annotate_both(Asn(2), Asn(3), Relationship::PeerToPeer);
+        let dist = valley_free_distances(&g, Asn(1), IpVersion::V4);
+        let d = |asn: u32| dist[g.node(Asn(asn)).unwrap().index()];
+        assert_eq!(d(2), Some(1));
+        assert_eq!(d(3), None, "two consecutive peering links are a valley");
+    }
+
+    #[test]
+    fn unannotated_links_are_not_traversed() {
+        let mut g = AsGraph::new();
+        g.observe_link(Asn(1), Asn(2), IpVersion::V6);
+        g.annotate(Asn(2), Asn(3), IpVersion::V6, Relationship::ProviderToCustomer);
+        let dist = valley_free_distances(&g, Asn(1), IpVersion::V6);
+        assert_eq!(dist[g.node(Asn(2)).unwrap().index()], None);
+        assert_eq!(dist[g.node(Asn(3)).unwrap().index()], None);
+    }
+
+    #[test]
+    fn unknown_root_yields_all_none() {
+        let g = topology();
+        let dist = valley_free_distances(&g, Asn(999), IpVersion::V4);
+        assert!(dist.iter().all(|d| d.is_none()));
+    }
+
+    #[test]
+    fn reachable_set_matches_distances() {
+        let g = topology();
+        let reach = valley_free_reachable(&g, Asn(1), IpVersion::V4);
+        assert_eq!(reach.len(), 6);
+        let reach6 = valley_free_reachable(&g, Asn(3), IpVersion::V6);
+        assert!(reach6.contains(&Asn(3)));
+        assert!(reach6.contains(&Asn(4)));
+    }
+
+    #[test]
+    fn sibling_links_extend_reachability() {
+        // 1 --s2s-- 2 --p2c--> 3 ; from 3, climbing to 2, sibling to 1 is legal.
+        let mut g = AsGraph::new();
+        g.annotate_both(Asn(1), Asn(2), Relationship::SiblingToSibling);
+        g.annotate_both(Asn(2), Asn(3), Relationship::ProviderToCustomer);
+        let dist = valley_free_distances(&g, Asn(3), IpVersion::V4);
+        assert_eq!(dist[g.node(Asn(1)).unwrap().index()], Some(2));
+        // And descending across a sibling after the peak is legal too.
+        let dist1 = valley_free_distances(&g, Asn(1), IpVersion::V4);
+        assert_eq!(dist1[g.node(Asn(3)).unwrap().index()], Some(2));
+    }
+}

@@ -1,0 +1,75 @@
+//! Component-level performance benchmarks (P1 in DESIGN.md): the MRT
+//! codec, the topology generator, the route propagation, and the
+//! valley-free graph traversals. These are throughput benchmarks for the
+//! substrates rather than reproductions of paper artifacts.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use asgraph::customer_tree::tree_union_metrics;
+use asgraph::valley::valley_free_distances;
+use bgp_types::IpVersion;
+use routesim::propagate::{propagate_origin, PropagationOptions};
+
+fn components(c: &mut Criterion) {
+    let scale = bench::bench_scale();
+    let scenario = bench::build_scenario(&scale);
+    let snapshot = scenario.merged_snapshot();
+
+    // MRT encode/decode throughput over the whole collector view.
+    let mut encoded = Vec::new();
+    mrt::write_snapshot(&mut encoded, &snapshot).unwrap();
+    let mut group = c.benchmark_group("mrt_codec");
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode_snapshot", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(encoded.len());
+            mrt::write_snapshot(&mut out, black_box(&snapshot)).unwrap();
+            black_box(out.len())
+        })
+    });
+    group.bench_function("decode_snapshot", |b| {
+        b.iter(|| black_box(mrt::read_snapshot(black_box(&encoded[..])).unwrap().len()))
+    });
+    group.finish();
+
+    // Topology generation.
+    c.bench_function("topogen_small", |b| {
+        b.iter(|| black_box(topogen::generate(&scale.topology).graph.edge_count()))
+    });
+
+    // Route propagation for a single origin.
+    let origin = scenario.truth.graph.asns().next().unwrap();
+    c.bench_function("propagate_one_origin_v4", |b| {
+        b.iter(|| {
+            black_box(
+                propagate_origin(
+                    &scenario.truth.graph,
+                    origin,
+                    IpVersion::V4,
+                    &PropagationOptions::default(),
+                )
+                .routed_count(),
+            )
+        })
+    });
+
+    // Valley-free single-source traversal and the tree-union metric.
+    c.bench_function("valley_free_distances", |b| {
+        b.iter(|| {
+            black_box(valley_free_distances(&scenario.truth.graph, origin, IpVersion::V4).len())
+        })
+    });
+    c.bench_function("tree_union_metrics_capped", |b| {
+        b.iter(|| {
+            black_box(tree_union_metrics(&scenario.truth.graph, IpVersion::V6, Some(50)).diameter)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = components
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Experiment E3 — hybrid link placement and path visibility (Section 3,
+//! observation 2).
+//!
+//! The paper: hybrid links concentrate among well-connected tier-1/tier-2
+//! ASes, and more than 28% of IPv6 AS paths traverse at least one hybrid
+//! link.
+
+use asgraph::tiers::classify_tiers;
+use bgp_types::IpVersion;
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let scale = if small { bench::bench_scale() } else { bench::paper_scale() };
+    eprintln!("building scenario ({} ASes)...", scale.topology.total_as_count());
+    let scenario = bench::build_scenario(&scale);
+    let report = bench::run_measurement(&scenario);
+    let h = &report.hybrids;
+
+    // Tier composition of hybrid endpoints, using the ground-truth graph.
+    let tiers = classify_tiers(&scenario.truth.graph, IpVersion::V4);
+    let mut tier1 = 0usize;
+    let mut tier2 = 0usize;
+    let mut stub = 0usize;
+    for f in &h.findings {
+        for asn in [f.a, f.b] {
+            match tiers.get(&asn) {
+                Some(asgraph::Tier::Tier1) => tier1 += 1,
+                Some(asgraph::Tier::Tier2) => tier2 += 1,
+                _ => stub += 1,
+            }
+        }
+    }
+    let endpoints = (2 * h.findings.len()).max(1);
+    let rows = vec![
+        vec![
+            "IPv6 paths with >=1 hybrid link".to_string(),
+            format!("{:.1}%", 100.0 * h.path_visibility_fraction()),
+            ">28%".to_string(),
+        ],
+        vec![
+            "hybrid endpoints that are tier-1/tier-2".to_string(),
+            format!("{:.0}%", 100.0 * (tier1 + tier2) as f64 / endpoints as f64),
+            "\"usually tier-1 or tier-2\"".to_string(),
+        ],
+        vec!["  tier-1 endpoints".to_string(), tier1.to_string(), String::new()],
+        vec!["  tier-2 endpoints".to_string(), tier2.to_string(), String::new()],
+        vec!["  stub endpoints".to_string(), stub.to_string(), String::new()],
+    ];
+    println!("{}", bench::format_rows(&["metric", "measured", "paper (Aug 2010)"], &rows));
+    println!("top-5 most visible hybrid links (IPv6 distinct-path count):");
+    for f in h.top_by_visibility(5) {
+        println!("  AS{} - AS{}  {}  visibility {}", f.a, f.b, f.class.label(), f.v6_path_visibility);
+    }
+}

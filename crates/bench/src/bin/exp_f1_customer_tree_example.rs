@@ -1,0 +1,14 @@
+//! Experiment F1 — the Figure 1 customer-tree example.
+//!
+//! Reproduces the five-AS illustration: when the 1-2 link is p2c the
+//! customer tree of AS1 is {2,3,4,5}; when it is p2p the tree shrinks to
+//! {3}.
+
+fn main() {
+    let (transit, peering) = bench::figure1_customer_trees();
+    println!("Figure 1 (a): link 1-2 is p2c -> customer tree of AS1 = {transit:?}");
+    println!("Figure 1 (b): link 1-2 is p2p -> customer tree of AS1 = {peering:?}");
+    assert_eq!(transit.len(), 4);
+    assert_eq!(peering.len(), 1);
+    println!("matches the paper: 4 ASes vs 1 AS");
+}

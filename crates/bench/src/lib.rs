@@ -1,0 +1,244 @@
+//! Shared experiment harness used by the `exp_*` binaries and the
+//! Criterion benchmarks.
+//!
+//! Every experiment of DESIGN.md §4 (E1–E4, F1, F2, A1–A3) has a function
+//! here that builds the scenario, runs the relevant part of the pipeline
+//! and returns the numbers; the binaries only format them and the benches
+//! only time them. Scales:
+//!
+//! * [`paper_scale`] — roughly the size of the paper's August 2010 IPv6
+//!   dataset (thousands of ASes, ~10k IPv6 links); used by the binaries.
+//! * [`bench_scale`] — a few hundred ASes; used by Criterion so `cargo
+//!   bench` terminates quickly.
+
+use asgraph::customer_tree::customer_tree;
+use asgraph::AsGraph;
+use bgp_types::{Asn, IpVersion};
+use hybrid_tor::baselines::{gao_inference, BaselineInput, InferenceAccuracy};
+use hybrid_tor::pipeline::{Pipeline, PipelineInput};
+use hybrid_tor::report::Report;
+use routesim::{Scenario, SimConfig};
+use topogen::fixtures::figure1_topology;
+use topogen::TopologyConfig;
+
+/// Topology/simulation configuration pair.
+#[derive(Debug, Clone)]
+pub struct ExperimentScale {
+    /// Topology generator configuration.
+    pub topology: TopologyConfig,
+    /// Simulator configuration.
+    pub sim: SimConfig,
+}
+
+/// The scale used by the experiment binaries: comparable (in order of
+/// magnitude) to the paper's 2010 IPv6 snapshot.
+pub fn paper_scale() -> ExperimentScale {
+    ExperimentScale { topology: TopologyConfig::default(), sim: SimConfig::default() }
+}
+
+/// A much smaller scale for Criterion runs and quick smoke tests.
+pub fn bench_scale() -> ExperimentScale {
+    ExperimentScale { topology: TopologyConfig::small(), sim: SimConfig::small() }
+}
+
+/// An even smaller scale for unit tests of the harness itself.
+pub fn tiny_scale() -> ExperimentScale {
+    ExperimentScale { topology: TopologyConfig::tiny(), sim: SimConfig::small() }
+}
+
+/// Build the scenario for a scale.
+pub fn build_scenario(scale: &ExperimentScale) -> Scenario {
+    Scenario::build(&scale.topology, &scale.sim)
+}
+
+/// E1/E2/E3/E4 + A1: run the full measurement pipeline (without the
+/// Figure 2 sweep) and return the report.
+pub fn run_measurement(scenario: &Scenario) -> Report {
+    Pipeline::default().run(PipelineInput::from_scenario(scenario))
+}
+
+/// F2: run the measurement including the customer-tree correction sweep.
+///
+/// `source_cap` bounds the all-pairs computation; `None` is exact and is
+/// what the paper-scale binary uses.
+pub fn run_measurement_with_impact(
+    scenario: &Scenario,
+    top_k: usize,
+    source_cap: Option<usize>,
+) -> Report {
+    Pipeline::with_impact(top_k, source_cap).run(PipelineInput::from_scenario(scenario))
+}
+
+/// F1: the Figure 1 example — the customer tree of AS1 under the two
+/// variants of the 1-2 link. Returns (tree when p2c, tree when p2p).
+pub fn figure1_customer_trees() -> (Vec<Asn>, Vec<Asn>) {
+    let transit = figure1_topology(true);
+    let peering = figure1_topology(false);
+    (
+        customer_tree(&transit, Asn(1), IpVersion::V6),
+        customer_tree(&peering, Asn(1), IpVersion::V6),
+    )
+}
+
+/// A1: evaluate the Gao baseline on a scenario directly (also part of the
+/// default report; exposed separately for the ablation binary).
+pub fn baseline_accuracy(scenario: &Scenario) -> (InferenceAccuracy, InferenceAccuracy) {
+    let data = hybrid_tor::extract::extract(&scenario.merged_snapshot());
+    let baseline = gao_inference(&data, BaselineInput::BothPlanes);
+    (
+        InferenceAccuracy::evaluate(&baseline, &scenario.truth.graph, IpVersion::V4),
+        InferenceAccuracy::evaluate(&baseline, &scenario.truth.graph, IpVersion::V6),
+    )
+}
+
+/// A2: coverage as a function of the IRR documentation rate.
+/// Returns `(documentation_rate, ipv6_coverage, dual_stack_coverage)` rows.
+pub fn coverage_sweep(scale: &ExperimentScale, rates: &[f64]) -> Vec<(f64, f64, f64)> {
+    let truth = topogen::generate(&scale.topology);
+    rates
+        .iter()
+        .map(|&rate| {
+            let mut sim = scale.sim.clone();
+            sim.documentation_probability = rate;
+            let scenario =
+                Scenario::build_from_truth(truth.clone(), scale.topology.clone(), &sim);
+            let report = run_measurement(&scenario);
+            (rate, report.dataset.ipv6_coverage(), report.dataset.dual_stack_coverage())
+        })
+        .collect()
+}
+
+/// A3: hybrid detection as a function of the number of collectors.
+/// Returns `(collectors, detected_hybrids, hybrid_fraction, ipv6_links)` rows.
+pub fn collector_sensitivity(scale: &ExperimentScale, collector_counts: &[usize]) -> Vec<(usize, usize, f64, usize)> {
+    let truth = topogen::generate(&scale.topology);
+    collector_counts
+        .iter()
+        .map(|&count| {
+            let mut sim = scale.sim.clone();
+            sim.collector_count = count;
+            let scenario =
+                Scenario::build_from_truth(truth.clone(), scale.topology.clone(), &sim);
+            let report = run_measurement(&scenario);
+            (
+                count,
+                report.hybrids.findings.len(),
+                report.hybrids.hybrid_fraction(),
+                report.dataset.ipv6_links,
+            )
+        })
+        .collect()
+}
+
+/// The misinferred (plane-blind) graph of a scenario: the IPv4-derived
+/// relationship applied to both planes, which is the starting point of the
+/// Figure 2 correction sweep.
+pub fn misinferred_graph(scenario: &Scenario) -> AsGraph {
+    let snapshot = scenario.merged_snapshot();
+    let data = hybrid_tor::extract::extract(&snapshot);
+    let dictionary = scenario.registry.build_dictionary();
+    let inference =
+        hybrid_tor::communities::CommunityInference::from_snapshot(&snapshot, &dictionary);
+    let baseline = gao_inference(&data, BaselineInput::BothPlanes);
+    hybrid_tor::impact::plane_blind_annotation(&data.graph, &inference, &baseline)
+}
+
+/// Render a simple two-column table for the binaries' stdout.
+pub fn format_rows(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+        &widths,
+    ));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_measurement_produces_consistent_report() {
+        let scenario = build_scenario(&tiny_scale());
+        let report = run_measurement(&scenario);
+        assert!(report.dataset.ipv6_paths > 0);
+        assert!(report.dataset.ipv6_coverage() > 0.0);
+        assert!(report.baseline_accuracy_v6.is_some());
+    }
+
+    #[test]
+    fn figure1_trees_match_the_paper() {
+        let (transit, peering) = figure1_customer_trees();
+        assert_eq!(transit, vec![Asn(2), Asn(3), Asn(4), Asn(5)]);
+        assert_eq!(peering, vec![Asn(3)]);
+    }
+
+    #[test]
+    fn coverage_sweep_is_monotone_in_documentation_rate() {
+        let rows = coverage_sweep(&tiny_scale(), &[0.0, 0.5, 1.0]);
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].1 <= rows[2].1, "coverage should grow with documentation: {rows:?}");
+        assert_eq!(rows[0].1, 0.0, "no documentation, no community coverage");
+    }
+
+    #[test]
+    fn collector_sensitivity_rows_have_requested_counts() {
+        let rows = collector_sensitivity(&tiny_scale(), &[1, 2]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, 1);
+        assert_eq!(rows[1].0, 2);
+        assert!(rows[1].3 >= rows[0].3, "more collectors see at least as many links");
+    }
+
+    #[test]
+    fn impact_measurement_includes_a_curve() {
+        let scenario = build_scenario(&tiny_scale());
+        let report = run_measurement_with_impact(&scenario, 3, Some(64));
+        let curve = report.impact.unwrap();
+        assert!(!curve.steps.is_empty());
+    }
+
+    #[test]
+    fn format_rows_aligns_columns() {
+        let table = format_rows(
+            &["k", "value"],
+            &[vec!["1".into(), "short".into()], vec!["20".into(), "much longer".into()]],
+        );
+        assert!(table.contains("k "));
+        assert!(table.lines().count() >= 4);
+    }
+
+    #[test]
+    fn misinferred_graph_is_annotated() {
+        let scenario = build_scenario(&tiny_scale());
+        let graph = misinferred_graph(&scenario);
+        let annotated = graph
+            .plane_edges(IpVersion::V6)
+            .filter(|e| e.rel(IpVersion::V6).is_some())
+            .count();
+        assert!(annotated > 0);
+    }
+}

@@ -1,0 +1,338 @@
+//! Autonomous System Numbers.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ParseError;
+
+/// A 4-byte Autonomous System Number (RFC 6793).
+///
+/// The newtype is `Copy`, ordered, hashable and serializes as a bare
+/// integer, so it can be used directly as a map key and in compact
+/// on-disk representations.
+///
+/// ```
+/// use bgp_types::Asn;
+/// let a: Asn = "64512".parse().unwrap();
+/// assert_eq!(a, Asn(64512));
+/// assert!(a.is_private());
+/// assert_eq!(Asn(3356).to_string(), "3356");
+/// // "asdot" notation for 4-byte ASNs is accepted on input.
+/// assert_eq!("1.10".parse::<Asn>().unwrap(), Asn(65546));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Asn(pub u32);
+
+impl Asn {
+    /// The reserved ASN 0 (RFC 7607) — must never appear in an AS path.
+    pub const RESERVED_ZERO: Asn = Asn(0);
+    /// AS_TRANS (RFC 6793), used by 2-byte-only speakers for 4-byte ASNs.
+    pub const AS_TRANS: Asn = Asn(23456);
+
+    /// Construct from a raw u32.
+    #[inline]
+    pub const fn new(value: u32) -> Self {
+        Asn(value)
+    }
+
+    /// The raw numeric value.
+    #[inline]
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+
+    /// True for the 16-bit private range 64512-65534 and the 32-bit
+    /// private range 4200000000-4294967294 (RFC 6996).
+    pub const fn is_private(self) -> bool {
+        (self.0 >= 64512 && self.0 <= 65534) || (self.0 >= 4_200_000_000 && self.0 <= 4_294_967_294)
+    }
+
+    /// True for ASNs reserved for documentation (RFC 5398):
+    /// 64496-64511 and 65536-65551.
+    pub const fn is_documentation(self) -> bool {
+        (self.0 >= 64496 && self.0 <= 64511) || (self.0 >= 65536 && self.0 <= 65551)
+    }
+
+    /// True if the ASN is reserved and should never be originated or
+    /// appear in a public AS path: 0, AS_TRANS, 65535, 4294967295,
+    /// the private ranges and the documentation ranges.
+    pub const fn is_reserved(self) -> bool {
+        self.0 == 0
+            || self.0 == 23456
+            || self.0 == 65535
+            || self.0 == u32::MAX
+            || self.is_private()
+            || self.is_documentation()
+    }
+
+    /// True if the ASN is a plain, publicly routable ASN.
+    pub const fn is_public(self) -> bool {
+        !self.is_reserved()
+    }
+
+    /// True if the ASN fits in 16 bits (a "2-byte ASN").
+    pub const fn is_16bit(self) -> bool {
+        self.0 <= u16::MAX as u32
+    }
+
+    /// Render in "asdot" notation (RFC 5396): 4-byte ASNs are shown as
+    /// `high.low`, 2-byte ASNs as plain integers.
+    pub fn to_asdot(self) -> String {
+        if self.is_16bit() {
+            self.0.to_string()
+        } else {
+            format!("{}.{}", self.0 >> 16, self.0 & 0xFFFF)
+        }
+    }
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for Asn {
+    fn from(v: u32) -> Self {
+        Asn(v)
+    }
+}
+
+impl From<u16> for Asn {
+    fn from(v: u16) -> Self {
+        Asn(v as u32)
+    }
+}
+
+impl From<Asn> for u32 {
+    fn from(a: Asn) -> Self {
+        a.0
+    }
+}
+
+impl FromStr for Asn {
+    type Err = ParseError;
+
+    /// Accepts "asplain" (`3356`), "asdot" (`1.10`) and an optional
+    /// `AS`/`as` prefix (`AS3356`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(ParseError::empty(s));
+        }
+        let s = s.strip_prefix("AS").or_else(|| s.strip_prefix("as")).unwrap_or(s);
+        if let Some((high, low)) = s.split_once('.') {
+            let high: u32 = high.parse().map_err(|_| ParseError::number(s))?;
+            let low: u32 = low.parse().map_err(|_| ParseError::number(s))?;
+            if high > u16::MAX as u32 || low > u16::MAX as u32 {
+                return Err(ParseError::number(s));
+            }
+            Ok(Asn((high << 16) | low))
+        } else {
+            let v: u32 = s.parse().map_err(|_| ParseError::number(s))?;
+            Ok(Asn(v))
+        }
+    }
+}
+
+/// An ordered, deduplicated set of ASNs.
+///
+/// Used for AS_SET path segments, collector feeder lists and customer
+/// cones. Backed by a `BTreeSet` so iteration order is deterministic,
+/// which keeps every simulator run and report reproducible.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct AsnSet(BTreeSet<Asn>);
+
+impl AsnSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert an ASN; returns true if it was not already present.
+    pub fn insert(&mut self, asn: Asn) -> bool {
+        self.0.insert(asn)
+    }
+
+    /// Remove an ASN; returns true if it was present.
+    pub fn remove(&mut self, asn: Asn) -> bool {
+        self.0.remove(&asn)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.0.contains(&asn)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterate members in ascending numeric order.
+    pub fn iter(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// Union with another set, in place.
+    pub fn extend_from(&mut self, other: &AsnSet) {
+        self.0.extend(other.0.iter().copied());
+    }
+
+    /// Smallest member, if any.
+    pub fn min(&self) -> Option<Asn> {
+        self.0.iter().next().copied()
+    }
+}
+
+impl FromIterator<Asn> for AsnSet {
+    fn from_iter<T: IntoIterator<Item = Asn>>(iter: T) -> Self {
+        AsnSet(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a AsnSet {
+    type Item = Asn;
+    type IntoIter = std::iter::Copied<std::collections::btree_set::Iter<'a, Asn>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter().copied()
+    }
+}
+
+impl fmt::Display for AsnSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, asn) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{asn}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_asplain() {
+        assert_eq!("3356".parse::<Asn>().unwrap(), Asn(3356));
+        assert_eq!("AS6939".parse::<Asn>().unwrap(), Asn(6939));
+        assert_eq!("as174".parse::<Asn>().unwrap(), Asn(174));
+        assert_eq!(" 42 ".parse::<Asn>().unwrap(), Asn(42));
+    }
+
+    #[test]
+    fn parse_asdot() {
+        assert_eq!("1.10".parse::<Asn>().unwrap(), Asn(65546));
+        assert_eq!("0.3356".parse::<Asn>().unwrap(), Asn(3356));
+        assert_eq!("65535.65535".parse::<Asn>().unwrap(), Asn(u32::MAX));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<Asn>().is_err());
+        assert!("  ".parse::<Asn>().is_err());
+        assert!("foo".parse::<Asn>().is_err());
+        assert!("1.2.3".parse::<Asn>().is_err());
+        assert!("70000.1".parse::<Asn>().is_err());
+        assert!("1.70000".parse::<Asn>().is_err());
+        assert!("4294967296".parse::<Asn>().is_err());
+        assert!("-5".parse::<Asn>().is_err());
+    }
+
+    #[test]
+    fn asdot_roundtrip() {
+        assert_eq!(Asn(3356).to_asdot(), "3356");
+        assert_eq!(Asn(65546).to_asdot(), "1.10");
+        let parsed: Asn = Asn(65546).to_asdot().parse().unwrap();
+        assert_eq!(parsed, Asn(65546));
+    }
+
+    #[test]
+    fn private_and_reserved_classification() {
+        assert!(Asn(64512).is_private());
+        assert!(Asn(65534).is_private());
+        assert!(!Asn(65535).is_private());
+        assert!(Asn(65535).is_reserved());
+        assert!(Asn(4_200_000_000).is_private());
+        assert!(Asn::RESERVED_ZERO.is_reserved());
+        assert!(Asn::AS_TRANS.is_reserved());
+        assert!(Asn(64496).is_documentation());
+        assert!(Asn(65536).is_documentation());
+        assert!(Asn(3356).is_public());
+        assert!(!Asn(3356).is_reserved());
+    }
+
+    #[test]
+    fn is_16bit() {
+        assert!(Asn(65535).is_16bit());
+        assert!(!Asn(65536).is_16bit());
+    }
+
+    #[test]
+    fn ordering_and_hash_follow_value() {
+        assert!(Asn(1) < Asn(2));
+        let mut set = std::collections::HashSet::new();
+        set.insert(Asn(7));
+        assert!(set.contains(&Asn(7)));
+    }
+
+    #[test]
+    fn asn_set_basic_operations() {
+        let mut s = AsnSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(Asn(10)));
+        assert!(!s.insert(Asn(10)));
+        assert!(s.insert(Asn(2)));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(Asn(10)));
+        assert_eq!(s.min(), Some(Asn(2)));
+        let order: Vec<Asn> = s.iter().collect();
+        assert_eq!(order, vec![Asn(2), Asn(10)]);
+        assert!(s.remove(Asn(2)));
+        assert!(!s.remove(Asn(2)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn asn_set_display_and_collect() {
+        let s: AsnSet = [Asn(3), Asn(1), Asn(2)].into_iter().collect();
+        assert_eq!(s.to_string(), "{1,2,3}");
+        let mut other = AsnSet::new();
+        other.insert(Asn(9));
+        let mut s = s;
+        s.extend_from(&other);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn serde_transparent_roundtrip() {
+        let a = Asn(3356);
+        let json = serde_json::to_string(&a).unwrap();
+        assert_eq!(json, "3356");
+        let back: Asn = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, a);
+
+        let s: AsnSet = [Asn(1), Asn(5)].into_iter().collect();
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(json, "[1,5]");
+        let back: AsnSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

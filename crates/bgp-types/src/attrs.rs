@@ -1,0 +1,165 @@
+//! BGP path attributes carried by a route.
+
+use std::fmt;
+use std::net::IpAddr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::aspath::AsPath;
+use crate::community::{CommunitySet, LargeCommunity};
+
+/// The ORIGIN attribute (RFC 4271): how the route entered BGP.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum Origin {
+    /// Learned from an IGP (value 0).
+    #[default]
+    Igp,
+    /// Learned from EGP (value 1, historical).
+    Egp,
+    /// Origin unknown / redistributed (value 2).
+    Incomplete,
+}
+
+impl Origin {
+    /// The wire-format code (0, 1, 2).
+    pub const fn code(self) -> u8 {
+        match self {
+            Origin::Igp => 0,
+            Origin::Egp => 1,
+            Origin::Incomplete => 2,
+        }
+    }
+
+    /// Build from the wire-format code.
+    pub const fn from_code(code: u8) -> Option<Origin> {
+        match code {
+            0 => Some(Origin::Igp),
+            1 => Some(Origin::Egp),
+            2 => Some(Origin::Incomplete),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Origin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Origin::Igp => write!(f, "IGP"),
+            Origin::Egp => write!(f, "EGP"),
+            Origin::Incomplete => write!(f, "INCOMPLETE"),
+        }
+    }
+}
+
+/// The set of BGP path attributes a RIB entry carries.
+///
+/// Only the attributes the paper's methodology needs are modelled as
+/// structured fields (AS_PATH, LOCAL_PREF, COMMUNITIES, MED, ORIGIN,
+/// NEXT_HOP); everything else a real table dump may contain is preserved
+/// as opaque `(type_code, bytes)` pairs by the `mrt` crate.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PathAttributes {
+    /// ORIGIN.
+    pub origin: Origin,
+    /// AS_PATH.
+    pub as_path: AsPath,
+    /// NEXT_HOP (v4) or the MP_REACH next hop (v6). Optional because
+    /// synthetic RIBs may omit it.
+    pub next_hop: Option<IpAddr>,
+    /// MULTI_EXIT_DISC, if present.
+    pub med: Option<u32>,
+    /// LOCAL_PREF, if present. Collector peers that feed their full table
+    /// over iBGP expose it; eBGP feeders usually do not.
+    pub local_pref: Option<u32>,
+    /// Classic 32-bit communities.
+    pub communities: CommunitySet,
+    /// RFC 8092 large communities (carried but not interpreted).
+    pub large_communities: Vec<LargeCommunity>,
+    /// True when the route carried ATOMIC_AGGREGATE.
+    pub atomic_aggregate: bool,
+}
+
+impl PathAttributes {
+    /// Attributes for a freshly originated route: empty path, IGP origin,
+    /// no communities.
+    pub fn originated() -> Self {
+        PathAttributes::default()
+    }
+
+    /// Convenience constructor used heavily by tests and the simulator.
+    pub fn with_path(as_path: AsPath) -> Self {
+        PathAttributes { as_path, ..Default::default() }
+    }
+
+    /// Builder-style: set LOCAL_PREF.
+    pub fn local_pref(mut self, lp: u32) -> Self {
+        self.local_pref = Some(lp);
+        self
+    }
+
+    /// Builder-style: add a community.
+    pub fn community(mut self, c: crate::community::Community) -> Self {
+        self.communities.insert(c);
+        self
+    }
+
+    /// Builder-style: set MED.
+    pub fn med(mut self, med: u32) -> Self {
+        self.med = Some(med);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::community::Community;
+    use crate::Asn;
+
+    #[test]
+    fn origin_codes_roundtrip() {
+        for o in [Origin::Igp, Origin::Egp, Origin::Incomplete] {
+            assert_eq!(Origin::from_code(o.code()), Some(o));
+        }
+        assert_eq!(Origin::from_code(3), None);
+        assert_eq!(Origin::Igp.to_string(), "IGP");
+        assert_eq!(Origin::Incomplete.to_string(), "INCOMPLETE");
+        assert_eq!(Origin::default(), Origin::Igp);
+    }
+
+    #[test]
+    fn builder_style_attributes() {
+        let attrs = PathAttributes::with_path("3356 112".parse().unwrap())
+            .local_pref(200)
+            .med(10)
+            .community(Community::new(3356, 2010))
+            .community(Community::new(3356, 666));
+        assert_eq!(attrs.local_pref, Some(200));
+        assert_eq!(attrs.med, Some(10));
+        assert_eq!(attrs.communities.len(), 2);
+        assert_eq!(attrs.as_path.origin(), Some(Asn(112)));
+        assert!(!attrs.atomic_aggregate);
+        assert!(attrs.next_hop.is_none());
+    }
+
+    #[test]
+    fn originated_is_empty() {
+        let attrs = PathAttributes::originated();
+        assert!(attrs.as_path.is_empty());
+        assert!(attrs.communities.is_empty());
+        assert_eq!(attrs.local_pref, None);
+        assert_eq!(attrs, PathAttributes::default());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let attrs = PathAttributes::with_path("1 2 3".parse().unwrap())
+            .local_pref(120)
+            .community(Community::new(1, 2));
+        let json = serde_json::to_string(&attrs).unwrap();
+        let back: PathAttributes = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, attrs);
+    }
+}

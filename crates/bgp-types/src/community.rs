@@ -1,0 +1,338 @@
+//! BGP Communities (RFC 1997) and Large Communities (RFC 8092).
+//!
+//! The Communities attribute is the primary signal the paper mines: an AS
+//! tags routes it receives with `observer:value` communities whose meaning
+//! ("received from customer", "received at LINX", "prepend twice towards
+//! AS x", ...) is documented in the IRR. This module only models the
+//! *values*; their interpretation lives in the `irr` crate.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::asn::Asn;
+use crate::error::ParseError;
+
+/// A classic 32-bit BGP community, conventionally written `asn:value`.
+///
+/// ```
+/// use bgp_types::{Asn, Community};
+/// let c: Community = "6939:2000".parse().unwrap();
+/// assert_eq!(c.asn(), Asn(6939));
+/// assert_eq!(c.value(), 2000);
+/// assert_eq!(c.to_string(), "6939:2000");
+/// assert_eq!(Community::from_u32(c.as_u32()), c);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Community {
+    asn: u16,
+    value: u16,
+}
+
+impl Community {
+    /// Well-known community NO_EXPORT (RFC 1997).
+    pub const NO_EXPORT: Community = Community { asn: 0xFFFF, value: 0xFF01 };
+    /// Well-known community NO_ADVERTISE (RFC 1997).
+    pub const NO_ADVERTISE: Community = Community { asn: 0xFFFF, value: 0xFF02 };
+    /// Well-known community NO_EXPORT_SUBCONFED (RFC 1997).
+    pub const NO_EXPORT_SUBCONFED: Community = Community { asn: 0xFFFF, value: 0xFF03 };
+    /// Well-known community BLACKHOLE (RFC 7999).
+    pub const BLACKHOLE: Community = Community { asn: 0xFFFF, value: 0x029A };
+
+    /// Construct from the high (ASN) and low (value) 16-bit halves.
+    pub const fn new(asn: u16, value: u16) -> Self {
+        Community { asn, value }
+    }
+
+    /// The high 16 bits, conventionally the ASN that defines the meaning.
+    pub const fn asn(&self) -> Asn {
+        Asn(self.asn as u32)
+    }
+
+    /// The raw high 16 bits.
+    pub const fn asn_raw(&self) -> u16 {
+        self.asn
+    }
+
+    /// The low 16 bits, the operator-defined value.
+    pub const fn value(&self) -> u16 {
+        self.value
+    }
+
+    /// The packed 32-bit wire representation (`asn << 16 | value`).
+    pub const fn as_u32(&self) -> u32 {
+        ((self.asn as u32) << 16) | self.value as u32
+    }
+
+    /// Unpack from the 32-bit wire representation.
+    pub const fn from_u32(raw: u32) -> Self {
+        Community { asn: (raw >> 16) as u16, value: (raw & 0xFFFF) as u16 }
+    }
+
+    /// True for the RFC 1997 / RFC 7999 well-known communities
+    /// (high half 0xFFFF).
+    pub const fn is_well_known(&self) -> bool {
+        self.asn == 0xFFFF
+    }
+}
+
+impl fmt::Display for Community {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.asn, self.value)
+    }
+}
+
+impl FromStr for Community {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let (a, v) = s
+            .split_once(':')
+            .ok_or_else(|| ParseError::syntax("asn:value community", s))?;
+        let asn: u16 = a.parse().map_err(|_| ParseError::number(s))?;
+        let value: u16 = v.parse().map_err(|_| ParseError::number(s))?;
+        Ok(Community { asn, value })
+    }
+}
+
+/// A 96-bit Large Community (RFC 8092), written `global:local1:local2`.
+///
+/// Large communities are carried through the simulator and the MRT codec
+/// for completeness but the paper's 2010-era dataset predates them, so the
+/// inference pipeline treats them as opaque.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct LargeCommunity {
+    /// Global administrator, conventionally a 4-byte ASN.
+    pub global: u32,
+    /// First operator-defined word.
+    pub local1: u32,
+    /// Second operator-defined word.
+    pub local2: u32,
+}
+
+impl LargeCommunity {
+    /// Construct from the three 32-bit words.
+    pub const fn new(global: u32, local1: u32, local2: u32) -> Self {
+        LargeCommunity { global, local1, local2 }
+    }
+}
+
+impl fmt::Display for LargeCommunity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.global, self.local1, self.local2)
+    }
+}
+
+impl FromStr for LargeCommunity {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let mut it = s.split(':');
+        let (a, b, c) = match (it.next(), it.next(), it.next(), it.next()) {
+            (Some(a), Some(b), Some(c), None) => (a, b, c),
+            _ => return Err(ParseError::syntax("g:l1:l2 large community", s)),
+        };
+        let global: u32 = a.parse().map_err(|_| ParseError::number(s))?;
+        let local1: u32 = b.parse().map_err(|_| ParseError::number(s))?;
+        let local2: u32 = c.parse().map_err(|_| ParseError::number(s))?;
+        Ok(LargeCommunity { global, local1, local2 })
+    }
+}
+
+/// An ordered, deduplicated set of classic communities attached to a route.
+///
+/// BGP treats the Communities attribute as an unordered set; we store it in
+/// a `BTreeSet` so equality and iteration are canonical, which matters when
+/// comparing routes and when hashing RIB entries in tests.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct CommunitySet(BTreeSet<Community>);
+
+impl CommunitySet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a community; returns true if newly added.
+    pub fn insert(&mut self, c: Community) -> bool {
+        self.0.insert(c)
+    }
+
+    /// Remove a community; returns true if it was present.
+    pub fn remove(&mut self, c: Community) -> bool {
+        self.0.remove(&c)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, c: Community) -> bool {
+        self.0.contains(&c)
+    }
+
+    /// Number of communities.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterate in canonical (numeric) order.
+    pub fn iter(&self) -> impl Iterator<Item = Community> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// Communities whose high half equals `asn` (i.e. defined by that AS).
+    pub fn defined_by(&self, asn: Asn) -> impl Iterator<Item = Community> + '_ {
+        self.0.iter().copied().filter(move |c| c.asn() == asn)
+    }
+
+    /// Union in place.
+    pub fn extend_from(&mut self, other: &CommunitySet) {
+        self.0.extend(other.0.iter().copied());
+    }
+}
+
+impl FromIterator<Community> for CommunitySet {
+    fn from_iter<T: IntoIterator<Item = Community>>(iter: T) -> Self {
+        CommunitySet(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a CommunitySet {
+    type Item = Community;
+    type IntoIter = std::iter::Copied<std::collections::btree_set::Iter<'a, Community>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter().copied()
+    }
+}
+
+impl fmt::Display for CommunitySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn community_parse_display_roundtrip() {
+        let c: Community = "3356:2010".parse().unwrap();
+        assert_eq!(c, Community::new(3356, 2010));
+        assert_eq!(c.to_string(), "3356:2010");
+        assert_eq!(c.asn(), Asn(3356));
+        assert_eq!(c.asn_raw(), 3356);
+        assert_eq!(c.value(), 2010);
+    }
+
+    #[test]
+    fn community_u32_packing() {
+        let c = Community::new(0x1234, 0x5678);
+        assert_eq!(c.as_u32(), 0x1234_5678);
+        assert_eq!(Community::from_u32(0x1234_5678), c);
+        // Exhaustive-ish corner check.
+        for raw in [0u32, 1, 0xFFFF, 0x1_0000, u32::MAX] {
+            assert_eq!(Community::from_u32(raw).as_u32(), raw);
+        }
+    }
+
+    #[test]
+    fn community_parse_rejects_garbage() {
+        assert!("".parse::<Community>().is_err());
+        assert!("3356".parse::<Community>().is_err());
+        assert!("3356:".parse::<Community>().is_err());
+        assert!(":1".parse::<Community>().is_err());
+        assert!("70000:1".parse::<Community>().is_err());
+        assert!("1:70000".parse::<Community>().is_err());
+        assert!("a:b".parse::<Community>().is_err());
+    }
+
+    #[test]
+    fn well_known_communities() {
+        assert!(Community::NO_EXPORT.is_well_known());
+        assert!(Community::NO_ADVERTISE.is_well_known());
+        assert!(Community::NO_EXPORT_SUBCONFED.is_well_known());
+        assert!(Community::BLACKHOLE.is_well_known());
+        assert!(!Community::new(3356, 100).is_well_known());
+        assert_eq!(Community::NO_EXPORT.as_u32(), 0xFFFF_FF01);
+        assert_eq!(Community::BLACKHOLE.as_u32(), 0xFFFF_029A);
+    }
+
+    #[test]
+    fn large_community_parse_display() {
+        let c: LargeCommunity = "206924:1:65000".parse().unwrap();
+        assert_eq!(c, LargeCommunity::new(206924, 1, 65000));
+        assert_eq!(c.to_string(), "206924:1:65000");
+        assert!("1:2".parse::<LargeCommunity>().is_err());
+        assert!("1:2:3:4".parse::<LargeCommunity>().is_err());
+        assert!("x:2:3".parse::<LargeCommunity>().is_err());
+    }
+
+    #[test]
+    fn community_set_operations() {
+        let mut s = CommunitySet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(Community::new(3356, 2)));
+        assert!(!s.insert(Community::new(3356, 2)));
+        assert!(s.insert(Community::new(3356, 1)));
+        assert!(s.insert(Community::new(174, 10)));
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(Community::new(174, 10)));
+        let by_3356: Vec<_> = s.defined_by(Asn(3356)).collect();
+        assert_eq!(by_3356, vec![Community::new(3356, 1), Community::new(3356, 2)]);
+        assert!(s.remove(Community::new(174, 10)));
+        assert!(!s.remove(Community::new(174, 10)));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn community_set_display_is_sorted() {
+        let s: CommunitySet =
+            [Community::new(20, 1), Community::new(10, 5)].into_iter().collect();
+        assert_eq!(s.to_string(), "10:5 20:1");
+    }
+
+    #[test]
+    fn community_set_extend_and_iterate() {
+        let mut a: CommunitySet = [Community::new(1, 1)].into_iter().collect();
+        let b: CommunitySet = [Community::new(2, 2), Community::new(1, 1)].into_iter().collect();
+        a.extend_from(&b);
+        assert_eq!(a.len(), 2);
+        let collected: Vec<_> = (&a).into_iter().collect();
+        assert_eq!(collected, vec![Community::new(1, 1), Community::new(2, 2)]);
+    }
+
+    #[test]
+    fn community_ordering_by_asn_then_value() {
+        assert!(Community::new(1, 9) < Community::new(2, 0));
+        assert!(Community::new(1, 1) < Community::new(1, 2));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s: CommunitySet =
+            [Community::new(3356, 2010), Community::new(6939, 1)].into_iter().collect();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: CommunitySet = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,141 @@
+//! Error types shared by the vocabulary crate.
+
+use std::fmt;
+
+/// Error produced when parsing a textual representation of a BGP type
+/// (ASN, prefix, community, AS path, ...).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    kind: ParseErrorKind,
+    input: String,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ParseErrorKind {
+    /// The input was empty where a value was required.
+    Empty,
+    /// A numeric field could not be parsed or overflowed its range.
+    InvalidNumber,
+    /// The overall syntax did not match the expected grammar.
+    InvalidSyntax(&'static str),
+    /// A prefix length exceeded the maximum for the address family.
+    PrefixLengthOutOfRange { len: u8, max: u8 },
+    /// Host bits were set beyond the prefix length.
+    HostBitsSet,
+}
+
+impl ParseError {
+    pub(crate) fn new(kind: ParseErrorKind, input: impl Into<String>) -> Self {
+        Self { kind, input: input.into() }
+    }
+
+    pub(crate) fn empty(input: impl Into<String>) -> Self {
+        Self::new(ParseErrorKind::Empty, input)
+    }
+
+    pub(crate) fn number(input: impl Into<String>) -> Self {
+        Self::new(ParseErrorKind::InvalidNumber, input)
+    }
+
+    pub(crate) fn syntax(expected: &'static str, input: impl Into<String>) -> Self {
+        Self::new(ParseErrorKind::InvalidSyntax(expected), input)
+    }
+
+    /// The offending input, verbatim.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParseErrorKind::Empty => write!(f, "empty input where a value was required"),
+            ParseErrorKind::InvalidNumber => {
+                write!(f, "invalid or out-of-range number in {:?}", self.input)
+            }
+            ParseErrorKind::InvalidSyntax(expected) => {
+                write!(f, "expected {expected}, got {:?}", self.input)
+            }
+            ParseErrorKind::PrefixLengthOutOfRange { len, max } => {
+                write!(f, "prefix length {len} exceeds maximum {max} in {:?}", self.input)
+            }
+            ParseErrorKind::HostBitsSet => {
+                write!(f, "host bits set beyond the prefix length in {:?}", self.input)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Error produced by semantic validation of already-parsed values, e.g.
+/// constructing a prefix with an out-of-range length or an AS path segment
+/// longer than the wire format allows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// A prefix length exceeded the maximum for its address family.
+    PrefixLength {
+        /// Requested length.
+        len: u8,
+        /// Maximum permitted for the address family.
+        max: u8,
+    },
+    /// An AS path segment exceeded 255 entries (the wire-format limit).
+    SegmentTooLong(usize),
+    /// An AS path had more segments than the implementation supports.
+    TooManySegments(usize),
+    /// A reserved or otherwise unusable ASN was used where a routable ASN
+    /// was required.
+    ReservedAsn(u32),
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::PrefixLength { len, max } => {
+                write!(f, "prefix length {len} exceeds maximum {max}")
+            }
+            TypeError::SegmentTooLong(n) => {
+                write!(f, "AS path segment has {n} entries, the wire limit is 255")
+            }
+            TypeError::TooManySegments(n) => {
+                write!(f, "AS path has {n} segments, which is unsupported")
+            }
+            TypeError::ReservedAsn(asn) => {
+                write!(f, "ASN {asn} is reserved and cannot be used here")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_error_display_mentions_input() {
+        let e = ParseError::syntax("a:b community", "garbage");
+        let msg = e.to_string();
+        assert!(msg.contains("a:b community"));
+        assert!(msg.contains("garbage"));
+        assert_eq!(e.input(), "garbage");
+    }
+
+    #[test]
+    fn type_error_display() {
+        assert!(TypeError::PrefixLength { len: 33, max: 32 }.to_string().contains("33"));
+        assert!(TypeError::SegmentTooLong(300).to_string().contains("300"));
+        assert!(TypeError::TooManySegments(9).to_string().contains('9'));
+        assert!(TypeError::ReservedAsn(0).to_string().contains('0'));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<ParseError>();
+        assert_err::<TypeError>();
+    }
+}

@@ -1,0 +1,471 @@
+//! IPv4 and IPv6 network prefixes and the [`IpVersion`] plane selector.
+
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ParseError, ParseErrorKind, TypeError};
+
+/// The IP plane a route, link or relationship belongs to.
+///
+/// The whole point of the paper is that the *same* AS link may have
+/// different business relationships on the two planes, so nearly every
+/// API in the workspace is parameterised by this enum.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum IpVersion {
+    /// The IPv4 plane.
+    V4,
+    /// The IPv6 plane.
+    V6,
+}
+
+impl IpVersion {
+    /// Both planes, in a fixed order (V4 first). Handy for iteration.
+    pub const BOTH: [IpVersion; 2] = [IpVersion::V4, IpVersion::V6];
+
+    /// The other plane.
+    pub const fn other(self) -> IpVersion {
+        match self {
+            IpVersion::V4 => IpVersion::V6,
+            IpVersion::V6 => IpVersion::V4,
+        }
+    }
+
+    /// The AFI number used in BGP/MRT wire formats (1 = IPv4, 2 = IPv6).
+    pub const fn afi(self) -> u16 {
+        match self {
+            IpVersion::V4 => 1,
+            IpVersion::V6 => 2,
+        }
+    }
+
+    /// Build from an AFI number.
+    pub const fn from_afi(afi: u16) -> Option<IpVersion> {
+        match afi {
+            1 => Some(IpVersion::V4),
+            2 => Some(IpVersion::V6),
+            _ => None,
+        }
+    }
+
+    /// Maximum prefix length on this plane (32 or 128).
+    pub const fn max_prefix_len(self) -> u8 {
+        match self {
+            IpVersion::V4 => 32,
+            IpVersion::V6 => 128,
+        }
+    }
+}
+
+impl fmt::Display for IpVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IpVersion::V4 => write!(f, "IPv4"),
+            IpVersion::V6 => write!(f, "IPv6"),
+        }
+    }
+}
+
+/// An IPv4 network prefix in CIDR form, stored canonically (host bits zero).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Ipv4Net {
+    addr: Ipv4Addr,
+    len: u8,
+}
+
+impl Ipv4Net {
+    /// Construct a prefix, validating the length and that no host bits are
+    /// set beyond it.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Result<Self, TypeError> {
+        if len > 32 {
+            return Err(TypeError::PrefixLength { len, max: 32 });
+        }
+        let p = Self::new_truncated(addr, len);
+        if p.addr != addr {
+            // The caller passed host bits; surface it as a length error is
+            // misleading, so we keep a dedicated conversion below via parse.
+            // For the programmatic constructor we are strict.
+            return Err(TypeError::PrefixLength { len, max: 32 });
+        }
+        Ok(p)
+    }
+
+    /// Construct a prefix, silently zeroing any host bits.
+    pub fn new_truncated(addr: Ipv4Addr, len: u8) -> Self {
+        let len = len.min(32);
+        let raw = u32::from(addr);
+        let masked = if len == 0 { 0 } else { raw & (u32::MAX << (32 - len)) };
+        Ipv4Net { addr: Ipv4Addr::from(masked), len }
+    }
+
+    /// Network address.
+    pub const fn addr(&self) -> Ipv4Addr {
+        self.addr
+    }
+
+    /// Prefix length in bits.
+    pub const fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// True only for 0.0.0.0/0.
+    pub fn is_default(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Does this prefix contain (or equal) `other`?
+    pub fn contains(&self, other: &Ipv4Net) -> bool {
+        if other.len < self.len {
+            return false;
+        }
+        Self::new_truncated(other.addr, self.len).addr == self.addr
+    }
+}
+
+impl fmt::Display for Ipv4Net {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.len)
+    }
+}
+
+impl FromStr for Ipv4Net {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let (a, l) = s
+            .split_once('/')
+            .ok_or_else(|| ParseError::syntax("a.b.c.d/len prefix", s))?;
+        let addr: Ipv4Addr = a.parse().map_err(|_| ParseError::syntax("IPv4 address", s))?;
+        let len: u8 = l.parse().map_err(|_| ParseError::number(s))?;
+        if len > 32 {
+            return Err(ParseError::new(
+                ParseErrorKind::PrefixLengthOutOfRange { len, max: 32 },
+                s,
+            ));
+        }
+        let canonical = Ipv4Net::new_truncated(addr, len);
+        if canonical.addr != addr {
+            return Err(ParseError::new(ParseErrorKind::HostBitsSet, s));
+        }
+        Ok(canonical)
+    }
+}
+
+/// An IPv6 network prefix in CIDR form, stored canonically (host bits zero).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Ipv6Net {
+    addr: Ipv6Addr,
+    len: u8,
+}
+
+impl Ipv6Net {
+    /// Construct a prefix, validating the length and that no host bits are
+    /// set beyond it.
+    pub fn new(addr: Ipv6Addr, len: u8) -> Result<Self, TypeError> {
+        if len > 128 {
+            return Err(TypeError::PrefixLength { len, max: 128 });
+        }
+        let p = Self::new_truncated(addr, len);
+        if p.addr != addr {
+            return Err(TypeError::PrefixLength { len, max: 128 });
+        }
+        Ok(p)
+    }
+
+    /// Construct a prefix, silently zeroing any host bits.
+    pub fn new_truncated(addr: Ipv6Addr, len: u8) -> Self {
+        let len = len.min(128);
+        let raw = u128::from(addr);
+        let masked = if len == 0 { 0 } else { raw & (u128::MAX << (128 - len)) };
+        Ipv6Net { addr: Ipv6Addr::from(masked), len }
+    }
+
+    /// Network address.
+    pub const fn addr(&self) -> Ipv6Addr {
+        self.addr
+    }
+
+    /// Prefix length in bits.
+    pub const fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// True only for ::/0.
+    pub fn is_default(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Does this prefix contain (or equal) `other`?
+    pub fn contains(&self, other: &Ipv6Net) -> bool {
+        if other.len < self.len {
+            return false;
+        }
+        Self::new_truncated(other.addr, self.len).addr == self.addr
+    }
+}
+
+impl fmt::Display for Ipv6Net {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.len)
+    }
+}
+
+impl FromStr for Ipv6Net {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let (a, l) = s
+            .split_once('/')
+            .ok_or_else(|| ParseError::syntax("ipv6/len prefix", s))?;
+        let addr: Ipv6Addr = a.parse().map_err(|_| ParseError::syntax("IPv6 address", s))?;
+        let len: u8 = l.parse().map_err(|_| ParseError::number(s))?;
+        if len > 128 {
+            return Err(ParseError::new(
+                ParseErrorKind::PrefixLengthOutOfRange { len, max: 128 },
+                s,
+            ));
+        }
+        let canonical = Ipv6Net::new_truncated(addr, len);
+        if canonical.addr != addr {
+            return Err(ParseError::new(ParseErrorKind::HostBitsSet, s));
+        }
+        Ok(canonical)
+    }
+}
+
+/// Either an IPv4 or an IPv6 prefix — the NLRI of a RIB entry.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Prefix {
+    /// An IPv4 prefix.
+    V4(Ipv4Net),
+    /// An IPv6 prefix.
+    V6(Ipv6Net),
+}
+
+impl Prefix {
+    /// The plane this prefix lives on.
+    pub const fn version(&self) -> IpVersion {
+        match self {
+            Prefix::V4(_) => IpVersion::V4,
+            Prefix::V6(_) => IpVersion::V6,
+        }
+    }
+
+    /// Prefix length in bits.
+    pub const fn len(&self) -> u8 {
+        match self {
+            Prefix::V4(p) => p.len(),
+            Prefix::V6(p) => p.len(),
+        }
+    }
+
+    /// True for 0.0.0.0/0 or ::/0.
+    pub fn is_default(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Containment test; prefixes of different planes never contain each
+    /// other.
+    pub fn contains(&self, other: &Prefix) -> bool {
+        match (self, other) {
+            (Prefix::V4(a), Prefix::V4(b)) => a.contains(b),
+            (Prefix::V6(a), Prefix::V6(b)) => a.contains(b),
+            _ => false,
+        }
+    }
+
+    /// The inner IPv4 prefix if this is a V4 prefix.
+    pub fn as_v4(&self) -> Option<Ipv4Net> {
+        match self {
+            Prefix::V4(p) => Some(*p),
+            Prefix::V6(_) => None,
+        }
+    }
+
+    /// The inner IPv6 prefix if this is a V6 prefix.
+    pub fn as_v6(&self) -> Option<Ipv6Net> {
+        match self {
+            Prefix::V6(p) => Some(*p),
+            Prefix::V4(_) => None,
+        }
+    }
+}
+
+impl From<Ipv4Net> for Prefix {
+    fn from(p: Ipv4Net) -> Self {
+        Prefix::V4(p)
+    }
+}
+
+impl From<Ipv6Net> for Prefix {
+    fn from(p: Ipv6Net) -> Self {
+        Prefix::V6(p)
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Prefix::V4(p) => write!(f, "{p}"),
+            Prefix::V6(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+impl FromStr for Prefix {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.contains(':') {
+            Ok(Prefix::V6(s.parse()?))
+        } else {
+            Ok(Prefix::V4(s.parse()?))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ip_version_helpers() {
+        assert_eq!(IpVersion::V4.other(), IpVersion::V6);
+        assert_eq!(IpVersion::V6.other(), IpVersion::V4);
+        assert_eq!(IpVersion::V4.afi(), 1);
+        assert_eq!(IpVersion::V6.afi(), 2);
+        assert_eq!(IpVersion::from_afi(1), Some(IpVersion::V4));
+        assert_eq!(IpVersion::from_afi(2), Some(IpVersion::V6));
+        assert_eq!(IpVersion::from_afi(25), None);
+        assert_eq!(IpVersion::V4.max_prefix_len(), 32);
+        assert_eq!(IpVersion::V6.max_prefix_len(), 128);
+        assert_eq!(IpVersion::BOTH, [IpVersion::V4, IpVersion::V6]);
+        assert_eq!(IpVersion::V4.to_string(), "IPv4");
+        assert_eq!(IpVersion::V6.to_string(), "IPv6");
+    }
+
+    #[test]
+    fn ipv4_parse_and_display() {
+        let p: Ipv4Net = "10.0.0.0/8".parse().unwrap();
+        assert_eq!(p.addr(), Ipv4Addr::new(10, 0, 0, 0));
+        assert_eq!(p.len(), 8);
+        assert_eq!(p.to_string(), "10.0.0.0/8");
+        let d: Ipv4Net = "0.0.0.0/0".parse().unwrap();
+        assert!(d.is_default());
+    }
+
+    #[test]
+    fn ipv4_parse_rejects_bad_input() {
+        assert!("10.0.0.0".parse::<Ipv4Net>().is_err());
+        assert!("10.0.0.0/33".parse::<Ipv4Net>().is_err());
+        assert!("10.0.0.1/8".parse::<Ipv4Net>().is_err()); // host bits
+        assert!("300.0.0.0/8".parse::<Ipv4Net>().is_err());
+        assert!("abc/8".parse::<Ipv4Net>().is_err());
+    }
+
+    #[test]
+    fn ipv4_truncation_and_strict_constructor() {
+        let t = Ipv4Net::new_truncated(Ipv4Addr::new(10, 1, 2, 3), 8);
+        assert_eq!(t.addr(), Ipv4Addr::new(10, 0, 0, 0));
+        assert!(Ipv4Net::new(Ipv4Addr::new(10, 1, 2, 3), 8).is_err());
+        assert!(Ipv4Net::new(Ipv4Addr::new(10, 0, 0, 0), 8).is_ok());
+        assert!(Ipv4Net::new(Ipv4Addr::new(10, 0, 0, 0), 40).is_err());
+    }
+
+    #[test]
+    fn ipv4_containment() {
+        let big: Ipv4Net = "10.0.0.0/8".parse().unwrap();
+        let small: Ipv4Net = "10.5.0.0/16".parse().unwrap();
+        let other: Ipv4Net = "11.0.0.0/8".parse().unwrap();
+        assert!(big.contains(&small));
+        assert!(!small.contains(&big));
+        assert!(big.contains(&big));
+        assert!(!big.contains(&other));
+        let default: Ipv4Net = "0.0.0.0/0".parse().unwrap();
+        assert!(default.contains(&big));
+    }
+
+    #[test]
+    fn ipv6_parse_and_display() {
+        let p: Ipv6Net = "2001:db8::/32".parse().unwrap();
+        assert_eq!(p.len(), 32);
+        assert_eq!(p.to_string(), "2001:db8::/32");
+        let d: Ipv6Net = "::/0".parse().unwrap();
+        assert!(d.is_default());
+    }
+
+    #[test]
+    fn ipv6_parse_rejects_bad_input() {
+        assert!("2001:db8::".parse::<Ipv6Net>().is_err());
+        assert!("2001:db8::/129".parse::<Ipv6Net>().is_err());
+        assert!("2001:db8::1/32".parse::<Ipv6Net>().is_err()); // host bits
+        assert!("zzzz::/32".parse::<Ipv6Net>().is_err());
+    }
+
+    #[test]
+    fn ipv6_containment_and_truncation() {
+        let big: Ipv6Net = "2001:db8::/32".parse().unwrap();
+        let small: Ipv6Net = "2001:db8:1234::/48".parse().unwrap();
+        assert!(big.contains(&small));
+        assert!(!small.contains(&big));
+        let t = Ipv6Net::new_truncated("2001:db8::1".parse().unwrap(), 32);
+        assert_eq!(t, big);
+        assert!(Ipv6Net::new("2001:db8::1".parse().unwrap(), 32).is_err());
+    }
+
+    #[test]
+    fn prefix_enum_dispatch() {
+        let v4: Prefix = "192.0.2.0/24".parse().unwrap();
+        let v6: Prefix = "2001:db8::/32".parse().unwrap();
+        assert_eq!(v4.version(), IpVersion::V4);
+        assert_eq!(v6.version(), IpVersion::V6);
+        assert_eq!(v4.len(), 24);
+        assert_eq!(v6.len(), 32);
+        assert!(v4.as_v4().is_some());
+        assert!(v4.as_v6().is_none());
+        assert!(v6.as_v6().is_some());
+        assert!(v6.as_v4().is_none());
+        assert!(!v4.contains(&v6));
+        assert!(!v6.contains(&v4));
+        assert_eq!(v4.to_string(), "192.0.2.0/24");
+        assert!(!v4.is_default());
+    }
+
+    #[test]
+    fn prefix_from_inner_types() {
+        let inner: Ipv4Net = "10.0.0.0/8".parse().unwrap();
+        let p: Prefix = inner.into();
+        assert_eq!(p.version(), IpVersion::V4);
+        let inner6: Ipv6Net = "2001:db8::/32".parse().unwrap();
+        let p6: Prefix = inner6.into();
+        assert_eq!(p6.version(), IpVersion::V6);
+    }
+
+    #[test]
+    fn prefix_ordering_is_total() {
+        let a: Prefix = "10.0.0.0/8".parse().unwrap();
+        let b: Prefix = "2001:db8::/32".parse().unwrap();
+        // V4 sorts before V6 by enum discriminant; just assert totality.
+        assert!(a < b || b < a);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p: Prefix = "2001:db8::/32".parse().unwrap();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Prefix = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

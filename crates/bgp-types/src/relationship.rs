@@ -1,0 +1,253 @@
+//! AS business relationships: the Type-of-Relationship (ToR) vocabulary.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ParseError;
+use crate::prefix::IpVersion;
+
+/// The business relationship of a *directed* AS link `a → b`, read as
+/// "a is ... of/with b".
+///
+/// * `ProviderToCustomer` (p2c): `a` sells transit to `b`.
+/// * `CustomerToProvider` (c2p): `a` buys transit from `b`.
+/// * `PeerToPeer` (p2p): settlement-free peering.
+/// * `SiblingToSibling` (s2s): both ASes belong to the same organisation
+///   and exchange all routes.
+///
+/// `reverse()` gives the relationship as seen from `b`'s side; p2p and s2s
+/// are symmetric, p2c/c2p are each other's reverse.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Relationship {
+    /// Provider-to-customer (the left AS is the provider).
+    ProviderToCustomer,
+    /// Customer-to-provider (the left AS is the customer).
+    CustomerToProvider,
+    /// Settlement-free peering.
+    PeerToPeer,
+    /// Sibling ASes under common administration.
+    SiblingToSibling,
+}
+
+impl Relationship {
+    /// Short conventional label: `p2c`, `c2p`, `p2p`, `s2s`.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Relationship::ProviderToCustomer => "p2c",
+            Relationship::CustomerToProvider => "c2p",
+            Relationship::PeerToPeer => "p2p",
+            Relationship::SiblingToSibling => "s2s",
+        }
+    }
+
+    /// The same link seen from the other endpoint.
+    pub const fn reverse(self) -> Relationship {
+        match self {
+            Relationship::ProviderToCustomer => Relationship::CustomerToProvider,
+            Relationship::CustomerToProvider => Relationship::ProviderToCustomer,
+            Relationship::PeerToPeer => Relationship::PeerToPeer,
+            Relationship::SiblingToSibling => Relationship::SiblingToSibling,
+        }
+    }
+
+    /// True for p2c or c2p.
+    pub const fn is_transit(self) -> bool {
+        matches!(self, Relationship::ProviderToCustomer | Relationship::CustomerToProvider)
+    }
+
+    /// True for p2p.
+    pub const fn is_peering(self) -> bool {
+        matches!(self, Relationship::PeerToPeer)
+    }
+
+    /// True for s2s.
+    pub const fn is_sibling(self) -> bool {
+        matches!(self, Relationship::SiblingToSibling)
+    }
+
+    /// True for symmetric relationships (p2p, s2s), whose reverse equals
+    /// themselves.
+    pub const fn is_symmetric(self) -> bool {
+        matches!(self, Relationship::PeerToPeer | Relationship::SiblingToSibling)
+    }
+
+    /// All four relationship kinds, in a fixed order.
+    pub const ALL: [Relationship; 4] = [
+        Relationship::ProviderToCustomer,
+        Relationship::CustomerToProvider,
+        Relationship::PeerToPeer,
+        Relationship::SiblingToSibling,
+    ];
+
+    /// The conventional LocPrf preference rank used by the simulator's
+    /// default policy: customer routes are most preferred, then peers and
+    /// siblings, then providers (RFC-less but near-universal practice; the
+    /// paper calls this ordering out explicitly). Higher is more preferred.
+    pub const fn default_preference_rank(self) -> u8 {
+        match self {
+            // Routes *learned from* a customer (i.e. over our p2c link).
+            Relationship::ProviderToCustomer => 3,
+            Relationship::SiblingToSibling => 2,
+            Relationship::PeerToPeer => 2,
+            Relationship::CustomerToProvider => 1,
+        }
+    }
+}
+
+impl fmt::Display for Relationship {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for Relationship {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "p2c" | "provider-to-customer" | "provider" => Ok(Relationship::ProviderToCustomer),
+            "c2p" | "customer-to-provider" | "customer" => Ok(Relationship::CustomerToProvider),
+            "p2p" | "peer-to-peer" | "peer" | "peering" => Ok(Relationship::PeerToPeer),
+            "s2s" | "sibling-to-sibling" | "sibling" => Ok(Relationship::SiblingToSibling),
+            other => Err(ParseError::syntax("p2c|c2p|p2p|s2s", other.to_string())),
+        }
+    }
+}
+
+/// The pair of per-plane relationships of a dual-stack AS link, used to
+/// classify hybrid links. Both entries are oriented the same way
+/// (`a → b` for the same fixed `a`, `b`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RelationshipPair {
+    /// Relationship on the IPv4 plane.
+    pub v4: Relationship,
+    /// Relationship on the IPv6 plane.
+    pub v6: Relationship,
+}
+
+impl RelationshipPair {
+    /// Construct from both planes.
+    pub const fn new(v4: Relationship, v6: Relationship) -> Self {
+        RelationshipPair { v4, v6 }
+    }
+
+    /// The relationship on the requested plane.
+    pub const fn get(&self, version: IpVersion) -> Relationship {
+        match version {
+            IpVersion::V4 => self.v4,
+            IpVersion::V6 => self.v6,
+        }
+    }
+
+    /// True when the two planes disagree — the paper's *hybrid* condition.
+    pub fn is_hybrid(&self) -> bool {
+        self.v4 != self.v6
+    }
+
+    /// The pair as seen from the other endpoint of the link.
+    pub const fn reverse(&self) -> RelationshipPair {
+        RelationshipPair { v4: self.v4.reverse(), v6: self.v6.reverse() }
+    }
+}
+
+impl fmt::Display for RelationshipPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v4:{} v6:{}", self.v4, self.v6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_display() {
+        assert_eq!(Relationship::ProviderToCustomer.to_string(), "p2c");
+        assert_eq!(Relationship::CustomerToProvider.to_string(), "c2p");
+        assert_eq!(Relationship::PeerToPeer.to_string(), "p2p");
+        assert_eq!(Relationship::SiblingToSibling.to_string(), "s2s");
+    }
+
+    #[test]
+    fn parse_accepts_aliases() {
+        assert_eq!("p2c".parse::<Relationship>().unwrap(), Relationship::ProviderToCustomer);
+        assert_eq!("Provider".parse::<Relationship>().unwrap(), Relationship::ProviderToCustomer);
+        assert_eq!("customer".parse::<Relationship>().unwrap(), Relationship::CustomerToProvider);
+        assert_eq!("PEERING".parse::<Relationship>().unwrap(), Relationship::PeerToPeer);
+        assert_eq!("sibling".parse::<Relationship>().unwrap(), Relationship::SiblingToSibling);
+        assert!("friend".parse::<Relationship>().is_err());
+    }
+
+    #[test]
+    fn reverse_is_an_involution() {
+        for r in Relationship::ALL {
+            assert_eq!(r.reverse().reverse(), r);
+        }
+        assert_eq!(
+            Relationship::ProviderToCustomer.reverse(),
+            Relationship::CustomerToProvider
+        );
+        assert_eq!(Relationship::PeerToPeer.reverse(), Relationship::PeerToPeer);
+    }
+
+    #[test]
+    fn classification_predicates() {
+        assert!(Relationship::ProviderToCustomer.is_transit());
+        assert!(Relationship::CustomerToProvider.is_transit());
+        assert!(!Relationship::PeerToPeer.is_transit());
+        assert!(Relationship::PeerToPeer.is_peering());
+        assert!(Relationship::SiblingToSibling.is_sibling());
+        assert!(Relationship::PeerToPeer.is_symmetric());
+        assert!(Relationship::SiblingToSibling.is_symmetric());
+        assert!(!Relationship::ProviderToCustomer.is_symmetric());
+    }
+
+    #[test]
+    fn symmetric_relationships_reverse_to_themselves() {
+        for r in Relationship::ALL {
+            assert_eq!(r.is_symmetric(), r.reverse() == r);
+        }
+    }
+
+    #[test]
+    fn preference_ranks_follow_the_usual_ordering() {
+        // customer > peer >= sibling > provider
+        assert!(
+            Relationship::ProviderToCustomer.default_preference_rank()
+                > Relationship::PeerToPeer.default_preference_rank()
+        );
+        assert!(
+            Relationship::PeerToPeer.default_preference_rank()
+                > Relationship::CustomerToProvider.default_preference_rank()
+        );
+    }
+
+    #[test]
+    fn relationship_pair_hybrid_detection() {
+        let same = RelationshipPair::new(Relationship::PeerToPeer, Relationship::PeerToPeer);
+        assert!(!same.is_hybrid());
+        let hybrid =
+            RelationshipPair::new(Relationship::PeerToPeer, Relationship::ProviderToCustomer);
+        assert!(hybrid.is_hybrid());
+        assert_eq!(hybrid.get(IpVersion::V4), Relationship::PeerToPeer);
+        assert_eq!(hybrid.get(IpVersion::V6), Relationship::ProviderToCustomer);
+        assert_eq!(
+            hybrid.reverse(),
+            RelationshipPair::new(Relationship::PeerToPeer, Relationship::CustomerToProvider)
+        );
+        assert_eq!(hybrid.to_string(), "v4:p2p v6:p2c");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let pair =
+            RelationshipPair::new(Relationship::PeerToPeer, Relationship::CustomerToProvider);
+        let json = serde_json::to_string(&pair).unwrap();
+        let back: RelationshipPair = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, pair);
+    }
+}

@@ -1,0 +1,383 @@
+//! Baseline Type-of-Relationship inference heuristics.
+//!
+//! The paper's point of comparison is the family of valley-free inference
+//! algorithms (Gao 2001, Dimitropoulos et al. 2007, Oliveira et al. 2010)
+//! that infer relationships from observed AS paths *without* per-plane
+//! information. Two representatives are implemented here:
+//!
+//! * [`gao_inference`] — Gao's degree-based heuristic: on every observed
+//!   path, the highest-degree AS is assumed to be the path's "top
+//!   provider"; links before it are classified customer-to-provider and
+//!   links after it provider-to-customer, with a final vote across all
+//!   paths and a peering pass for links whose votes are balanced and whose
+//!   endpoint degrees are comparable.
+//! * [`degree_heuristic_inference`] — a simpler degree-ratio rule used as
+//!   a sanity baseline.
+//!
+//! Both operate on one plane's observed paths, or (as the existing tools
+//! do) on the union of both planes' paths — which is precisely what
+//! produces the misinference artifacts on hybrid links.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use asgraph::AsGraph;
+use bgp_types::{Asn, IpVersion, Relationship};
+
+use crate::extract::{ExtractedData, ObservedPath};
+
+/// Which plane's paths a baseline should learn from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BaselineInput {
+    /// Use only the given plane's paths.
+    SinglePlane(IpVersion),
+    /// Pool the paths of both planes, as IPv4-era tools did when applied
+    /// to IPv6 (the paper's criticism).
+    BothPlanes,
+}
+
+fn input_paths<'a>(data: &'a ExtractedData, input: BaselineInput) -> Vec<&'a ObservedPath> {
+    match input {
+        BaselineInput::SinglePlane(plane) => data.paths(plane).iter().collect(),
+        BaselineInput::BothPlanes => {
+            data.paths_v4.iter().chain(data.paths_v6.iter()).collect()
+        }
+    }
+}
+
+fn canonical(a: Asn, b: Asn) -> (Asn, Asn, bool) {
+    if a <= b {
+        (a, b, false)
+    } else {
+        (b, a, true)
+    }
+}
+
+/// A baseline's inferred relationships for a set of links (canonical
+/// lower-ASN-first orientation).
+#[derive(Debug, Clone, Default)]
+pub struct BaselineInference {
+    links: HashMap<(Asn, Asn), Relationship>,
+}
+
+impl BaselineInference {
+    /// The inferred relationship of a link, oriented `a → b` in query order.
+    pub fn relationship(&self, a: Asn, b: Asn) -> Option<Relationship> {
+        let (lo, hi, flipped) = canonical(a, b);
+        self.links.get(&(lo, hi)).map(|rel| if flipped { rel.reverse() } else { *rel })
+    }
+
+    /// Number of classified links.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// True when nothing was classified.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Iterate links in canonical orientation.
+    pub fn iter(&self) -> impl Iterator<Item = (Asn, Asn, Relationship)> + '_ {
+        self.links.iter().map(|((a, b), rel)| (*a, *b, *rel))
+    }
+
+    /// Annotate a graph (both planes, since the baseline is plane-blind) on
+    /// the links it has classifications for.
+    pub fn annotate_graph(&self, graph: &mut AsGraph, planes: &[IpVersion]) {
+        for ((a, b), rel) in &self.links {
+            for plane in planes {
+                if graph.has_link(*a, *b, *plane) {
+                    graph.annotate(*a, *b, *plane, *rel);
+                }
+            }
+        }
+    }
+}
+
+/// Gao's algorithm (simplified to its core heuristic).
+pub fn gao_inference(data: &ExtractedData, input: BaselineInput) -> BaselineInference {
+    let paths = input_paths(data, input);
+
+    // Degree = number of distinct neighbors over the pooled paths.
+    let mut neighbors: HashMap<Asn, std::collections::HashSet<Asn>> = HashMap::new();
+    for p in &paths {
+        for w in p.path.windows(2) {
+            neighbors.entry(w[0]).or_default().insert(w[1]);
+            neighbors.entry(w[1]).or_default().insert(w[0]);
+        }
+    }
+    let degree = |asn: Asn| neighbors.get(&asn).map(|s| s.len()).unwrap_or(0);
+
+    // Phase 1: vote on transit direction using the top provider of each path.
+    // votes[(a,b)] = (votes for "a is provider of b", votes for "b is provider of a")
+    let mut votes: HashMap<(Asn, Asn), (usize, usize)> = HashMap::new();
+    for p in &paths {
+        if p.path.len() < 2 {
+            continue;
+        }
+        // The path's "top provider" is the first AS of maximal degree.
+        // Taking the *first* maximum matters: when two comparable hubs sit
+        // next to each other, paths observed from either side nominate
+        // their own nearer hub, the transit votes on the hub-hub link
+        // balance out, and the link is recognised as peering below.
+        let mut top_idx = 0;
+        for i in 1..p.path.len() {
+            if degree(p.path[i]) > degree(p.path[top_idx]) {
+                top_idx = i;
+            }
+        }
+        for (i, w) in p.path.windows(2).enumerate() {
+            let (lo, hi, flipped) = canonical(w[0], w[1]);
+            let entry = votes.entry((lo, hi)).or_insert((0, 0));
+            // Before the top provider the route climbs (w[0] is the customer
+            // of w[1]); after it the route descends.
+            let first_is_provider = i >= top_idx;
+            let lo_is_provider = first_is_provider != flipped;
+            if lo_is_provider {
+                entry.0 += 1;
+            } else {
+                entry.1 += 1;
+            }
+        }
+    }
+
+    // Phase 2: resolve votes into relationships; near-balanced votes between
+    // ASes of comparable degree become peering.
+    let mut inference = BaselineInference::default();
+    for ((a, b), (a_provider, b_provider)) in votes {
+        let da = degree(a).max(1);
+        let db = degree(b).max(1);
+        let ratio = da as f64 / db as f64;
+        let total = a_provider + b_provider;
+        let balanced = {
+            let hi = a_provider.max(b_provider) as f64;
+            total > 0 && hi / total as f64 <= 0.6
+        };
+        let comparable_degree = (0.2..=5.0).contains(&ratio);
+        let rel = if balanced && comparable_degree {
+            Relationship::PeerToPeer
+        } else if a_provider >= b_provider {
+            Relationship::ProviderToCustomer
+        } else {
+            Relationship::CustomerToProvider
+        };
+        inference.links.insert((a, b), rel);
+    }
+    inference
+}
+
+/// A plain degree-ratio heuristic: the much larger AS is assumed to be the
+/// provider; comparable ASes are assumed to peer.
+pub fn degree_heuristic_inference(
+    data: &ExtractedData,
+    input: BaselineInput,
+    peer_ratio: f64,
+) -> BaselineInference {
+    let paths = input_paths(data, input);
+    let mut neighbors: HashMap<Asn, std::collections::HashSet<Asn>> = HashMap::new();
+    let mut links: std::collections::HashSet<(Asn, Asn)> = std::collections::HashSet::new();
+    for p in &paths {
+        for w in p.path.windows(2) {
+            neighbors.entry(w[0]).or_default().insert(w[1]);
+            neighbors.entry(w[1]).or_default().insert(w[0]);
+            let (lo, hi, _) = canonical(w[0], w[1]);
+            links.insert((lo, hi));
+        }
+    }
+    let degree = |asn: Asn| neighbors.get(&asn).map(|s| s.len()).unwrap_or(0).max(1);
+    let mut inference = BaselineInference::default();
+    for (a, b) in links {
+        let ratio = degree(a) as f64 / degree(b) as f64;
+        let rel = if ratio >= peer_ratio {
+            Relationship::ProviderToCustomer
+        } else if ratio <= 1.0 / peer_ratio {
+            Relationship::CustomerToProvider
+        } else {
+            Relationship::PeerToPeer
+        };
+        inference.links.insert((a, b), rel);
+    }
+    inference
+}
+
+/// Accuracy of a baseline against a ground-truth annotation on one plane.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct InferenceAccuracy {
+    /// Links where both the baseline and the truth have a value.
+    pub comparable: usize,
+    /// Links classified identically.
+    pub correct: usize,
+    /// Transit links misclassified as peering.
+    pub transit_as_peering: usize,
+    /// Peering links misclassified as transit.
+    pub peering_as_transit: usize,
+    /// Transit links with the direction reversed.
+    pub reversed_transit: usize,
+    /// Any other disagreement (sibling involvement etc.).
+    pub other_errors: usize,
+}
+
+impl InferenceAccuracy {
+    /// Fraction of comparable links classified correctly.
+    pub fn accuracy(&self) -> f64 {
+        if self.comparable == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.comparable as f64
+        }
+    }
+
+    /// Evaluate a baseline against the given plane of an annotated graph.
+    pub fn evaluate(
+        baseline: &BaselineInference,
+        truth: &AsGraph,
+        plane: IpVersion,
+    ) -> InferenceAccuracy {
+        let mut acc = InferenceAccuracy::default();
+        for (a, b, inferred) in baseline.iter() {
+            let Some(actual) = truth.relationship(a, b, plane) else { continue };
+            acc.comparable += 1;
+            if inferred == actual {
+                acc.correct += 1;
+            } else if actual.is_transit() && inferred.is_peering() {
+                acc.transit_as_peering += 1;
+            } else if actual.is_peering() && inferred.is_transit() {
+                acc.peering_as_transit += 1;
+            } else if actual.is_transit() && inferred.is_transit() {
+                acc.reversed_transit += 1;
+            } else {
+                acc.other_errors += 1;
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::extract;
+    use bgp_types::{CollectorId, PathAttributes, PeerId, Prefix, RibEntry, RibSnapshot};
+    use routesim::{Scenario, SimConfig};
+    use std::net::IpAddr;
+    use topogen::TopologyConfig;
+
+    fn data_from(paths_v6: &[&str]) -> ExtractedData {
+        let mut snap = RibSnapshot::new(CollectorId::new("t"), 1);
+        for (i, p) in paths_v6.iter().enumerate() {
+            snap.push(RibEntry::new(
+                PeerId::new(Asn(1), "2001:db8::1".parse::<IpAddr>().unwrap()),
+                format!("2001:db8:{:x}::/48", i + 1).parse::<Prefix>().unwrap(),
+                PathAttributes::with_path(p.parse().unwrap()),
+            ));
+        }
+        extract(&snap)
+    }
+
+    #[test]
+    fn gao_classifies_a_clean_hierarchy() {
+        // 100 is the big provider (high degree); 2,3,4 are its customers;
+        // 20 is a customer of 2.
+        let data = data_from(&[
+            "2 100 3",
+            "2 100 4",
+            "3 100 4",
+            "20 2 100 3",
+            "20 2 100 4",
+        ]);
+        let inf = gao_inference(&data, BaselineInput::SinglePlane(IpVersion::V6));
+        assert_eq!(
+            inf.relationship(Asn(100), Asn(2)),
+            Some(Relationship::ProviderToCustomer)
+        );
+        assert_eq!(
+            inf.relationship(Asn(100), Asn(3)),
+            Some(Relationship::ProviderToCustomer)
+        );
+        assert_eq!(
+            inf.relationship(Asn(2), Asn(20)),
+            Some(Relationship::ProviderToCustomer)
+        );
+        assert_eq!(inf.relationship(Asn(20), Asn(2)), Some(Relationship::CustomerToProvider));
+        assert!(!inf.is_empty());
+        assert_eq!(inf.len(), 4);
+        assert_eq!(inf.relationship(Asn(5), Asn(6)), None);
+    }
+
+    #[test]
+    fn gao_detects_peering_between_comparable_tops() {
+        // Two comparable hubs 100 and 200 exchange their customers' routes.
+        let data = data_from(&[
+            "2 100 200 5",
+            "3 100 200 6",
+            "5 200 100 2",
+            "6 200 100 3",
+        ]);
+        let inf = gao_inference(&data, BaselineInput::SinglePlane(IpVersion::V6));
+        assert_eq!(inf.relationship(Asn(100), Asn(200)), Some(Relationship::PeerToPeer));
+        assert_eq!(
+            inf.relationship(Asn(100), Asn(2)),
+            Some(Relationship::ProviderToCustomer)
+        );
+    }
+
+    #[test]
+    fn degree_heuristic_uses_the_ratio() {
+        let data = data_from(&["2 100 3", "4 100 5", "6 100 7", "2 100 8", "3 100 9"]);
+        let inf = degree_heuristic_inference(&data, BaselineInput::SinglePlane(IpVersion::V6), 2.0);
+        // AS100 has degree 8, everyone else degree 1.
+        assert_eq!(
+            inf.relationship(Asn(100), Asn(3)),
+            Some(Relationship::ProviderToCustomer)
+        );
+        assert_eq!(inf.relationship(Asn(3), Asn(100)), Some(Relationship::CustomerToProvider));
+        // Comparable-degree stubs peering? They share no link, so nothing.
+        assert_eq!(inf.relationship(Asn(2), Asn(3)), None);
+    }
+
+    #[test]
+    fn baselines_beat_chance_on_simulated_data_but_are_imperfect_on_v6() {
+        let scenario = Scenario::build(&TopologyConfig::small(), &SimConfig::small());
+        let data = extract(&scenario.merged_snapshot());
+        let gao = gao_inference(&data, BaselineInput::BothPlanes);
+        let acc_v4 = InferenceAccuracy::evaluate(&gao, &scenario.truth.graph, IpVersion::V4);
+        let acc_v6 = InferenceAccuracy::evaluate(&gao, &scenario.truth.graph, IpVersion::V6);
+        assert!(acc_v4.comparable > 100);
+        assert!(acc_v4.accuracy() > 0.5, "v4 accuracy {}", acc_v4.accuracy());
+        assert!(acc_v6.accuracy() > 0.3, "v6 accuracy {}", acc_v6.accuracy());
+        // The plane-blind baseline cannot be perfect on IPv6 because hybrid
+        // links have, by construction, a different v6 relationship.
+        assert!(acc_v6.accuracy() < 1.0);
+        assert!(acc_v6.correct <= acc_v6.comparable);
+        let total_errors = acc_v6.transit_as_peering
+            + acc_v6.peering_as_transit
+            + acc_v6.reversed_transit
+            + acc_v6.other_errors;
+        assert_eq!(acc_v6.comparable - acc_v6.correct, total_errors);
+    }
+
+    #[test]
+    fn annotate_graph_only_touches_existing_links() {
+        let data = data_from(&["2 100 3"]);
+        let inf = gao_inference(&data, BaselineInput::SinglePlane(IpVersion::V6));
+        let mut graph = AsGraph::new();
+        graph.observe_link(Asn(2), Asn(100), IpVersion::V6);
+        graph.observe_link(Asn(2), Asn(100), IpVersion::V4);
+        inf.annotate_graph(&mut graph, &[IpVersion::V4, IpVersion::V6]);
+        assert!(graph.relationship(Asn(2), Asn(100), IpVersion::V6).is_some());
+        assert!(graph.relationship(Asn(2), Asn(100), IpVersion::V4).is_some());
+        // The 100-3 link is not in the graph, so it must not be created.
+        assert!(!graph.contains(Asn(3)));
+    }
+
+    #[test]
+    fn accuracy_on_empty_inputs_is_zero() {
+        let acc = InferenceAccuracy::default();
+        assert_eq!(acc.accuracy(), 0.0);
+        let empty = BaselineInference::default();
+        let acc = InferenceAccuracy::evaluate(&empty, &AsGraph::new(), IpVersion::V6);
+        assert_eq!(acc.comparable, 0);
+    }
+}

@@ -1,0 +1,272 @@
+//! End-to-end orchestration of the measurement.
+
+use std::path::Path;
+
+use bgp_types::{IpVersion, RibSnapshot};
+use irr::{CommunityDictionary, IrrRegistry};
+use topogen::GroundTruth;
+
+use crate::baselines::{gao_inference, BaselineInput, InferenceAccuracy};
+use crate::communities::{CommunityInference, InferenceSource};
+use crate::extract::extract;
+use crate::hybrid::detect_hybrids;
+use crate::impact::{correction_sweep, ImpactOptions};
+use crate::locpref::LocPrfRosetta;
+use crate::report::{DatasetSummary, Report};
+use crate::valley::analyze_valleys;
+
+/// The data a pipeline run consumes: a pooled RIB snapshot, the community
+/// dictionary mined from the IRR, and (optionally, for simulated
+/// scenarios) the ground truth for accuracy evaluation.
+#[derive(Debug, Clone)]
+pub struct PipelineInput {
+    /// The pooled collector snapshot.
+    pub snapshot: RibSnapshot,
+    /// The community dictionary.
+    pub dictionary: CommunityDictionary,
+    /// Ground truth, when available.
+    pub truth: Option<GroundTruth>,
+}
+
+impl PipelineInput {
+    /// Build the input from a simulated scenario: pools its collectors,
+    /// parses its registry, and carries the ground truth along.
+    pub fn from_scenario(scenario: &routesim::Scenario) -> Self {
+        PipelineInput {
+            snapshot: scenario.merged_snapshot(),
+            dictionary: scenario.registry.build_dictionary(),
+            truth: Some(scenario.truth.clone()),
+        }
+    }
+
+    /// Build the input from MRT files and an IRR dump on disk — the shape
+    /// a measurement against real archives would take.
+    pub fn from_files(
+        mrt_paths: &[impl AsRef<Path>],
+        registry_path: impl AsRef<Path>,
+    ) -> Result<Self, std::io::Error> {
+        let mut snapshot = RibSnapshot::default();
+        for path in mrt_paths {
+            let snap = mrt::read_snapshot_from_path(path)
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+            snapshot.merge(snap);
+        }
+        let registry = IrrRegistry::load(registry_path)?;
+        Ok(PipelineInput { snapshot, dictionary: registry.build_dictionary(), truth: None })
+    }
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    /// Use the LocPrf Rosetta Stone to extend coverage (the paper does).
+    pub use_locpref: bool,
+    /// Run the Figure 2 customer-tree correction sweep (all-pairs valley-
+    /// free BFS over the tree union — the expensive part).
+    pub run_impact: bool,
+    /// Options for the correction sweep.
+    pub impact_options: ImpactOptions,
+    /// Evaluate the Gao baseline against ground truth when available.
+    pub evaluate_baseline: bool,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Pipeline {
+            use_locpref: true,
+            run_impact: false,
+            impact_options: ImpactOptions::default(),
+            evaluate_baseline: true,
+        }
+    }
+}
+
+impl Pipeline {
+    /// A pipeline that also runs the Figure 2 sweep.
+    pub fn with_impact(top_k: usize, source_cap: Option<usize>) -> Self {
+        Pipeline {
+            run_impact: true,
+            impact_options: ImpactOptions { top_k, source_cap },
+            ..Default::default()
+        }
+    }
+
+    /// Run the full measurement and produce a [`Report`].
+    pub fn run(&self, input: PipelineInput) -> Report {
+        let PipelineInput { snapshot, dictionary, truth } = input;
+
+        // 1. Extraction.
+        let data = extract(&snapshot);
+
+        // 2. Communities-based inference.
+        let mut inference = CommunityInference::from_snapshot(&snapshot, &dictionary);
+
+        // 3. LocPrf Rosetta Stone.
+        if self.use_locpref {
+            let mut rosetta = LocPrfRosetta::learn(&snapshot, &dictionary, &inference);
+            rosetta.apply(&snapshot, &dictionary, &mut inference);
+        }
+
+        // 4. Hybrid detection and visibility.
+        let hybrids = detect_hybrids(&data, &inference);
+
+        // 5. Valley analysis on the IPv6 plane, against the inferred
+        //    relationships.
+        let mut annotated = data.graph.clone();
+        inference.annotate_graph(&mut annotated);
+        let valleys = analyze_valleys(&data, &annotated, IpVersion::V6);
+
+        // 6. Dataset summary.
+        let dual_stack_classified_both = data
+            .graph
+            .dual_stack_edges()
+            .filter(|e| {
+                inference.relationship(e.a, e.b, IpVersion::V4).is_some()
+                    && inference.relationship(e.a, e.b, IpVersion::V6).is_some()
+            })
+            .count();
+        let dataset = DatasetSummary {
+            ipv6_paths: data.paths_v6.len(),
+            ipv4_paths: data.paths_v4.len(),
+            ipv6_entries: data.entries_v6,
+            ipv4_entries: data.entries_v4,
+            ipv6_links: data.link_count(IpVersion::V6),
+            ipv4_links: data.link_count(IpVersion::V4),
+            dual_stack_links: data.dual_stack_link_count(),
+            ipv6_links_classified: inference.inferred_link_count(IpVersion::V6),
+            dual_stack_links_classified: dual_stack_classified_both,
+            ipv6_links_from_communities: inference
+                .inferred_by_source(IpVersion::V6, InferenceSource::Communities),
+            ipv6_links_from_locpref: inference
+                .inferred_by_source(IpVersion::V6, InferenceSource::LocalPref),
+            conflicted_links: inference.conflicted_links,
+            dictionary_size: dictionary.len(),
+        };
+
+        // 7. Baseline (Gao) inference: both for accuracy evaluation and as
+        //    the misinferred starting point of the Figure 2 sweep.
+        let baseline = gao_inference(&data, BaselineInput::BothPlanes);
+        let (baseline_accuracy_v4, baseline_accuracy_v6) = match (&truth, self.evaluate_baseline) {
+            (Some(truth), true) => (
+                Some(InferenceAccuracy::evaluate(&baseline, &truth.graph, IpVersion::V4)),
+                Some(InferenceAccuracy::evaluate(&baseline, &truth.graph, IpVersion::V6)),
+            ),
+            _ => (None, None),
+        };
+
+        // 8. Figure 2 sweep: start from the plane-blind annotation (the
+        //    IPv4-derived relationship applied to the IPv6 plane, which is
+        //    what the pre-existing datasets encode) and correct the most
+        //    visible hybrid links with their community-derived IPv6
+        //    relationship.
+        let impact = if self.run_impact {
+            let misinferred =
+                crate::impact::plane_blind_annotation(&data.graph, &inference, &baseline);
+            Some(correction_sweep(&misinferred, &hybrids.findings, &self.impact_options))
+        } else {
+            None
+        };
+
+        Report { dataset, hybrids, valleys, impact, baseline_accuracy_v4, baseline_accuracy_v6 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routesim::{Scenario, SimConfig};
+    use topogen::TopologyConfig;
+
+    fn scenario() -> routesim::Scenario {
+        Scenario::build(&TopologyConfig::tiny(), &SimConfig::small())
+    }
+
+    #[test]
+    fn pipeline_runs_end_to_end_on_a_simulated_scenario() {
+        let scenario = scenario();
+        let report = Pipeline::default().run(PipelineInput::from_scenario(&scenario));
+        assert!(report.dataset.ipv6_paths > 0);
+        assert!(report.dataset.ipv6_links > 0);
+        assert!(report.dataset.dual_stack_links > 0);
+        assert!(report.dataset.ipv6_links_classified > 0);
+        assert!(report.dataset.ipv6_coverage() > 0.2, "{}", report.dataset.ipv6_coverage());
+        assert!(report.dataset.ipv6_coverage() <= 1.0);
+        // Dual-stack coverage should not be lower than... it usually exceeds
+        // overall v6 coverage, but at minimum it is a valid fraction.
+        assert!(report.dataset.dual_stack_coverage() <= 1.0);
+        assert!(report.baseline_accuracy_v4.is_some());
+        assert!(report.baseline_accuracy_v6.is_some());
+        assert!(report.impact.is_none());
+        // The display and JSON forms render without panicking.
+        assert!(!report.to_string().is_empty());
+        assert!(report.to_json().contains("dataset"));
+    }
+
+    #[test]
+    fn detected_hybrids_match_ground_truth_relationships() {
+        let scenario = scenario();
+        let report = Pipeline::default().run(PipelineInput::from_scenario(&scenario));
+        // Every detected hybrid whose relationships we compare against the
+        // ground truth must agree with it (communities never lie in the
+        // simulator; coverage, not correctness, is the limiting factor).
+        for finding in &report.hybrids.findings {
+            let truth_pair = scenario.truth.relationship_pair(finding.a, finding.b).unwrap();
+            assert_eq!(
+                finding.relationships, truth_pair,
+                "hybrid {}-{} disagrees with ground truth",
+                finding.a, finding.b
+            );
+        }
+    }
+
+    #[test]
+    fn locpref_extension_increases_or_preserves_coverage() {
+        let scenario = scenario();
+        let with = Pipeline::default().run(PipelineInput::from_scenario(&scenario));
+        let without = Pipeline { use_locpref: false, ..Default::default() }
+            .run(PipelineInput::from_scenario(&scenario));
+        assert!(with.dataset.ipv6_links_classified >= without.dataset.ipv6_links_classified);
+        assert_eq!(without.dataset.ipv6_links_from_locpref, 0);
+    }
+
+    #[test]
+    fn impact_sweep_is_produced_when_requested() {
+        let scenario = scenario();
+        let pipeline = Pipeline::with_impact(5, Some(64));
+        let report = pipeline.run(PipelineInput::from_scenario(&scenario));
+        let curve = report.impact.expect("impact requested");
+        assert!(!curve.steps.is_empty());
+        assert_eq!(curve.steps[0].corrected, 0);
+        assert!(curve.steps.len() <= 6);
+    }
+
+    #[test]
+    fn pipeline_from_files_round_trips_through_disk() {
+        let scenario = scenario();
+        let dir = std::env::temp_dir().join(format!("hybrid-tor-pipeline-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mrt_paths = scenario.write_mrt_files(&dir).unwrap();
+        let registry_path = dir.join("irr.txt");
+        scenario.registry.save(&registry_path).unwrap();
+
+        let input = PipelineInput::from_files(&mrt_paths, &registry_path).unwrap();
+        let from_disk = Pipeline::default().run(input);
+        let in_memory = Pipeline::default().run(PipelineInput::from_scenario(&scenario));
+        // LocPrf and communities survive the MRT round trip, so the headline
+        // numbers match exactly.
+        assert_eq!(from_disk.dataset.ipv6_links, in_memory.dataset.ipv6_links);
+        assert_eq!(
+            from_disk.dataset.ipv6_links_classified,
+            in_memory.dataset.ipv6_links_classified
+        );
+        assert_eq!(from_disk.hybrids.findings.len(), in_memory.hybrids.findings.len());
+        assert!(from_disk.baseline_accuracy_v4.is_none(), "no ground truth from disk");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_files_surface_an_error() {
+        let result = PipelineInput::from_files(&["/nonexistent/a.mrt"], "/nonexistent/irr.txt");
+        assert!(result.is_err());
+    }
+}

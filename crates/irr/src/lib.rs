@@ -1,0 +1,53 @@
+//! # irr
+//!
+//! An Internet Routing Registry substrate: the "Rosetta Stone" the paper
+//! uses to interpret BGP community values.
+//!
+//! Real operators document the meaning of their community values in RPSL
+//! `aut-num` objects (mostly free-text `remarks:` lines) published through
+//! the IRR system (RIPE, RADB, ...). The paper mines those remarks to
+//! learn, for each AS, which community values mean "route received from a
+//! customer / peer / provider" and which are traffic-engineering knobs
+//! whose LocPrf side effects must be filtered out.
+//!
+//! This crate models that whole chain:
+//!
+//! * [`scheme::CommunityScheme`] — the community numbering plan an AS
+//!   actually uses on its routers (relationship tagging values, ingress
+//!   location values, TE action values). The `routesim` crate tags routes
+//!   according to these schemes.
+//! * [`meaning::CommunityMeaning`] — the decoded semantics of one
+//!   community value.
+//! * [`rpsl`] — RPSL `aut-num` objects: rendering a scheme into
+//!   documentation remarks and parsing remarks back into meanings,
+//!   tolerating the wording diversity found in real registries.
+//! * [`registry::IrrRegistry`] — a whois-dump-like collection of objects
+//!   with serialisation, plus [`registry::IrrRegistry::build_dictionary`].
+//! * [`dictionary::CommunityDictionary`] — the `(asn, value) → meaning`
+//!   lookup table the inference pipeline consumes.
+//!
+//! ```
+//! use irr::{CommunityDictionary, CommunityMeaning, RelationshipTag};
+//! use bgp_types::{Asn, Community};
+//!
+//! let mut dict = CommunityDictionary::new();
+//! dict.insert(Community::new(2914, 420), CommunityMeaning::Relationship(RelationshipTag::FromCustomer));
+//! assert!(dict.lookup(Community::new(2914, 420)).is_some());
+//! assert!(dict.lookup(Community::new(2914, 421)).is_none());
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+#![warn(rust_2018_idioms)]
+
+pub mod dictionary;
+pub mod meaning;
+pub mod registry;
+pub mod rpsl;
+pub mod scheme;
+
+pub use dictionary::CommunityDictionary;
+pub use meaning::{CommunityMeaning, RelationshipTag, TrafficAction};
+pub use registry::IrrRegistry;
+pub use rpsl::AutNumObject;
+pub use scheme::{CommunityScheme, SchemeStyle, SchemeGenerator};

@@ -1,0 +1,214 @@
+//! Decoded semantics of community values.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use bgp_types::Relationship;
+
+/// What an ingress-tagging community says about where the route was
+/// learned, from the perspective of the AS that defines the community.
+///
+/// "FromCustomer" means "I received this route from one of my customers",
+/// which pins the relationship between the tagging AS and its neighbor on
+/// the AS path: tagging AS is the *provider* of that neighbor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RelationshipTag {
+    /// Route learned from a customer.
+    FromCustomer,
+    /// Route learned from a settlement-free peer.
+    FromPeer,
+    /// Route learned from a transit provider.
+    FromProvider,
+    /// Route learned from a sibling AS of the same organisation.
+    FromSibling,
+}
+
+impl RelationshipTag {
+    /// The relationship of the link `tagging AS → neighbor it learned the
+    /// route from`, implied by this tag.
+    pub const fn implied_relationship(self) -> Relationship {
+        match self {
+            RelationshipTag::FromCustomer => Relationship::ProviderToCustomer,
+            RelationshipTag::FromPeer => Relationship::PeerToPeer,
+            RelationshipTag::FromProvider => Relationship::CustomerToProvider,
+            RelationshipTag::FromSibling => Relationship::SiblingToSibling,
+        }
+    }
+
+    /// All tags, in a fixed order.
+    pub const ALL: [RelationshipTag; 4] = [
+        RelationshipTag::FromCustomer,
+        RelationshipTag::FromPeer,
+        RelationshipTag::FromProvider,
+        RelationshipTag::FromSibling,
+    ];
+
+    /// Conventional wording used when documenting the tag in RPSL remarks.
+    pub const fn describe(self) -> &'static str {
+        match self {
+            RelationshipTag::FromCustomer => "routes received from customers",
+            RelationshipTag::FromPeer => "routes received from peers",
+            RelationshipTag::FromProvider => "routes received from upstream providers",
+            RelationshipTag::FromSibling => "routes received from sibling ASes",
+        }
+    }
+}
+
+impl fmt::Display for RelationshipTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.describe())
+    }
+}
+
+/// A traffic-engineering action requested by tagging a route with a
+/// community. The paper cares about these because they change LocPrf (or
+/// announcement behaviour) in ways that must be excluded when learning the
+/// per-AS LocPrf → relationship mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrafficAction {
+    /// Prepend the tagging AS once towards some scope.
+    PrependOnce,
+    /// Prepend twice.
+    PrependTwice,
+    /// Prepend three times.
+    PrependThrice,
+    /// Do not announce to a scope (peers, a region, an AS, ...).
+    DoNotAnnounce,
+    /// Override LocPrf to a specific value.
+    SetLocalPref(u32),
+    /// Lower LocPrf below the peer default (backup path).
+    LowerPreference,
+    /// Raise LocPrf above the customer default (force primary).
+    RaisePreference,
+    /// Remotely triggered blackhole.
+    Blackhole,
+}
+
+impl TrafficAction {
+    /// True when the action changes the LocPrf the tagging AS assigns, so
+    /// routes carrying it must be excluded from LocPrf learning.
+    pub const fn affects_local_pref(self) -> bool {
+        matches!(
+            self,
+            TrafficAction::SetLocalPref(_)
+                | TrafficAction::LowerPreference
+                | TrafficAction::RaisePreference
+                | TrafficAction::Blackhole
+        )
+    }
+
+    /// Conventional wording used when documenting the action.
+    pub fn describe(self) -> String {
+        match self {
+            TrafficAction::PrependOnce => "prepend 1x to all peers".to_string(),
+            TrafficAction::PrependTwice => "prepend 2x to all peers".to_string(),
+            TrafficAction::PrependThrice => "prepend 3x to all peers".to_string(),
+            TrafficAction::DoNotAnnounce => "do not announce to peers".to_string(),
+            TrafficAction::SetLocalPref(v) => format!("set local-preference to {v}"),
+            TrafficAction::LowerPreference => "set local-preference below default (backup)".to_string(),
+            TrafficAction::RaisePreference => "set local-preference above default".to_string(),
+            TrafficAction::Blackhole => "blackhole (discard traffic)".to_string(),
+        }
+    }
+}
+
+/// The decoded meaning of one community value defined by one AS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommunityMeaning {
+    /// The community tags where the route was learned (relationship
+    /// information — the signal the paper mines).
+    Relationship(RelationshipTag),
+    /// The community requests a traffic-engineering action.
+    TrafficEngineering(TrafficAction),
+    /// The community encodes the ingress location (city / PoP / IXP id);
+    /// informational, ignored by the inference.
+    IngressLocation(u16),
+    /// Anything else the operator documented; ignored by the inference.
+    Informational,
+}
+
+impl CommunityMeaning {
+    /// The relationship tag, if this is a relationship community.
+    pub fn relationship_tag(&self) -> Option<RelationshipTag> {
+        match self {
+            CommunityMeaning::Relationship(tag) => Some(*tag),
+            _ => None,
+        }
+    }
+
+    /// The traffic action, if this is a TE community.
+    pub fn traffic_action(&self) -> Option<TrafficAction> {
+        match self {
+            CommunityMeaning::TrafficEngineering(a) => Some(*a),
+            _ => None,
+        }
+    }
+
+    /// True when routes carrying this community must be excluded from the
+    /// LocPrf → relationship learning (the paper's TE filter).
+    pub fn taints_local_pref(&self) -> bool {
+        matches!(self, CommunityMeaning::TrafficEngineering(a) if a.affects_local_pref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn implied_relationships_match_the_paper_semantics() {
+        assert_eq!(
+            RelationshipTag::FromCustomer.implied_relationship(),
+            Relationship::ProviderToCustomer
+        );
+        assert_eq!(RelationshipTag::FromPeer.implied_relationship(), Relationship::PeerToPeer);
+        assert_eq!(
+            RelationshipTag::FromProvider.implied_relationship(),
+            Relationship::CustomerToProvider
+        );
+        assert_eq!(
+            RelationshipTag::FromSibling.implied_relationship(),
+            Relationship::SiblingToSibling
+        );
+    }
+
+    #[test]
+    fn all_tags_have_distinct_descriptions() {
+        let mut seen = std::collections::HashSet::new();
+        for tag in RelationshipTag::ALL {
+            assert!(seen.insert(tag.describe()));
+            assert_eq!(tag.to_string(), tag.describe());
+        }
+    }
+
+    #[test]
+    fn locpref_taint_classification() {
+        assert!(TrafficAction::SetLocalPref(80).affects_local_pref());
+        assert!(TrafficAction::LowerPreference.affects_local_pref());
+        assert!(TrafficAction::RaisePreference.affects_local_pref());
+        assert!(TrafficAction::Blackhole.affects_local_pref());
+        assert!(!TrafficAction::PrependOnce.affects_local_pref());
+        assert!(!TrafficAction::PrependTwice.affects_local_pref());
+        assert!(!TrafficAction::DoNotAnnounce.affects_local_pref());
+
+        assert!(CommunityMeaning::TrafficEngineering(TrafficAction::LowerPreference)
+            .taints_local_pref());
+        assert!(!CommunityMeaning::TrafficEngineering(TrafficAction::PrependOnce)
+            .taints_local_pref());
+        assert!(!CommunityMeaning::Relationship(RelationshipTag::FromPeer).taints_local_pref());
+        assert!(!CommunityMeaning::Informational.taints_local_pref());
+    }
+
+    #[test]
+    fn accessors() {
+        let rel = CommunityMeaning::Relationship(RelationshipTag::FromPeer);
+        assert_eq!(rel.relationship_tag(), Some(RelationshipTag::FromPeer));
+        assert_eq!(rel.traffic_action(), None);
+        let te = CommunityMeaning::TrafficEngineering(TrafficAction::PrependTwice);
+        assert_eq!(te.relationship_tag(), None);
+        assert_eq!(te.traffic_action(), Some(TrafficAction::PrependTwice));
+        assert_eq!(CommunityMeaning::IngressLocation(7).relationship_tag(), None);
+        assert!(TrafficAction::SetLocalPref(90).describe().contains("90"));
+    }
+}

@@ -1,0 +1,197 @@
+//! A whois-dump-like collection of `aut-num` objects.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use bgp_types::Asn;
+
+use crate::dictionary::CommunityDictionary;
+use crate::rpsl::AutNumObject;
+use crate::scheme::CommunityScheme;
+
+/// A registry: the set of `aut-num` objects we were able to collect, akin
+/// to a merged dump of RIPE / RADB / ARIN whois data.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IrrRegistry {
+    objects: BTreeMap<Asn, AutNumObject>,
+}
+
+impl IrrRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when the registry holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Insert (or replace) an object.
+    pub fn insert(&mut self, object: AutNumObject) {
+        self.objects.insert(object.asn, object);
+    }
+
+    /// The object for an AS, if registered.
+    pub fn get(&self, asn: Asn) -> Option<&AutNumObject> {
+        self.objects.get(&asn)
+    }
+
+    /// Iterate objects in ascending ASN order.
+    pub fn iter(&self) -> impl Iterator<Item = &AutNumObject> {
+        self.objects.values()
+    }
+
+    /// Document a community scheme as an `aut-num` object and insert it.
+    pub fn document_scheme(&mut self, scheme: &CommunityScheme, document_te: bool) {
+        self.insert(AutNumObject::document_scheme(scheme, document_te));
+    }
+
+    /// Build the community dictionary from every documented object — the
+    /// paper's step of turning IRR text into a relationship Rosetta Stone.
+    pub fn build_dictionary(&self) -> CommunityDictionary {
+        let mut dict = CommunityDictionary::new();
+        for object in self.objects.values() {
+            for (community, meaning) in object.community_meanings() {
+                dict.insert(community, meaning);
+            }
+        }
+        dict
+    }
+
+    /// Serialize the whole registry as one whois-style text dump (objects
+    /// separated by blank lines).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for object in self.objects.values() {
+            out.push_str(&object.to_rpsl());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a whois-style dump produced by [`IrrRegistry::to_text`] (or a
+    /// hand-written equivalent). Blocks that are not `aut-num` objects are
+    /// skipped.
+    pub fn from_text(text: &str) -> Self {
+        let mut registry = IrrRegistry::new();
+        for block in text.split("\n\n") {
+            if block.trim().is_empty() {
+                continue;
+            }
+            if let Some(object) = AutNumObject::parse(block) {
+                registry.insert(object);
+            }
+        }
+        registry
+    }
+
+    /// Write the dump to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        fs::write(path, self.to_text())
+    }
+
+    /// Load a dump from a file.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::from_text(&fs::read_to_string(path)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meaning::RelationshipTag;
+    use crate::scheme::SchemeStyle;
+    use bgp_types::Community;
+
+    fn scheme(asn: u32, style: SchemeStyle) -> CommunityScheme {
+        CommunityScheme::build(
+            Asn(asn),
+            style,
+            &[RelationshipTag::FromCustomer, RelationshipTag::FromPeer],
+            2,
+        )
+    }
+
+    #[test]
+    fn insert_get_iterate() {
+        let mut registry = IrrRegistry::new();
+        assert!(registry.is_empty());
+        registry.document_scheme(&scheme(2914, SchemeStyle::ThreeThousands), true);
+        registry.document_scheme(&scheme(174, SchemeStyle::ClassicHundreds), false);
+        assert_eq!(registry.len(), 2);
+        assert!(registry.get(Asn(2914)).is_some());
+        assert!(registry.get(Asn(9999)).is_none());
+        let asns: Vec<Asn> = registry.iter().map(|o| o.asn).collect();
+        assert_eq!(asns, vec![Asn(174), Asn(2914)], "iteration is ASN-ordered");
+    }
+
+    #[test]
+    fn dictionary_from_registry() {
+        let mut registry = IrrRegistry::new();
+        registry.document_scheme(&scheme(2914, SchemeStyle::ThreeThousands), true);
+        registry.document_scheme(&scheme(174, SchemeStyle::ClassicHundreds), true);
+        let dict = registry.build_dictionary();
+        assert!(dict.relationship_entry_count() >= 4);
+        assert_eq!(dict.documenting_ases(), vec![Asn(174), Asn(2914)]);
+        assert!(dict
+            .lookup(Community::new(2914, 3000))
+            .map(|m| m.relationship_tag().is_some())
+            .unwrap_or(false));
+    }
+
+    #[test]
+    fn text_dump_roundtrip() {
+        let mut registry = IrrRegistry::new();
+        registry.document_scheme(&scheme(2914, SchemeStyle::ThreeThousands), true);
+        registry.document_scheme(&scheme(6939, SchemeStyle::Thousands), true);
+        let text = registry.to_text();
+        let parsed = IrrRegistry::from_text(&text);
+        assert_eq!(parsed, registry);
+        // Dictionaries built from either side agree.
+        assert_eq!(parsed.build_dictionary(), registry.build_dictionary());
+    }
+
+    #[test]
+    fn from_text_skips_foreign_objects() {
+        let text = "\
+person:         Some Person\naddress:        Nowhere\n\n\
+aut-num:        AS64496\nas-name:        DOC\ndescr:          doc AS\nremarks:        64496:100 learned from customer\n\n\
+route:          192.0.2.0/24\norigin:         AS64496\n";
+        let registry = IrrRegistry::from_text(text);
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry.build_dictionary().relationship_entry_count(), 1);
+    }
+
+    #[test]
+    fn save_and_load() {
+        let dir = std::env::temp_dir().join("irr-registry-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("registry.txt");
+        let mut registry = IrrRegistry::new();
+        registry.document_scheme(&scheme(42, SchemeStyle::LocationFirst), true);
+        registry.save(&path).unwrap();
+        let loaded = IrrRegistry::load(&path).unwrap();
+        assert_eq!(loaded, registry);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn replacing_an_object_keeps_latest() {
+        let mut registry = IrrRegistry::new();
+        registry.document_scheme(&scheme(42, SchemeStyle::ClassicHundreds), false);
+        let first_len = registry.get(Asn(42)).unwrap().remarks.len();
+        registry.document_scheme(&scheme(42, SchemeStyle::ClassicHundreds), true);
+        assert_eq!(registry.len(), 1);
+        assert!(registry.get(Asn(42)).unwrap().remarks.len() > first_len);
+    }
+}

@@ -1,0 +1,359 @@
+//! RPSL `aut-num` objects and the community-documentation remark parser.
+//!
+//! Operators document community semantics in free-text `remarks:` lines.
+//! There is no standard wording, so the parser here is a keyword
+//! classifier over the remark text, the same approach the paper (and every
+//! later community-mining study) takes. The renderer deliberately varies
+//! its phrasing per relationship class so that round-tripping exercises
+//! the keyword matching rather than a single fixed template.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use bgp_types::{Asn, Community};
+
+use crate::meaning::{CommunityMeaning, RelationshipTag, TrafficAction};
+use crate::scheme::CommunityScheme;
+
+/// A (simplified) RPSL `aut-num` object: the registry record of one AS.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AutNumObject {
+    /// The AS the object describes.
+    pub asn: Asn,
+    /// The `as-name:` attribute.
+    pub as_name: String,
+    /// The `descr:` attribute.
+    pub descr: String,
+    /// The `remarks:` lines, in order.
+    pub remarks: Vec<String>,
+}
+
+impl AutNumObject {
+    /// Create an object with no remarks.
+    pub fn new(asn: Asn, as_name: impl Into<String>, descr: impl Into<String>) -> Self {
+        AutNumObject { asn, as_name: as_name.into(), descr: descr.into(), remarks: Vec::new() }
+    }
+
+    /// Render a community scheme into documentation remarks. Only the
+    /// classes listed in the scheme are documented; `document_te` controls
+    /// whether the traffic-engineering values are included (some operators
+    /// only publish their informational communities).
+    pub fn document_scheme(scheme: &CommunityScheme, document_te: bool) -> Self {
+        let asn = scheme.asn;
+        let mut object = AutNumObject::new(
+            asn,
+            format!("AS{}-NET", asn.value()),
+            format!("Synthetic operator for AS{}", asn.value()),
+        );
+        object.remarks.push("Community definitions:".to_string());
+        for (value, tag) in &scheme.relationship_values {
+            let community = Community::new(asn.value() as u16, *value);
+            let wording = match tag {
+                RelationshipTag::FromCustomer => "learned from customer",
+                RelationshipTag::FromPeer => "learned from peering partner",
+                RelationshipTag::FromProvider => "received from transit provider",
+                RelationshipTag::FromSibling => "routes from sibling / same organisation",
+            };
+            object.remarks.push(format!("{community} - {wording}"));
+        }
+        if document_te {
+            for (value, action) in &scheme.te_values {
+                let community = Community::new(asn.value() as u16, *value);
+                object.remarks.push(format!("{community} - {}", action.describe()));
+            }
+        }
+        if scheme.location_count > 0 {
+            let first = scheme.location_community(0).expect("location 0 exists");
+            object.remarks.push(format!(
+                "{}..{} - ingress PoP identifiers",
+                first,
+                Community::new(asn.value() as u16, first.value() + scheme.location_count - 1)
+            ));
+        }
+        object
+    }
+
+    /// Parse the community documentation found in this object's remarks.
+    pub fn community_meanings(&self) -> Vec<(Community, CommunityMeaning)> {
+        let mut out = Vec::new();
+        for remark in &self.remarks {
+            if let Some((community, meaning)) = parse_remark(remark) {
+                out.push((community, meaning));
+            }
+        }
+        out
+    }
+
+    /// Render the object as RPSL text.
+    pub fn to_rpsl(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("aut-num:        AS{}\n", self.asn.value()));
+        s.push_str(&format!("as-name:        {}\n", self.as_name));
+        s.push_str(&format!("descr:          {}\n", self.descr));
+        for remark in &self.remarks {
+            s.push_str(&format!("remarks:        {remark}\n"));
+        }
+        s.push_str("source:         SYNTH\n");
+        s
+    }
+
+    /// Parse one RPSL object from text. Unknown attributes are ignored.
+    pub fn parse(text: &str) -> Option<AutNumObject> {
+        let mut object = AutNumObject::default();
+        let mut saw_autnum = false;
+        for line in text.lines() {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with('%') || line.starts_with('#') {
+                continue;
+            }
+            let Some((key, value)) = line.split_once(':') else { continue };
+            let value = value.trim();
+            match key.trim().to_ascii_lowercase().as_str() {
+                "aut-num" => {
+                    object.asn = value.parse().ok()?;
+                    saw_autnum = true;
+                }
+                "as-name" => object.as_name = value.to_string(),
+                "descr" => object.descr = value.to_string(),
+                "remarks" => object.remarks.push(value.to_string()),
+                _ => {}
+            }
+        }
+        saw_autnum.then_some(object)
+    }
+}
+
+impl fmt::Display for AutNumObject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_rpsl())
+    }
+}
+
+/// Parse one remark line into a community meaning, if it documents one.
+///
+/// The grammar tolerated is `<asn>:<value>` (optionally at the start of the
+/// line, optionally preceded by "community") followed by descriptive text;
+/// the description is classified by keywords. Range documentation
+/// (`a:b..a:c`) and lines without a community literal yield `None`.
+pub fn parse_remark(remark: &str) -> Option<(Community, CommunityMeaning)> {
+    let text = remark.trim();
+    if text.contains("..") {
+        return None; // documented ranges (location blocks) are not single values
+    }
+    // Find the first token that parses as a community literal.
+    let mut community: Option<Community> = None;
+    let mut rest_start = 0usize;
+    for (offset, token) in tokenize_with_offsets(text) {
+        if let Ok(c) = token.trim_matches(|ch: char| !ch.is_ascii_digit()).parse::<Community>() {
+            community = Some(c);
+            rest_start = offset + token.len();
+            break;
+        }
+    }
+    let community = community?;
+    let description = text[rest_start..].to_ascii_lowercase();
+    Some((community, classify_description(&description)))
+}
+
+fn tokenize_with_offsets(text: &str) -> impl Iterator<Item = (usize, &str)> {
+    text.split_whitespace().map(move |tok| {
+        // Safe because split_whitespace yields subslices of `text`.
+        let offset = tok.as_ptr() as usize - text.as_ptr() as usize;
+        (offset, tok)
+    })
+}
+
+fn classify_description(description: &str) -> CommunityMeaning {
+    let has = |needles: &[&str]| needles.iter().any(|n| description.contains(n));
+
+    // Traffic engineering first: "do not announce to customers" must not be
+    // classified as a customer-relationship tag.
+    if has(&["blackhole", "black-hole", "rtbh", "discard"]) {
+        return CommunityMeaning::TrafficEngineering(TrafficAction::Blackhole);
+    }
+    if has(&["prepend 3", "prepend 3x", "prepend three", "3x prepend"]) {
+        return CommunityMeaning::TrafficEngineering(TrafficAction::PrependThrice);
+    }
+    if has(&["prepend 2", "prepend 2x", "prepend twice", "2x prepend"]) {
+        return CommunityMeaning::TrafficEngineering(TrafficAction::PrependTwice);
+    }
+    if has(&["prepend"]) {
+        return CommunityMeaning::TrafficEngineering(TrafficAction::PrependOnce);
+    }
+    if has(&["do not announce", "don't announce", "no export to", "do not export", "no-announce"]) {
+        return CommunityMeaning::TrafficEngineering(TrafficAction::DoNotAnnounce);
+    }
+    if has(&["local-preference", "local preference", "localpref", "local-pref"]) {
+        if let Some(value) = description
+            .split(|c: char| !c.is_ascii_digit())
+            .filter(|s| !s.is_empty())
+            .filter_map(|s| s.parse::<u32>().ok())
+            .last()
+        {
+            return CommunityMeaning::TrafficEngineering(TrafficAction::SetLocalPref(value));
+        }
+        if has(&["below", "lower", "backup", "less"]) {
+            return CommunityMeaning::TrafficEngineering(TrafficAction::LowerPreference);
+        }
+        if has(&["above", "raise", "higher", "increase"]) {
+            return CommunityMeaning::TrafficEngineering(TrafficAction::RaisePreference);
+        }
+        return CommunityMeaning::TrafficEngineering(TrafficAction::LowerPreference);
+    }
+    if has(&["backup"]) {
+        return CommunityMeaning::TrafficEngineering(TrafficAction::LowerPreference);
+    }
+
+    // Relationship wording. Order matters: "upstream provider" and
+    // "transit provider" must not fall into the customer branch via the
+    // word "transit" alone.
+    if has(&["from customer", "from customers", "learned from customer", "customer routes",
+             "received from customer", "from a customer", "downstream"]) {
+        return CommunityMeaning::Relationship(RelationshipTag::FromCustomer);
+    }
+    if has(&["from peer", "from peers", "peering partner", "peer routes", "via peering",
+             "settlement-free"]) {
+        return CommunityMeaning::Relationship(RelationshipTag::FromPeer);
+    }
+    if has(&["from transit", "from provider", "from upstream", "upstream provider",
+             "transit provider", "provider routes"]) {
+        return CommunityMeaning::Relationship(RelationshipTag::FromProvider);
+    }
+    if has(&["sibling", "same organisation", "same organization", "internal as"]) {
+        return CommunityMeaning::Relationship(RelationshipTag::FromSibling);
+    }
+    if has(&["pop", "ingress", "city", "location", "ixp", "exchange point"]) {
+        // We do not know the index; zero is a placeholder for "some location".
+        return CommunityMeaning::IngressLocation(0);
+    }
+    CommunityMeaning::Informational
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::SchemeStyle;
+
+    #[test]
+    fn parse_remark_relationship_wordings() {
+        let cases = [
+            ("2914:3000 - learned from customer", RelationshipTag::FromCustomer),
+            ("community 2914:3050 tagged on customer routes", RelationshipTag::FromCustomer),
+            ("2914:3100 - learned from peering partner", RelationshipTag::FromPeer),
+            ("2914:3100   routes received via peering", RelationshipTag::FromPeer),
+            ("2914:3200 received from transit provider", RelationshipTag::FromProvider),
+            ("2914:3250 = routes from upstream provider", RelationshipTag::FromProvider),
+            ("2914:3300: routes from sibling / same organisation", RelationshipTag::FromSibling),
+        ];
+        for (remark, expected) in cases {
+            let (community, meaning) = parse_remark(remark).unwrap_or_else(|| panic!("{remark}"));
+            assert_eq!(community.asn(), Asn(2914), "{remark}");
+            assert_eq!(meaning, CommunityMeaning::Relationship(expected), "{remark}");
+        }
+    }
+
+    #[test]
+    fn parse_remark_traffic_engineering_wordings() {
+        let cases = [
+            ("174:600 prepend 1x to all peers", TrafficAction::PrependOnce),
+            ("174:601 - prepend 2x to all peers", TrafficAction::PrependTwice),
+            ("174:602 prepend 3x towards upstreams", TrafficAction::PrependThrice),
+            ("174:603 do not announce to peers", TrafficAction::DoNotAnnounce),
+            ("174:666 blackhole (discard traffic)", TrafficAction::Blackhole),
+            ("174:610 set local-preference below default (backup)", TrafficAction::LowerPreference),
+            ("174:611 set local-preference above default", TrafficAction::RaisePreference),
+            ("174:80 set local-preference to 80", TrafficAction::SetLocalPref(80)),
+        ];
+        for (remark, expected) in cases {
+            let (community, meaning) = parse_remark(remark).unwrap_or_else(|| panic!("{remark}"));
+            assert_eq!(community.asn(), Asn(174), "{remark}");
+            assert_eq!(meaning, CommunityMeaning::TrafficEngineering(expected), "{remark}");
+        }
+    }
+
+    #[test]
+    fn parse_remark_rejects_non_documentation() {
+        assert_eq!(parse_remark("Peering requests: noc@example.net"), None);
+        assert_eq!(parse_remark(""), None);
+        assert_eq!(parse_remark("174:10000..174:10011 - ingress PoP identifiers"), None);
+        // A community with unclassifiable text is informational, not dropped.
+        let (_, meaning) = parse_remark("174:999 legacy value, do not use").unwrap();
+        assert_eq!(meaning, CommunityMeaning::Informational);
+    }
+
+    #[test]
+    fn do_not_announce_to_customers_is_not_a_customer_tag() {
+        let (_, meaning) = parse_remark("174:604 do not announce to customers").unwrap();
+        assert_eq!(meaning, CommunityMeaning::TrafficEngineering(TrafficAction::DoNotAnnounce));
+    }
+
+    #[test]
+    fn document_scheme_roundtrips_through_the_parser() {
+        let scheme = CommunityScheme::build(
+            Asn(3356),
+            SchemeStyle::ClassicHundreds,
+            &RelationshipTag::ALL,
+            4,
+        );
+        let object = AutNumObject::document_scheme(&scheme, true);
+        let parsed = object.community_meanings();
+        // Every relationship value must round-trip exactly.
+        for (value, tag) in &scheme.relationship_values {
+            let community = Community::new(3356, *value);
+            let found = parsed.iter().find(|(c, _)| *c == community).map(|(_, m)| *m);
+            assert_eq!(found, Some(CommunityMeaning::Relationship(*tag)), "{community}");
+        }
+        // TE values must round-trip to LocPrf-taint-equivalent actions.
+        for (value, action) in &scheme.te_values {
+            let community = Community::new(3356, *value);
+            let found = parsed.iter().find(|(c, _)| *c == community).map(|(_, m)| *m);
+            let found = found.unwrap_or_else(|| panic!("missing {community}"));
+            assert_eq!(
+                found.taints_local_pref(),
+                CommunityMeaning::TrafficEngineering(*action).taints_local_pref(),
+                "{community}: {found:?} vs {action:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn document_scheme_without_te() {
+        let scheme = CommunityScheme::build(
+            Asn(3356),
+            SchemeStyle::ClassicHundreds,
+            &[RelationshipTag::FromCustomer],
+            0,
+        );
+        let object = AutNumObject::document_scheme(&scheme, false);
+        let parsed = object.community_meanings();
+        assert_eq!(parsed.len(), 1);
+        assert!(matches!(parsed[0].1, CommunityMeaning::Relationship(_)));
+    }
+
+    #[test]
+    fn rpsl_text_roundtrip() {
+        let scheme = CommunityScheme::build(
+            Asn(6939),
+            SchemeStyle::Thousands,
+            &[RelationshipTag::FromCustomer, RelationshipTag::FromPeer],
+            2,
+        );
+        let object = AutNumObject::document_scheme(&scheme, true);
+        let text = object.to_rpsl();
+        assert!(text.contains("aut-num:        AS6939"));
+        let parsed = AutNumObject::parse(&text).unwrap();
+        assert_eq!(parsed, object);
+        assert_eq!(parsed.to_string(), text);
+    }
+
+    #[test]
+    fn parse_tolerates_noise_and_rejects_non_objects() {
+        let text = "% RIPE-style comment\n\naut-num: AS42\nas-name: EXAMPLE\nmnt-by: SOME-MNT\nremarks: 42:100 learned from customer\n";
+        let parsed = AutNumObject::parse(text).unwrap();
+        assert_eq!(parsed.asn, Asn(42));
+        assert_eq!(parsed.community_meanings().len(), 1);
+        assert_eq!(AutNumObject::parse("person: nobody\n"), None);
+        assert_eq!(AutNumObject::parse(""), None);
+    }
+}

@@ -1,0 +1,319 @@
+//! Per-AS community numbering plans ("schemes").
+//!
+//! A scheme is what an AS configures on its routers: which community value
+//! it attaches to routes learned from customers, peers, providers and
+//! siblings, which values encode ingress locations, and which values its
+//! customers may set to request traffic-engineering actions. The
+//! `routesim` crate tags simulated routes according to these schemes, and
+//! the [`crate::registry`] module documents a subset of them as RPSL
+//! objects — exactly the pipeline whose output the paper mines.
+
+use std::collections::BTreeMap;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use bgp_types::{Asn, Community};
+
+use crate::meaning::{CommunityMeaning, RelationshipTag, TrafficAction};
+
+/// The numbering convention an AS uses for its communities. Real operators
+/// are wildly inconsistent; a handful of archetypes reproduces that
+/// diversity well enough for the inference pipeline to be non-trivial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchemeStyle {
+    /// customer=100, peer=200, provider=300, sibling=400; TE in 600-999.
+    ClassicHundreds,
+    /// customer=3000, peer=3100, provider=3200, sibling=3300; TE in 3900+.
+    ThreeThousands,
+    /// customer=1000, peer=2000, provider=3000, sibling=4000; TE in 9000+.
+    Thousands,
+    /// Location-first numbering: relationship values live at 50-53 and the
+    /// 1000+ range encodes ingress PoPs; TE in 65000+.
+    LocationFirst,
+}
+
+impl SchemeStyle {
+    /// All styles, for iteration and random choice.
+    pub const ALL: [SchemeStyle; 4] = [
+        SchemeStyle::ClassicHundreds,
+        SchemeStyle::ThreeThousands,
+        SchemeStyle::Thousands,
+        SchemeStyle::LocationFirst,
+    ];
+
+    fn relationship_value(self, tag: RelationshipTag) -> u16 {
+        let offset = match tag {
+            RelationshipTag::FromCustomer => 0,
+            RelationshipTag::FromPeer => 1,
+            RelationshipTag::FromProvider => 2,
+            RelationshipTag::FromSibling => 3,
+        };
+        match self {
+            SchemeStyle::ClassicHundreds => 100 + offset * 100,
+            SchemeStyle::ThreeThousands => 3000 + offset * 100,
+            SchemeStyle::Thousands => 1000 + offset * 1000,
+            SchemeStyle::LocationFirst => 50 + offset,
+        }
+    }
+
+    fn te_base(self) -> u16 {
+        match self {
+            SchemeStyle::ClassicHundreds => 600,
+            SchemeStyle::ThreeThousands => 3900,
+            SchemeStyle::Thousands => 9000,
+            SchemeStyle::LocationFirst => 65000,
+        }
+    }
+
+    fn location_base(self) -> u16 {
+        match self {
+            SchemeStyle::ClassicHundreds => 10000,
+            SchemeStyle::ThreeThousands => 20000,
+            SchemeStyle::Thousands => 30000,
+            SchemeStyle::LocationFirst => 1000,
+        }
+    }
+}
+
+/// The community plan of one AS.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommunityScheme {
+    /// The AS that owns (and whose high-16-bits appear in) the communities.
+    pub asn: Asn,
+    /// The numbering convention.
+    pub style: SchemeStyle,
+    /// Relationship tags this AS actually applies at ingress. Many ASes
+    /// only tag customer and peer routes; some tag nothing.
+    pub relationship_values: BTreeMap<u16, RelationshipTag>,
+    /// Traffic-engineering values this AS honours.
+    pub te_values: BTreeMap<u16, TrafficAction>,
+    /// Number of ingress-location values (documented but uninteresting).
+    pub location_count: u16,
+}
+
+impl CommunityScheme {
+    /// Build the scheme an AS with the given style and tag coverage uses.
+    ///
+    /// `tags` lists which relationship tags the AS applies; an empty slice
+    /// produces an AS that attaches only location/TE communities.
+    pub fn build(asn: Asn, style: SchemeStyle, tags: &[RelationshipTag], location_count: u16) -> Self {
+        let mut relationship_values = BTreeMap::new();
+        for &tag in tags {
+            relationship_values.insert(style.relationship_value(tag), tag);
+        }
+        let base = style.te_base();
+        let mut te_values = BTreeMap::new();
+        te_values.insert(base, TrafficAction::PrependOnce);
+        te_values.insert(base + 1, TrafficAction::PrependTwice);
+        te_values.insert(base + 2, TrafficAction::PrependThrice);
+        te_values.insert(base + 3, TrafficAction::DoNotAnnounce);
+        te_values.insert(base + 10, TrafficAction::LowerPreference);
+        te_values.insert(base + 11, TrafficAction::RaisePreference);
+        te_values.insert(base + 66, TrafficAction::Blackhole);
+        CommunityScheme { asn, style, relationship_values, te_values, location_count }
+    }
+
+    /// The community this AS attaches to routes learned over a link with
+    /// the given tag, if it tags that class at all.
+    pub fn relationship_community(&self, tag: RelationshipTag) -> Option<Community> {
+        self.relationship_values
+            .iter()
+            .find(|(_, t)| **t == tag)
+            .map(|(value, _)| Community::new(self.asn.value() as u16, *value))
+    }
+
+    /// The community a customer would attach to request the given action.
+    pub fn te_community(&self, action: TrafficAction) -> Option<Community> {
+        self.te_values
+            .iter()
+            .find(|(_, a)| **a == action)
+            .map(|(value, _)| Community::new(self.asn.value() as u16, *value))
+    }
+
+    /// The community encoding ingress location `index` (0-based), if within
+    /// the scheme's configured location count.
+    pub fn location_community(&self, index: u16) -> Option<Community> {
+        (index < self.location_count)
+            .then(|| Community::new(self.asn.value() as u16, self.style.location_base() + index))
+    }
+
+    /// True when the AS tags at least one relationship class.
+    pub fn tags_relationships(&self) -> bool {
+        !self.relationship_values.is_empty()
+    }
+
+    /// The ground-truth meaning of every community this scheme defines.
+    /// This is what a *perfectly documented* IRR object would convey.
+    pub fn meanings(&self) -> Vec<(Community, CommunityMeaning)> {
+        let asn16 = self.asn.value() as u16;
+        let mut out = Vec::new();
+        for (value, tag) in &self.relationship_values {
+            out.push((Community::new(asn16, *value), CommunityMeaning::Relationship(*tag)));
+        }
+        for (value, action) in &self.te_values {
+            out.push((Community::new(asn16, *value), CommunityMeaning::TrafficEngineering(*action)));
+        }
+        for i in 0..self.location_count {
+            out.push((
+                Community::new(asn16, self.style.location_base() + i),
+                CommunityMeaning::IngressLocation(i),
+            ));
+        }
+        out
+    }
+
+    /// Look up the meaning of a value inside this scheme (ground truth).
+    pub fn meaning_of(&self, value: u16) -> Option<CommunityMeaning> {
+        if let Some(tag) = self.relationship_values.get(&value) {
+            return Some(CommunityMeaning::Relationship(*tag));
+        }
+        if let Some(action) = self.te_values.get(&value) {
+            return Some(CommunityMeaning::TrafficEngineering(*action));
+        }
+        let loc_base = self.style.location_base();
+        if value >= loc_base && value < loc_base + self.location_count {
+            return Some(CommunityMeaning::IngressLocation(value - loc_base));
+        }
+        None
+    }
+}
+
+/// Deterministic generator of per-AS schemes, used by the scenario builder.
+#[derive(Debug, Clone)]
+pub struct SchemeGenerator {
+    /// Probability that a tagging AS also tags provider-learned routes.
+    pub provider_tag_probability: f64,
+    /// Probability that a tagging AS also tags sibling-learned routes.
+    pub sibling_tag_probability: f64,
+    /// Maximum number of ingress-location values an AS defines.
+    pub max_locations: u16,
+}
+
+impl Default for SchemeGenerator {
+    fn default() -> Self {
+        SchemeGenerator {
+            provider_tag_probability: 0.35,
+            sibling_tag_probability: 0.15,
+            max_locations: 12,
+        }
+    }
+}
+
+impl SchemeGenerator {
+    /// Generate the scheme of one AS using the provided RNG. Customer and
+    /// peer tagging are always present for a tagging AS (they are the
+    /// operationally useful ones); provider/sibling tags are probabilistic.
+    pub fn generate<R: Rng>(&self, asn: Asn, rng: &mut R) -> CommunityScheme {
+        let style = SchemeStyle::ALL[rng.gen_range(0..SchemeStyle::ALL.len())];
+        let mut tags = vec![RelationshipTag::FromCustomer, RelationshipTag::FromPeer];
+        if rng.gen_bool(self.provider_tag_probability) {
+            tags.push(RelationshipTag::FromProvider);
+        }
+        if rng.gen_bool(self.sibling_tag_probability) {
+            tags.push(RelationshipTag::FromSibling);
+        }
+        let locations = rng.gen_range(0..=self.max_locations);
+        CommunityScheme::build(asn, style, &tags, locations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn build_and_lookup_relationship_values() {
+        let s = CommunityScheme::build(
+            Asn(2914),
+            SchemeStyle::ThreeThousands,
+            &[RelationshipTag::FromCustomer, RelationshipTag::FromPeer],
+            4,
+        );
+        assert!(s.tags_relationships());
+        let customer = s.relationship_community(RelationshipTag::FromCustomer).unwrap();
+        assert_eq!(customer, Community::new(2914, 3000));
+        let peer = s.relationship_community(RelationshipTag::FromPeer).unwrap();
+        assert_eq!(peer, Community::new(2914, 3100));
+        assert_eq!(s.relationship_community(RelationshipTag::FromProvider), None);
+        assert_eq!(
+            s.meaning_of(3000),
+            Some(CommunityMeaning::Relationship(RelationshipTag::FromCustomer))
+        );
+        assert_eq!(s.meaning_of(12345), None);
+    }
+
+    #[test]
+    fn te_and_location_values() {
+        let s = CommunityScheme::build(Asn(174), SchemeStyle::ClassicHundreds, &[], 3);
+        assert!(!s.tags_relationships());
+        assert_eq!(
+            s.te_community(TrafficAction::Blackhole),
+            Some(Community::new(174, 666))
+        );
+        assert_eq!(
+            s.te_community(TrafficAction::LowerPreference),
+            Some(Community::new(174, 610))
+        );
+        assert_eq!(s.location_community(0), Some(Community::new(174, 10000)));
+        assert_eq!(s.location_community(2), Some(Community::new(174, 10002)));
+        assert_eq!(s.location_community(3), None);
+        assert_eq!(s.meaning_of(10001), Some(CommunityMeaning::IngressLocation(1)));
+        assert_eq!(
+            s.meaning_of(666),
+            Some(CommunityMeaning::TrafficEngineering(TrafficAction::Blackhole))
+        );
+    }
+
+    #[test]
+    fn styles_use_disjoint_relationship_values() {
+        for style in SchemeStyle::ALL {
+            let values: Vec<u16> =
+                RelationshipTag::ALL.iter().map(|t| style.relationship_value(*t)).collect();
+            let mut dedup = values.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(values.len(), dedup.len(), "style {style:?} reuses a value");
+        }
+    }
+
+    #[test]
+    fn meanings_cover_everything_defined() {
+        let s = CommunityScheme::build(
+            Asn(6939),
+            SchemeStyle::Thousands,
+            &RelationshipTag::ALL,
+            5,
+        );
+        let meanings = s.meanings();
+        assert_eq!(meanings.len(), 4 + 7 + 5);
+        for (community, meaning) in meanings {
+            assert_eq!(community.asn(), Asn(6939));
+            assert_eq!(s.meaning_of(community.value()), Some(meaning));
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic_per_seed() {
+        let generator = SchemeGenerator::default();
+        let mut rng1 = ChaCha8Rng::seed_from_u64(7);
+        let mut rng2 = ChaCha8Rng::seed_from_u64(7);
+        let a = generator.generate(Asn(100), &mut rng1);
+        let b = generator.generate(Asn(100), &mut rng2);
+        assert_eq!(a, b);
+        // Tagging ASes always tag customer and peer routes.
+        assert!(a.relationship_community(RelationshipTag::FromCustomer).is_some());
+        assert!(a.relationship_community(RelationshipTag::FromPeer).is_some());
+    }
+
+    #[test]
+    fn generator_produces_style_diversity() {
+        let generator = SchemeGenerator::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let styles: std::collections::HashSet<_> =
+            (0..200).map(|i| generator.generate(Asn(i), &mut rng).style).collect();
+        assert!(styles.len() >= 3, "expected style diversity, got {styles:?}");
+    }
+}

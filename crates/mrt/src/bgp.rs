@@ -1,0 +1,748 @@
+//! BGP wire codec: NLRI prefixes, path attributes and UPDATE messages.
+//!
+//! The attribute codec is shared by the TABLE_DUMP_V2 RIB records (which
+//! embed a BGP attribute blob per RIB entry) and by BGP4MP update
+//! messages. The only behavioural difference between the two contexts is
+//! the shape of `MP_REACH_NLRI`: RFC 6396 §4.3.4 abbreviates it inside
+//! TABLE_DUMP_V2 to just the next-hop length and next-hop address.
+
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use bgp_types::{
+    AsPath, AsPathSegment, Asn, Community, CommunitySet, IpVersion, Ipv4Net, Ipv6Net,
+    LargeCommunity, Origin, PathAttributes, Prefix,
+};
+
+use crate::error::MrtError;
+
+/// BGP path attribute type codes used by this implementation.
+pub mod attr_type {
+    /// ORIGIN.
+    pub const ORIGIN: u8 = 1;
+    /// AS_PATH (4-byte ASNs in our encodings).
+    pub const AS_PATH: u8 = 2;
+    /// NEXT_HOP (IPv4).
+    pub const NEXT_HOP: u8 = 3;
+    /// MULTI_EXIT_DISC.
+    pub const MED: u8 = 4;
+    /// LOCAL_PREF.
+    pub const LOCAL_PREF: u8 = 5;
+    /// ATOMIC_AGGREGATE.
+    pub const ATOMIC_AGGREGATE: u8 = 6;
+    /// AGGREGATOR (decoded but ignored).
+    pub const AGGREGATOR: u8 = 7;
+    /// COMMUNITIES.
+    pub const COMMUNITIES: u8 = 8;
+    /// MP_REACH_NLRI.
+    pub const MP_REACH_NLRI: u8 = 14;
+    /// MP_UNREACH_NLRI (decoded but ignored).
+    pub const MP_UNREACH_NLRI: u8 = 15;
+    /// LARGE_COMMUNITIES.
+    pub const LARGE_COMMUNITIES: u8 = 32;
+}
+
+/// Attribute flag bits.
+mod flags {
+    pub const OPTIONAL: u8 = 0x80;
+    pub const TRANSITIVE: u8 = 0x40;
+    pub const EXTENDED_LENGTH: u8 = 0x10;
+}
+
+/// Which framing rules apply to MP_REACH_NLRI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttrContext {
+    /// Attributes embedded in a TABLE_DUMP_V2 RIB entry (abbreviated
+    /// MP_REACH_NLRI: next-hop only).
+    TableDumpV2,
+    /// Attributes inside a live BGP UPDATE message (full MP_REACH_NLRI
+    /// with AFI/SAFI and NLRI).
+    Update,
+}
+
+/// Everything decoded out of one attribute blob.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DecodedAttributes {
+    /// The structured attributes.
+    pub attrs: PathAttributes,
+    /// Prefixes announced via MP_REACH_NLRI (only in `Update` context).
+    pub mp_reach_nlri: Vec<Prefix>,
+    /// Prefixes withdrawn via MP_UNREACH_NLRI (only in `Update` context).
+    pub mp_unreach_nlri: Vec<Prefix>,
+}
+
+fn need(buf: &impl Buf, n: usize, context: &'static str) -> Result<(), MrtError> {
+    if buf.remaining() < n {
+        Err(MrtError::truncated(context, n, buf.remaining()))
+    } else {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NLRI prefix encoding
+// ---------------------------------------------------------------------------
+
+/// Encode one NLRI prefix: length byte followed by the minimal number of
+/// address octets.
+pub fn encode_prefix(buf: &mut BytesMut, prefix: &Prefix) {
+    let len = prefix.len();
+    buf.put_u8(len);
+    let nbytes = (len as usize).div_ceil(8);
+    match prefix {
+        Prefix::V4(p) => buf.put_slice(&p.addr().octets()[..nbytes]),
+        Prefix::V6(p) => buf.put_slice(&p.addr().octets()[..nbytes]),
+    }
+}
+
+/// Decode one NLRI prefix of the given address family.
+pub fn decode_prefix(buf: &mut Bytes, version: IpVersion) -> Result<Prefix, MrtError> {
+    need(buf, 1, "nlri prefix length")?;
+    let len = buf.get_u8();
+    if len > version.max_prefix_len() {
+        return Err(MrtError::malformed(
+            "nlri prefix",
+            format!("prefix length {len} exceeds {} maximum", version),
+        ));
+    }
+    let nbytes = (len as usize).div_ceil(8);
+    need(buf, nbytes, "nlri prefix address")?;
+    match version {
+        IpVersion::V4 => {
+            let mut octets = [0u8; 4];
+            buf.copy_to_slice(&mut octets[..nbytes]);
+            Ok(Prefix::V4(Ipv4Net::new_truncated(Ipv4Addr::from(octets), len)))
+        }
+        IpVersion::V6 => {
+            let mut octets = [0u8; 16];
+            buf.copy_to_slice(&mut octets[..nbytes]);
+            Ok(Prefix::V6(Ipv6Net::new_truncated(Ipv6Addr::from(octets), len)))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Path attribute encoding
+// ---------------------------------------------------------------------------
+
+fn put_attr(buf: &mut BytesMut, flag_bits: u8, type_code: u8, body: &[u8]) {
+    if body.len() > 255 {
+        buf.put_u8(flag_bits | flags::EXTENDED_LENGTH);
+        buf.put_u8(type_code);
+        buf.put_u16(body.len() as u16);
+    } else {
+        buf.put_u8(flag_bits);
+        buf.put_u8(type_code);
+        buf.put_u8(body.len() as u8);
+    }
+    buf.put_slice(body);
+}
+
+fn encode_as_path(path: &AsPath) -> BytesMut {
+    let mut body = BytesMut::new();
+    for seg in path.segments() {
+        let (code, asns) = match seg {
+            AsPathSegment::Set(v) => (1u8, v),
+            AsPathSegment::Sequence(v) => (2u8, v),
+        };
+        body.put_u8(code);
+        body.put_u8(asns.len() as u8);
+        for asn in asns {
+            body.put_u32(asn.value());
+        }
+    }
+    body
+}
+
+/// Encode the path attributes of a route.
+///
+/// `prefix` is the route's NLRI; IPv6 routes are encoded with an
+/// `MP_REACH_NLRI` attribute (abbreviated or full depending on `ctx`),
+/// IPv4 routes use the classic `NEXT_HOP` attribute and, in `Update`
+/// context, are expected to be carried in the UPDATE's own NLRI field.
+pub fn encode_attributes(
+    attrs: &PathAttributes,
+    prefix: &Prefix,
+    ctx: AttrContext,
+) -> BytesMut {
+    let mut out = BytesMut::new();
+    let wk = flags::TRANSITIVE; // well-known attributes
+    let opt = flags::OPTIONAL;
+    let opt_trans = flags::OPTIONAL | flags::TRANSITIVE;
+
+    // ORIGIN
+    put_attr(&mut out, wk, attr_type::ORIGIN, &[attrs.origin.code()]);
+
+    // AS_PATH
+    let as_path_body = encode_as_path(&attrs.as_path);
+    put_attr(&mut out, wk, attr_type::AS_PATH, &as_path_body);
+
+    // NEXT_HOP / MP_REACH_NLRI
+    match prefix.version() {
+        IpVersion::V4 => {
+            let hop = match attrs.next_hop {
+                Some(IpAddr::V4(a)) => a,
+                _ => Ipv4Addr::UNSPECIFIED,
+            };
+            put_attr(&mut out, wk, attr_type::NEXT_HOP, &hop.octets());
+        }
+        IpVersion::V6 => {
+            let hop = match attrs.next_hop {
+                Some(IpAddr::V6(a)) => a,
+                _ => Ipv6Addr::UNSPECIFIED,
+            };
+            let mut body = BytesMut::new();
+            match ctx {
+                AttrContext::TableDumpV2 => {
+                    // RFC 6396 §4.3.4: next hop length + next hop only.
+                    body.put_u8(16);
+                    body.put_slice(&hop.octets());
+                }
+                AttrContext::Update => {
+                    body.put_u16(IpVersion::V6.afi());
+                    body.put_u8(1); // SAFI unicast
+                    body.put_u8(16);
+                    body.put_slice(&hop.octets());
+                    body.put_u8(0); // reserved
+                    encode_prefix(&mut body, prefix);
+                }
+            }
+            put_attr(&mut out, opt, attr_type::MP_REACH_NLRI, &body);
+        }
+    }
+
+    // MED
+    if let Some(med) = attrs.med {
+        put_attr(&mut out, opt, attr_type::MED, &med.to_be_bytes());
+    }
+
+    // LOCAL_PREF
+    if let Some(lp) = attrs.local_pref {
+        put_attr(&mut out, wk, attr_type::LOCAL_PREF, &lp.to_be_bytes());
+    }
+
+    // ATOMIC_AGGREGATE
+    if attrs.atomic_aggregate {
+        put_attr(&mut out, wk, attr_type::ATOMIC_AGGREGATE, &[]);
+    }
+
+    // COMMUNITIES
+    if !attrs.communities.is_empty() {
+        let mut body = BytesMut::with_capacity(attrs.communities.len() * 4);
+        for c in attrs.communities.iter() {
+            body.put_u32(c.as_u32());
+        }
+        put_attr(&mut out, opt_trans, attr_type::COMMUNITIES, &body);
+    }
+
+    // LARGE_COMMUNITIES
+    if !attrs.large_communities.is_empty() {
+        let mut body = BytesMut::with_capacity(attrs.large_communities.len() * 12);
+        for lc in &attrs.large_communities {
+            body.put_u32(lc.global);
+            body.put_u32(lc.local1);
+            body.put_u32(lc.local2);
+        }
+        put_attr(&mut out, opt_trans, attr_type::LARGE_COMMUNITIES, &body);
+    }
+
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Path attribute decoding
+// ---------------------------------------------------------------------------
+
+fn decode_as_path(mut body: Bytes) -> Result<AsPath, MrtError> {
+    let mut segments = Vec::new();
+    while body.has_remaining() {
+        need(&body, 2, "AS_PATH segment header")?;
+        let seg_type = body.get_u8();
+        let count = body.get_u8() as usize;
+        need(&body, count * 4, "AS_PATH segment ASNs")?;
+        let mut asns = Vec::with_capacity(count);
+        for _ in 0..count {
+            asns.push(Asn(body.get_u32()));
+        }
+        match seg_type {
+            1 => segments.push(AsPathSegment::Set(asns)),
+            2 => segments.push(AsPathSegment::Sequence(asns)),
+            other => {
+                return Err(MrtError::malformed(
+                    "AS_PATH segment",
+                    format!("unknown segment type {other}"),
+                ))
+            }
+        }
+    }
+    AsPath::from_segments(segments)
+        .map_err(|e| MrtError::malformed("AS_PATH", e.to_string()))
+}
+
+fn decode_mp_reach(
+    mut body: Bytes,
+    ctx: AttrContext,
+) -> Result<(Option<IpAddr>, Vec<Prefix>), MrtError> {
+    match ctx {
+        AttrContext::TableDumpV2 => {
+            need(&body, 1, "MP_REACH next hop length")?;
+            let hop_len = body.get_u8() as usize;
+            need(&body, hop_len, "MP_REACH next hop")?;
+            let hop = read_next_hop(&mut body, hop_len)?;
+            Ok((hop, Vec::new()))
+        }
+        AttrContext::Update => {
+            need(&body, 5, "MP_REACH header")?;
+            let afi = body.get_u16();
+            let _safi = body.get_u8();
+            let hop_len = body.get_u8() as usize;
+            need(&body, hop_len, "MP_REACH next hop")?;
+            let hop = read_next_hop(&mut body, hop_len)?;
+            need(&body, 1, "MP_REACH reserved byte")?;
+            let _reserved = body.get_u8();
+            let version = IpVersion::from_afi(afi).ok_or_else(|| {
+                MrtError::malformed("MP_REACH_NLRI", format!("unknown AFI {afi}"))
+            })?;
+            let mut prefixes = Vec::new();
+            while body.has_remaining() {
+                prefixes.push(decode_prefix(&mut body, version)?);
+            }
+            Ok((hop, prefixes))
+        }
+    }
+}
+
+fn read_next_hop(body: &mut Bytes, hop_len: usize) -> Result<Option<IpAddr>, MrtError> {
+    match hop_len {
+        0 => Ok(None),
+        4 => {
+            let mut o = [0u8; 4];
+            body.copy_to_slice(&mut o);
+            let hop = Ipv4Addr::from(o);
+            Ok((!hop.is_unspecified()).then_some(IpAddr::V4(hop)))
+        }
+        16 => {
+            let mut o = [0u8; 16];
+            body.copy_to_slice(&mut o);
+            let hop = Ipv6Addr::from(o);
+            Ok((!hop.is_unspecified()).then_some(IpAddr::V6(hop)))
+        }
+        32 => {
+            // global + link-local next hop; keep the global one.
+            let mut o = [0u8; 16];
+            body.copy_to_slice(&mut o);
+            let global = Ipv6Addr::from(o);
+            body.advance(16);
+            Ok((!global.is_unspecified()).then_some(IpAddr::V6(global)))
+        }
+        other => Err(MrtError::malformed(
+            "next hop",
+            format!("unsupported next hop length {other}"),
+        )),
+    }
+}
+
+/// Decode a path attribute blob.
+pub fn decode_attributes(
+    mut buf: Bytes,
+    ctx: AttrContext,
+) -> Result<DecodedAttributes, MrtError> {
+    let mut out = DecodedAttributes::default();
+    while buf.has_remaining() {
+        need(&buf, 2, "attribute header")?;
+        let flag_bits = buf.get_u8();
+        let type_code = buf.get_u8();
+        let len = if flag_bits & flags::EXTENDED_LENGTH != 0 {
+            need(&buf, 2, "attribute extended length")?;
+            buf.get_u16() as usize
+        } else {
+            need(&buf, 1, "attribute length")?;
+            buf.get_u8() as usize
+        };
+        need(&buf, len, "attribute body")?;
+        let body = buf.copy_to_bytes(len);
+
+        match type_code {
+            attr_type::ORIGIN => {
+                if body.len() != 1 {
+                    return Err(MrtError::malformed("ORIGIN", "length != 1"));
+                }
+                out.attrs.origin = Origin::from_code(body[0]).ok_or_else(|| {
+                    MrtError::malformed("ORIGIN", format!("unknown code {}", body[0]))
+                })?;
+            }
+            attr_type::AS_PATH => {
+                out.attrs.as_path = decode_as_path(body)?;
+            }
+            attr_type::NEXT_HOP => {
+                if body.len() != 4 {
+                    return Err(MrtError::malformed("NEXT_HOP", "length != 4"));
+                }
+                let o: [u8; 4] = [body[0], body[1], body[2], body[3]];
+                let hop = Ipv4Addr::from(o);
+                // 0.0.0.0 is the "no next hop known" placeholder we emit
+                // for synthetic routes; map it back to None.
+                out.attrs.next_hop =
+                    (!hop.is_unspecified()).then_some(IpAddr::V4(hop));
+            }
+            attr_type::MED => {
+                if body.len() != 4 {
+                    return Err(MrtError::malformed("MED", "length != 4"));
+                }
+                out.attrs.med = Some(u32::from_be_bytes([body[0], body[1], body[2], body[3]]));
+            }
+            attr_type::LOCAL_PREF => {
+                if body.len() != 4 {
+                    return Err(MrtError::malformed("LOCAL_PREF", "length != 4"));
+                }
+                out.attrs.local_pref =
+                    Some(u32::from_be_bytes([body[0], body[1], body[2], body[3]]));
+            }
+            attr_type::ATOMIC_AGGREGATE => {
+                out.attrs.atomic_aggregate = true;
+            }
+            attr_type::AGGREGATOR => {
+                // ASN + IPv4 address; provenance only, ignored.
+            }
+            attr_type::COMMUNITIES => {
+                if body.len() % 4 != 0 {
+                    return Err(MrtError::malformed("COMMUNITIES", "length not a multiple of 4"));
+                }
+                let mut set = CommunitySet::new();
+                let mut b = body;
+                while b.has_remaining() {
+                    set.insert(Community::from_u32(b.get_u32()));
+                }
+                out.attrs.communities = set;
+            }
+            attr_type::LARGE_COMMUNITIES => {
+                if body.len() % 12 != 0 {
+                    return Err(MrtError::malformed(
+                        "LARGE_COMMUNITIES",
+                        "length not a multiple of 12",
+                    ));
+                }
+                let mut b = body;
+                while b.has_remaining() {
+                    out.attrs.large_communities.push(LargeCommunity::new(
+                        b.get_u32(),
+                        b.get_u32(),
+                        b.get_u32(),
+                    ));
+                }
+            }
+            attr_type::MP_REACH_NLRI => {
+                let (hop, prefixes) = decode_mp_reach(body, ctx)?;
+                if out.attrs.next_hop.is_none() {
+                    out.attrs.next_hop = hop;
+                }
+                out.mp_reach_nlri = prefixes;
+            }
+            attr_type::MP_UNREACH_NLRI => {
+                if ctx == AttrContext::Update && body.len() >= 3 {
+                    let mut b = body;
+                    let afi = b.get_u16();
+                    let _safi = b.get_u8();
+                    if let Some(version) = IpVersion::from_afi(afi) {
+                        while b.has_remaining() {
+                            out.mp_unreach_nlri.push(decode_prefix(&mut b, version)?);
+                        }
+                    }
+                }
+            }
+            _ => {
+                // Unknown attribute: skip. Real archives contain plenty
+                // (OTC, extended communities, ...), none of which the
+                // measurement needs.
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// BGP UPDATE messages (for BGP4MP records)
+// ---------------------------------------------------------------------------
+
+/// The fixed 16-byte marker that precedes every BGP message.
+pub const BGP_MARKER: [u8; 16] = [0xFF; 16];
+
+/// BGP message type code for UPDATE.
+pub const BGP_MSG_UPDATE: u8 = 2;
+
+/// A decoded BGP UPDATE message.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BgpUpdate {
+    /// Prefixes withdrawn (classic IPv4 field plus MP_UNREACH).
+    pub withdrawn: Vec<Prefix>,
+    /// Path attributes of the announced routes.
+    pub attrs: PathAttributes,
+    /// Announced prefixes (classic IPv4 NLRI plus MP_REACH).
+    pub announced: Vec<Prefix>,
+}
+
+/// Encode a BGP UPDATE that announces `prefix` with `attrs`.
+pub fn encode_update(attrs: &PathAttributes, prefix: &Prefix) -> BytesMut {
+    let attr_blob = encode_attributes(attrs, prefix, AttrContext::Update);
+    let mut body = BytesMut::new();
+    body.put_u16(0); // no withdrawn routes
+    body.put_u16(attr_blob.len() as u16);
+    body.put_slice(&attr_blob);
+    if prefix.version() == IpVersion::V4 {
+        encode_prefix(&mut body, prefix);
+    }
+
+    let total_len = 16 + 2 + 1 + body.len();
+    let mut msg = BytesMut::with_capacity(total_len);
+    msg.put_slice(&BGP_MARKER);
+    msg.put_u16(total_len as u16);
+    msg.put_u8(BGP_MSG_UPDATE);
+    msg.put_slice(&body);
+    msg
+}
+
+/// Decode a BGP message; returns `None` for non-UPDATE messages
+/// (OPEN/KEEPALIVE/NOTIFICATION), which collectors also archive.
+pub fn decode_update(mut buf: Bytes) -> Result<Option<BgpUpdate>, MrtError> {
+    need(&buf, 19, "BGP message header")?;
+    buf.advance(16); // marker
+    let total_len = buf.get_u16() as usize;
+    let msg_type = buf.get_u8();
+    if total_len < 19 {
+        return Err(MrtError::malformed("BGP message", "length below minimum"));
+    }
+    if msg_type != BGP_MSG_UPDATE {
+        return Ok(None);
+    }
+    need(&buf, 4, "UPDATE lengths")?;
+    let withdrawn_len = buf.get_u16() as usize;
+    need(&buf, withdrawn_len, "withdrawn routes")?;
+    let mut withdrawn_buf = buf.copy_to_bytes(withdrawn_len);
+    let mut withdrawn = Vec::new();
+    while withdrawn_buf.has_remaining() {
+        withdrawn.push(decode_prefix(&mut withdrawn_buf, IpVersion::V4)?);
+    }
+    need(&buf, 2, "attribute length")?;
+    let attr_len = buf.get_u16() as usize;
+    need(&buf, attr_len, "attributes")?;
+    let attr_buf = buf.copy_to_bytes(attr_len);
+    let decoded = decode_attributes(attr_buf, AttrContext::Update)?;
+
+    let mut announced = Vec::new();
+    while buf.has_remaining() {
+        announced.push(decode_prefix(&mut buf, IpVersion::V4)?);
+    }
+    announced.extend(decoded.mp_reach_nlri);
+    withdrawn.extend(decoded.mp_unreach_nlri);
+
+    Ok(Some(BgpUpdate { withdrawn, attrs: decoded.attrs, announced }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v4(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn roundtrip_prefix(p: &Prefix) -> Prefix {
+        let mut buf = BytesMut::new();
+        encode_prefix(&mut buf, p);
+        let mut bytes = buf.freeze();
+        decode_prefix(&mut bytes, p.version()).unwrap()
+    }
+
+    #[test]
+    fn prefix_roundtrip_various_lengths() {
+        for s in ["0.0.0.0/0", "10.0.0.0/8", "192.0.2.0/24", "192.0.2.128/25", "203.0.113.7/32"] {
+            let p = v4(s);
+            assert_eq!(roundtrip_prefix(&p), p, "{s}");
+        }
+        for s in ["::/0", "2001:db8::/32", "2001:db8:abcd::/48", "2001:db8::1/128"] {
+            let p: Prefix = s.parse().unwrap();
+            assert_eq!(roundtrip_prefix(&p), p, "{s}");
+        }
+    }
+
+    #[test]
+    fn prefix_decode_rejects_bad_length() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(33);
+        buf.put_slice(&[10, 0, 0, 0, 0]);
+        let mut bytes = buf.freeze();
+        assert!(decode_prefix(&mut bytes, IpVersion::V4).is_err());
+    }
+
+    #[test]
+    fn prefix_decode_rejects_truncated() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(24);
+        buf.put_slice(&[192, 0]); // one byte short
+        let mut bytes = buf.freeze();
+        assert!(matches!(
+            decode_prefix(&mut bytes, IpVersion::V4),
+            Err(MrtError::Truncated { .. })
+        ));
+    }
+
+    fn sample_attrs(v6: bool) -> (PathAttributes, Prefix) {
+        let mut attrs = PathAttributes::with_path("6939 2914 3333".parse().unwrap())
+            .local_pref(250)
+            .med(17)
+            .community(Community::new(6939, 2000))
+            .community(Community::new(2914, 420));
+        attrs.large_communities.push(LargeCommunity::new(206924, 7, 9));
+        attrs.atomic_aggregate = true;
+        let prefix: Prefix = if v6 {
+            attrs.next_hop = Some("2001:db8::1".parse().unwrap());
+            "2001:db8:100::/40".parse().unwrap()
+        } else {
+            attrs.next_hop = Some("192.0.2.1".parse().unwrap());
+            "198.51.100.0/24".parse().unwrap()
+        };
+        (attrs, prefix)
+    }
+
+    #[test]
+    fn attributes_roundtrip_table_dump_v6() {
+        let (attrs, prefix) = sample_attrs(true);
+        let blob = encode_attributes(&attrs, &prefix, AttrContext::TableDumpV2).freeze();
+        let decoded = decode_attributes(blob, AttrContext::TableDumpV2).unwrap();
+        assert_eq!(decoded.attrs, attrs);
+        assert!(decoded.mp_reach_nlri.is_empty(), "table dump form carries no NLRI");
+    }
+
+    #[test]
+    fn attributes_roundtrip_table_dump_v4() {
+        let (attrs, prefix) = sample_attrs(false);
+        let blob = encode_attributes(&attrs, &prefix, AttrContext::TableDumpV2).freeze();
+        let decoded = decode_attributes(blob, AttrContext::TableDumpV2).unwrap();
+        assert_eq!(decoded.attrs, attrs);
+    }
+
+    #[test]
+    fn attributes_roundtrip_update_v6_carries_nlri() {
+        let (attrs, prefix) = sample_attrs(true);
+        let blob = encode_attributes(&attrs, &prefix, AttrContext::Update).freeze();
+        let decoded = decode_attributes(blob, AttrContext::Update).unwrap();
+        assert_eq!(decoded.attrs, attrs);
+        assert_eq!(decoded.mp_reach_nlri, vec![prefix]);
+    }
+
+    #[test]
+    fn as_path_with_set_roundtrips() {
+        let mut attrs = PathAttributes::with_path("6939 2914 {3333,112}".parse().unwrap());
+        attrs.next_hop = Some("192.0.2.1".parse().unwrap());
+        let prefix = v4("198.51.100.0/24");
+        let blob = encode_attributes(&attrs, &prefix, AttrContext::TableDumpV2).freeze();
+        let decoded = decode_attributes(blob, AttrContext::TableDumpV2).unwrap();
+        assert_eq!(decoded.attrs.as_path, attrs.as_path);
+    }
+
+    #[test]
+    fn long_as_path_uses_extended_length() {
+        // 200 ASNs * 4 bytes > 255 forces the extended-length attribute form.
+        let asns: Vec<Asn> = (1..=200).map(Asn).collect();
+        let mut attrs = PathAttributes::with_path(AsPath::from_sequence(asns));
+        attrs.next_hop = Some("192.0.2.1".parse().unwrap());
+        let prefix = v4("198.51.100.0/24");
+        let blob = encode_attributes(&attrs, &prefix, AttrContext::TableDumpV2).freeze();
+        let decoded = decode_attributes(blob, AttrContext::TableDumpV2).unwrap();
+        assert_eq!(decoded.attrs.as_path.len(), 200);
+    }
+
+    #[test]
+    fn empty_attribute_blob_decodes_to_default() {
+        let decoded = decode_attributes(Bytes::new(), AttrContext::TableDumpV2).unwrap();
+        assert_eq!(decoded.attrs, PathAttributes::default());
+    }
+
+    #[test]
+    fn unknown_attributes_are_skipped() {
+        let mut buf = BytesMut::new();
+        // A fictitious optional transitive attribute type 200.
+        put_attr(&mut buf, 0xC0, 200, &[1, 2, 3, 4]);
+        put_attr(&mut buf, 0x40, attr_type::ORIGIN, &[0]);
+        let decoded = decode_attributes(buf.freeze(), AttrContext::TableDumpV2).unwrap();
+        assert_eq!(decoded.attrs.origin, Origin::Igp);
+    }
+
+    #[test]
+    fn malformed_attributes_are_rejected() {
+        // ORIGIN with a 2-byte body.
+        let mut buf = BytesMut::new();
+        put_attr(&mut buf, 0x40, attr_type::ORIGIN, &[0, 0]);
+        assert!(decode_attributes(buf.freeze(), AttrContext::TableDumpV2).is_err());
+
+        // COMMUNITIES with a non-multiple-of-4 body.
+        let mut buf = BytesMut::new();
+        put_attr(&mut buf, 0xC0, attr_type::COMMUNITIES, &[0, 0, 1]);
+        assert!(decode_attributes(buf.freeze(), AttrContext::TableDumpV2).is_err());
+
+        // Truncated attribute body.
+        let mut buf = BytesMut::new();
+        buf.put_u8(0x40);
+        buf.put_u8(attr_type::AS_PATH);
+        buf.put_u8(40); // claims 40 bytes
+        buf.put_slice(&[2, 1, 0, 0]); // provides 4
+        assert!(matches!(
+            decode_attributes(buf.freeze(), AttrContext::TableDumpV2),
+            Err(MrtError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn update_roundtrip_v6() {
+        let (attrs, prefix) = sample_attrs(true);
+        let msg = encode_update(&attrs, &prefix).freeze();
+        let update = decode_update(msg).unwrap().expect("should be an UPDATE");
+        assert_eq!(update.attrs, attrs);
+        assert_eq!(update.announced, vec![prefix]);
+        assert!(update.withdrawn.is_empty());
+    }
+
+    #[test]
+    fn update_roundtrip_v4() {
+        let (attrs, prefix) = sample_attrs(false);
+        let msg = encode_update(&attrs, &prefix).freeze();
+        let update = decode_update(msg).unwrap().expect("should be an UPDATE");
+        assert_eq!(update.attrs, attrs);
+        assert_eq!(update.announced, vec![prefix]);
+    }
+
+    #[test]
+    fn non_update_messages_return_none() {
+        // A KEEPALIVE: marker + length 19 + type 4.
+        let mut msg = BytesMut::new();
+        msg.put_slice(&BGP_MARKER);
+        msg.put_u16(19);
+        msg.put_u8(4);
+        assert_eq!(decode_update(msg.freeze()).unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_update_is_an_error() {
+        let (attrs, prefix) = sample_attrs(true);
+        let msg = encode_update(&attrs, &prefix).freeze();
+        let cut = msg.slice(0..msg.len() - 5);
+        assert!(decode_update(cut).is_err());
+    }
+
+    #[test]
+    fn next_hop_32_byte_form_keeps_global() {
+        // Build an abbreviated MP_REACH with a 32-byte next hop
+        // (global + link-local), as RIS dumps sometimes contain.
+        let mut body = BytesMut::new();
+        body.put_u8(32);
+        let global: Ipv6Addr = "2001:db8::99".parse().unwrap();
+        let ll: Ipv6Addr = "fe80::1".parse().unwrap();
+        body.put_slice(&global.octets());
+        body.put_slice(&ll.octets());
+        let mut buf = BytesMut::new();
+        put_attr(&mut buf, 0x80, attr_type::MP_REACH_NLRI, &body);
+        let decoded = decode_attributes(buf.freeze(), AttrContext::TableDumpV2).unwrap();
+        assert_eq!(decoded.attrs.next_hop, Some(IpAddr::V6(global)));
+    }
+}

@@ -1,0 +1,238 @@
+//! BGP4MP records (RFC 6396 §4.4): BGP messages as exchanged between a
+//! collector and its peers, used by the "updates" archives.
+
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use bgp_types::{Asn, IpVersion, PathAttributes, Prefix};
+
+use crate::bgp::{decode_update, encode_update, BgpUpdate};
+use crate::error::MrtError;
+
+/// A BGP4MP_MESSAGE_AS4 record: one BGP message with its session context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bgp4mpMessage {
+    /// The ASN of the collector's peer (the message sender for updates the
+    /// collector received).
+    pub peer_asn: Asn,
+    /// The collector's ASN.
+    pub local_asn: Asn,
+    /// Interface index (always 0 for collectors).
+    pub interface_index: u16,
+    /// The peer's address.
+    pub peer_addr: IpAddr,
+    /// The collector's address.
+    pub local_addr: IpAddr,
+    /// The decoded UPDATE, or `None` for OPEN/KEEPALIVE/NOTIFICATION.
+    pub update: Option<BgpUpdate>,
+}
+
+impl Bgp4mpMessage {
+    /// Convenience constructor for an UPDATE announcing one prefix.
+    pub fn announcement(
+        peer_asn: Asn,
+        local_asn: Asn,
+        peer_addr: IpAddr,
+        local_addr: IpAddr,
+        attrs: &PathAttributes,
+        prefix: &Prefix,
+    ) -> Self {
+        let msg = encode_update(attrs, prefix).freeze();
+        let update = decode_update(msg).expect("self-encoded update must decode");
+        Bgp4mpMessage {
+            peer_asn,
+            local_asn,
+            interface_index: 0,
+            peer_addr,
+            local_addr,
+            update,
+        }
+    }
+
+    /// The address family of the peering session.
+    pub fn session_afi(&self) -> IpVersion {
+        match self.peer_addr {
+            IpAddr::V4(_) => IpVersion::V4,
+            IpAddr::V6(_) => IpVersion::V6,
+        }
+    }
+
+    /// Encode to wire format (the BGP message is re-synthesised from the
+    /// decoded update; non-update messages are encoded as KEEPALIVEs).
+    pub fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32(self.peer_asn.value());
+        buf.put_u32(self.local_asn.value());
+        buf.put_u16(self.interface_index);
+        buf.put_u16(self.session_afi().afi());
+        match (self.peer_addr, self.local_addr) {
+            (IpAddr::V4(p), IpAddr::V4(l)) => {
+                buf.put_slice(&p.octets());
+                buf.put_slice(&l.octets());
+            }
+            (IpAddr::V6(p), IpAddr::V6(l)) => {
+                buf.put_slice(&p.octets());
+                buf.put_slice(&l.octets());
+            }
+            // Mixed-family sessions do not occur; encode the peer's family
+            // and map the other address to its unspecified form.
+            (IpAddr::V4(p), IpAddr::V6(_)) => {
+                buf.put_slice(&p.octets());
+                buf.put_slice(&Ipv4Addr::UNSPECIFIED.octets());
+            }
+            (IpAddr::V6(p), IpAddr::V4(_)) => {
+                buf.put_slice(&p.octets());
+                buf.put_slice(&Ipv6Addr::UNSPECIFIED.octets());
+            }
+        }
+        match &self.update {
+            Some(u) => {
+                // Re-encode announce-only updates; withdraw-only and mixed
+                // updates are rare in our synthetic archives, announcements
+                // are emitted one prefix per message.
+                if let Some(prefix) = u.announced.first() {
+                    buf.put_slice(&encode_update(&u.attrs, prefix));
+                } else {
+                    buf.put_slice(&keepalive());
+                }
+            }
+            None => buf.put_slice(&keepalive()),
+        }
+    }
+
+    /// Decode from wire format.
+    pub fn decode(buf: &mut Bytes) -> Result<Self, MrtError> {
+        if buf.remaining() < 12 {
+            return Err(MrtError::truncated("BGP4MP header", 12, buf.remaining()));
+        }
+        let peer_asn = Asn(buf.get_u32());
+        let local_asn = Asn(buf.get_u32());
+        let interface_index = buf.get_u16();
+        let afi = buf.get_u16();
+        let version = IpVersion::from_afi(afi)
+            .ok_or_else(|| MrtError::malformed("BGP4MP AFI", format!("unknown AFI {afi}")))?;
+        let (peer_addr, local_addr) = match version {
+            IpVersion::V4 => {
+                if buf.remaining() < 8 {
+                    return Err(MrtError::truncated("BGP4MP addresses", 8, buf.remaining()));
+                }
+                let mut p = [0u8; 4];
+                let mut l = [0u8; 4];
+                buf.copy_to_slice(&mut p);
+                buf.copy_to_slice(&mut l);
+                (IpAddr::V4(Ipv4Addr::from(p)), IpAddr::V4(Ipv4Addr::from(l)))
+            }
+            IpVersion::V6 => {
+                if buf.remaining() < 32 {
+                    return Err(MrtError::truncated("BGP4MP addresses", 32, buf.remaining()));
+                }
+                let mut p = [0u8; 16];
+                let mut l = [0u8; 16];
+                buf.copy_to_slice(&mut p);
+                buf.copy_to_slice(&mut l);
+                (IpAddr::V6(Ipv6Addr::from(p)), IpAddr::V6(Ipv6Addr::from(l)))
+            }
+        };
+        let msg = buf.copy_to_bytes(buf.remaining());
+        let update = decode_update(msg)?;
+        Ok(Bgp4mpMessage { peer_asn, local_asn, interface_index, peer_addr, local_addr, update })
+    }
+}
+
+fn keepalive() -> BytesMut {
+    let mut msg = BytesMut::with_capacity(19);
+    msg.put_slice(&crate::bgp::BGP_MARKER);
+    msg.put_u16(19);
+    msg.put_u8(4);
+    msg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::Community;
+
+    fn sample_v6() -> Bgp4mpMessage {
+        let attrs = PathAttributes::with_path("6939 2914 3333".parse().unwrap())
+            .local_pref(140)
+            .community(Community::new(6939, 2000));
+        let prefix: Prefix = "2001:db8:200::/40".parse().unwrap();
+        Bgp4mpMessage::announcement(
+            Asn(6939),
+            Asn(65000),
+            "2001:db8::1".parse().unwrap(),
+            "2001:db8::2".parse().unwrap(),
+            &attrs,
+            &prefix,
+        )
+    }
+
+    #[test]
+    fn announcement_roundtrip_v6() {
+        let msg = sample_v6();
+        assert_eq!(msg.session_afi(), IpVersion::V6);
+        let mut buf = BytesMut::new();
+        msg.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        let back = Bgp4mpMessage::decode(&mut bytes).unwrap();
+        assert_eq!(back, msg);
+        let update = back.update.unwrap();
+        assert_eq!(update.announced, vec!["2001:db8:200::/40".parse::<Prefix>().unwrap()]);
+        assert_eq!(update.attrs.local_pref, Some(140));
+    }
+
+    #[test]
+    fn announcement_roundtrip_v4() {
+        let attrs = PathAttributes::with_path("3356 112".parse().unwrap());
+        let prefix: Prefix = "198.51.100.0/24".parse().unwrap();
+        let msg = Bgp4mpMessage::announcement(
+            Asn(3356),
+            Asn(65000),
+            "192.0.2.1".parse().unwrap(),
+            "192.0.2.2".parse().unwrap(),
+            &attrs,
+            &prefix,
+        );
+        assert_eq!(msg.session_afi(), IpVersion::V4);
+        let mut buf = BytesMut::new();
+        msg.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        let back = Bgp4mpMessage::decode(&mut bytes).unwrap();
+        assert_eq!(back.update.unwrap().announced, vec![prefix]);
+    }
+
+    #[test]
+    fn keepalive_roundtrips_as_none() {
+        let msg = Bgp4mpMessage {
+            peer_asn: Asn(1),
+            local_asn: Asn(2),
+            interface_index: 0,
+            peer_addr: "192.0.2.1".parse().unwrap(),
+            local_addr: "192.0.2.2".parse().unwrap(),
+            update: None,
+        };
+        let mut buf = BytesMut::new();
+        msg.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        let back = Bgp4mpMessage::decode(&mut bytes).unwrap();
+        assert_eq!(back.update, None);
+        assert_eq!(back.peer_asn, Asn(1));
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_bad_afi() {
+        let msg = sample_v6();
+        let mut buf = BytesMut::new();
+        msg.encode(&mut buf);
+        let full = buf.freeze();
+        let mut cut = full.slice(0..10);
+        assert!(Bgp4mpMessage::decode(&mut cut).is_err());
+
+        // Corrupt the AFI field (bytes 10..12).
+        let mut corrupted = BytesMut::from(&full[..]);
+        corrupted[10] = 0;
+        corrupted[11] = 99;
+        let mut bytes = corrupted.freeze();
+        assert!(Bgp4mpMessage::decode(&mut bytes).is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! Error type for MRT and BGP wire decoding/encoding.
+
+use std::fmt;
+use std::io;
+
+/// Anything that can go wrong while reading or writing MRT data.
+#[derive(Debug)]
+pub enum MrtError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The byte stream ended in the middle of a record or field.
+    Truncated {
+        /// What was being decoded when the data ran out.
+        context: &'static str,
+        /// Bytes still needed.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// An MRT type/subtype combination this implementation does not handle.
+    UnsupportedRecord {
+        /// MRT type code.
+        mrt_type: u16,
+        /// MRT subtype code.
+        subtype: u16,
+    },
+    /// A structurally invalid field value.
+    Malformed {
+        /// What was being decoded.
+        context: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A RIB entry referenced a peer index not present in the
+    /// PEER_INDEX_TABLE.
+    UnknownPeerIndex(u16),
+    /// A RIB record was seen before any PEER_INDEX_TABLE.
+    MissingPeerIndexTable,
+}
+
+impl MrtError {
+    pub(crate) fn truncated(context: &'static str, needed: usize, available: usize) -> Self {
+        MrtError::Truncated { context, needed, available }
+    }
+
+    pub(crate) fn malformed(context: &'static str, detail: impl Into<String>) -> Self {
+        MrtError::Malformed { context, detail: detail.into() }
+    }
+}
+
+impl fmt::Display for MrtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrtError::Io(e) => write!(f, "I/O error: {e}"),
+            MrtError::Truncated { context, needed, available } => write!(
+                f,
+                "truncated data while decoding {context}: needed {needed} bytes, had {available}"
+            ),
+            MrtError::UnsupportedRecord { mrt_type, subtype } => {
+                write!(f, "unsupported MRT record type {mrt_type} subtype {subtype}")
+            }
+            MrtError::Malformed { context, detail } => {
+                write!(f, "malformed {context}: {detail}")
+            }
+            MrtError::UnknownPeerIndex(idx) => {
+                write!(f, "RIB entry references unknown peer index {idx}")
+            }
+            MrtError::MissingPeerIndexTable => {
+                write!(f, "RIB record encountered before any PEER_INDEX_TABLE")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MrtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MrtError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for MrtError {
+    fn from(e: io::Error) -> Self {
+        MrtError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = MrtError::truncated("header", 12, 3);
+        assert!(e.to_string().contains("header"));
+        assert!(e.to_string().contains("12"));
+        let e = MrtError::UnsupportedRecord { mrt_type: 99, subtype: 7 };
+        assert!(e.to_string().contains("99"));
+        let e = MrtError::malformed("prefix", "length 200 out of range");
+        assert!(e.to_string().contains("prefix"));
+        assert!(MrtError::UnknownPeerIndex(5).to_string().contains('5'));
+        assert!(MrtError::MissingPeerIndexTable.to_string().contains("PEER_INDEX_TABLE"));
+    }
+
+    #[test]
+    fn io_error_conversion_preserves_source() {
+        let io_err = io::Error::new(io::ErrorKind::UnexpectedEof, "eof");
+        let e: MrtError = io_err.into();
+        assert!(matches!(e, MrtError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&MrtError::MissingPeerIndexTable).is_none());
+    }
+}

@@ -1,0 +1,298 @@
+//! Sequential MRT readers and the snapshot-level convenience API.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, Read};
+use std::path::Path;
+
+use bytes::Bytes;
+
+use bgp_types::{CollectorId, PeerId, RibEntry, RibSnapshot, RouteSource};
+
+use crate::error::MrtError;
+use crate::record::{MrtHeader, MrtRecord, MrtRecordBody};
+use crate::table_dump::PeerIndexTable;
+
+/// Reads MRT records one by one from any [`Read`] source.
+///
+/// ```no_run
+/// use mrt::MrtReader;
+/// use std::fs::File;
+///
+/// let file = File::open("rib.20100801.0000.mrt").unwrap();
+/// let mut reader = MrtReader::new(file);
+/// while let Some(record) = reader.next_record().unwrap() {
+///     println!("{:?}", record.header);
+/// }
+/// ```
+pub struct MrtReader<R> {
+    inner: R,
+    records_read: u64,
+}
+
+impl<R: Read> MrtReader<R> {
+    /// Wrap a byte source.
+    pub fn new(inner: R) -> Self {
+        MrtReader { inner, records_read: 0 }
+    }
+
+    /// How many records have been decoded so far.
+    pub fn records_read(&self) -> u64 {
+        self.records_read
+    }
+
+    /// Read the next record, or `Ok(None)` at a clean end of stream.
+    ///
+    /// A stream that ends in the middle of a record yields
+    /// [`MrtError::Truncated`].
+    pub fn next_record(&mut self) -> Result<Option<MrtRecord>, MrtError> {
+        let mut header_buf = [0u8; MrtHeader::WIRE_LEN];
+        match read_exact_or_eof(&mut self.inner, &mut header_buf)? {
+            ReadOutcome::Eof => return Ok(None),
+            ReadOutcome::Partial(read) => {
+                return Err(MrtError::truncated("MRT header", MrtHeader::WIRE_LEN, read));
+            }
+            ReadOutcome::Full => {}
+        }
+        let mut header_bytes = Bytes::copy_from_slice(&header_buf);
+        let header = MrtHeader::decode(&mut header_bytes)?;
+        let mut body = vec![0u8; header.length as usize];
+        self.inner.read_exact(&mut body).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                MrtError::truncated("MRT record body", header.length as usize, 0)
+            } else {
+                MrtError::Io(e)
+            }
+        })?;
+        let body = MrtRecord::decode_body(&header, Bytes::from(body))?;
+        self.records_read += 1;
+        Ok(Some(MrtRecord { header, body }))
+    }
+
+    /// Iterate the remaining records.
+    pub fn records(self) -> RecordIter<R> {
+        RecordIter { reader: self }
+    }
+}
+
+/// Iterator adapter over [`MrtReader`].
+pub struct RecordIter<R> {
+    reader: MrtReader<R>,
+}
+
+impl<R: Read> Iterator for RecordIter<R> {
+    type Item = Result<MrtRecord, MrtError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.reader.next_record().transpose()
+    }
+}
+
+enum ReadOutcome {
+    Full,
+    Partial(usize),
+    Eof,
+}
+
+fn read_exact_or_eof(reader: &mut impl Read, buf: &mut [u8]) -> Result<ReadOutcome, MrtError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 { ReadOutcome::Eof } else { ReadOutcome::Partial(filled) })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(MrtError::Io(e)),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+/// Decode a whole MRT stream (a TABLE_DUMP_V2 file, optionally followed by
+/// or mixed with BGP4MP updates) into a [`RibSnapshot`].
+///
+/// * RIB records are resolved against the most recent PEER_INDEX_TABLE.
+/// * BGP4MP announcements are added with [`RouteSource::MrtUpdates`].
+/// * Unsupported records are skipped.
+pub fn read_snapshot(source: impl Read) -> Result<RibSnapshot, MrtError> {
+    let mut reader = MrtReader::new(BufReader::new(source));
+    let mut snapshot = RibSnapshot::default();
+    let mut peer_table: Option<PeerIndexTable> = None;
+    let mut peer_cache: HashMap<u16, PeerId> = HashMap::new();
+
+    while let Some(record) = reader.next_record()? {
+        if snapshot.timestamp == 0 {
+            snapshot.timestamp = record.header.timestamp as u64;
+        }
+        match record.body {
+            MrtRecordBody::PeerIndexTable(table) => {
+                peer_cache.clear();
+                if snapshot.collector.is_none() && !table.view_name.is_empty() {
+                    snapshot.collector = Some(CollectorId::new(table.view_name.clone()));
+                }
+                peer_table = Some(table);
+            }
+            MrtRecordBody::RibEntries(rib) => {
+                let table = peer_table.as_ref().ok_or(MrtError::MissingPeerIndexTable)?;
+                for entry in rib.entries {
+                    let peer = match peer_cache.get(&entry.peer_index) {
+                        Some(p) => *p,
+                        None => {
+                            let pe = table
+                                .peers
+                                .get(entry.peer_index as usize)
+                                .ok_or(MrtError::UnknownPeerIndex(entry.peer_index))?;
+                            let p = PeerId::new(pe.asn, pe.addr);
+                            peer_cache.insert(entry.peer_index, p);
+                            p
+                        }
+                    };
+                    let mut rib_entry = RibEntry::new(peer, rib.prefix, entry.attrs);
+                    rib_entry.source = RouteSource::MrtTableDump;
+                    snapshot.push(rib_entry);
+                }
+            }
+            MrtRecordBody::Bgp4mp(msg) => {
+                if let Some(update) = msg.update {
+                    let peer = PeerId::new(msg.peer_asn, msg.peer_addr);
+                    for prefix in update.announced {
+                        let mut rib_entry = RibEntry::new(peer, prefix, update.attrs.clone());
+                        rib_entry.source = RouteSource::MrtUpdates;
+                        snapshot.push(rib_entry);
+                    }
+                }
+            }
+            MrtRecordBody::Unsupported { .. } => {}
+        }
+    }
+    Ok(snapshot)
+}
+
+/// [`read_snapshot`] from a file path.
+pub fn read_snapshot_from_path(path: impl AsRef<Path>) -> Result<RibSnapshot, MrtError> {
+    let file = File::open(path)?;
+    read_snapshot(file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::write_snapshot;
+    use bgp_types::{Asn, PathAttributes, Prefix};
+    use std::net::IpAddr;
+
+    fn peer(asn: u32, addr: &str) -> PeerId {
+        PeerId::new(Asn(asn), addr.parse::<IpAddr>().unwrap())
+    }
+
+    fn entry(p: PeerId, prefix: &str, path: &str) -> RibEntry {
+        RibEntry::new(
+            p,
+            prefix.parse::<Prefix>().unwrap(),
+            PathAttributes::with_path(path.parse().unwrap()).local_pref(100),
+        )
+    }
+
+    #[test]
+    fn empty_stream_gives_empty_snapshot() {
+        let snap = read_snapshot(&[][..]).unwrap();
+        assert!(snap.is_empty());
+        assert_eq!(snap.collector, None);
+    }
+
+    #[test]
+    fn garbage_header_is_truncated_error() {
+        let err = read_snapshot(&[1u8, 2, 3][..]).unwrap_err();
+        assert!(matches!(err, MrtError::Truncated { .. }));
+    }
+
+    #[test]
+    fn write_then_read_roundtrips_routes() {
+        let mut snap = RibSnapshot::new(CollectorId::new("sim-collector"), 1_280_000_000);
+        snap.push(entry(peer(6939, "2001:db8::1"), "2001:db8:100::/40", "6939 2914 3333"));
+        snap.push(entry(peer(174, "2001:db8::2"), "2001:db8:100::/40", "174 3333"));
+        snap.push(entry(peer(3356, "192.0.2.1"), "198.51.100.0/24", "3356 112"));
+
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, &snap).unwrap();
+        let decoded = read_snapshot(&buf[..]).unwrap();
+
+        assert_eq!(decoded.len(), 3);
+        assert_eq!(decoded.collector, Some(CollectorId::new("sim-collector")));
+        assert_eq!(decoded.timestamp, 1_280_000_000);
+        // Entries are grouped by prefix on the wire; compare as sets.
+        let mut original: Vec<String> = snap.entries.iter().map(|e| e.to_string()).collect();
+        let mut round: Vec<String> = decoded.entries.iter().map(|e| e.to_string()).collect();
+        original.sort();
+        round.sort();
+        assert_eq!(original, round);
+        assert!(decoded.entries.iter().all(|e| e.source == RouteSource::MrtTableDump));
+    }
+
+    #[test]
+    fn reader_counts_records() {
+        let mut snap = RibSnapshot::new(CollectorId::new("c"), 10);
+        snap.push(entry(peer(1, "192.0.2.1"), "10.0.0.0/8", "1 2"));
+        snap.push(entry(peer(1, "192.0.2.1"), "10.1.0.0/16", "1 2 3"));
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, &snap).unwrap();
+
+        let mut reader = MrtReader::new(&buf[..]);
+        let mut count = 0;
+        while reader.next_record().unwrap().is_some() {
+            count += 1;
+        }
+        // 1 peer index table + 2 prefixes.
+        assert_eq!(count, 3);
+        assert_eq!(reader.records_read(), 3);
+    }
+
+    #[test]
+    fn record_iterator_matches_manual_loop() {
+        let mut snap = RibSnapshot::new(CollectorId::new("c"), 10);
+        snap.push(entry(peer(1, "192.0.2.1"), "10.0.0.0/8", "1 2"));
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, &snap).unwrap();
+        let records: Result<Vec<_>, _> = MrtReader::new(&buf[..]).records().collect();
+        assert_eq!(records.unwrap().len(), 2);
+    }
+
+    #[test]
+    fn truncated_record_body_is_error() {
+        let mut snap = RibSnapshot::new(CollectorId::new("c"), 10);
+        snap.push(entry(peer(1, "192.0.2.1"), "10.0.0.0/8", "1 2"));
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, &snap).unwrap();
+        buf.truncate(buf.len() - 4);
+        assert!(read_snapshot(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn missing_peer_index_table_is_reported() {
+        // Write a full file, then drop the first record (the index table).
+        let mut snap = RibSnapshot::new(CollectorId::new("c"), 10);
+        snap.push(entry(peer(1, "192.0.2.1"), "10.0.0.0/8", "1 2"));
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, &snap).unwrap();
+
+        let mut reader = MrtReader::new(&buf[..]);
+        let first = reader.next_record().unwrap().unwrap();
+        let first_len = MrtHeader::WIRE_LEN + first.header.length as usize;
+        let rest = &buf[first_len..];
+        assert!(matches!(read_snapshot(rest), Err(MrtError::MissingPeerIndexTable)));
+    }
+
+    #[test]
+    fn path_roundtrip_via_files() {
+        let dir = std::env::temp_dir().join("mrt-reader-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.mrt");
+        let mut snap = RibSnapshot::new(CollectorId::new("filetest"), 77);
+        snap.push(entry(peer(6939, "2001:db8::1"), "2001:db8::/32", "6939 3333"));
+        crate::writer::write_snapshot_to_path(&path, &snap).unwrap();
+        let decoded = read_snapshot_from_path(&path).unwrap();
+        assert_eq!(decoded.len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,217 @@
+//! The MRT common header and the record envelope.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::bgp4mp::Bgp4mpMessage;
+use crate::error::MrtError;
+use crate::table_dump::{PeerIndexTable, RibAfiEntries};
+
+/// MRT record type codes handled by this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MrtType {
+    /// TABLE_DUMP_V2 (type 13).
+    TableDumpV2,
+    /// BGP4MP (type 16).
+    Bgp4mp,
+    /// BGP4MP_ET (type 17) — extended timestamps; the microsecond field is
+    /// read and discarded.
+    Bgp4mpEt,
+}
+
+impl MrtType {
+    /// The numeric wire code.
+    pub const fn code(self) -> u16 {
+        match self {
+            MrtType::TableDumpV2 => 13,
+            MrtType::Bgp4mp => 16,
+            MrtType::Bgp4mpEt => 17,
+        }
+    }
+
+    /// Reverse mapping from the wire code.
+    pub const fn from_code(code: u16) -> Option<MrtType> {
+        match code {
+            13 => Some(MrtType::TableDumpV2),
+            16 => Some(MrtType::Bgp4mp),
+            17 => Some(MrtType::Bgp4mpEt),
+            _ => None,
+        }
+    }
+}
+
+/// TABLE_DUMP_V2 subtypes.
+pub mod td2_subtype {
+    /// PEER_INDEX_TABLE.
+    pub const PEER_INDEX_TABLE: u16 = 1;
+    /// RIB_IPV4_UNICAST.
+    pub const RIB_IPV4_UNICAST: u16 = 2;
+    /// RIB_IPV6_UNICAST.
+    pub const RIB_IPV6_UNICAST: u16 = 4;
+}
+
+/// BGP4MP subtypes.
+pub mod bgp4mp_subtype {
+    /// BGP4MP_MESSAGE_AS4.
+    pub const MESSAGE_AS4: u16 = 4;
+}
+
+/// The 12-byte MRT common header (RFC 6396 §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MrtHeader {
+    /// Record timestamp, seconds since the UNIX epoch.
+    pub timestamp: u32,
+    /// MRT type code.
+    pub mrt_type: u16,
+    /// MRT subtype code.
+    pub subtype: u16,
+    /// Length of the message body that follows the header.
+    pub length: u32,
+}
+
+impl MrtHeader {
+    /// Size of the common header on the wire.
+    pub const WIRE_LEN: usize = 12;
+
+    /// Encode into a buffer.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32(self.timestamp);
+        buf.put_u16(self.mrt_type);
+        buf.put_u16(self.subtype);
+        buf.put_u32(self.length);
+    }
+
+    /// Decode from a buffer holding at least [`Self::WIRE_LEN`] bytes.
+    pub fn decode(buf: &mut Bytes) -> Result<Self, MrtError> {
+        if buf.remaining() < Self::WIRE_LEN {
+            return Err(MrtError::truncated("MRT header", Self::WIRE_LEN, buf.remaining()));
+        }
+        Ok(MrtHeader {
+            timestamp: buf.get_u32(),
+            mrt_type: buf.get_u16(),
+            subtype: buf.get_u16(),
+            length: buf.get_u32(),
+        })
+    }
+}
+
+/// The decoded body of one MRT record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MrtRecordBody {
+    /// A TABLE_DUMP_V2 PEER_INDEX_TABLE.
+    PeerIndexTable(PeerIndexTable),
+    /// A TABLE_DUMP_V2 RIB_IPV4_UNICAST or RIB_IPV6_UNICAST record.
+    RibEntries(RibAfiEntries),
+    /// A BGP4MP_MESSAGE_AS4 record.
+    Bgp4mp(Bgp4mpMessage),
+    /// A record type/subtype this crate does not interpret; the raw body is
+    /// preserved so files can be filtered/re-emitted losslessly.
+    Unsupported {
+        /// MRT type code.
+        mrt_type: u16,
+        /// MRT subtype code.
+        subtype: u16,
+        /// Raw body bytes.
+        body: Bytes,
+    },
+}
+
+/// One full MRT record: header plus decoded body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MrtRecord {
+    /// The common header (length reflects the encoded body).
+    pub header: MrtHeader,
+    /// The decoded body.
+    pub body: MrtRecordBody,
+}
+
+impl MrtRecord {
+    /// Decode a record body given its header and raw bytes.
+    pub fn decode_body(header: &MrtHeader, mut body: Bytes) -> Result<MrtRecordBody, MrtError> {
+        match (MrtType::from_code(header.mrt_type), header.subtype) {
+            (Some(MrtType::TableDumpV2), td2_subtype::PEER_INDEX_TABLE) => {
+                Ok(MrtRecordBody::PeerIndexTable(PeerIndexTable::decode(&mut body)?))
+            }
+            (Some(MrtType::TableDumpV2), td2_subtype::RIB_IPV4_UNICAST)
+            | (Some(MrtType::TableDumpV2), td2_subtype::RIB_IPV6_UNICAST) => Ok(
+                MrtRecordBody::RibEntries(RibAfiEntries::decode(header.subtype, &mut body)?),
+            ),
+            (Some(MrtType::Bgp4mp), bgp4mp_subtype::MESSAGE_AS4) => {
+                Ok(MrtRecordBody::Bgp4mp(Bgp4mpMessage::decode(&mut body)?))
+            }
+            (Some(MrtType::Bgp4mpEt), bgp4mp_subtype::MESSAGE_AS4) => {
+                // Extended timestamp: 4 extra microsecond bytes first.
+                if body.remaining() < 4 {
+                    return Err(MrtError::truncated("BGP4MP_ET microseconds", 4, body.remaining()));
+                }
+                body.advance(4);
+                Ok(MrtRecordBody::Bgp4mp(Bgp4mpMessage::decode(&mut body)?))
+            }
+            _ => Ok(MrtRecordBody::Unsupported {
+                mrt_type: header.mrt_type,
+                subtype: header.subtype,
+                body,
+            }),
+        }
+    }
+
+    /// Encode the whole record (header + body) into a buffer.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        let mut body = BytesMut::new();
+        match &self.body {
+            MrtRecordBody::PeerIndexTable(t) => t.encode(&mut body),
+            MrtRecordBody::RibEntries(r) => r.encode(&mut body),
+            MrtRecordBody::Bgp4mp(m) => m.encode(&mut body),
+            MrtRecordBody::Unsupported { body: raw, .. } => body.put_slice(raw),
+        }
+        let header = MrtHeader { length: body.len() as u32, ..self.header };
+        header.encode(buf);
+        buf.put_slice(&body);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let h = MrtHeader { timestamp: 1_280_000_000, mrt_type: 13, subtype: 4, length: 99 };
+        let mut buf = BytesMut::new();
+        h.encode(&mut buf);
+        assert_eq!(buf.len(), MrtHeader::WIRE_LEN);
+        let mut bytes = buf.freeze();
+        assert_eq!(MrtHeader::decode(&mut bytes).unwrap(), h);
+    }
+
+    #[test]
+    fn header_decode_truncated() {
+        let mut short = Bytes::from_static(&[0, 1, 2]);
+        assert!(matches!(MrtHeader::decode(&mut short), Err(MrtError::Truncated { .. })));
+    }
+
+    #[test]
+    fn type_codes_roundtrip() {
+        for t in [MrtType::TableDumpV2, MrtType::Bgp4mp, MrtType::Bgp4mpEt] {
+            assert_eq!(MrtType::from_code(t.code()), Some(t));
+        }
+        assert_eq!(MrtType::from_code(12), None);
+    }
+
+    #[test]
+    fn unsupported_records_preserve_bytes() {
+        let header = MrtHeader { timestamp: 0, mrt_type: 48, subtype: 1, length: 3 };
+        let body = Bytes::from_static(&[9, 9, 9]);
+        let decoded = MrtRecord::decode_body(&header, body.clone()).unwrap();
+        match &decoded {
+            MrtRecordBody::Unsupported { mrt_type: 48, subtype: 1, body: b } => {
+                assert_eq!(b, &body);
+            }
+            other => panic!("unexpected body {other:?}"),
+        }
+        // And they re-encode verbatim.
+        let record = MrtRecord { header, body: decoded };
+        let mut out = BytesMut::new();
+        record.encode(&mut out);
+        assert_eq!(&out[MrtHeader::WIRE_LEN..], &[9, 9, 9]);
+    }
+}

@@ -1,0 +1,365 @@
+//! TABLE_DUMP_V2 records (RFC 6396 §4.3): the full-table RIB snapshots
+//! that RouteViews and RIPE RIS publish every few hours and that the
+//! paper's measurement consumes.
+
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use bgp_types::{Asn, IpVersion, PathAttributes, Prefix};
+
+use crate::bgp::{decode_attributes, decode_prefix, encode_attributes, encode_prefix, AttrContext};
+use crate::error::MrtError;
+use crate::record::td2_subtype;
+
+/// One peer (feeder) described by the PEER_INDEX_TABLE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerEntry {
+    /// The peer's BGP identifier (an opaque 32-bit router ID).
+    pub bgp_id: Ipv4Addr,
+    /// The peer's peering address.
+    pub addr: IpAddr,
+    /// The peer's ASN.
+    pub asn: Asn,
+}
+
+impl PeerEntry {
+    /// The RFC 6396 peer-type byte: bit 0 set for an IPv6 peering address,
+    /// bit 1 set for a 4-byte ASN field. We always emit 4-byte ASNs.
+    fn peer_type(&self) -> u8 {
+        let mut t = 0b10;
+        if self.addr.is_ipv6() {
+            t |= 0b01;
+        }
+        t
+    }
+
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(self.peer_type());
+        buf.put_slice(&self.bgp_id.octets());
+        match self.addr {
+            IpAddr::V4(a) => buf.put_slice(&a.octets()),
+            IpAddr::V6(a) => buf.put_slice(&a.octets()),
+        }
+        buf.put_u32(self.asn.value());
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, MrtError> {
+        if buf.remaining() < 5 {
+            return Err(MrtError::truncated("peer entry", 5, buf.remaining()));
+        }
+        let peer_type = buf.get_u8();
+        let mut id = [0u8; 4];
+        buf.copy_to_slice(&mut id);
+        let bgp_id = Ipv4Addr::from(id);
+        let addr = if peer_type & 0b01 != 0 {
+            if buf.remaining() < 16 {
+                return Err(MrtError::truncated("peer IPv6 address", 16, buf.remaining()));
+            }
+            let mut o = [0u8; 16];
+            buf.copy_to_slice(&mut o);
+            IpAddr::V6(Ipv6Addr::from(o))
+        } else {
+            if buf.remaining() < 4 {
+                return Err(MrtError::truncated("peer IPv4 address", 4, buf.remaining()));
+            }
+            let mut o = [0u8; 4];
+            buf.copy_to_slice(&mut o);
+            IpAddr::V4(Ipv4Addr::from(o))
+        };
+        let asn = if peer_type & 0b10 != 0 {
+            if buf.remaining() < 4 {
+                return Err(MrtError::truncated("peer 4-byte ASN", 4, buf.remaining()));
+            }
+            Asn(buf.get_u32())
+        } else {
+            if buf.remaining() < 2 {
+                return Err(MrtError::truncated("peer 2-byte ASN", 2, buf.remaining()));
+            }
+            Asn(buf.get_u16() as u32)
+        };
+        Ok(PeerEntry { bgp_id, addr, asn })
+    }
+}
+
+/// The PEER_INDEX_TABLE record that must precede the RIB records in a
+/// TABLE_DUMP_V2 file. RIB entries refer to peers by index into this table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerIndexTable {
+    /// The collector's BGP identifier.
+    pub collector_bgp_id: Ipv4Addr,
+    /// The collector's view name (usually empty or "rib").
+    pub view_name: String,
+    /// The feeder table.
+    pub peers: Vec<PeerEntry>,
+}
+
+impl PeerIndexTable {
+    /// Encode to wire format.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        buf.put_slice(&self.collector_bgp_id.octets());
+        buf.put_u16(self.view_name.len() as u16);
+        buf.put_slice(self.view_name.as_bytes());
+        buf.put_u16(self.peers.len() as u16);
+        for p in &self.peers {
+            p.encode(buf);
+        }
+    }
+
+    /// Decode from wire format.
+    pub fn decode(buf: &mut Bytes) -> Result<Self, MrtError> {
+        if buf.remaining() < 8 {
+            return Err(MrtError::truncated("peer index table header", 8, buf.remaining()));
+        }
+        let mut id = [0u8; 4];
+        buf.copy_to_slice(&mut id);
+        let collector_bgp_id = Ipv4Addr::from(id);
+        let name_len = buf.get_u16() as usize;
+        if buf.remaining() < name_len {
+            return Err(MrtError::truncated("view name", name_len, buf.remaining()));
+        }
+        let name_bytes = buf.copy_to_bytes(name_len);
+        let view_name = String::from_utf8(name_bytes.to_vec())
+            .map_err(|_| MrtError::malformed("view name", "not valid UTF-8"))?;
+        if buf.remaining() < 2 {
+            return Err(MrtError::truncated("peer count", 2, buf.remaining()));
+        }
+        let count = buf.get_u16() as usize;
+        let mut peers = Vec::with_capacity(count);
+        for _ in 0..count {
+            peers.push(PeerEntry::decode(buf)?);
+        }
+        Ok(PeerIndexTable { collector_bgp_id, view_name, peers })
+    }
+}
+
+/// One RIB entry inside a RIB_IPVx_UNICAST record: a route from one peer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RibEntryRaw {
+    /// Index into the PEER_INDEX_TABLE.
+    pub peer_index: u16,
+    /// When the route was received by the collector (epoch seconds).
+    pub originated_time: u32,
+    /// The route's path attributes.
+    pub attrs: PathAttributes,
+}
+
+/// A RIB_IPV4_UNICAST or RIB_IPV6_UNICAST record: one prefix and the routes
+/// every peer had for it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RibAfiEntries {
+    /// Monotonic record sequence number within the dump.
+    pub sequence: u32,
+    /// The prefix this record describes.
+    pub prefix: Prefix,
+    /// Per-peer routes.
+    pub entries: Vec<RibEntryRaw>,
+}
+
+impl RibAfiEntries {
+    /// The TABLE_DUMP_V2 subtype matching this record's address family.
+    pub fn subtype(&self) -> u16 {
+        match self.prefix.version() {
+            IpVersion::V4 => td2_subtype::RIB_IPV4_UNICAST,
+            IpVersion::V6 => td2_subtype::RIB_IPV6_UNICAST,
+        }
+    }
+
+    /// Encode to wire format.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32(self.sequence);
+        encode_prefix(buf, &self.prefix);
+        buf.put_u16(self.entries.len() as u16);
+        for e in &self.entries {
+            buf.put_u16(e.peer_index);
+            buf.put_u32(e.originated_time);
+            let attrs = encode_attributes(&e.attrs, &self.prefix, AttrContext::TableDumpV2);
+            buf.put_u16(attrs.len() as u16);
+            buf.put_slice(&attrs);
+        }
+    }
+
+    /// Decode from wire format; `subtype` selects the address family.
+    pub fn decode(subtype: u16, buf: &mut Bytes) -> Result<Self, MrtError> {
+        let version = match subtype {
+            td2_subtype::RIB_IPV4_UNICAST => IpVersion::V4,
+            td2_subtype::RIB_IPV6_UNICAST => IpVersion::V6,
+            other => {
+                return Err(MrtError::UnsupportedRecord { mrt_type: 13, subtype: other });
+            }
+        };
+        if buf.remaining() < 4 {
+            return Err(MrtError::truncated("RIB sequence", 4, buf.remaining()));
+        }
+        let sequence = buf.get_u32();
+        let prefix = decode_prefix(buf, version)?;
+        if buf.remaining() < 2 {
+            return Err(MrtError::truncated("RIB entry count", 2, buf.remaining()));
+        }
+        let count = buf.get_u16() as usize;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            if buf.remaining() < 8 {
+                return Err(MrtError::truncated("RIB entry header", 8, buf.remaining()));
+            }
+            let peer_index = buf.get_u16();
+            let originated_time = buf.get_u32();
+            let attr_len = buf.get_u16() as usize;
+            if buf.remaining() < attr_len {
+                return Err(MrtError::truncated("RIB entry attributes", attr_len, buf.remaining()));
+            }
+            let attr_buf = buf.copy_to_bytes(attr_len);
+            let decoded = decode_attributes(attr_buf, AttrContext::TableDumpV2)?;
+            entries.push(RibEntryRaw { peer_index, originated_time, attrs: decoded.attrs });
+        }
+        Ok(RibAfiEntries { sequence, prefix, entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::Community;
+
+    fn sample_peers() -> Vec<PeerEntry> {
+        vec![
+            PeerEntry {
+                bgp_id: Ipv4Addr::new(10, 0, 0, 1),
+                addr: IpAddr::V4(Ipv4Addr::new(192, 0, 2, 1)),
+                asn: Asn(3356),
+            },
+            PeerEntry {
+                bgp_id: Ipv4Addr::new(10, 0, 0, 2),
+                addr: IpAddr::V6("2001:db8::6939".parse().unwrap()),
+                asn: Asn(6939),
+            },
+        ]
+    }
+
+    #[test]
+    fn peer_entry_roundtrip_v4_and_v6() {
+        for p in sample_peers() {
+            let mut buf = BytesMut::new();
+            p.encode(&mut buf);
+            let mut bytes = buf.freeze();
+            assert_eq!(PeerEntry::decode(&mut bytes).unwrap(), p);
+            assert!(!bytes.has_remaining());
+        }
+    }
+
+    #[test]
+    fn peer_entry_decodes_two_byte_asn_form() {
+        // Hand-encode a legacy 2-byte-ASN IPv4 peer.
+        let mut buf = BytesMut::new();
+        buf.put_u8(0b00);
+        buf.put_slice(&Ipv4Addr::new(1, 1, 1, 1).octets());
+        buf.put_slice(&Ipv4Addr::new(192, 0, 2, 9).octets());
+        buf.put_u16(7018);
+        let mut bytes = buf.freeze();
+        let p = PeerEntry::decode(&mut bytes).unwrap();
+        assert_eq!(p.asn, Asn(7018));
+        assert_eq!(p.addr, IpAddr::V4(Ipv4Addr::new(192, 0, 2, 9)));
+    }
+
+    #[test]
+    fn peer_index_table_roundtrip() {
+        let table = PeerIndexTable {
+            collector_bgp_id: Ipv4Addr::new(198, 51, 100, 1),
+            view_name: "rib".to_string(),
+            peers: sample_peers(),
+        };
+        let mut buf = BytesMut::new();
+        table.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        assert_eq!(PeerIndexTable::decode(&mut bytes).unwrap(), table);
+    }
+
+    #[test]
+    fn peer_index_table_empty_view_name() {
+        let table = PeerIndexTable {
+            collector_bgp_id: Ipv4Addr::new(1, 2, 3, 4),
+            view_name: String::new(),
+            peers: vec![],
+        };
+        let mut buf = BytesMut::new();
+        table.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        let back = PeerIndexTable::decode(&mut bytes).unwrap();
+        assert_eq!(back, table);
+    }
+
+    #[test]
+    fn peer_index_table_truncated() {
+        let mut short = Bytes::from_static(&[0, 0, 0]);
+        assert!(PeerIndexTable::decode(&mut short).is_err());
+    }
+
+    fn sample_rib(prefix: &str) -> RibAfiEntries {
+        let prefix: Prefix = prefix.parse().unwrap();
+        let mk = |peer_index: u16, path: &str, lp: u32| RibEntryRaw {
+            peer_index,
+            originated_time: 1_280_000_000,
+            attrs: PathAttributes::with_path(path.parse().unwrap())
+                .local_pref(lp)
+                .community(Community::new(6939, 2000)),
+        };
+        RibAfiEntries {
+            sequence: 42,
+            prefix,
+            entries: vec![mk(0, "3356 1299 112", 100), mk(1, "6939 112", 200)],
+        }
+    }
+
+    #[test]
+    fn rib_record_roundtrip_v6() {
+        let rec = sample_rib("2001:db8:100::/40");
+        assert_eq!(rec.subtype(), td2_subtype::RIB_IPV6_UNICAST);
+        let mut buf = BytesMut::new();
+        rec.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        let back = RibAfiEntries::decode(td2_subtype::RIB_IPV6_UNICAST, &mut bytes).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn rib_record_roundtrip_v4() {
+        let rec = sample_rib("198.51.100.0/24");
+        assert_eq!(rec.subtype(), td2_subtype::RIB_IPV4_UNICAST);
+        let mut buf = BytesMut::new();
+        rec.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        let back = RibAfiEntries::decode(td2_subtype::RIB_IPV4_UNICAST, &mut bytes).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn rib_record_rejects_unknown_subtype_and_truncation() {
+        let rec = sample_rib("198.51.100.0/24");
+        let mut buf = BytesMut::new();
+        rec.encode(&mut buf);
+        let full = buf.freeze();
+
+        let mut wrong = full.clone();
+        assert!(RibAfiEntries::decode(99, &mut wrong).is_err());
+
+        let mut cut = full.slice(0..full.len() - 3);
+        assert!(matches!(
+            RibAfiEntries::decode(td2_subtype::RIB_IPV4_UNICAST, &mut cut),
+            Err(MrtError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn rib_record_empty_entries() {
+        let rec = RibAfiEntries {
+            sequence: 0,
+            prefix: "2001:db8::/32".parse().unwrap(),
+            entries: vec![],
+        };
+        let mut buf = BytesMut::new();
+        rec.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        let back = RibAfiEntries::decode(td2_subtype::RIB_IPV6_UNICAST, &mut bytes).unwrap();
+        assert!(back.entries.is_empty());
+    }
+}

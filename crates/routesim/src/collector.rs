@@ -1,0 +1,210 @@
+//! Route collectors and their feeder ASes.
+
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use bgp_types::{Asn, CollectorId, IpVersion, PeerId};
+use topogen::GroundTruth;
+
+use crate::config::SimConfig;
+
+/// Whether a feeder exports its full attribute set to the collector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeederKind {
+    /// An iBGP-style feed: LocPrf (and MED) are visible, as with the
+    /// RouteViews/RIS peers whose LocPrf the paper could read.
+    Full,
+    /// A plain eBGP feed: AS path and communities only.
+    Partial,
+}
+
+/// One feeder session of a collector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Feeder {
+    /// The feeder's ASN.
+    pub asn: Asn,
+    /// Full or partial feed.
+    pub kind: FeederKind,
+    /// Whether the feeder has an IPv6 session (IPv6-capable ASes only).
+    pub feeds_ipv6: bool,
+}
+
+impl Feeder {
+    /// The peering address used for the given plane. Addresses are derived
+    /// deterministically from the ASN so MRT files are reproducible.
+    pub fn peer_addr(&self, plane: IpVersion) -> IpAddr {
+        let asn = self.asn.value();
+        match plane {
+            IpVersion::V4 => IpAddr::V4(Ipv4Addr::new(
+                198,
+                18,
+                ((asn >> 8) & 0xFF) as u8,
+                (asn & 0xFF) as u8,
+            )),
+            IpVersion::V6 => IpAddr::V6(Ipv6Addr::new(
+                0x2001,
+                0xdb8,
+                0xffff,
+                0,
+                0,
+                0,
+                (asn >> 16) as u16,
+                (asn & 0xFFFF) as u16,
+            )),
+        }
+    }
+
+    /// The peer identity for the given plane.
+    pub fn peer_id(&self, plane: IpVersion) -> PeerId {
+        PeerId::new(self.asn, self.peer_addr(plane))
+    }
+}
+
+/// One collector with its feeders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectorSetup {
+    /// Collector name, e.g. `sim-rv0`.
+    pub id: CollectorId,
+    /// The feeder sessions.
+    pub feeders: Vec<Feeder>,
+}
+
+impl CollectorSetup {
+    /// Feeders that have a session on the given plane.
+    pub fn plane_feeders(&self, plane: IpVersion) -> Vec<&Feeder> {
+        self.feeders
+            .iter()
+            .filter(|f| plane == IpVersion::V4 || f.feeds_ipv6)
+            .collect()
+    }
+}
+
+/// Select collectors and feeders for a scenario.
+///
+/// Feeders are drawn without replacement across all collectors (each AS
+/// feeds at most one collector, which keeps the merged view free of
+/// duplicate peer identities), preferring well-connected ASes the way real
+/// collector operators recruit large transit networks, while reserving a
+/// minority of slots for smaller networks.
+pub fn build_collectors<R: Rng>(
+    truth: &GroundTruth,
+    config: &SimConfig,
+    rng: &mut R,
+) -> Vec<CollectorSetup> {
+    // Rank candidate feeders by IPv4 degree, descending.
+    let mut candidates: Vec<Asn> = truth.graph.asns().collect();
+    candidates.sort_by_key(|a| std::cmp::Reverse(truth.graph.degree(*a, IpVersion::V4)));
+
+    let total_needed = config.collector_count * config.feeders_per_collector;
+    // Take the top candidates, plus a shuffled tail sample for diversity.
+    let head_count = (total_needed * 3 / 4).min(candidates.len());
+    let mut pool: Vec<Asn> = candidates[..head_count].to_vec();
+    let mut tail: Vec<Asn> = candidates[head_count..].to_vec();
+    tail.shuffle(rng);
+    pool.extend(tail.into_iter().take(total_needed.saturating_sub(head_count)));
+
+    let mut collectors = Vec::with_capacity(config.collector_count);
+    let mut pool_iter = pool.into_iter();
+    for c in 0..config.collector_count {
+        let mut feeders = Vec::with_capacity(config.feeders_per_collector);
+        for _ in 0..config.feeders_per_collector {
+            let Some(asn) = pool_iter.next() else { break };
+            let kind = if rng.gen_bool(config.full_feeder_fraction) {
+                FeederKind::Full
+            } else {
+                FeederKind::Partial
+            };
+            let feeds_ipv6 = truth.ipv6_capable.get(&asn).copied().unwrap_or(false);
+            feeders.push(Feeder { asn, kind, feeds_ipv6 });
+        }
+        collectors.push(CollectorSetup { id: CollectorId::new(format!("sim-rv{c}")), feeders });
+    }
+    collectors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use topogen::TopologyConfig;
+
+    fn setup() -> (GroundTruth, Vec<CollectorSetup>) {
+        let truth = topogen::generate(&TopologyConfig::small());
+        let config = SimConfig::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let collectors = build_collectors(&truth, &config, &mut rng);
+        (truth, collectors)
+    }
+
+    #[test]
+    fn collectors_have_the_configured_shape() {
+        let (_, collectors) = setup();
+        let config = SimConfig::default();
+        assert_eq!(collectors.len(), config.collector_count);
+        for c in &collectors {
+            assert_eq!(c.feeders.len(), config.feeders_per_collector);
+            assert!(c.id.name().starts_with("sim-rv"));
+        }
+    }
+
+    #[test]
+    fn feeders_are_unique_across_collectors() {
+        let (_, collectors) = setup();
+        let mut all: Vec<Asn> =
+            collectors.iter().flat_map(|c| c.feeders.iter().map(|f| f.asn)).collect();
+        let before = all.len();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), before, "an AS feeds two collectors");
+    }
+
+    #[test]
+    fn feeders_prefer_well_connected_ases() {
+        let (truth, collectors) = setup();
+        let mean_all: f64 = truth
+            .graph
+            .asns()
+            .map(|a| truth.graph.degree(a, IpVersion::V4) as f64)
+            .sum::<f64>()
+            / truth.graph.node_count() as f64;
+        let feeder_degrees: Vec<f64> = collectors
+            .iter()
+            .flat_map(|c| c.feeders.iter())
+            .map(|f| truth.graph.degree(f.asn, IpVersion::V4) as f64)
+            .collect();
+        let mean_feeders = feeder_degrees.iter().sum::<f64>() / feeder_degrees.len() as f64;
+        assert!(mean_feeders > mean_all, "{mean_feeders} vs {mean_all}");
+    }
+
+    #[test]
+    fn ipv6_sessions_only_for_capable_feeders() {
+        let (truth, collectors) = setup();
+        for c in &collectors {
+            for f in &c.feeders {
+                assert_eq!(f.feeds_ipv6, truth.ipv6_capable[&f.asn]);
+            }
+            let v6 = c.plane_feeders(IpVersion::V6);
+            let v4 = c.plane_feeders(IpVersion::V4);
+            assert!(v6.len() <= v4.len());
+            assert_eq!(v4.len(), c.feeders.len());
+        }
+    }
+
+    #[test]
+    fn peer_addresses_are_deterministic_and_plane_appropriate() {
+        let f = Feeder { asn: Asn(0x1234), kind: FeederKind::Full, feeds_ipv6: true };
+        assert_eq!(f.peer_addr(IpVersion::V4), f.peer_addr(IpVersion::V4));
+        assert!(f.peer_addr(IpVersion::V4).is_ipv4());
+        assert!(f.peer_addr(IpVersion::V6).is_ipv6());
+        assert_eq!(f.peer_id(IpVersion::V6).asn, Asn(0x1234));
+        assert_eq!(f.peer_id(IpVersion::V6).plane(), IpVersion::V6);
+        assert_eq!(f.peer_id(IpVersion::V4).plane(), IpVersion::V4);
+        // Distinct ASNs get distinct addresses.
+        let g = Feeder { asn: Asn(0x1235), kind: FeederKind::Full, feeds_ipv6: true };
+        assert_ne!(f.peer_addr(IpVersion::V4), g.peer_addr(IpVersion::V4));
+        assert_ne!(f.peer_addr(IpVersion::V6), g.peer_addr(IpVersion::V6));
+    }
+}

@@ -1,0 +1,148 @@
+//! Simulation configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// All knobs of the route-propagation and measurement-visibility model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Seed for the simulator's own RNG (independent of the topology seed
+    /// so the same topology can be measured under different conditions).
+    pub seed: u64,
+
+    /// Probability that a transit AS (an AS with customers) deploys
+    /// ingress relationship tagging communities.
+    pub transit_tagging_probability: f64,
+    /// Probability that a stub AS deploys ingress relationship tagging.
+    pub stub_tagging_probability: f64,
+    /// Probability that a *tagging* AS documents its communities in the
+    /// IRR. Together with the tagging probabilities this bounds the
+    /// inference coverage, the paper's 72%/81% numbers.
+    pub documentation_probability: f64,
+    /// Probability that a documented object also documents its TE values.
+    pub te_documentation_probability: f64,
+
+    /// Probability that an origin attaches a traffic-engineering community
+    /// of its provider (asking for lower preference) to an announcement.
+    pub te_request_probability: f64,
+    /// Probability that an AS attaches an ingress-location community when
+    /// it tags a route.
+    pub location_tag_probability: f64,
+
+    /// Probability that an AS strips (scrubs) foreign communities when
+    /// re-exporting a route. Real transit providers often do; it reduces
+    /// how far tags propagate and therefore coverage.
+    pub community_scrub_probability: f64,
+
+    /// Allow the IPv6 plane to relax the valley-free export rule for
+    /// reachability: an AS with no IPv6 route to a prefix accepts and
+    /// re-exports a route from any neighbor. This reproduces the paper's
+    /// "relaxation of the valley-free rule to maintain IPv6 reachability".
+    pub v6_reachability_relaxation: bool,
+    /// Probability that an AS leaks its best route to a neighbor it should
+    /// not export it to (plain misconfiguration leaks); applied per
+    /// (AS, origin) pair during propagation, on both planes.
+    pub leak_probability: f64,
+
+    /// Number of collectors.
+    pub collector_count: usize,
+    /// Number of feeder ASes per collector (drawn without replacement,
+    /// preferring well-connected ASes as real collectors do).
+    pub feeders_per_collector: usize,
+    /// Fraction of feeders that are "full feeders" exposing LocPrf.
+    pub full_feeder_fraction: f64,
+
+    /// Snapshot timestamp recorded in the generated RIBs/MRT files
+    /// (defaults to 2010-08-01T00:00:00Z to mirror the paper's dataset).
+    pub timestamp: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 42,
+            transit_tagging_probability: 0.85,
+            stub_tagging_probability: 0.25,
+            documentation_probability: 0.82,
+            te_documentation_probability: 0.7,
+            te_request_probability: 0.04,
+            location_tag_probability: 0.5,
+            community_scrub_probability: 0.15,
+            v6_reachability_relaxation: true,
+            leak_probability: 0.02,
+            collector_count: 4,
+            feeders_per_collector: 12,
+            full_feeder_fraction: 0.5,
+            timestamp: 1_280_620_800, // 2010-08-01
+        }
+    }
+}
+
+impl SimConfig {
+    /// A configuration with fewer collectors/feeders for small test
+    /// topologies.
+    pub fn small() -> Self {
+        SimConfig { collector_count: 2, feeders_per_collector: 6, ..Default::default() }
+    }
+
+    /// Validate probability ranges and structural requirements.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("transit_tagging_probability", self.transit_tagging_probability),
+            ("stub_tagging_probability", self.stub_tagging_probability),
+            ("documentation_probability", self.documentation_probability),
+            ("te_documentation_probability", self.te_documentation_probability),
+            ("te_request_probability", self.te_request_probability),
+            ("location_tag_probability", self.location_tag_probability),
+            ("community_scrub_probability", self.community_scrub_probability),
+            ("leak_probability", self.leak_probability),
+            ("full_feeder_fraction", self.full_feeder_fraction),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} must be within [0, 1], got {p}"));
+            }
+        }
+        if self.collector_count == 0 {
+            return Err("collector_count must be positive".into());
+        }
+        if self.feeders_per_collector == 0 {
+            return Err("feeders_per_collector must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_and_small_are_valid() {
+        assert!(SimConfig::default().validate().is_ok());
+        assert!(SimConfig::small().validate().is_ok());
+        assert!(SimConfig::small().collector_count < SimConfig::default().collector_count);
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut c = SimConfig::default();
+        c.leak_probability = 1.5;
+        assert!(c.validate().unwrap_err().contains("leak_probability"));
+        let mut c = SimConfig::default();
+        c.collector_count = 0;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::default();
+        c.feeders_per_collector = 0;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::default();
+        c.full_feeder_fraction = -0.1;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = SimConfig::default();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

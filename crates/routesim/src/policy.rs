@@ -1,0 +1,301 @@
+//! Per-AS routing policies: LocPrf bases, community schemes, tagging and
+//! scrubbing behaviour.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use bgp_types::{Asn, Relationship};
+use irr::{CommunityScheme, RelationshipTag, SchemeGenerator};
+use topogen::{GroundTruth, PlannedTier};
+
+use crate::config::SimConfig;
+
+/// The LocPrf values an AS assigns to routes by the relationship class of
+/// the neighbor it learned them from. Real ASes use wildly different
+/// absolute values; what is (nearly) universal is the ordering
+/// customer > peer > provider, which the paper relies on and which the
+/// traffic-engineering filter must not be confused by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocPrfPlan {
+    /// LocPrf for routes learned from customers.
+    pub customer: u32,
+    /// LocPrf for routes learned from peers.
+    pub peer: u32,
+    /// LocPrf for routes learned from providers.
+    pub provider: u32,
+    /// LocPrf for routes learned from siblings.
+    pub sibling: u32,
+    /// LocPrf applied when a route carries this AS's "lower preference"
+    /// TE community (backup routing).
+    pub lowered: u32,
+}
+
+impl LocPrfPlan {
+    /// The LocPrf assigned to a route learned over a link with the given
+    /// relationship (oriented `this AS → neighbor`).
+    pub fn for_relationship(&self, rel: Relationship) -> u32 {
+        match rel {
+            Relationship::ProviderToCustomer => self.customer,
+            Relationship::PeerToPeer => self.peer,
+            Relationship::CustomerToProvider => self.provider,
+            Relationship::SiblingToSibling => self.sibling,
+        }
+    }
+
+    /// Sanity: the plan respects the conventional ordering.
+    pub fn is_conventional(&self) -> bool {
+        self.customer > self.peer && self.peer > self.provider && self.lowered < self.provider
+    }
+}
+
+/// Everything the simulator needs to know about one AS's behaviour.
+#[derive(Debug, Clone)]
+pub struct AsPolicy {
+    /// The AS.
+    pub asn: Asn,
+    /// LocPrf assignment plan.
+    pub locprf: LocPrfPlan,
+    /// The AS's community numbering plan.
+    pub scheme: CommunityScheme,
+    /// Whether the AS actually tags relationship communities at ingress.
+    pub tags_relationships: bool,
+    /// Whether the AS strips foreign (other ASes') communities when it
+    /// re-exports a route.
+    pub scrubs_foreign_communities: bool,
+    /// Whether the AS's scheme is documented in the IRR.
+    pub documented: bool,
+    /// Whether the documentation includes the TE values.
+    pub documents_te: bool,
+}
+
+impl AsPolicy {
+    /// The ingress community this AS attaches for a route learned over a
+    /// link with relationship `rel` (oriented `this AS → neighbor`), if it
+    /// tags that class.
+    pub fn ingress_community(&self, rel: Relationship) -> Option<bgp_types::Community> {
+        if !self.tags_relationships {
+            return None;
+        }
+        let tag = match rel {
+            Relationship::ProviderToCustomer => RelationshipTag::FromCustomer,
+            Relationship::PeerToPeer => RelationshipTag::FromPeer,
+            Relationship::CustomerToProvider => RelationshipTag::FromProvider,
+            Relationship::SiblingToSibling => RelationshipTag::FromSibling,
+        };
+        self.scheme.relationship_community(tag)
+    }
+}
+
+/// The policies of every AS in a scenario.
+#[derive(Debug, Clone, Default)]
+pub struct PolicyTable {
+    policies: HashMap<Asn, AsPolicy>,
+}
+
+impl PolicyTable {
+    /// Build policies for every AS of a topology, deterministically from
+    /// the simulation seed.
+    pub fn build(truth: &GroundTruth, config: &SimConfig) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x706f_6c69);
+        let scheme_generator = SchemeGenerator::default();
+        let mut policies = HashMap::new();
+
+        let mut asns: Vec<Asn> = truth.graph.asns().collect();
+        asns.sort();
+        for asn in asns {
+            let tier = truth.tiers.get(&asn).copied().unwrap_or(PlannedTier::Stub);
+            let is_transit = matches!(tier, PlannedTier::Tier1 | PlannedTier::Tier2);
+            let tagging_probability = if is_transit {
+                config.transit_tagging_probability
+            } else {
+                config.stub_tagging_probability
+            };
+            let tags_relationships = rng.gen_bool(tagging_probability);
+
+            // Pick one of a few realistic LocPrf families and jitter it, so
+            // values differ across ASes but stay internally ordered.
+            let family = rng.gen_range(0..3);
+            let jitter = rng.gen_range(0..5) * 2;
+            let locprf = match family {
+                0 => LocPrfPlan {
+                    customer: 300 + jitter,
+                    peer: 200 + jitter,
+                    provider: 100 + jitter,
+                    sibling: 250 + jitter,
+                    lowered: 50,
+                },
+                1 => LocPrfPlan {
+                    customer: 120 + jitter,
+                    peer: 110 + jitter,
+                    provider: 100 + jitter,
+                    sibling: 115 + jitter,
+                    lowered: 80,
+                },
+                _ => LocPrfPlan {
+                    customer: 900 + jitter,
+                    peer: 500 + jitter,
+                    provider: 200 + jitter,
+                    sibling: 700 + jitter,
+                    lowered: 90,
+                },
+            };
+
+            let scheme = if tags_relationships {
+                scheme_generator.generate(asn, &mut rng)
+            } else {
+                // Non-tagging ASes still have TE/location values defined.
+                CommunityScheme::build(
+                    asn,
+                    irr::SchemeStyle::ClassicHundreds,
+                    &[],
+                    rng.gen_range(0..6),
+                )
+            };
+
+            let documented = tags_relationships && rng.gen_bool(config.documentation_probability);
+            let documents_te = documented && rng.gen_bool(config.te_documentation_probability);
+            policies.insert(
+                asn,
+                AsPolicy {
+                    asn,
+                    locprf,
+                    scheme,
+                    tags_relationships,
+                    scrubs_foreign_communities: rng.gen_bool(config.community_scrub_probability),
+                    documented,
+                    documents_te,
+                },
+            );
+        }
+        PolicyTable { policies }
+    }
+
+    /// The policy of one AS (every AS in the topology has one).
+    pub fn get(&self, asn: Asn) -> Option<&AsPolicy> {
+        self.policies.get(&asn)
+    }
+
+    /// Number of policies.
+    pub fn len(&self) -> usize {
+        self.policies.len()
+    }
+
+    /// True when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.policies.is_empty()
+    }
+
+    /// Iterate policies in ascending ASN order.
+    pub fn iter(&self) -> impl Iterator<Item = &AsPolicy> {
+        let mut asns: Vec<Asn> = self.policies.keys().copied().collect();
+        asns.sort();
+        asns.into_iter().map(move |a| &self.policies[&a])
+    }
+
+    /// ASes that tag relationship communities.
+    pub fn tagging_ases(&self) -> Vec<Asn> {
+        let mut out: Vec<Asn> =
+            self.policies.values().filter(|p| p.tags_relationships).map(|p| p.asn).collect();
+        out.sort();
+        out
+    }
+
+    /// ASes whose schemes are documented in the IRR.
+    pub fn documented_ases(&self) -> Vec<Asn> {
+        let mut out: Vec<Asn> =
+            self.policies.values().filter(|p| p.documented).map(|p| p.asn).collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topogen::TopologyConfig;
+
+    fn table() -> (GroundTruth, PolicyTable) {
+        let truth = topogen::generate(&TopologyConfig::tiny());
+        let policies = PolicyTable::build(&truth, &SimConfig::default());
+        (truth, policies)
+    }
+
+    #[test]
+    fn every_as_has_a_policy() {
+        let (truth, policies) = table();
+        assert_eq!(policies.len(), truth.graph.node_count());
+        assert!(!policies.is_empty());
+        for asn in truth.graph.asns() {
+            assert!(policies.get(asn).is_some(), "no policy for {asn}");
+        }
+        assert!(policies.get(Asn(65_123)).is_none());
+    }
+
+    #[test]
+    fn locprf_plans_are_conventional() {
+        let (_, policies) = table();
+        for policy in policies.iter() {
+            assert!(policy.locprf.is_conventional(), "{:?}", policy.locprf);
+            assert_eq!(
+                policy.locprf.for_relationship(Relationship::ProviderToCustomer),
+                policy.locprf.customer
+            );
+            assert_eq!(
+                policy.locprf.for_relationship(Relationship::CustomerToProvider),
+                policy.locprf.provider
+            );
+            assert_eq!(
+                policy.locprf.for_relationship(Relationship::PeerToPeer),
+                policy.locprf.peer
+            );
+            assert_eq!(
+                policy.locprf.for_relationship(Relationship::SiblingToSibling),
+                policy.locprf.sibling
+            );
+        }
+    }
+
+    #[test]
+    fn policy_build_is_deterministic() {
+        let truth = topogen::generate(&TopologyConfig::tiny());
+        let a = PolicyTable::build(&truth, &SimConfig::default());
+        let b = PolicyTable::build(&truth, &SimConfig::default());
+        assert_eq!(a.tagging_ases(), b.tagging_ases());
+        assert_eq!(a.documented_ases(), b.documented_ases());
+        let mut other = SimConfig::default();
+        other.seed = 7;
+        let c = PolicyTable::build(&truth, &other);
+        // Different seed; overwhelmingly likely to differ for 50+ ASes.
+        assert!(a.tagging_ases() != c.tagging_ases() || a.documented_ases() != c.documented_ases());
+    }
+
+    #[test]
+    fn documented_ases_are_a_subset_of_tagging_ases() {
+        let (_, policies) = table();
+        let tagging = policies.tagging_ases();
+        for asn in policies.documented_ases() {
+            assert!(tagging.contains(&asn));
+        }
+        assert!(!policies.tagging_ases().is_empty());
+    }
+
+    #[test]
+    fn ingress_community_reflects_relationship_and_tagging() {
+        let (_, policies) = table();
+        let tagger = policies.get(policies.tagging_ases()[0]).unwrap();
+        let c = tagger.ingress_community(Relationship::ProviderToCustomer).unwrap();
+        assert_eq!(c.asn(), tagger.asn);
+        // Peer tag exists too and differs from the customer tag.
+        let p = tagger.ingress_community(Relationship::PeerToPeer).unwrap();
+        assert_ne!(c, p);
+
+        // A non-tagging AS never emits relationship communities.
+        let non_tagger = policies.iter().find(|p| !p.tags_relationships).cloned();
+        if let Some(non_tagger) = non_tagger {
+            assert_eq!(non_tagger.ingress_community(Relationship::ProviderToCustomer), None);
+        }
+    }
+}

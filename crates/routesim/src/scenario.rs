@@ -1,0 +1,530 @@
+//! End-to-end scenario assembly: topology → policies → propagation →
+//! collector RIBs → IRR registry → MRT files.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{Ipv4Addr, Ipv6Addr};
+use std::path::{Path, PathBuf};
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use asgraph::AsGraph;
+use bgp_types::{
+    Asn, CollectorId, IpVersion, Ipv4Net, Ipv6Net, PathAttributes, Prefix, RibEntry, RibSnapshot,
+    RouteSource,
+};
+use irr::{IrrRegistry, TrafficAction};
+use topogen::{GroundTruth, TopologyConfig};
+
+use crate::collector::{build_collectors, CollectorSetup, FeederKind};
+use crate::config::SimConfig;
+use crate::policy::PolicyTable;
+use crate::propagate::{propagate_origin, PropagationOptions};
+
+/// A fully materialised measurement scenario: the synthetic Internet, what
+/// its operators configured, and what the collectors recorded.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The ground-truth topology and relationships.
+    pub truth: GroundTruth,
+    /// Per-AS policies (LocPrf plans, community schemes, tagging).
+    pub policies: PolicyTable,
+    /// The synthetic IRR: documentation for a subset of the schemes.
+    pub registry: IrrRegistry,
+    /// The collectors and their feeders.
+    pub collectors: Vec<CollectorSetup>,
+    /// One RIB snapshot per collector.
+    pub snapshots: Vec<RibSnapshot>,
+    /// The topology configuration used.
+    pub topology_config: TopologyConfig,
+    /// The simulation configuration used.
+    pub sim_config: SimConfig,
+}
+
+/// The deterministic prefix an AS originates on a plane.
+pub fn origin_prefix(asn: Asn, plane: IpVersion) -> Prefix {
+    let a = asn.value();
+    match plane {
+        IpVersion::V4 => Prefix::V4(Ipv4Net::new_truncated(
+            Ipv4Addr::new(10, ((a >> 8) & 0xFF) as u8, (a & 0xFF) as u8, 0),
+            24,
+        )),
+        IpVersion::V6 => Prefix::V6(Ipv6Net::new_truncated(
+            Ipv6Addr::new(0x2001, 0xdb8, (a & 0xFFFF) as u16, 0, 0, 0, 0, 0),
+            48,
+        )),
+    }
+}
+
+impl Scenario {
+    /// Build a scenario: generate the topology, assign policies, document a
+    /// subset in the IRR, select collectors, propagate every origin on both
+    /// planes, and record what each feeder exports to its collector.
+    pub fn build(topology_config: &TopologyConfig, sim_config: &SimConfig) -> Scenario {
+        sim_config.validate().expect("invalid simulation configuration");
+        let truth = topogen::generate(topology_config);
+        Self::build_from_truth(truth, topology_config.clone(), sim_config)
+    }
+
+    /// Build a scenario on an existing ground truth (used by fixtures and
+    /// ablations that reuse one topology under several measurement setups).
+    pub fn build_from_truth(
+        truth: GroundTruth,
+        topology_config: TopologyConfig,
+        sim_config: &SimConfig,
+    ) -> Scenario {
+        sim_config.validate().expect("invalid simulation configuration");
+        let policies = PolicyTable::build(&truth, sim_config);
+
+        // Document the chosen subset of schemes in the registry.
+        let mut registry = IrrRegistry::new();
+        for policy in policies.iter() {
+            if policy.documented {
+                registry.document_scheme(&policy.scheme, policy.documents_te);
+            }
+        }
+
+        let mut rng = ChaCha8Rng::seed_from_u64(sim_config.seed ^ 0x636f_6c6c);
+        let collectors = build_collectors(&truth, sim_config, &mut rng);
+
+        let mut snapshots: Vec<RibSnapshot> = collectors
+            .iter()
+            .map(|c| RibSnapshot::new(c.id.clone(), sim_config.timestamp))
+            .collect();
+
+        for plane in IpVersion::BOTH {
+            Self::populate_plane(
+                &truth,
+                &policies,
+                &collectors,
+                &mut snapshots,
+                sim_config,
+                plane,
+            );
+        }
+
+        Scenario {
+            truth,
+            policies,
+            registry,
+            collectors,
+            snapshots,
+            topology_config,
+            sim_config: sim_config.clone(),
+        }
+    }
+
+    fn populate_plane(
+        truth: &GroundTruth,
+        policies: &PolicyTable,
+        collectors: &[CollectorSetup],
+        snapshots: &mut [RibSnapshot],
+        sim_config: &SimConfig,
+        plane: IpVersion,
+    ) {
+        let graph = &truth.graph;
+        // Feeder -> collector index, for the feeders active on this plane.
+        let mut feeder_map: Vec<(Asn, usize, FeederKind)> = Vec::new();
+        for (ci, collector) in collectors.iter().enumerate() {
+            for feeder in collector.plane_feeders(plane) {
+                feeder_map.push((feeder.asn, ci, feeder.kind));
+            }
+        }
+        feeder_map.sort_by_key(|(asn, _, _)| *asn);
+
+        let options = PropagationOptions {
+            reachability_relaxation: plane == IpVersion::V6 && sim_config.v6_reachability_relaxation,
+            leak_probability: sim_config.leak_probability,
+            seed: sim_config.seed,
+        };
+
+        let mut origins: Vec<Asn> =
+            graph.asns().filter(|a| graph.degree(*a, plane) > 0).collect();
+        origins.sort();
+
+        for origin in origins {
+            let outcome = propagate_origin(graph, origin, plane, &options);
+            let prefix = origin_prefix(origin, plane);
+            // Per-origin deterministic RNG so results do not depend on how
+            // many feeders or collectors exist.
+            let mut route_rng = ChaCha8Rng::seed_from_u64(
+                sim_config.seed ^ (u64::from(origin.value()) << 32) ^ u64::from(plane.afi()),
+            );
+            // TE request: does this origin ask its first provider for lower
+            // preference on this prefix?
+            let te_requested = route_rng.gen_bool(sim_config.te_request_probability);
+
+            for &(feeder_asn, collector_idx, kind) in &feeder_map {
+                let Some(path) = outcome.path(graph, feeder_asn) else { continue };
+                let entry = build_rib_entry(
+                    graph,
+                    policies,
+                    sim_config,
+                    plane,
+                    prefix,
+                    &path,
+                    feeder_asn,
+                    kind,
+                    te_requested,
+                    &mut route_rng,
+                );
+                let feeder = collectors[collector_idx]
+                    .feeders
+                    .iter()
+                    .find(|f| f.asn == feeder_asn)
+                    .expect("feeder map is built from collectors");
+                let mut entry = entry;
+                entry.peer = feeder.peer_id(plane);
+                snapshots[collector_idx].push(entry);
+            }
+        }
+    }
+
+    /// Pool every collector's snapshot into one view, as the paper pools
+    /// RouteViews and RIS.
+    pub fn merged_snapshot(&self) -> RibSnapshot {
+        let mut merged = RibSnapshot::new(CollectorId::new("merged"), self.sim_config.timestamp);
+        for snap in &self.snapshots {
+            merged.entries.extend(snap.entries.iter().cloned());
+        }
+        merged
+    }
+
+    /// Write one MRT TABLE_DUMP_V2 file per collector into `dir` and return
+    /// the file paths (the directory is created if needed).
+    pub fn write_mrt_files(&self, dir: impl AsRef<Path>) -> io::Result<Vec<PathBuf>> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let mut paths = Vec::with_capacity(self.snapshots.len());
+        for snap in &self.snapshots {
+            let name = snap
+                .collector
+                .as_ref()
+                .map(|c| c.name().to_string())
+                .unwrap_or_else(|| "collector".to_string());
+            let path = dir.join(format!("{name}.rib.mrt"));
+            mrt::write_snapshot_to_path(&path, snap)
+                .map_err(|e| io::Error::other(e.to_string()))?;
+            paths.push(path);
+        }
+        Ok(paths)
+    }
+
+    /// The total number of RIB entries across all collectors.
+    pub fn total_rib_entries(&self) -> usize {
+        self.snapshots.iter().map(|s| s.len()).sum()
+    }
+}
+
+/// Construct one collector RIB entry from a feeder's path to an origin.
+#[allow(clippy::too_many_arguments)]
+fn build_rib_entry<R: Rng>(
+    graph: &AsGraph,
+    policies: &PolicyTable,
+    sim_config: &SimConfig,
+    plane: IpVersion,
+    prefix: Prefix,
+    path: &[Asn],
+    feeder_asn: Asn,
+    feeder_kind: FeederKind,
+    te_requested: bool,
+    rng: &mut R,
+) -> RibEntry {
+    let as_path: bgp_types::AsPath = bgp_types::AsPath::from_sequence(path.to_vec());
+    let mut attrs = PathAttributes::with_path(as_path);
+    attrs.next_hop = Some(match plane {
+        IpVersion::V4 => std::net::IpAddr::V4(Ipv4Addr::new(203, 0, 113, 1)),
+        IpVersion::V6 => std::net::IpAddr::V6("2001:db8:beef::1".parse().unwrap()),
+    });
+
+    // The TE community the origin attached, addressed to its first upstream
+    // (the AS right before the origin on the path), if that AS has a
+    // documented lower-preference value.
+    let origin = *path.last().expect("paths are never empty");
+    let mut te_target: Option<(Asn, bgp_types::Community)> = None;
+    if te_requested && path.len() >= 2 {
+        let upstream = path[path.len() - 2];
+        if let Some(upstream_policy) = policies.get(upstream) {
+            if let Some(c) = upstream_policy.scheme.te_community(TrafficAction::LowerPreference) {
+                te_target = Some((upstream, c));
+            }
+        }
+    }
+    if let Some((_, c)) = te_target {
+        attrs.communities.insert(c);
+    }
+
+    // Walk the path from the origin towards the feeder, accumulating the
+    // communities each AS adds at ingress (and dropping foreign ones at
+    // scrubbing ASes).
+    let mut per_as_locations: HashMap<Asn, u16> = HashMap::new();
+    for i in (0..path.len() - 1).rev() {
+        let this_as = path[i];
+        let learned_from = path[i + 1];
+        let Some(policy) = policies.get(this_as) else { continue };
+        if policy.scrubs_foreign_communities {
+            // Keep only communities defined by this AS (the usual
+            // "delete foreign communities" policy), plus the TE community
+            // addressed to an AS we have not reached yet.
+            let own: Vec<bgp_types::Community> =
+                attrs.communities.defined_by(this_as).collect();
+            let keep_te = te_target.filter(|(target, _)| {
+                // The TE target is upstream of the origin; once passed it is
+                // allowed to be scrubbed like anything else.
+                path.iter().position(|a| a == target).map(|p| p < i).unwrap_or(false)
+            });
+            attrs.communities = own.into_iter().collect();
+            if let Some((_, c)) = keep_te {
+                attrs.communities.insert(c);
+            }
+        }
+        if let Some(rel) = graph.relationship(this_as, learned_from, plane) {
+            if let Some(c) = policy.ingress_community(rel) {
+                attrs.communities.insert(c);
+            }
+        }
+        if policy.scheme.location_count > 0 && rng.gen_bool(sim_config.location_tag_probability) {
+            let index = *per_as_locations
+                .entry(this_as)
+                .or_insert_with(|| rng.gen_range(0..policy.scheme.location_count));
+            if let Some(c) = policy.scheme.location_community(index) {
+                attrs.communities.insert(c);
+            }
+        }
+    }
+
+    // LocPrf: only full feeders expose it; the value is what the feeder
+    // assigned given the relationship towards the neighbor it learned the
+    // route from, or the TE-lowered value if the route carries the feeder's
+    // lower-preference community.
+    if feeder_kind == FeederKind::Full {
+        if let Some(policy) = policies.get(feeder_asn) {
+            let lowered = policy
+                .scheme
+                .te_community(TrafficAction::LowerPreference)
+                .map(|c| attrs.communities.contains(c))
+                .unwrap_or(false);
+            let local_pref = if path.len() >= 2 {
+                let learned_from = path[1];
+                match graph.relationship(feeder_asn, learned_from, plane) {
+                    Some(rel) if lowered => {
+                        let _ = rel;
+                        policy.locprf.lowered
+                    }
+                    Some(rel) => policy.locprf.for_relationship(rel),
+                    None => policy.locprf.provider,
+                }
+            } else {
+                // The feeder originates the prefix itself.
+                policy.locprf.customer
+            };
+            attrs.local_pref = Some(local_pref);
+        }
+    }
+
+    let mut entry = RibEntry::new(
+        // Placeholder peer id; the caller overwrites it with the feeder's
+        // session address for the right plane.
+        bgp_types::PeerId::new(feeder_asn, std::net::IpAddr::V4(Ipv4Addr::UNSPECIFIED)),
+        prefix,
+        attrs,
+    );
+    entry.source = RouteSource::Simulated;
+    let _ = origin;
+    entry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::Relationship;
+
+    fn small_scenario() -> Scenario {
+        Scenario::build(&TopologyConfig::tiny(), &SimConfig::small())
+    }
+
+    #[test]
+    fn origin_prefixes_are_unique_and_plane_appropriate() {
+        let mut seen = std::collections::HashSet::new();
+        for asn in [100u32, 101, 356, 65000] {
+            for plane in IpVersion::BOTH {
+                let p = origin_prefix(Asn(asn), plane);
+                assert_eq!(p.version(), plane);
+                assert!(seen.insert(p), "duplicate prefix {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_builds_and_has_routes_on_both_planes() {
+        let s = small_scenario();
+        assert_eq!(s.snapshots.len(), s.collectors.len());
+        assert!(s.total_rib_entries() > 0);
+        let merged = s.merged_snapshot();
+        assert_eq!(merged.len(), s.total_rib_entries());
+        assert!(merged.plane_entries(IpVersion::V4).count() > 0);
+        assert!(merged.plane_entries(IpVersion::V6).count() > 0);
+        // v4 visibility exceeds v6 visibility (partial adoption).
+        assert!(
+            merged.plane_entries(IpVersion::V4).count()
+                > merged.plane_entries(IpVersion::V6).count()
+        );
+    }
+
+    #[test]
+    fn scenario_is_deterministic() {
+        let a = small_scenario();
+        let b = small_scenario();
+        assert_eq!(a.total_rib_entries(), b.total_rib_entries());
+        let ma = a.merged_snapshot();
+        let mb = b.merged_snapshot();
+        assert_eq!(ma, mb);
+        assert_eq!(a.registry, b.registry);
+    }
+
+    #[test]
+    fn paths_in_ribs_are_loop_free_and_end_at_the_origin_prefix_owner() {
+        let s = small_scenario();
+        for entry in &s.merged_snapshot().entries {
+            assert!(!entry.has_bogus_path(), "bogus path {}", entry.attrs.as_path);
+            let origin = entry.origin_asn().unwrap();
+            assert_eq!(origin_prefix(origin, entry.plane()), entry.prefix);
+            assert_eq!(entry.attrs.as_path.first(), Some(entry.peer.asn));
+            assert_eq!(entry.peer.plane(), entry.plane());
+        }
+    }
+
+    #[test]
+    fn full_feeders_expose_locpref_partial_feeders_do_not() {
+        let s = small_scenario();
+        let full: std::collections::HashSet<Asn> = s
+            .collectors
+            .iter()
+            .flat_map(|c| c.feeders.iter())
+            .filter(|f| f.kind == FeederKind::Full)
+            .map(|f| f.asn)
+            .collect();
+        let mut saw_full = false;
+        for entry in &s.merged_snapshot().entries {
+            if full.contains(&entry.peer.asn) {
+                assert!(entry.attrs.local_pref.is_some(), "full feeder without LocPrf");
+                saw_full = true;
+            } else {
+                assert!(entry.attrs.local_pref.is_none(), "partial feeder leaked LocPrf");
+            }
+        }
+        assert!(saw_full, "expected at least one full feeder entry");
+    }
+
+    #[test]
+    fn locpref_ordering_reflects_relationships_for_untainted_routes() {
+        let s = small_scenario();
+        // For every full feeder, group LocPrf by the true relationship to the
+        // first hop and verify customer > peer > provider on average.
+        let mut by_rel: HashMap<(Asn, Relationship), Vec<u32>> = HashMap::new();
+        for entry in &s.merged_snapshot().entries {
+            let Some(lp) = entry.attrs.local_pref else { continue };
+            let path: Vec<Asn> = entry.attrs.as_path.asns().collect();
+            if path.len() < 2 {
+                continue;
+            }
+            let rel = s.truth.graph.relationship(path[0], path[1], entry.plane());
+            if let Some(rel) = rel {
+                by_rel.entry((entry.peer.asn, rel)).or_default().push(lp);
+            }
+        }
+        let mut checked = 0;
+        for ((feeder, _), _) in by_rel.iter() {
+            let get = |rel: Relationship| {
+                by_rel.get(&(*feeder, rel)).map(|v| {
+                    v.iter().copied().max().unwrap_or(0)
+                })
+            };
+            if let (Some(c), Some(p)) =
+                (get(Relationship::ProviderToCustomer), get(Relationship::CustomerToProvider))
+            {
+                assert!(c > p, "feeder {feeder}: customer max {c} <= provider max {p}");
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "expected at least one feeder with both classes");
+    }
+
+    #[test]
+    fn communities_on_routes_reflect_true_relationships() {
+        let s = small_scenario();
+        let mut verified = 0;
+        for entry in &s.merged_snapshot().entries {
+            let path: Vec<Asn> = entry.attrs.as_path.asns().collect();
+            for community in entry.attrs.communities.iter() {
+                let tagger = community.asn();
+                // Find the tagger on the path; the community may be a
+                // relationship tag about the next hop towards the origin.
+                let Some(pos) = path.iter().position(|a| *a == tagger) else { continue };
+                if pos + 1 >= path.len() {
+                    continue;
+                }
+                let Some(policy) = s.policies.get(tagger) else { continue };
+                let Some(meaning) = policy.scheme.meaning_of(community.value()) else { continue };
+                if let Some(tag) = meaning.relationship_tag() {
+                    let expected = tag.implied_relationship();
+                    let actual = s
+                        .truth
+                        .graph
+                        .relationship(tagger, path[pos + 1], entry.plane())
+                        .expect("tagged link must exist");
+                    assert_eq!(actual, expected, "community {community} on {}", entry.attrs.as_path);
+                    verified += 1;
+                }
+            }
+        }
+        assert!(verified > 50, "expected many relationship tags, verified {verified}");
+    }
+
+    #[test]
+    fn registry_documents_only_documented_policies() {
+        let s = small_scenario();
+        let documented = s.policies.documented_ases();
+        assert_eq!(s.registry.len(), documented.len());
+        for asn in documented {
+            assert!(s.registry.get(asn).is_some());
+        }
+    }
+
+    #[test]
+    fn mrt_files_round_trip_through_the_codec() {
+        let s = small_scenario();
+        let dir = std::env::temp_dir().join(format!("routesim-mrt-{}", std::process::id()));
+        let paths = s.write_mrt_files(&dir).unwrap();
+        assert_eq!(paths.len(), s.snapshots.len());
+        let mut total = 0;
+        for (path, snap) in paths.iter().zip(&s.snapshots) {
+            let decoded = mrt::read_snapshot_from_path(path).unwrap();
+            assert_eq!(decoded.len(), snap.len());
+            assert_eq!(decoded.collector, snap.collector);
+            total += decoded.len();
+        }
+        assert_eq!(total, s.total_rib_entries());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v6_relaxation_produces_paths_where_strict_would_not() {
+        // Build the same truth twice with and without relaxation and verify
+        // the relaxed scenario sees at least as many IPv6 routes.
+        let truth = topogen::generate(&TopologyConfig::tiny());
+        let mut strict_cfg = SimConfig::small();
+        strict_cfg.v6_reachability_relaxation = false;
+        strict_cfg.leak_probability = 0.0;
+        let mut relaxed_cfg = strict_cfg.clone();
+        relaxed_cfg.v6_reachability_relaxation = true;
+
+        let strict = Scenario::build_from_truth(truth.clone(), TopologyConfig::tiny(), &strict_cfg);
+        let relaxed = Scenario::build_from_truth(truth, TopologyConfig::tiny(), &relaxed_cfg);
+        let strict_v6 = strict.merged_snapshot().plane_entries(IpVersion::V6).count();
+        let relaxed_v6 = relaxed.merged_snapshot().plane_entries(IpVersion::V6).count();
+        assert!(relaxed_v6 >= strict_v6);
+    }
+}

@@ -1,0 +1,119 @@
+//! Small hand-built topologies used by tests, examples and the Figure 1
+//! reproduction.
+
+use asgraph::AsGraph;
+use bgp_types::{Asn, IpVersion, Relationship};
+
+use crate::ground_truth::{GroundTruth, HybridClass, HybridLink, PlannedTier};
+use bgp_types::RelationshipPair;
+
+/// The five-AS topology of Figure 1 in the paper.
+///
+/// AS1 is connected to AS2 and AS3; AS2 is the provider of AS4 and AS5.
+/// In variant (a) the 1-2 link is p2c (AS1 provider of AS2), in variant
+/// (b) it is p2p. The figure shows how AS1's customer tree changes between
+/// the two: {2,3,4,5} in (a) versus {3} in (b).
+pub fn figure1_topology(link_1_2_is_transit: bool) -> AsGraph {
+    let mut g = AsGraph::new();
+    let rel_1_2 = if link_1_2_is_transit {
+        Relationship::ProviderToCustomer
+    } else {
+        Relationship::PeerToPeer
+    };
+    g.annotate_both(Asn(1), Asn(2), rel_1_2);
+    g.annotate_both(Asn(1), Asn(3), Relationship::ProviderToCustomer);
+    g.annotate_both(Asn(2), Asn(4), Relationship::ProviderToCustomer);
+    g.annotate_both(Asn(2), Asn(5), Relationship::ProviderToCustomer);
+    g
+}
+
+/// A ten-AS dual-plane topology with one hybrid link, small enough to
+/// reason about by hand in integration tests and the quickstart example.
+///
+/// Structure (ASNs):
+///
+/// ```text
+///          10 ===== 20            tier-1 clique (p2p both planes)
+///         /  \     /  \
+///       30    40 41    42         tier-2 customers
+///       /\     |        \
+///     50 51   52         53       stubs
+/// ```
+///
+/// The 10-20 link is hybrid: p2p on IPv4 but 10 gives 20 free transit on
+/// IPv6 (p2c). The 30-41 link is an IPv6-only peering.
+pub fn two_plane_fixture() -> GroundTruth {
+    let mut truth = GroundTruth { seed: 0, ..Default::default() };
+    let g = &mut truth.graph;
+
+    // Tier-1 "clique" of two: hybrid link.
+    g.annotate(Asn(10), Asn(20), IpVersion::V4, Relationship::PeerToPeer);
+    g.annotate(Asn(10), Asn(20), IpVersion::V6, Relationship::ProviderToCustomer);
+
+    // Transit edges, identical on both planes.
+    for (p, c) in [(10, 30), (10, 40), (20, 41), (20, 42), (30, 50), (30, 51), (40, 52), (42, 53)] {
+        g.annotate_both(Asn(p), Asn(c), Relationship::ProviderToCustomer);
+    }
+    // An IPv6-only peering between tier-2s 30 and 41.
+    g.annotate(Asn(30), Asn(41), IpVersion::V6, Relationship::PeerToPeer);
+
+    truth.hybrid_links.push(HybridLink {
+        a: Asn(10),
+        b: Asn(20),
+        relationships: RelationshipPair::new(
+            Relationship::PeerToPeer,
+            Relationship::ProviderToCustomer,
+        ),
+        class: HybridClass::PeeringV4TransitV6,
+    });
+    for asn in [10, 20] {
+        truth.tiers.insert(Asn(asn), PlannedTier::Tier1);
+    }
+    for asn in [30, 40, 41, 42] {
+        truth.tiers.insert(Asn(asn), PlannedTier::Tier2);
+    }
+    for asn in [50, 51, 52, 53] {
+        truth.tiers.insert(Asn(asn), PlannedTier::Stub);
+    }
+    for asn in [10, 20, 30, 40, 41, 42, 50, 51, 52, 53] {
+        truth.ipv6_capable.insert(Asn(asn), true);
+    }
+    truth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asgraph::customer_tree::customer_tree;
+
+    #[test]
+    fn figure1_variants_differ_exactly_as_the_paper_describes() {
+        let a = figure1_topology(true);
+        let b = figure1_topology(false);
+        assert_eq!(
+            customer_tree(&a, Asn(1), IpVersion::V6),
+            vec![Asn(2), Asn(3), Asn(4), Asn(5)]
+        );
+        assert_eq!(customer_tree(&b, Asn(1), IpVersion::V6), vec![Asn(3)]);
+    }
+
+    #[test]
+    fn fixture_has_one_hybrid_and_one_v6_only_link() {
+        let truth = two_plane_fixture();
+        assert_eq!(truth.hybrid_links.len(), 1);
+        assert_eq!(truth.hybrid_fraction() * truth.dual_stack_link_count() as f64, 1.0);
+        assert!(truth.graph.has_link(Asn(30), Asn(41), IpVersion::V6));
+        assert!(!truth.graph.has_link(Asn(30), Asn(41), IpVersion::V4));
+        assert_eq!(truth.plane_link_count(IpVersion::V6), truth.plane_link_count(IpVersion::V4) + 1);
+        assert_eq!(truth.ipv6_as_count(), 10);
+        assert_eq!(truth.ases_of_tier(PlannedTier::Tier1), vec![Asn(10), Asn(20)]);
+    }
+
+    #[test]
+    fn fixture_hybrid_is_recorded_consistently() {
+        let truth = two_plane_fixture();
+        let pair = truth.relationship_pair(Asn(10), Asn(20)).unwrap();
+        assert!(pair.is_hybrid());
+        assert_eq!(HybridClass::classify(pair), Some(HybridClass::PeeringV4TransitV6));
+    }
+}

@@ -1,0 +1,514 @@
+//! The topology generation algorithm.
+
+use std::collections::HashMap;
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use bgp_types::{Asn, IpVersion, Relationship, RelationshipPair};
+
+use crate::config::TopologyConfig;
+use crate::ground_truth::{GroundTruth, HybridClass, HybridLink, PlannedTier};
+
+/// Generate a topology from a configuration.
+///
+/// # Panics
+///
+/// Panics if the configuration fails [`TopologyConfig::validate`]; the
+/// experiment harness validates configurations before calling this, so a
+/// panic here always indicates a programming error.
+pub fn generate(config: &TopologyConfig) -> GroundTruth {
+    config.validate().expect("invalid topology configuration");
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut truth = GroundTruth { seed: config.seed, ..Default::default() };
+
+    // ---- ASN allocation -------------------------------------------------
+    let mut next_asn = config.first_asn;
+    let mut allocate = |count: usize| -> Vec<Asn> {
+        let block: Vec<Asn> = (0..count).map(|i| Asn(next_asn + i as u32)).collect();
+        next_asn += count as u32;
+        block
+    };
+    let tier1 = allocate(config.tier1_count);
+    let tier2 = allocate(config.tier2_count);
+    let stubs = allocate(config.stub_count);
+
+    for &asn in &tier1 {
+        truth.tiers.insert(asn, PlannedTier::Tier1);
+    }
+    for &asn in &tier2 {
+        truth.tiers.insert(asn, PlannedTier::Tier2);
+    }
+    for &asn in &stubs {
+        truth.tiers.insert(asn, PlannedTier::Stub);
+    }
+
+    // ---- IPv6 adoption --------------------------------------------------
+    for &asn in &tier1 {
+        truth.ipv6_capable.insert(asn, true);
+    }
+    for &asn in &tier2 {
+        truth.ipv6_capable.insert(asn, rng.gen_bool(config.tier2_ipv6_adoption));
+    }
+    for &asn in &stubs {
+        truth.ipv6_capable.insert(asn, rng.gen_bool(config.stub_ipv6_adoption));
+    }
+
+    // All base relationships are recorded here as (a, b, rel a->b) and
+    // materialised into the graph afterwards, so the hybrid pass can
+    // rewrite a selection of them per plane.
+    let mut base_links: Vec<(Asn, Asn, Relationship)> = Vec::new();
+    // Running IPv4 degree, used for preferential attachment.
+    let mut degree: HashMap<Asn, usize> = HashMap::new();
+    let bump = |degree: &mut HashMap<Asn, usize>, a: Asn, b: Asn| {
+        *degree.entry(a).or_insert(0) += 1;
+        *degree.entry(b).or_insert(0) += 1;
+    };
+
+    // ---- Tier-1 clique ---------------------------------------------------
+    for i in 0..tier1.len() {
+        for j in (i + 1)..tier1.len() {
+            base_links.push((tier1[i], tier1[j], Relationship::PeerToPeer));
+            bump(&mut degree, tier1[i], tier1[j]);
+        }
+    }
+
+    // ---- Tier-2 transit --------------------------------------------------
+    for &asn in &tier2 {
+        let providers = rng.gen_range(config.tier2_providers.0..=config.tier2_providers.1);
+        let chosen = pick_weighted(&tier1, &degree, providers, &mut rng);
+        for provider in chosen {
+            base_links.push((provider, asn, Relationship::ProviderToCustomer));
+            bump(&mut degree, provider, asn);
+        }
+    }
+
+    // ---- Tier-2 peering mesh ----------------------------------------------
+    if tier2.len() > 1 {
+        let expected = (config.tier2_peering_degree * tier2.len() as f64 / 2.0).round() as usize;
+        for _ in 0..expected {
+            let a = tier2[rng.gen_range(0..tier2.len())];
+            let b = tier2[rng.gen_range(0..tier2.len())];
+            if a != b {
+                base_links.push((a, b, Relationship::PeerToPeer));
+                bump(&mut degree, a, b);
+            }
+        }
+    }
+
+    // ---- Stubs -------------------------------------------------------------
+    for &asn in &stubs {
+        let providers = rng.gen_range(config.stub_providers.0..=config.stub_providers.1);
+        for _ in 0..providers {
+            let provider = if rng.gen_bool(config.stub_direct_tier1_probability) {
+                *pick_weighted(&tier1, &degree, 1, &mut rng).first().unwrap()
+            } else {
+                *pick_weighted(&tier2, &degree, 1, &mut rng).first().unwrap()
+            };
+            base_links.push((provider, asn, Relationship::ProviderToCustomer));
+            bump(&mut degree, provider, asn);
+        }
+    }
+
+    // ---- Stub IXP peering ---------------------------------------------------
+    if stubs.len() > 1 {
+        let expected = (config.stub_peering_degree * stubs.len() as f64 / 2.0).round() as usize;
+        for _ in 0..expected {
+            let a = stubs[rng.gen_range(0..stubs.len())];
+            let b = stubs[rng.gen_range(0..stubs.len())];
+            if a != b {
+                base_links.push((a, b, Relationship::PeerToPeer));
+                bump(&mut degree, a, b);
+            }
+        }
+    }
+
+    // ---- Sibling rewrite -----------------------------------------------------
+    // A small fraction of provider links become sibling links (organisations
+    // running several ASes).
+    for link in base_links.iter_mut() {
+        if link.2 == Relationship::ProviderToCustomer && rng.gen_bool(config.sibling_fraction) {
+            link.2 = Relationship::SiblingToSibling;
+        }
+    }
+
+    // ---- Materialise the base (IPv4 everywhere, IPv6 where active) -----------
+    for &(a, b, rel) in &base_links {
+        truth.graph.annotate(a, b, IpVersion::V4, rel);
+        let both_capable = truth.ipv6_capable[&a] && truth.ipv6_capable[&b];
+        if both_capable && rng.gen_bool(config.link_ipv6_activation) {
+            truth.graph.annotate(a, b, IpVersion::V6, rel);
+        }
+    }
+
+    // ---- IPv6-only peering links ----------------------------------------------
+    let v6_ases: Vec<Asn> = truth
+        .ipv6_capable
+        .iter()
+        .filter(|(_, capable)| **capable)
+        .map(|(asn, _)| *asn)
+        .collect();
+    let mut v6_ases = v6_ases;
+    v6_ases.sort();
+    if v6_ases.len() > 1 {
+        let expected = (config.v6_only_peering_degree * v6_ases.len() as f64 / 2.0).round() as usize;
+        for _ in 0..expected {
+            let a = v6_ases[rng.gen_range(0..v6_ases.len())];
+            let b = v6_ases[rng.gen_range(0..v6_ases.len())];
+            if a == b || truth.graph.has_link(a, b, IpVersion::V4) {
+                continue;
+            }
+            // Relaxed v6 policies: mostly peering, occasionally free transit
+            // from the better-connected side.
+            let rel = if rng.gen_bool(0.85) {
+                Relationship::PeerToPeer
+            } else if degree.get(&a).unwrap_or(&0) >= degree.get(&b).unwrap_or(&0) {
+                Relationship::ProviderToCustomer
+            } else {
+                Relationship::CustomerToProvider
+            };
+            truth.graph.annotate(a, b, IpVersion::V6, rel);
+        }
+    }
+
+    // ---- Hybrid injection --------------------------------------------------------
+    inject_hybrids(config, &mut truth, &degree, &mut rng);
+
+    truth
+}
+
+/// Pick `count` distinct members of `pool`, weighted by `degree + 1`
+/// (preferential attachment). Falls back to uniform choice when the pool is
+/// smaller than `count`.
+fn pick_weighted<R: Rng>(
+    pool: &[Asn],
+    degree: &HashMap<Asn, usize>,
+    count: usize,
+    rng: &mut R,
+) -> Vec<Asn> {
+    if pool.len() <= count {
+        return pool.to_vec();
+    }
+    let mut chosen = Vec::with_capacity(count);
+    let mut attempts = 0;
+    while chosen.len() < count && attempts < count * 20 {
+        attempts += 1;
+        let total: usize = pool.iter().map(|a| degree.get(a).unwrap_or(&0) + 1).sum();
+        let mut target = rng.gen_range(0..total);
+        let mut pick = pool[0];
+        for &candidate in pool {
+            let w = degree.get(&candidate).unwrap_or(&0) + 1;
+            if target < w {
+                pick = candidate;
+                break;
+            }
+            target -= w;
+        }
+        if !chosen.contains(&pick) {
+            chosen.push(pick);
+        }
+    }
+    if chosen.is_empty() {
+        chosen.push(*pool.choose(rng).expect("pool checked non-empty"));
+    }
+    chosen
+}
+
+/// Select dual-stack links (degree-biased) and flip their IPv6 relationship
+/// so the configured fraction of dual-stack links becomes hybrid, with the
+/// paper's class mix.
+fn inject_hybrids<R: Rng>(
+    config: &TopologyConfig,
+    truth: &mut GroundTruth,
+    degree: &HashMap<Asn, usize>,
+    rng: &mut R,
+) {
+    // Candidates: dual-stack, non-sibling links.
+    let mut candidates: Vec<(Asn, Asn, Relationship)> = truth
+        .graph
+        .dual_stack_edges()
+        .filter_map(|e| {
+            let rel = e.rel_v4?;
+            (!rel.is_sibling()).then_some((e.a, e.b, rel))
+        })
+        .collect();
+    candidates.sort_by_key(|(a, b, _)| (*a, *b));
+    if candidates.is_empty() {
+        return;
+    }
+    let dual_total = truth.graph.dual_stack_edges().count();
+    let target = ((dual_total as f64) * config.hybrid_fraction).round() as usize;
+    let target = target.min(candidates.len());
+    if target == 0 {
+        return;
+    }
+
+    // Degree-biased sampling without replacement.
+    let mut weights: Vec<f64> = candidates
+        .iter()
+        .map(|(a, b, _)| {
+            let da = *degree.get(a).unwrap_or(&0) as f64 + 1.0;
+            let db = *degree.get(b).unwrap_or(&0) as f64 + 1.0;
+            (da * db).powf(config.hybrid_degree_bias)
+        })
+        .collect();
+    let mut selected: Vec<usize> = Vec::with_capacity(target);
+    for _ in 0..target {
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            break;
+        }
+        let mut t = rng.gen::<f64>() * total;
+        let mut chosen = None;
+        for (i, w) in weights.iter().enumerate() {
+            if *w <= 0.0 {
+                continue;
+            }
+            if t < *w {
+                chosen = Some(i);
+                break;
+            }
+            t -= *w;
+        }
+        let idx = chosen.unwrap_or_else(|| weights.iter().position(|w| *w > 0.0).unwrap());
+        selected.push(idx);
+        weights[idx] = 0.0;
+    }
+
+    // Assign classes: opposite-transit first (fixed count), then the
+    // p2p4/transit6 share, remainder transit4/p2p6.
+    let opposite_count = config.hybrid_opposite_transit_count.min(selected.len());
+    let p2p4_count = (((selected.len() - opposite_count) as f64)
+        * config.hybrid_p2p4_transit6_share)
+        .round() as usize;
+
+    for (rank, &idx) in selected.iter().enumerate() {
+        let (a, b, v4_rel) = candidates[idx];
+        let class = if rank < opposite_count {
+            HybridClass::OppositeTransit
+        } else if rank < opposite_count + p2p4_count {
+            HybridClass::PeeringV4TransitV6
+        } else {
+            HybridClass::TransitV4PeeringV6
+        };
+        let (new_v4, new_v6) = match class {
+            HybridClass::PeeringV4TransitV6 => {
+                // Force v4 to peering; v6 transit flows from the
+                // better-connected side (free v6 transit offers).
+                let v6 = if degree.get(&a).unwrap_or(&0) >= degree.get(&b).unwrap_or(&0) {
+                    Relationship::ProviderToCustomer
+                } else {
+                    Relationship::CustomerToProvider
+                };
+                (Relationship::PeerToPeer, v6)
+            }
+            HybridClass::TransitV4PeeringV6 => {
+                // Keep (or force) a transit v4 relationship, peer on v6.
+                let v4 = if v4_rel.is_transit() { v4_rel } else { Relationship::ProviderToCustomer };
+                (v4, Relationship::PeerToPeer)
+            }
+            HybridClass::OppositeTransit => {
+                let v4 = if v4_rel.is_transit() { v4_rel } else { Relationship::ProviderToCustomer };
+                (v4, v4.reverse())
+            }
+        };
+        truth.graph.annotate(a, b, IpVersion::V4, new_v4);
+        truth.graph.annotate(a, b, IpVersion::V6, new_v6);
+        truth.hybrid_links.push(HybridLink {
+            a,
+            b,
+            relationships: RelationshipPair::new(new_v4, new_v6),
+            class,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asgraph::metrics::connected_components;
+    use asgraph::valley::classify_path;
+
+    fn truth_small() -> GroundTruth {
+        generate(&TopologyConfig::small())
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&TopologyConfig::tiny());
+        let b = generate(&TopologyConfig::tiny());
+        assert_eq!(a.graph.node_count(), b.graph.node_count());
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+        assert_eq!(a.hybrid_links, b.hybrid_links);
+        let mut c = TopologyConfig::tiny();
+        c.seed = 999;
+        let d = generate(&c);
+        assert_ne!(
+            a.hybrid_links, d.hybrid_links,
+            "different seeds should produce different hybrids"
+        );
+    }
+
+    #[test]
+    fn every_planned_as_is_in_the_graph() {
+        let truth = truth_small();
+        let config = TopologyConfig::small();
+        assert_eq!(truth.tiers.len(), config.total_as_count());
+        // Tier-1s and tier-2s always have links; a stub could in principle
+        // be isolated only if it had zero providers, which the config forbids.
+        for (&asn, _) in truth.tiers.iter() {
+            assert!(truth.graph.contains(asn), "AS{asn} missing from graph");
+        }
+    }
+
+    #[test]
+    fn ipv4_plane_is_connected() {
+        let truth = truth_small();
+        let comps = connected_components(&truth.graph, IpVersion::V4);
+        assert_eq!(comps.len(), 1, "IPv4 plane must be one connected component");
+    }
+
+    #[test]
+    fn ipv6_plane_is_a_strict_subset_of_ases() {
+        let truth = truth_small();
+        let v6_ases = truth.ipv6_as_count();
+        assert!(v6_ases < truth.tiers.len());
+        assert!(v6_ases > truth.tiers.len() / 10);
+        // Links present on v6 between v4-capable ASes must connect
+        // IPv6-capable endpoints.
+        for edge in truth.graph.plane_edges(IpVersion::V6) {
+            assert!(truth.ipv6_capable[&edge.a], "v6 link endpoint {} not capable", edge.a);
+            assert!(truth.ipv6_capable[&edge.b], "v6 link endpoint {} not capable", edge.b);
+        }
+    }
+
+    #[test]
+    fn some_ipv6_links_have_no_ipv4_counterpart() {
+        let truth = truth_small();
+        let v6_total = truth.plane_link_count(IpVersion::V6);
+        let dual = truth.dual_stack_link_count();
+        assert!(v6_total > dual, "expected v6-only links");
+        // And the v6-only share should be substantial but not dominant
+        // (paper: ~28%).
+        let v6_only_share = (v6_total - dual) as f64 / v6_total as f64;
+        assert!(v6_only_share > 0.05 && v6_only_share < 0.6, "share {v6_only_share}");
+    }
+
+    #[test]
+    fn hybrid_fraction_matches_configuration() {
+        let truth = truth_small();
+        let config = TopologyConfig::small();
+        let fraction = truth.hybrid_fraction();
+        assert!(
+            (fraction - config.hybrid_fraction).abs() < 0.02,
+            "hybrid fraction {fraction} far from configured {}",
+            config.hybrid_fraction
+        );
+        // Every recorded hybrid link must actually be hybrid in the graph.
+        for link in &truth.hybrid_links {
+            let pair = truth.relationship_pair(link.a, link.b).unwrap();
+            assert!(pair.is_hybrid(), "{}-{} recorded hybrid but graph disagrees", link.a, link.b);
+            assert_eq!(pair, link.relationships);
+            assert_eq!(HybridClass::classify(pair), Some(link.class));
+        }
+    }
+
+    #[test]
+    fn hybrid_class_mix_matches_the_paper() {
+        let truth = generate(&TopologyConfig::small());
+        let counts = truth.hybrid_class_counts();
+        let total = truth.hybrid_links.len() as f64;
+        assert!(total >= 20.0, "need a meaningful number of hybrids, got {total}");
+        let p2p4 = *counts.get(&HybridClass::PeeringV4TransitV6).unwrap_or(&0) as f64;
+        assert!((p2p4 / total - 0.67).abs() < 0.1, "p2p4/transit6 share {}", p2p4 / total);
+        assert_eq!(*counts.get(&HybridClass::OppositeTransit).unwrap_or(&0), 1);
+    }
+
+    #[test]
+    fn hybrids_prefer_well_connected_ases() {
+        let truth = truth_small();
+        let mean_degree_all: f64 = truth
+            .graph
+            .asns()
+            .map(|a| truth.graph.degree(a, IpVersion::V4) as f64)
+            .sum::<f64>()
+            / truth.graph.node_count() as f64;
+        let mean_degree_hybrid: f64 = truth
+            .hybrid_links
+            .iter()
+            .flat_map(|l| [l.a, l.b])
+            .map(|a| truth.graph.degree(a, IpVersion::V4) as f64)
+            .sum::<f64>()
+            / (2 * truth.hybrid_links.len()) as f64;
+        assert!(
+            mean_degree_hybrid > mean_degree_all * 2.0,
+            "hybrid endpoints should be well-connected: {mean_degree_hybrid} vs {mean_degree_all}"
+        );
+    }
+
+    #[test]
+    fn tier1_clique_is_fully_meshed_with_peering() {
+        let truth = truth_small();
+        let tier1 = truth.ases_of_tier(PlannedTier::Tier1);
+        for (i, &a) in tier1.iter().enumerate() {
+            for &b in tier1.iter().skip(i + 1) {
+                assert!(truth.graph.has_link(a, b, IpVersion::V4));
+                let rel = truth.graph.relationship(a, b, IpVersion::V4).unwrap();
+                // Hybrid injection can turn a clique link into transit on v6
+                // but the v4 side may also be rewritten only to peering.
+                assert!(rel.is_peering() || rel.is_transit());
+            }
+        }
+    }
+
+    #[test]
+    fn customer_provider_paths_are_valley_free_on_v4() {
+        // A stub's path up through its provider chain to a tier-1 must be
+        // valley-free under the ground-truth annotation.
+        let truth = truth_small();
+        let stub = truth.ases_of_tier(PlannedTier::Stub)[0];
+        // Walk up: pick any provider repeatedly.
+        let mut path = vec![stub];
+        let mut current = stub;
+        for _ in 0..6 {
+            let provider = truth
+                .graph
+                .neighbors(current, IpVersion::V4)
+                .find(|(_, rel)| *rel == Some(Relationship::CustomerToProvider))
+                .map(|(asn, _)| asn);
+            match provider {
+                Some(p) if !path.contains(&p) => {
+                    path.push(p);
+                    current = p;
+                }
+                _ => break,
+            }
+        }
+        if path.len() > 1 {
+            assert!(classify_path(&truth.graph, &path, IpVersion::V4).is_valley_free());
+        }
+    }
+
+    #[test]
+    fn sibling_links_exist_but_are_rare() {
+        let truth = generate(&TopologyConfig::default());
+        let sibling_count = truth
+            .graph
+            .plane_edges(IpVersion::V4)
+            .filter(|e| e.rel_v4 == Some(Relationship::SiblingToSibling))
+            .count();
+        let total = truth.plane_link_count(IpVersion::V4);
+        assert!(sibling_count > 0);
+        assert!((sibling_count as f64) < total as f64 * 0.05);
+    }
+
+    #[test]
+    fn asns_stay_in_16_bit_space() {
+        let truth = truth_small();
+        for asn in truth.graph.asns() {
+            assert!(asn.is_16bit(), "{asn} exceeds 16 bits");
+            assert!(asn.is_public(), "{asn} is reserved");
+        }
+    }
+}

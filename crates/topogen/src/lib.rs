@@ -1,0 +1,46 @@
+//! # topogen
+//!
+//! Synthetic AS-level Internet topologies with *per-plane* ground truth.
+//!
+//! The paper measures the August 2010 Internet through RouteViews and RIPE
+//! RIS. We cannot redistribute those archives, so this crate generates
+//! topologies with the same structural ingredients, under a seed, so every
+//! experiment is reproducible:
+//!
+//! * a tier-1 clique, a preferential-attachment transit hierarchy of
+//!   tier-2 providers, and a large population of stub ASes;
+//! * partial IPv6 adoption (tier-1s first, stubs last), so only a subset
+//!   of ASes and links appear on the IPv6 plane;
+//! * extra IPv6-only peering links (the relaxed v6 peering policies of the
+//!   era), so a realistic share of IPv6 links has no IPv4 counterpart;
+//! * **hybrid relationship injection**: a configurable fraction of
+//!   dual-stack links receives a *different* relationship on the IPv6
+//!   plane, with the composition the paper reports (67% "p2p in IPv4 but
+//!   transit in IPv6", the rest "p2c in IPv4 but p2p in IPv6", plus one
+//!   link with opposite transit directions);
+//! * a small number of sibling links.
+//!
+//! The output is a [`GroundTruth`]: the annotated [`asgraph::AsGraph`]
+//! plus the book-keeping (tier of every AS, the exact hybrid links and
+//! their classes) that experiments validate inference results against.
+//!
+//! ```
+//! use topogen::{TopologyConfig, generate};
+//!
+//! let truth = generate(&TopologyConfig { stub_count: 200, tier2_count: 40, ..Default::default() });
+//! assert!(truth.graph.node_count() > 200);
+//! assert!(!truth.hybrid_links.is_empty());
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod fixtures;
+pub mod generate;
+pub mod ground_truth;
+
+pub use config::TopologyConfig;
+pub use generate::generate;
+pub use ground_truth::{GroundTruth, HybridClass, HybridLink, PlannedTier};

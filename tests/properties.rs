@@ -1,0 +1,194 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants: text and wire round trips, orientation consistency of the
+//! annotated graph, and the valley-free rule.
+
+use proptest::prelude::*;
+
+use hybrid_as_rel::graph::valley::{first_violation, is_valley_free};
+use hybrid_as_rel::graph::AsGraph;
+use hybrid_as_rel::mrt::bgp::{decode_attributes, encode_attributes, AttrContext};
+use hybrid_as_rel::types::{
+    AsPath, Asn, Community, CommunitySet, IpVersion, PathAttributes, Prefix, Relationship,
+};
+
+fn arb_relationship() -> impl Strategy<Value = Relationship> {
+    prop_oneof![
+        Just(Relationship::ProviderToCustomer),
+        Just(Relationship::CustomerToProvider),
+        Just(Relationship::PeerToPeer),
+        Just(Relationship::SiblingToSibling),
+    ]
+}
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    prop_oneof![
+        (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| {
+            Prefix::V4(hybrid_as_rel::types::Ipv4Net::new_truncated(addr.into(), len))
+        }),
+        (any::<u128>(), 0u8..=128).prop_map(|(addr, len)| {
+            Prefix::V6(hybrid_as_rel::types::Ipv6Net::new_truncated(addr.into(), len))
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // ---- bgp-types ------------------------------------------------------
+
+    #[test]
+    fn asn_display_parse_roundtrip(raw in any::<u32>()) {
+        let asn = Asn(raw);
+        prop_assert_eq!(asn.to_string().parse::<Asn>().unwrap(), asn);
+        prop_assert_eq!(asn.to_asdot().parse::<Asn>().unwrap(), asn);
+    }
+
+    #[test]
+    fn community_u32_and_text_roundtrip(raw in any::<u32>()) {
+        let c = Community::from_u32(raw);
+        prop_assert_eq!(c.as_u32(), raw);
+        prop_assert_eq!(c.to_string().parse::<Community>().unwrap(), c);
+    }
+
+    #[test]
+    fn as_path_display_parse_roundtrip(asns in prop::collection::vec(1u32..1_000_000, 1..12)) {
+        let path = AsPath::from_sequence(asns.iter().copied().map(Asn).collect::<Vec<_>>());
+        let parsed: AsPath = path.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, path);
+    }
+
+    #[test]
+    fn deprepending_is_idempotent_and_preserves_links(
+        asns in prop::collection::vec(1u32..200, 1..20)
+    ) {
+        let path = AsPath::from_sequence(asns.iter().copied().map(Asn).collect::<Vec<_>>());
+        let once = path.deprepended();
+        prop_assert_eq!(once.deprepended(), once.clone());
+        // Every link of the de-prepended path is a link of the original.
+        let original: std::collections::HashSet<_> = path.links().collect();
+        for link in once.links() {
+            prop_assert!(original.contains(&link));
+        }
+    }
+
+    #[test]
+    fn prefix_text_roundtrip(prefix in arb_prefix()) {
+        let parsed: Prefix = prefix.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, prefix);
+    }
+
+    // ---- mrt wire codec --------------------------------------------------
+
+    #[test]
+    fn path_attributes_survive_the_wire(
+        asns in prop::collection::vec(1u32..4_000_000, 1..8),
+        locpref in prop::option::of(any::<u32>()),
+        med in prop::option::of(any::<u32>()),
+        communities in prop::collection::vec(any::<u32>(), 0..8),
+        prefix in arb_prefix(),
+    ) {
+        let mut attrs = PathAttributes::with_path(
+            AsPath::from_sequence(asns.iter().copied().map(Asn).collect::<Vec<_>>()),
+        );
+        attrs.local_pref = locpref;
+        attrs.med = med;
+        attrs.communities = communities.iter().copied().map(Community::from_u32).collect::<CommunitySet>();
+        let blob = encode_attributes(&attrs, &prefix, AttrContext::TableDumpV2).freeze();
+        let decoded = decode_attributes(blob, AttrContext::TableDumpV2).unwrap();
+        prop_assert_eq!(decoded.attrs, attrs);
+    }
+
+    // ---- valley-free rule -------------------------------------------------
+
+    #[test]
+    fn canonical_valley_free_paths_are_accepted(
+        ups in 0usize..5, peer in any::<bool>(), downs in 0usize..5
+    ) {
+        let mut rels = vec![Relationship::CustomerToProvider; ups];
+        if peer {
+            rels.push(Relationship::PeerToPeer);
+        }
+        rels.extend(std::iter::repeat(Relationship::ProviderToCustomer).take(downs));
+        prop_assert!(is_valley_free(&rels));
+    }
+
+    #[test]
+    fn violation_index_is_a_real_violation(
+        rels in prop::collection::vec(arb_relationship(), 0..12)
+    ) {
+        match first_violation(&rels) {
+            None => prop_assert!(is_valley_free(&rels)),
+            Some(idx) => {
+                prop_assert!(idx < rels.len());
+                prop_assert!(!is_valley_free(&rels));
+                // Truncating just before the violation yields a valley-free
+                // prefix.
+                prop_assert!(is_valley_free(&rels[..idx]));
+            }
+        }
+    }
+
+    // ---- annotated graph invariants ----------------------------------------
+
+    #[test]
+    fn graph_orientation_is_antisymmetric(
+        links in prop::collection::vec((1u32..60, 1u32..60, arb_relationship(), any::<bool>()), 1..60)
+    ) {
+        let mut graph = AsGraph::new();
+        for (a, b, rel, v6) in &links {
+            if a == b {
+                continue;
+            }
+            let plane = if *v6 { IpVersion::V6 } else { IpVersion::V4 };
+            graph.annotate(Asn(*a), Asn(*b), plane, *rel);
+        }
+        for edge in graph.edges() {
+            for plane in IpVersion::BOTH {
+                if let Some(rel) = graph.relationship(edge.a, edge.b, plane) {
+                    prop_assert_eq!(
+                        graph.relationship(edge.b, edge.a, plane),
+                        Some(rel.reverse())
+                    );
+                }
+            }
+        }
+        // Degree sums equal twice the edge count, per plane.
+        for plane in IpVersion::BOTH {
+            let degree_sum: usize = graph.asns().map(|a| graph.degree(a, plane)).sum();
+            prop_assert_eq!(degree_sum, 2 * graph.plane_edge_count(plane));
+        }
+    }
+
+    #[test]
+    fn valley_free_distances_never_exceed_bfs_distances(
+        links in prop::collection::vec((1u32..40, 1u32..40, arb_relationship()), 1..80)
+    ) {
+        let mut graph = AsGraph::new();
+        for (a, b, rel) in &links {
+            if a != b {
+                graph.annotate(Asn(*a), Asn(*b), IpVersion::V6, *rel);
+            }
+        }
+        if graph.node_count() == 0 {
+            return Ok(());
+        }
+        let root = graph.asns().next().unwrap();
+        let policy = hybrid_as_rel::graph::valley::valley_free_distances(&graph, root, IpVersion::V6);
+        let plain = hybrid_as_rel::graph::metrics::bfs_distances(&graph, root, IpVersion::V6);
+        for (p, b) in policy.iter().zip(plain.iter()) {
+            match (p, b) {
+                (Some(pd), Some(bd)) => prop_assert!(pd >= bd),
+                (Some(_), None) => prop_assert!(false, "policy path without physical path"),
+                _ => {}
+            }
+        }
+    }
+}
+
+// Deterministic (non-proptest) checks that belong with the properties.
+#[test]
+fn relationship_reverse_is_involutive_for_all_variants() {
+    for rel in Relationship::ALL {
+        assert_eq!(rel.reverse().reverse(), rel);
+    }
+}

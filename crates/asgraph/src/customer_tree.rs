@@ -72,10 +72,7 @@ pub fn customer_tree_union(graph: &AsGraph, plane: IpVersion) -> Vec<Asn> {
             in_union[graph.node(member).unwrap().index()] = true;
         }
     }
-    (0..graph.node_count())
-        .filter(|&i| in_union[i])
-        .map(|i| graph.asn(NodeId(i as u32)))
-        .collect()
+    (0..graph.node_count()).filter(|&i| in_union[i]).map(|i| graph.asn(NodeId(i as u32))).collect()
 }
 
 /// Path-length metrics over the union of customer trees: the mean and the
@@ -189,10 +186,7 @@ mod tests {
     fn figure1_p2c_tree_contains_everything() {
         // Figure 1(a): when 1-2 is p2c, AS1's customer tree is {2,3,4,5}.
         let g = figure1(Relationship::ProviderToCustomer);
-        assert_eq!(
-            customer_tree(&g, Asn(1), IpVersion::V6),
-            vec![Asn(2), Asn(3), Asn(4), Asn(5)]
-        );
+        assert_eq!(customer_tree(&g, Asn(1), IpVersion::V6), vec![Asn(2), Asn(3), Asn(4), Asn(5)]);
     }
 
     #[test]

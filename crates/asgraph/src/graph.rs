@@ -213,7 +213,13 @@ impl AsGraph {
     /// Annotate the relationship of a link on one plane. `rel` is oriented
     /// `a → b` (e.g. `ProviderToCustomer` means "`a` is `b`'s provider").
     /// The link is created and marked present on that plane if needed.
-    pub fn annotate(&mut self, a: Asn, b: Asn, plane: IpVersion, rel: Relationship) -> Option<EdgeId> {
+    pub fn annotate(
+        &mut self,
+        a: Asn,
+        b: Asn,
+        plane: IpVersion,
+        rel: Relationship,
+    ) -> Option<EdgeId> {
         let eid = self.observe_link(a, b, plane)?;
         let edge = &mut self.edges[eid.index()];
         let na = self.asn_to_node[&a];
@@ -346,9 +352,7 @@ impl AsGraph {
 
     /// The number of peers of an AS on a plane.
     pub fn peer_degree(&self, asn: Asn, plane: IpVersion) -> usize {
-        self.neighbors(asn, plane)
-            .filter(|(_, rel)| *rel == Some(Relationship::PeerToPeer))
-            .count()
+        self.neighbors(asn, plane).filter(|(_, rel)| *rel == Some(Relationship::PeerToPeer)).count()
     }
 
     /// Links present on both planes (the "dual-stack" links the hybrid
@@ -426,10 +430,7 @@ mod tests {
             g.relationship(Asn(2), Asn(1), IpVersion::V4),
             Some(Relationship::CustomerToProvider)
         );
-        assert_eq!(
-            g.relationship(Asn(1), Asn(3), IpVersion::V4),
-            Some(Relationship::PeerToPeer)
-        );
+        assert_eq!(g.relationship(Asn(1), Asn(3), IpVersion::V4), Some(Relationship::PeerToPeer));
         assert_eq!(
             g.relationship(Asn(3), Asn(1), IpVersion::V6),
             Some(Relationship::CustomerToProvider)

@@ -71,7 +71,7 @@ pub fn connected_components(graph: &AsGraph, plane: IpVersion) -> Vec<Vec<Asn>> 
         members.sort();
         components.push(members);
     }
-    components.sort_by(|a, b| b.len().cmp(&a.len()));
+    components.sort_by_key(|c| std::cmp::Reverse(c.len()));
     components
 }
 
@@ -119,8 +119,7 @@ impl GraphSummary {
     pub fn compute(graph: &AsGraph, plane: IpVersion) -> Self {
         let stats = degree_stats(graph, plane);
         let components = connected_components(graph, plane);
-        let annotated_edges =
-            graph.plane_edges(plane).filter(|e| e.rel(plane).is_some()).count();
+        let annotated_edges = graph.plane_edges(plane).filter(|e| e.rel(plane).is_some()).count();
         GraphSummary {
             nodes: stats.nodes,
             edges: stats.edges,

@@ -162,7 +162,7 @@ pub fn valley_free_distances(graph: &AsGraph, root: Asn, plane: IpVersion) -> Ve
             if next_dist < best[next.index()][next_phase as usize] {
                 best[next.index()][next_phase as usize] = next_dist;
                 let entry = &mut out[next.index()];
-                if entry.map_or(true, |d| next_dist < d) {
+                if entry.is_none_or(|d| next_dist < d) {
                     *entry = Some(next_dist);
                 }
                 queue.push_back((next, next_phase, next_dist));
@@ -217,18 +217,20 @@ mod tests {
         // peer after descending
         assert!(!is_valley_free(&[ProviderToCustomer, PeerToPeer]));
         // leak: up, peer, up
-        assert_eq!(
-            first_violation(&[CustomerToProvider, PeerToPeer, CustomerToProvider]),
-            Some(2)
-        );
+        assert_eq!(first_violation(&[CustomerToProvider, PeerToPeer, CustomerToProvider]), Some(2));
     }
 
     #[test]
     fn siblings_are_transparent() {
         assert!(is_valley_free(&[SiblingToSibling, CustomerToProvider, SiblingToSibling]));
         assert!(is_valley_free(&[ProviderToCustomer, SiblingToSibling, ProviderToCustomer]));
-        assert!(is_valley_free(&[CustomerToProvider, SiblingToSibling, PeerToPeer,
-                                 SiblingToSibling, ProviderToCustomer]));
+        assert!(is_valley_free(&[
+            CustomerToProvider,
+            SiblingToSibling,
+            PeerToPeer,
+            SiblingToSibling,
+            ProviderToCustomer
+        ]));
         // A sibling link does not reset the phase: still a valley.
         assert!(!is_valley_free(&[ProviderToCustomer, SiblingToSibling, CustomerToProvider]));
     }
@@ -262,8 +264,9 @@ mod tests {
             PathValidity::ValleyFree
         );
         // 1 -> 10 -> 2 -> 4: up then down, fine.
-        assert!(classify_path(&g, &[Asn(1), Asn(10), Asn(2), Asn(4)], IpVersion::V4)
-            .is_valley_free());
+        assert!(
+            classify_path(&g, &[Asn(1), Asn(10), Asn(2), Asn(4)], IpVersion::V4).is_valley_free()
+        );
         // 10 -> 1 (down) then 1 -> 10 is a loop, but 10 -> 2 -> 4 -> 3 on v6:
         // down, down, then peer after descending = valley at link index 2.
         assert_eq!(

@@ -57,11 +57,13 @@ fn paper_experiments(c: &mut Criterion) {
     c.bench_function("e1_dataset_pipeline", |b| {
         b.iter(|| {
             let data = extract(black_box(&snapshot));
-            let mut inference =
-                CommunityInference::from_snapshot(&snapshot, &prepared.dictionary);
+            let mut inference = CommunityInference::from_snapshot(&snapshot, &prepared.dictionary);
             let mut rosetta = LocPrfRosetta::learn(&snapshot, &prepared.dictionary, &inference);
             rosetta.apply(&snapshot, &prepared.dictionary, &mut inference);
-            black_box((data.link_count(IpVersion::V6), inference.inferred_link_count(IpVersion::V6)))
+            black_box((
+                data.link_count(IpVersion::V6),
+                inference.inferred_link_count(IpVersion::V6),
+            ))
         })
     });
 

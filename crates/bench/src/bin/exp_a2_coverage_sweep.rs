@@ -10,7 +10,11 @@ fn main() {
     let rows: Vec<Vec<String>> = bench::coverage_sweep(&scale, &rates)
         .into_iter()
         .map(|(rate, v6, dual)| {
-            vec![format!("{rate:.2}"), format!("{:.1}%", 100.0 * v6), format!("{:.1}%", 100.0 * dual)]
+            vec![
+                format!("{rate:.2}"),
+                format!("{:.1}%", 100.0 * v6),
+                format!("{:.1}%", 100.0 * dual),
+            ]
         })
         .collect();
     println!(

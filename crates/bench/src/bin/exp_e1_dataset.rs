@@ -16,9 +16,17 @@ fn main() {
     let report = bench::run_measurement(&scenario);
     let d = &report.dataset;
     let rows = vec![
-        vec!["IPv6 AS paths (distinct)".to_string(), d.ipv6_paths.to_string(), "346,649".to_string()],
+        vec![
+            "IPv6 AS paths (distinct)".to_string(),
+            d.ipv6_paths.to_string(),
+            "346,649".to_string(),
+        ],
         vec!["IPv6 AS links".to_string(), d.ipv6_links.to_string(), "10,535".to_string()],
-        vec!["IPv4/IPv6 dual-stack links".to_string(), d.dual_stack_links.to_string(), "7,618".to_string()],
+        vec![
+            "IPv4/IPv6 dual-stack links".to_string(),
+            d.dual_stack_links.to_string(),
+            "7,618".to_string(),
+        ],
         vec![
             "IPv6 link coverage".to_string(),
             format!("{:.1}% ({})", 100.0 * d.ipv6_coverage(), d.ipv6_links_classified),

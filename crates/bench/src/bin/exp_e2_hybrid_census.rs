@@ -12,7 +12,11 @@ fn main() {
     let report = bench::run_measurement(&scenario);
     let h = &report.hybrids;
     let rows = vec![
-        vec!["classified dual-stack links".to_string(), h.dual_stack_classified.to_string(), "6,160".to_string()],
+        vec![
+            "classified dual-stack links".to_string(),
+            h.dual_stack_classified.to_string(),
+            "6,160".to_string(),
+        ],
         vec![
             "hybrid links".to_string(),
             format!("{} ({:.1}%)", h.findings.len(), 100.0 * h.hybrid_fraction()),
@@ -20,13 +24,24 @@ fn main() {
         ],
         vec![
             "p2p(v4) / transit(v6)".to_string(),
-            format!("{} ({:.0}%)", h.peering_v4_transit_v6, 100.0 * h.peering_v4_transit_v6_share()),
+            format!(
+                "{} ({:.0}%)",
+                h.peering_v4_transit_v6,
+                100.0 * h.peering_v4_transit_v6_share()
+            ),
             "67%".to_string(),
         ],
-        vec!["transit(v4) / p2p(v6)".to_string(), h.transit_v4_peering_v6.to_string(), "the rest".to_string()],
+        vec![
+            "transit(v4) / p2p(v6)".to_string(),
+            h.transit_v4_peering_v6.to_string(),
+            "the rest".to_string(),
+        ],
         vec!["opposite transit".to_string(), h.opposite_transit.to_string(), "1".to_string()],
     ];
     println!("{}", bench::format_rows(&["metric", "measured", "paper (Aug 2010)"], &rows));
-    println!("ground truth (injected): {} hybrid links, fraction {:.1}%",
-        scenario.truth.hybrid_links.len(), 100.0 * scenario.truth.hybrid_fraction());
+    println!(
+        "ground truth (injected): {} hybrid links, fraction {:.1}%",
+        scenario.truth.hybrid_links.len(),
+        100.0 * scenario.truth.hybrid_fraction()
+    );
 }

@@ -49,6 +49,12 @@ fn main() {
     println!("{}", bench::format_rows(&["metric", "measured", "paper (Aug 2010)"], &rows));
     println!("top-5 most visible hybrid links (IPv6 distinct-path count):");
     for f in h.top_by_visibility(5) {
-        println!("  AS{} - AS{}  {}  visibility {}", f.a, f.b, f.class.label(), f.v6_path_visibility);
+        println!(
+            "  AS{} - AS{}  {}  visibility {}",
+            f.a,
+            f.b,
+            f.class.label(),
+            f.v6_path_visibility
+        );
     }
 }

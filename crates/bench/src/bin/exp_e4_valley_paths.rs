@@ -12,7 +12,11 @@ fn main() {
     let report = bench::run_measurement(&scenario);
     let v = &report.valleys;
     let rows = vec![
-        vec!["classifiable IPv6 paths".to_string(), v.classifiable_paths.to_string(), String::new()],
+        vec![
+            "classifiable IPv6 paths".to_string(),
+            v.classifiable_paths.to_string(),
+            String::new(),
+        ],
         vec![
             "valley paths".to_string(),
             format!("{} ({:.1}%)", v.valley_paths, 100.0 * v.valley_fraction()),
@@ -28,7 +32,11 @@ fn main() {
             v.violation_valleys.to_string(),
             "the rest".to_string(),
         ],
-        vec!["unclassifiable paths (coverage gaps)".to_string(), v.unknown_paths.to_string(), String::new()],
+        vec![
+            "unclassifiable paths (coverage gaps)".to_string(),
+            v.unknown_paths.to_string(),
+            String::new(),
+        ],
     ];
     println!("{}", bench::format_rows(&["metric", "measured", "paper (Aug 2010)"], &rows));
 }

@@ -74,10 +74,7 @@ pub fn run_measurement_with_impact(
 pub fn figure1_customer_trees() -> (Vec<Asn>, Vec<Asn>) {
     let transit = figure1_topology(true);
     let peering = figure1_topology(false);
-    (
-        customer_tree(&transit, Asn(1), IpVersion::V6),
-        customer_tree(&peering, Asn(1), IpVersion::V6),
-    )
+    (customer_tree(&transit, Asn(1), IpVersion::V6), customer_tree(&peering, Asn(1), IpVersion::V6))
 }
 
 /// A1: evaluate the Gao baseline on a scenario directly (also part of the
@@ -100,8 +97,7 @@ pub fn coverage_sweep(scale: &ExperimentScale, rates: &[f64]) -> Vec<(f64, f64, 
         .map(|&rate| {
             let mut sim = scale.sim.clone();
             sim.documentation_probability = rate;
-            let scenario =
-                Scenario::build_from_truth(truth.clone(), scale.topology.clone(), &sim);
+            let scenario = Scenario::build_from_truth(truth.clone(), scale.topology.clone(), &sim);
             let report = run_measurement(&scenario);
             (rate, report.dataset.ipv6_coverage(), report.dataset.dual_stack_coverage())
         })
@@ -110,15 +106,17 @@ pub fn coverage_sweep(scale: &ExperimentScale, rates: &[f64]) -> Vec<(f64, f64, 
 
 /// A3: hybrid detection as a function of the number of collectors.
 /// Returns `(collectors, detected_hybrids, hybrid_fraction, ipv6_links)` rows.
-pub fn collector_sensitivity(scale: &ExperimentScale, collector_counts: &[usize]) -> Vec<(usize, usize, f64, usize)> {
+pub fn collector_sensitivity(
+    scale: &ExperimentScale,
+    collector_counts: &[usize],
+) -> Vec<(usize, usize, f64, usize)> {
     let truth = topogen::generate(&scale.topology);
     collector_counts
         .iter()
         .map(|&count| {
             let mut sim = scale.sim.clone();
             sim.collector_count = count;
-            let scenario =
-                Scenario::build_from_truth(truth.clone(), scale.topology.clone(), &sim);
+            let scenario = Scenario::build_from_truth(truth.clone(), scale.topology.clone(), &sim);
             let report = run_measurement(&scenario);
             (
                 count,
@@ -162,10 +160,7 @@ pub fn format_rows(headers: &[&str], rows: &[Vec<String>]) -> String {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    out.push_str(&fmt_row(
-        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
-        &widths,
-    ));
+    out.push_str(&fmt_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(), &widths));
     out.push('\n');
     out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
     out.push('\n');
@@ -235,10 +230,8 @@ mod tests {
     fn misinferred_graph_is_annotated() {
         let scenario = build_scenario(&tiny_scale());
         let graph = misinferred_graph(&scenario);
-        let annotated = graph
-            .plane_edges(IpVersion::V6)
-            .filter(|e| e.rel(IpVersion::V6).is_some())
-            .count();
+        let annotated =
+            graph.plane_edges(IpVersion::V6).filter(|e| e.rel(IpVersion::V6).is_some()).count();
         assert!(annotated > 0);
     }
 }

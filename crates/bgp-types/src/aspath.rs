@@ -408,10 +408,8 @@ mod tests {
         assert!(matches!(AsPath::from_segments(too_long), Err(TypeError::SegmentTooLong(256))));
         let too_many = vec![AsPathSegment::Sequence(vec![Asn(1)]); 65];
         assert!(matches!(AsPath::from_segments(too_many), Err(TypeError::TooManySegments(65))));
-        let fine = vec![
-            AsPathSegment::Sequence(vec![Asn(1), Asn(2)]),
-            AsPathSegment::Set(vec![Asn(3)]),
-        ];
+        let fine =
+            vec![AsPathSegment::Sequence(vec![Asn(1), Asn(2)]), AsPathSegment::Set(vec![Asn(3)])];
         assert!(AsPath::from_segments(fine).is_ok());
     }
 

@@ -25,9 +25,7 @@ use crate::error::ParseError;
 /// assert_eq!(c.to_string(), "6939:2000");
 /// assert_eq!(Community::from_u32(c.as_u32()), c);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Community {
     asn: u16,
     value: u16,
@@ -91,9 +89,8 @@ impl FromStr for Community {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let s = s.trim();
-        let (a, v) = s
-            .split_once(':')
-            .ok_or_else(|| ParseError::syntax("asn:value community", s))?;
+        let (a, v) =
+            s.split_once(':').ok_or_else(|| ParseError::syntax("asn:value community", s))?;
         let asn: u16 = a.parse().map_err(|_| ParseError::number(s))?;
         let value: u16 = v.parse().map_err(|_| ParseError::number(s))?;
         Ok(Community { asn, value })
@@ -105,9 +102,7 @@ impl FromStr for Community {
 /// Large communities are carried through the simulator and the MRT codec
 /// for completeness but the paper's 2010-era dataset predates them, so the
 /// inference pipeline treats them as opaque.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct LargeCommunity {
     /// Global administrator, conventionally a 4-byte ASN.
     pub global: u32,
@@ -306,8 +301,7 @@ mod tests {
 
     #[test]
     fn community_set_display_is_sorted() {
-        let s: CommunitySet =
-            [Community::new(20, 1), Community::new(10, 5)].into_iter().collect();
+        let s: CommunitySet = [Community::new(20, 1), Community::new(10, 5)].into_iter().collect();
         assert_eq!(s.to_string(), "10:5 20:1");
     }
 

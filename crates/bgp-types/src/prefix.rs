@@ -13,9 +13,7 @@ use crate::error::{ParseError, ParseErrorKind, TypeError};
 /// The whole point of the paper is that the *same* AS link may have
 /// different business relationships on the two planes, so nearly every
 /// API in the workspace is parameterised by this enum.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum IpVersion {
     /// The IPv4 plane.
     V4,
@@ -71,9 +69,7 @@ impl fmt::Display for IpVersion {
 }
 
 /// An IPv4 network prefix in CIDR form, stored canonically (host bits zero).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Ipv4Net {
     addr: Ipv4Addr,
     len: u8,
@@ -110,6 +106,8 @@ impl Ipv4Net {
     }
 
     /// Prefix length in bits.
+    // `len` is the mask length, not a container size: no `is_empty` pair.
+    #[allow(clippy::len_without_is_empty)]
     pub const fn len(&self) -> u8 {
         self.len
     }
@@ -139,9 +137,8 @@ impl FromStr for Ipv4Net {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let s = s.trim();
-        let (a, l) = s
-            .split_once('/')
-            .ok_or_else(|| ParseError::syntax("a.b.c.d/len prefix", s))?;
+        let (a, l) =
+            s.split_once('/').ok_or_else(|| ParseError::syntax("a.b.c.d/len prefix", s))?;
         let addr: Ipv4Addr = a.parse().map_err(|_| ParseError::syntax("IPv4 address", s))?;
         let len: u8 = l.parse().map_err(|_| ParseError::number(s))?;
         if len > 32 {
@@ -159,9 +156,7 @@ impl FromStr for Ipv4Net {
 }
 
 /// An IPv6 network prefix in CIDR form, stored canonically (host bits zero).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Ipv6Net {
     addr: Ipv6Addr,
     len: u8,
@@ -195,6 +190,8 @@ impl Ipv6Net {
     }
 
     /// Prefix length in bits.
+    // `len` is the mask length, not a container size: no `is_empty` pair.
+    #[allow(clippy::len_without_is_empty)]
     pub const fn len(&self) -> u8 {
         self.len
     }
@@ -224,9 +221,7 @@ impl FromStr for Ipv6Net {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let s = s.trim();
-        let (a, l) = s
-            .split_once('/')
-            .ok_or_else(|| ParseError::syntax("ipv6/len prefix", s))?;
+        let (a, l) = s.split_once('/').ok_or_else(|| ParseError::syntax("ipv6/len prefix", s))?;
         let addr: Ipv6Addr = a.parse().map_err(|_| ParseError::syntax("IPv6 address", s))?;
         let len: u8 = l.parse().map_err(|_| ParseError::number(s))?;
         if len > 128 {
@@ -244,9 +239,7 @@ impl FromStr for Ipv6Net {
 }
 
 /// Either an IPv4 or an IPv6 prefix — the NLRI of a RIB entry.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Prefix {
     /// An IPv4 prefix.
     V4(Ipv4Net),
@@ -264,6 +257,8 @@ impl Prefix {
     }
 
     /// Prefix length in bits.
+    // `len` is the mask length, not a container size: no `is_empty` pair.
+    #[allow(clippy::len_without_is_empty)]
     pub const fn len(&self) -> u8 {
         match self {
             Prefix::V4(p) => p.len(),

@@ -19,9 +19,7 @@ use crate::prefix::IpVersion;
 ///
 /// `reverse()` gives the relationship as seen from `b`'s side; p2p and s2s
 /// are symmetric, p2c/c2p are each other's reverse.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Relationship {
     /// Provider-to-customer (the left AS is the provider).
     ProviderToCustomer,
@@ -187,10 +185,7 @@ mod tests {
         for r in Relationship::ALL {
             assert_eq!(r.reverse().reverse(), r);
         }
-        assert_eq!(
-            Relationship::ProviderToCustomer.reverse(),
-            Relationship::CustomerToProvider
-        );
+        assert_eq!(Relationship::ProviderToCustomer.reverse(), Relationship::CustomerToProvider);
         assert_eq!(Relationship::PeerToPeer.reverse(), Relationship::PeerToPeer);
     }
 

@@ -220,7 +220,11 @@ mod tests {
     }
 
     fn entry(peer: PeerId, prefix: &str, path: &str) -> RibEntry {
-        RibEntry::new(peer, prefix.parse().unwrap(), PathAttributes::with_path(path.parse().unwrap()))
+        RibEntry::new(
+            peer,
+            prefix.parse().unwrap(),
+            PathAttributes::with_path(path.parse().unwrap()),
+        )
     }
 
     #[test]
@@ -250,11 +254,8 @@ mod tests {
 
     #[test]
     fn bogus_path_detection() {
-        let empty = RibEntry::new(
-            v4_peer(1),
-            "10.0.0.0/8".parse().unwrap(),
-            PathAttributes::originated(),
-        );
+        let empty =
+            RibEntry::new(v4_peer(1), "10.0.0.0/8".parse().unwrap(), PathAttributes::originated());
         assert!(empty.has_bogus_path());
         let looped = entry(v4_peer(1), "10.0.0.0/8", "1 2 1");
         assert!(looped.has_bogus_path());

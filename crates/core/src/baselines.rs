@@ -37,12 +37,10 @@ pub enum BaselineInput {
     BothPlanes,
 }
 
-fn input_paths<'a>(data: &'a ExtractedData, input: BaselineInput) -> Vec<&'a ObservedPath> {
+fn input_paths(data: &ExtractedData, input: BaselineInput) -> Vec<&ObservedPath> {
     match input {
         BaselineInput::SinglePlane(plane) => data.paths(plane).iter().collect(),
-        BaselineInput::BothPlanes => {
-            data.paths_v4.iter().chain(data.paths_v6.iter()).collect()
-        }
+        BaselineInput::BothPlanes => data.paths_v4.iter().chain(data.paths_v6.iter()).collect(),
     }
 }
 
@@ -280,26 +278,11 @@ mod tests {
     fn gao_classifies_a_clean_hierarchy() {
         // 100 is the big provider (high degree); 2,3,4 are its customers;
         // 20 is a customer of 2.
-        let data = data_from(&[
-            "2 100 3",
-            "2 100 4",
-            "3 100 4",
-            "20 2 100 3",
-            "20 2 100 4",
-        ]);
+        let data = data_from(&["2 100 3", "2 100 4", "3 100 4", "20 2 100 3", "20 2 100 4"]);
         let inf = gao_inference(&data, BaselineInput::SinglePlane(IpVersion::V6));
-        assert_eq!(
-            inf.relationship(Asn(100), Asn(2)),
-            Some(Relationship::ProviderToCustomer)
-        );
-        assert_eq!(
-            inf.relationship(Asn(100), Asn(3)),
-            Some(Relationship::ProviderToCustomer)
-        );
-        assert_eq!(
-            inf.relationship(Asn(2), Asn(20)),
-            Some(Relationship::ProviderToCustomer)
-        );
+        assert_eq!(inf.relationship(Asn(100), Asn(2)), Some(Relationship::ProviderToCustomer));
+        assert_eq!(inf.relationship(Asn(100), Asn(3)), Some(Relationship::ProviderToCustomer));
+        assert_eq!(inf.relationship(Asn(2), Asn(20)), Some(Relationship::ProviderToCustomer));
         assert_eq!(inf.relationship(Asn(20), Asn(2)), Some(Relationship::CustomerToProvider));
         assert!(!inf.is_empty());
         assert_eq!(inf.len(), 4);
@@ -309,18 +292,10 @@ mod tests {
     #[test]
     fn gao_detects_peering_between_comparable_tops() {
         // Two comparable hubs 100 and 200 exchange their customers' routes.
-        let data = data_from(&[
-            "2 100 200 5",
-            "3 100 200 6",
-            "5 200 100 2",
-            "6 200 100 3",
-        ]);
+        let data = data_from(&["2 100 200 5", "3 100 200 6", "5 200 100 2", "6 200 100 3"]);
         let inf = gao_inference(&data, BaselineInput::SinglePlane(IpVersion::V6));
         assert_eq!(inf.relationship(Asn(100), Asn(200)), Some(Relationship::PeerToPeer));
-        assert_eq!(
-            inf.relationship(Asn(100), Asn(2)),
-            Some(Relationship::ProviderToCustomer)
-        );
+        assert_eq!(inf.relationship(Asn(100), Asn(2)), Some(Relationship::ProviderToCustomer));
     }
 
     #[test]
@@ -328,10 +303,7 @@ mod tests {
         let data = data_from(&["2 100 3", "4 100 5", "6 100 7", "2 100 8", "3 100 9"]);
         let inf = degree_heuristic_inference(&data, BaselineInput::SinglePlane(IpVersion::V6), 2.0);
         // AS100 has degree 8, everyone else degree 1.
-        assert_eq!(
-            inf.relationship(Asn(100), Asn(3)),
-            Some(Relationship::ProviderToCustomer)
-        );
+        assert_eq!(inf.relationship(Asn(100), Asn(3)), Some(Relationship::ProviderToCustomer));
         assert_eq!(inf.relationship(Asn(3), Asn(100)), Some(Relationship::CustomerToProvider));
         // Comparable-degree stubs peering? They share no link, so nothing.
         assert_eq!(inf.relationship(Asn(2), Asn(3)), None);

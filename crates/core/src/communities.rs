@@ -126,7 +126,14 @@ impl CommunityInference {
 
     /// Add one vote for the relationship of the link `from → to` on a
     /// plane (used by both the community pass and the LocPrf pass).
-    pub fn add_vote(&mut self, from: Asn, to: Asn, plane: IpVersion, rel: Relationship, weight: usize) {
+    pub fn add_vote(
+        &mut self,
+        from: Asn,
+        to: Asn,
+        plane: IpVersion,
+        rel: Relationship,
+        weight: usize,
+    ) {
         let (a, b, flipped) = canonical(from, to);
         let stored = if flipped { rel.reverse() } else { rel };
         self.tallies.entry((a, b, plane)).or_default().add(stored, weight);
@@ -217,10 +224,7 @@ impl CommunityInference {
 
     /// Number of links inferred from a given source on a plane.
     pub fn inferred_by_source(&self, plane: IpVersion, source: InferenceSource) -> usize {
-        self.links
-            .iter()
-            .filter(|((_, _, p), link)| *p == plane && link.source == source)
-            .count()
+        self.links.iter().filter(|((_, _, p), link)| *p == plane && link.source == source).count()
     }
 
     /// Iterate all inferred links: `(a, b, plane, inference)` with `a < b`.
@@ -285,11 +289,8 @@ mod tests {
     fn community_votes_assert_the_link_towards_the_origin() {
         // Path 10 20 30: community 20:100 ("from customer") asserts that
         // 20 is the provider of 30.
-        let snap = snapshot(vec![entry(
-            "2001:db8:100::/48",
-            "10 20 30",
-            &[Community::new(20, 100)],
-        )]);
+        let snap =
+            snapshot(vec![entry("2001:db8:100::/48", "10 20 30", &[Community::new(20, 100)])]);
         let inf = CommunityInference::from_snapshot(&snap, &dictionary());
         assert_eq!(inf.assertions_v6, 1);
         assert_eq!(
@@ -310,11 +311,8 @@ mod tests {
     fn provider_tags_orient_the_other_way() {
         // Community 10:300 ("from provider") on path 10 20 ...: 10 learned
         // the route from its provider 20, so 10 -> 20 is c2p.
-        let snap = snapshot(vec![entry(
-            "2001:db8:100::/48",
-            "10 20 30",
-            &[Community::new(10, 300)],
-        )]);
+        let snap =
+            snapshot(vec![entry("2001:db8:100::/48", "10 20 30", &[Community::new(10, 300)])]);
         let inf = CommunityInference::from_snapshot(&snap, &dictionary());
         assert_eq!(
             inf.relationship(Asn(10), Asn(20), IpVersion::V6),
@@ -350,7 +348,11 @@ mod tests {
     fn undocumented_communities_and_absent_taggers_are_ignored() {
         let snap = snapshot(vec![
             // 99:100 is undocumented; 20:100 with 20 not on the path.
-            entry("2001:db8:1::/48", "10 30 40", &[Community::new(99, 100), Community::new(20, 100)]),
+            entry(
+                "2001:db8:1::/48",
+                "10 30 40",
+                &[Community::new(99, 100), Community::new(20, 100)],
+            ),
             // Tagger is the origin (no next hop towards the origin).
             entry("2001:db8:2::/48", "10 20", &[Community::new(20, 100)]),
         ]);
@@ -361,14 +363,12 @@ mod tests {
 
     #[test]
     fn per_plane_inference_is_independent() {
-        let snap = snapshot(vec![
-            entry("2001:db8:1::/48", "10 20 30", &[Community::new(20, 200)]),
-            {
+        let snap =
+            snapshot(vec![entry("2001:db8:1::/48", "10 20 30", &[Community::new(20, 200)]), {
                 let mut e = entry("198.51.100.0/24", "10 20 30", &[Community::new(20, 100)]);
                 e.peer = PeerId::new(Asn(10), "192.0.2.1".parse::<IpAddr>().unwrap());
                 e
-            },
-        ]);
+            }]);
         let inf = CommunityInference::from_snapshot(&snap, &dictionary());
         assert_eq!(
             inf.relationship(Asn(20), Asn(30), IpVersion::V6),
@@ -384,17 +384,28 @@ mod tests {
 
     #[test]
     fn locpref_inferences_fill_gaps_without_overriding_communities() {
-        let snap = snapshot(vec![entry(
-            "2001:db8:1::/48",
-            "10 20 30",
-            &[Community::new(20, 100)],
-        )]);
+        let snap = snapshot(vec![entry("2001:db8:1::/48", "10 20 30", &[Community::new(20, 100)])]);
         let mut inf = CommunityInference::from_snapshot(&snap, &dictionary());
         // Cannot override the community-derived link.
-        assert!(!inf.add_locpref_inference(Asn(20), Asn(30), IpVersion::V6, Relationship::PeerToPeer));
+        assert!(!inf.add_locpref_inference(
+            Asn(20),
+            Asn(30),
+            IpVersion::V6,
+            Relationship::PeerToPeer
+        ));
         // Fills a genuinely unknown link.
-        assert!(inf.add_locpref_inference(Asn(10), Asn(20), IpVersion::V6, Relationship::CustomerToProvider));
-        assert!(!inf.add_locpref_inference(Asn(20), Asn(10), IpVersion::V6, Relationship::PeerToPeer));
+        assert!(inf.add_locpref_inference(
+            Asn(10),
+            Asn(20),
+            IpVersion::V6,
+            Relationship::CustomerToProvider
+        ));
+        assert!(!inf.add_locpref_inference(
+            Asn(20),
+            Asn(10),
+            IpVersion::V6,
+            Relationship::PeerToPeer
+        ));
         assert_eq!(
             inf.relationship(Asn(20), Asn(10), IpVersion::V6),
             Some(Relationship::ProviderToCustomer)
@@ -408,11 +419,7 @@ mod tests {
 
     #[test]
     fn annotate_graph_applies_inferences() {
-        let snap = snapshot(vec![entry(
-            "2001:db8:1::/48",
-            "10 20 30",
-            &[Community::new(20, 100)],
-        )]);
+        let snap = snapshot(vec![entry("2001:db8:1::/48", "10 20 30", &[Community::new(20, 100)])]);
         let inf = CommunityInference::from_snapshot(&snap, &dictionary());
         let mut graph = AsGraph::new();
         graph.observe_link(Asn(20), Asn(30), IpVersion::V6);
@@ -425,11 +432,7 @@ mod tests {
 
     #[test]
     fn iter_yields_canonical_links() {
-        let snap = snapshot(vec![entry(
-            "2001:db8:1::/48",
-            "10 30 20",
-            &[Community::new(30, 100)],
-        )]);
+        let snap = snapshot(vec![entry("2001:db8:1::/48", "10 30 20", &[Community::new(30, 100)])]);
         let mut d = dictionary();
         d.insert(
             Community::new(30, 100),

@@ -167,11 +167,7 @@ mod tests {
         assert_eq!(data.link_count(IpVersion::V4), 2);
         assert_eq!(data.dual_stack_link_count(), 2);
         // The duplicated path has occurrences 2.
-        let p = data
-            .paths_v6
-            .iter()
-            .find(|p| p.path == vec![Asn(10), Asn(20), Asn(30)])
-            .unwrap();
+        let p = data.paths_v6.iter().find(|p| p.path == vec![Asn(10), Asn(20), Asn(30)]).unwrap();
         assert_eq!(p.occurrences, 2);
         assert_eq!(data.paths(IpVersion::V6).len(), 2);
         assert_eq!(data.paths(IpVersion::V4).len(), 1);

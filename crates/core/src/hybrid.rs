@@ -132,9 +132,9 @@ pub fn detect_hybrids(data: &ExtractedData, inference: &CommunityInference) -> H
         })
         .count();
 
-    report
-        .findings
-        .sort_by(|x, y| y.v6_path_visibility.cmp(&x.v6_path_visibility).then(x.a.cmp(&y.a)).then(x.b.cmp(&y.b)));
+    report.findings.sort_by(|x, y| {
+        y.v6_path_visibility.cmp(&x.v6_path_visibility).then(x.a.cmp(&y.a)).then(x.b.cmp(&y.b))
+    });
     report
 }
 
@@ -161,7 +161,9 @@ pub fn detect_hybrids_from_graph(
 mod tests {
     use super::*;
     use crate::extract::extract;
-    use bgp_types::{CollectorId, PathAttributes, PeerId, Prefix, Relationship, RibEntry, RibSnapshot};
+    use bgp_types::{
+        CollectorId, PathAttributes, PeerId, Prefix, Relationship, RibEntry, RibSnapshot,
+    };
     use std::net::IpAddr;
 
     fn entry(prefix: &str, path: &str) -> RibEntry {
@@ -246,7 +248,8 @@ mod tests {
     #[test]
     fn v6_only_links_are_never_hybrid_candidates() {
         let data = observed();
-        let inf = inference_with(&[(10, 40, Relationship::PeerToPeer, Relationship::ProviderToCustomer)]);
+        let inf =
+            inference_with(&[(10, 40, Relationship::PeerToPeer, Relationship::ProviderToCustomer)]);
         let report = detect_hybrids(&data, &inf);
         assert!(report.findings.is_empty(), "10-40 is not dual stack");
     }

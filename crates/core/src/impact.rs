@@ -166,10 +166,7 @@ pub fn correction_sweep(
     let baseline_reachable: Vec<Vec<bool>> = sources
         .iter()
         .map(|&src| {
-            valley_free_distances(&graph, src, IpVersion::V6)
-                .iter()
-                .map(|d| d.is_some())
-                .collect()
+            valley_free_distances(&graph, src, IpVersion::V6).iter().map(|d| d.is_some()).collect()
         })
         .collect();
 

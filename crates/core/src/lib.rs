@@ -57,8 +57,8 @@ pub mod pipeline;
 pub mod report;
 pub mod valley;
 
-pub use baselines::{gao_inference, degree_heuristic_inference, InferenceAccuracy};
-pub use communities::{CommunityInference, InferredRelationship, InferenceSource};
+pub use baselines::{degree_heuristic_inference, gao_inference, InferenceAccuracy};
+pub use communities::{CommunityInference, InferenceSource, InferredRelationship};
 pub use extract::{ExtractedData, ObservedPath};
 pub use hybrid::{HybridFinding, HybridReport};
 pub use impact::{CorrectionStep, ImpactCurve};

@@ -128,7 +128,10 @@ mod tests {
     /// 10:99 = lower preference (TE).
     fn dictionary() -> CommunityDictionary {
         let mut d = CommunityDictionary::new();
-        d.insert(Community::new(10, 1), CommunityMeaning::Relationship(RelationshipTag::FromCustomer));
+        d.insert(
+            Community::new(10, 1),
+            CommunityMeaning::Relationship(RelationshipTag::FromCustomer),
+        );
         d.insert(Community::new(10, 2), CommunityMeaning::Relationship(RelationshipTag::FromPeer));
         d.insert(
             Community::new(10, 99),
@@ -137,7 +140,12 @@ mod tests {
         d
     }
 
-    fn entry(prefix: &str, path: &str, locpref: Option<u32>, communities: &[Community]) -> RibEntry {
+    fn entry(
+        prefix: &str,
+        path: &str,
+        locpref: Option<u32>,
+        communities: &[Community],
+    ) -> RibEntry {
         let mut attrs = PathAttributes::with_path(path.parse().unwrap());
         attrs.local_pref = locpref;
         for c in communities {
@@ -200,7 +208,8 @@ mod tests {
             Some(Relationship::PeerToPeer)
         );
         assert_eq!(
-            inference.inferred_by_source(IpVersion::V6, crate::communities::InferenceSource::LocalPref),
+            inference
+                .inferred_by_source(IpVersion::V6, crate::communities::InferenceSource::LocalPref),
             2
         );
     }

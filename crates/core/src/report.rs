@@ -207,6 +207,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::field_reassign_with_default)]
     fn display_includes_optional_sections_when_present() {
         use crate::impact::{CorrectionStep, ImpactCurve};
         let mut report = Report::default();
@@ -228,8 +229,10 @@ mod tests {
                 },
             ],
         });
-        report.baseline_accuracy_v4 = Some(InferenceAccuracy { comparable: 10, correct: 9, ..Default::default() });
-        report.baseline_accuracy_v6 = Some(InferenceAccuracy { comparable: 10, correct: 7, ..Default::default() });
+        report.baseline_accuracy_v4 =
+            Some(InferenceAccuracy { comparable: 10, correct: 9, ..Default::default() });
+        report.baseline_accuracy_v6 =
+            Some(InferenceAccuracy { comparable: 10, correct: 7, ..Default::default() });
         let text = report.to_string();
         assert!(text.contains("3.80 -> 2.23"));
         assert!(text.contains("11 -> 7"));

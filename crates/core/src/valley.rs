@@ -99,10 +99,7 @@ pub fn analyze_valleys(
                 let distances = reach_cache
                     .entry(head)
                     .or_insert_with(|| valley_free_distances(annotated, head, plane));
-                let reachable = annotated
-                    .node(origin)
-                    .and_then(|n| distances[n.index()])
-                    .is_some();
+                let reachable = annotated.node(origin).and_then(|n| distances[n.index()]).is_some();
                 if reachable {
                     report.violation_valleys += 1;
                 } else {
@@ -118,7 +115,9 @@ pub fn analyze_valleys(
 mod tests {
     use super::*;
     use crate::extract::extract;
-    use bgp_types::{CollectorId, PathAttributes, PeerId, Prefix, Relationship, RibEntry, RibSnapshot};
+    use bgp_types::{
+        CollectorId, PathAttributes, PeerId, Prefix, Relationship, RibEntry, RibSnapshot,
+    };
     use std::net::IpAddr;
 
     fn v6_entry(prefix: &str, path: &str) -> RibEntry {
@@ -153,13 +152,13 @@ mod tests {
     #[test]
     fn classifies_valley_free_valley_and_unknown() {
         let data = data_from(&[
-            "1 2 3 4 5",  // up, up, peer, down: valley-free
-            "5 4 3 2 1",  // up, peer, down, down: valley-free
-            "2 1 9",      // link 1-9 unannotated: unknown
-            "4 3 2 1",    // peer then down down — wait: 4->3 p2p, 3->2 p2c, 2->1 p2c: valley-free
-            "2 3 4 5",    // up, peer, down: valley-free
-            "5 4 3 2",    // up, peer, down: valley-free
-            "1 2 3 4 5 4",// loop would be discarded at extraction; not included
+            "1 2 3 4 5",   // up, up, peer, down: valley-free
+            "5 4 3 2 1",   // up, peer, down, down: valley-free
+            "2 1 9",       // link 1-9 unannotated: unknown
+            "4 3 2 1",     // peer then down down — wait: 4->3 p2p, 3->2 p2c, 2->1 p2c: valley-free
+            "2 3 4 5",     // up, peer, down: valley-free
+            "5 4 3 2",     // up, peer, down: valley-free
+            "1 2 3 4 5 4", // loop would be discarded at extraction; not included
         ]);
         let g = annotation();
         let report = analyze_valleys(&data, &g, IpVersion::V6);

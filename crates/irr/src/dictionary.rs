@@ -48,10 +48,7 @@ impl CommunityDictionary {
 
     /// Number of documented values that carry relationship information.
     pub fn relationship_entry_count(&self) -> usize {
-        self.entries
-            .values()
-            .filter(|m| matches!(m, CommunityMeaning::Relationship(_)))
-            .count()
+        self.entries.values().filter(|m| matches!(m, CommunityMeaning::Relationship(_))).count()
     }
 
     /// The set of ASes that documented at least one relationship community.
@@ -91,7 +88,10 @@ impl CommunityDictionary {
     /// path; each documented relationship community is one assertion about
     /// the link between its *defining* AS and the neighbor that AS learned
     /// the route from.
-    pub fn relationship_assertions(&self, communities: &CommunitySet) -> Vec<(Asn, RelationshipTag)> {
+    pub fn relationship_assertions(
+        &self,
+        communities: &CommunitySet,
+    ) -> Vec<(Asn, RelationshipTag)> {
         let mut out = Vec::new();
         for community in communities.iter() {
             if let Some(CommunityMeaning::Relationship(tag)) = self.lookup(community) {
@@ -105,10 +105,7 @@ impl CommunityDictionary {
     /// LocPrf-affecting traffic-engineering action by its defining AS —
     /// the filter the paper applies before learning LocPrf mappings.
     pub fn has_locpref_tainting_community(&self, communities: &CommunitySet) -> bool {
-        communities
-            .iter()
-            .filter_map(|c| self.lookup(c))
-            .any(|m| m.taints_local_pref())
+        communities.iter().filter_map(|c| self.lookup(c)).any(|m| m.taints_local_pref())
     }
 }
 
@@ -166,10 +163,7 @@ mod tests {
     #[test]
     fn merge_pools_sources() {
         let mut a = CommunityDictionary::new();
-        a.insert(
-            Community::new(1, 1),
-            CommunityMeaning::Relationship(RelationshipTag::FromPeer),
-        );
+        a.insert(Community::new(1, 1), CommunityMeaning::Relationship(RelationshipTag::FromPeer));
         let mut b = CommunityDictionary::new();
         b.insert(
             Community::new(2, 2),

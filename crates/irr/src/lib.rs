@@ -50,4 +50,4 @@ pub use dictionary::CommunityDictionary;
 pub use meaning::{CommunityMeaning, RelationshipTag, TrafficAction};
 pub use registry::IrrRegistry;
 pub use rpsl::AutNumObject;
-pub use scheme::{CommunityScheme, SchemeStyle, SchemeGenerator};
+pub use scheme::{CommunityScheme, SchemeGenerator, SchemeStyle};

@@ -106,7 +106,9 @@ impl TrafficAction {
             TrafficAction::PrependThrice => "prepend 3x to all peers".to_string(),
             TrafficAction::DoNotAnnounce => "do not announce to peers".to_string(),
             TrafficAction::SetLocalPref(v) => format!("set local-preference to {v}"),
-            TrafficAction::LowerPreference => "set local-preference below default (backup)".to_string(),
+            TrafficAction::LowerPreference => {
+                "set local-preference below default (backup)".to_string()
+            }
             TrafficAction::RaisePreference => "set local-preference above default".to_string(),
             TrafficAction::Blackhole => "blackhole (discard traffic)".to_string(),
         }
@@ -194,8 +196,9 @@ mod tests {
 
         assert!(CommunityMeaning::TrafficEngineering(TrafficAction::LowerPreference)
             .taints_local_pref());
-        assert!(!CommunityMeaning::TrafficEngineering(TrafficAction::PrependOnce)
-            .taints_local_pref());
+        assert!(
+            !CommunityMeaning::TrafficEngineering(TrafficAction::PrependOnce).taints_local_pref()
+        );
         assert!(!CommunityMeaning::Relationship(RelationshipTag::FromPeer).taints_local_pref());
         assert!(!CommunityMeaning::Informational.taints_local_pref());
     }

@@ -189,7 +189,7 @@ fn classify_description(description: &str) -> CommunityMeaning {
             .split(|c: char| !c.is_ascii_digit())
             .filter(|s| !s.is_empty())
             .filter_map(|s| s.parse::<u32>().ok())
-            .last()
+            .next_back()
         {
             return CommunityMeaning::TrafficEngineering(TrafficAction::SetLocalPref(value));
         }
@@ -208,16 +208,35 @@ fn classify_description(description: &str) -> CommunityMeaning {
     // Relationship wording. Order matters: "upstream provider" and
     // "transit provider" must not fall into the customer branch via the
     // word "transit" alone.
-    if has(&["from customer", "from customers", "learned from customer", "customer routes",
-             "received from customer", "from a customer", "downstream"]) {
+    if has(&[
+        "from customer",
+        "from customers",
+        "learned from customer",
+        "customer routes",
+        "received from customer",
+        "from a customer",
+        "downstream",
+    ]) {
         return CommunityMeaning::Relationship(RelationshipTag::FromCustomer);
     }
-    if has(&["from peer", "from peers", "peering partner", "peer routes", "via peering",
-             "settlement-free"]) {
+    if has(&[
+        "from peer",
+        "from peers",
+        "peering partner",
+        "peer routes",
+        "via peering",
+        "settlement-free",
+    ]) {
         return CommunityMeaning::Relationship(RelationshipTag::FromPeer);
     }
-    if has(&["from transit", "from provider", "from upstream", "upstream provider",
-             "transit provider", "provider routes"]) {
+    if has(&[
+        "from transit",
+        "from provider",
+        "from upstream",
+        "upstream provider",
+        "transit provider",
+        "provider routes",
+    ]) {
         return CommunityMeaning::Relationship(RelationshipTag::FromProvider);
     }
     if has(&["sibling", "same organisation", "same organization", "internal as"]) {

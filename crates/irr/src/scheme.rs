@@ -97,7 +97,12 @@ impl CommunityScheme {
     ///
     /// `tags` lists which relationship tags the AS applies; an empty slice
     /// produces an AS that attaches only location/TE communities.
-    pub fn build(asn: Asn, style: SchemeStyle, tags: &[RelationshipTag], location_count: u16) -> Self {
+    pub fn build(
+        asn: Asn,
+        style: SchemeStyle,
+        tags: &[RelationshipTag],
+        location_count: u16,
+    ) -> Self {
         let mut relationship_values = BTreeMap::new();
         for &tag in tags {
             relationship_values.insert(style.relationship_value(tag), tag);
@@ -152,7 +157,10 @@ impl CommunityScheme {
             out.push((Community::new(asn16, *value), CommunityMeaning::Relationship(*tag)));
         }
         for (value, action) in &self.te_values {
-            out.push((Community::new(asn16, *value), CommunityMeaning::TrafficEngineering(*action)));
+            out.push((
+                Community::new(asn16, *value),
+                CommunityMeaning::TrafficEngineering(*action),
+            ));
         }
         for i in 0..self.location_count {
             out.push((
@@ -249,14 +257,8 @@ mod tests {
     fn te_and_location_values() {
         let s = CommunityScheme::build(Asn(174), SchemeStyle::ClassicHundreds, &[], 3);
         assert!(!s.tags_relationships());
-        assert_eq!(
-            s.te_community(TrafficAction::Blackhole),
-            Some(Community::new(174, 666))
-        );
-        assert_eq!(
-            s.te_community(TrafficAction::LowerPreference),
-            Some(Community::new(174, 610))
-        );
+        assert_eq!(s.te_community(TrafficAction::Blackhole), Some(Community::new(174, 666)));
+        assert_eq!(s.te_community(TrafficAction::LowerPreference), Some(Community::new(174, 610)));
         assert_eq!(s.location_community(0), Some(Community::new(174, 10000)));
         assert_eq!(s.location_community(2), Some(Community::new(174, 10002)));
         assert_eq!(s.location_community(3), None);
@@ -281,12 +283,7 @@ mod tests {
 
     #[test]
     fn meanings_cover_everything_defined() {
-        let s = CommunityScheme::build(
-            Asn(6939),
-            SchemeStyle::Thousands,
-            &RelationshipTag::ALL,
-            5,
-        );
+        let s = CommunityScheme::build(Asn(6939), SchemeStyle::Thousands, &RelationshipTag::ALL, 5);
         let meanings = s.meanings();
         assert_eq!(meanings.len(), 4 + 7 + 5);
         for (community, meaning) in meanings {

@@ -161,11 +161,7 @@ fn encode_as_path(path: &AsPath) -> BytesMut {
 /// `MP_REACH_NLRI` attribute (abbreviated or full depending on `ctx`),
 /// IPv4 routes use the classic `NEXT_HOP` attribute and, in `Update`
 /// context, are expected to be carried in the UPDATE's own NLRI field.
-pub fn encode_attributes(
-    attrs: &PathAttributes,
-    prefix: &Prefix,
-    ctx: AttrContext,
-) -> BytesMut {
+pub fn encode_attributes(attrs: &PathAttributes, prefix: &Prefix, ctx: AttrContext) -> BytesMut {
     let mut out = BytesMut::new();
     let wk = flags::TRANSITIVE; // well-known attributes
     let opt = flags::OPTIONAL;
@@ -276,8 +272,7 @@ fn decode_as_path(mut body: Bytes) -> Result<AsPath, MrtError> {
             }
         }
     }
-    AsPath::from_segments(segments)
-        .map_err(|e| MrtError::malformed("AS_PATH", e.to_string()))
+    AsPath::from_segments(segments).map_err(|e| MrtError::malformed("AS_PATH", e.to_string()))
 }
 
 fn decode_mp_reach(
@@ -336,18 +331,14 @@ fn read_next_hop(body: &mut Bytes, hop_len: usize) -> Result<Option<IpAddr>, Mrt
             body.advance(16);
             Ok((!global.is_unspecified()).then_some(IpAddr::V6(global)))
         }
-        other => Err(MrtError::malformed(
-            "next hop",
-            format!("unsupported next hop length {other}"),
-        )),
+        other => {
+            Err(MrtError::malformed("next hop", format!("unsupported next hop length {other}")))
+        }
     }
 }
 
 /// Decode a path attribute blob.
-pub fn decode_attributes(
-    mut buf: Bytes,
-    ctx: AttrContext,
-) -> Result<DecodedAttributes, MrtError> {
+pub fn decode_attributes(mut buf: Bytes, ctx: AttrContext) -> Result<DecodedAttributes, MrtError> {
     let mut out = DecodedAttributes::default();
     while buf.has_remaining() {
         need(&buf, 2, "attribute header")?;
@@ -383,8 +374,7 @@ pub fn decode_attributes(
                 let hop = Ipv4Addr::from(o);
                 // 0.0.0.0 is the "no next hop known" placeholder we emit
                 // for synthetic routes; map it back to None.
-                out.attrs.next_hop =
-                    (!hop.is_unspecified()).then_some(IpAddr::V4(hop));
+                out.attrs.next_hop = (!hop.is_unspecified()).then_some(IpAddr::V4(hop));
             }
             attr_type::MED => {
                 if body.len() != 4 {
@@ -439,15 +429,13 @@ pub fn decode_attributes(
                 }
                 out.mp_reach_nlri = prefixes;
             }
-            attr_type::MP_UNREACH_NLRI => {
-                if ctx == AttrContext::Update && body.len() >= 3 {
-                    let mut b = body;
-                    let afi = b.get_u16();
-                    let _safi = b.get_u8();
-                    if let Some(version) = IpVersion::from_afi(afi) {
-                        while b.has_remaining() {
-                            out.mp_unreach_nlri.push(decode_prefix(&mut b, version)?);
-                        }
+            attr_type::MP_UNREACH_NLRI if ctx == AttrContext::Update && body.len() >= 3 => {
+                let mut b = body;
+                let afi = b.get_u16();
+                let _safi = b.get_u8();
+                if let Some(version) = IpVersion::from_afi(afi) {
+                    while b.has_remaining() {
+                        out.mp_unreach_nlri.push(decode_prefix(&mut b, version)?);
                     }
                 }
             }

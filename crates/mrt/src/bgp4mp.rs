@@ -40,14 +40,7 @@ impl Bgp4mpMessage {
     ) -> Self {
         let msg = encode_update(attrs, prefix).freeze();
         let update = decode_update(msg).expect("self-encoded update must decode");
-        Bgp4mpMessage {
-            peer_asn,
-            local_asn,
-            interface_index: 0,
-            peer_addr,
-            local_addr,
-            update,
-        }
+        Bgp4mpMessage { peer_asn, local_asn, interface_index: 0, peer_addr, local_addr, update }
     }
 
     /// The address family of the peering session.

@@ -99,7 +99,11 @@ fn read_exact_or_eof(reader: &mut impl Read, buf: &mut [u8]) -> Result<ReadOutco
     while filled < buf.len() {
         match reader.read(&mut buf[filled..]) {
             Ok(0) => {
-                return Ok(if filled == 0 { ReadOutcome::Eof } else { ReadOutcome::Partial(filled) })
+                return Ok(if filled == 0 {
+                    ReadOutcome::Eof
+                } else {
+                    ReadOutcome::Partial(filled)
+                })
             }
             Ok(n) => filled += n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,

@@ -132,9 +132,9 @@ impl MrtRecord {
                 Ok(MrtRecordBody::PeerIndexTable(PeerIndexTable::decode(&mut body)?))
             }
             (Some(MrtType::TableDumpV2), td2_subtype::RIB_IPV4_UNICAST)
-            | (Some(MrtType::TableDumpV2), td2_subtype::RIB_IPV6_UNICAST) => Ok(
-                MrtRecordBody::RibEntries(RibAfiEntries::decode(header.subtype, &mut body)?),
-            ),
+            | (Some(MrtType::TableDumpV2), td2_subtype::RIB_IPV6_UNICAST) => {
+                Ok(MrtRecordBody::RibEntries(RibAfiEntries::decode(header.subtype, &mut body)?))
+            }
             (Some(MrtType::Bgp4mp), bgp4mp_subtype::MESSAGE_AS4) => {
                 Ok(MrtRecordBody::Bgp4mp(Bgp4mpMessage::decode(&mut body)?))
             }

@@ -129,7 +129,10 @@ pub fn write_snapshot(sink: impl Write, snapshot: &RibSnapshot) -> Result<(), Mr
 }
 
 /// [`write_snapshot`] to a file path (parent directories must exist).
-pub fn write_snapshot_to_path(path: impl AsRef<Path>, snapshot: &RibSnapshot) -> Result<(), MrtError> {
+pub fn write_snapshot_to_path(
+    path: impl AsRef<Path>,
+    snapshot: &RibSnapshot,
+) -> Result<(), MrtError> {
     let file = File::create(path)?;
     write_snapshot(file, snapshot)
 }
@@ -162,7 +165,7 @@ mod tests {
         write_snapshot(&mut buf, &snap).unwrap();
         let records: Vec<_> = MrtReader::new(&buf[..]).records().collect::<Result<_, _>>().unwrap();
         assert_eq!(records.len(), 6); // index table + 5 prefixes
-        // The peer index table must come first.
+                                      // The peer index table must come first.
         assert!(matches!(records[0].body, MrtRecordBody::PeerIndexTable(_)));
         // Header lengths must match encoded bodies.
         for r in &records {

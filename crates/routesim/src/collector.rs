@@ -37,12 +37,9 @@ impl Feeder {
     pub fn peer_addr(&self, plane: IpVersion) -> IpAddr {
         let asn = self.asn.value();
         match plane {
-            IpVersion::V4 => IpAddr::V4(Ipv4Addr::new(
-                198,
-                18,
-                ((asn >> 8) & 0xFF) as u8,
-                (asn & 0xFF) as u8,
-            )),
+            IpVersion::V4 => {
+                IpAddr::V4(Ipv4Addr::new(198, 18, ((asn >> 8) & 0xFF) as u8, (asn & 0xFF) as u8))
+            }
             IpVersion::V6 => IpAddr::V6(Ipv6Addr::new(
                 0x2001,
                 0xdb8,
@@ -74,10 +71,7 @@ pub struct CollectorSetup {
 impl CollectorSetup {
     /// Feeders that have a session on the given plane.
     pub fn plane_feeders(&self, plane: IpVersion) -> Vec<&Feeder> {
-        self.feeders
-            .iter()
-            .filter(|f| plane == IpVersion::V4 || f.feeds_ipv6)
-            .collect()
+        self.feeders.iter().filter(|f| plane == IpVersion::V4 || f.feeds_ipv6).collect()
     }
 }
 
@@ -164,12 +158,9 @@ mod tests {
     #[test]
     fn feeders_prefer_well_connected_ases() {
         let (truth, collectors) = setup();
-        let mean_all: f64 = truth
-            .graph
-            .asns()
-            .map(|a| truth.graph.degree(a, IpVersion::V4) as f64)
-            .sum::<f64>()
-            / truth.graph.node_count() as f64;
+        let mean_all: f64 =
+            truth.graph.asns().map(|a| truth.graph.degree(a, IpVersion::V4) as f64).sum::<f64>()
+                / truth.graph.node_count() as f64;
         let feeder_degrees: Vec<f64> = collectors
             .iter()
             .flat_map(|c| c.feeders.iter())

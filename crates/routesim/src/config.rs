@@ -124,17 +124,13 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_values() {
-        let mut c = SimConfig::default();
-        c.leak_probability = 1.5;
+        let c = SimConfig { leak_probability: 1.5, ..SimConfig::default() };
         assert!(c.validate().unwrap_err().contains("leak_probability"));
-        let mut c = SimConfig::default();
-        c.collector_count = 0;
+        let c = SimConfig { collector_count: 0, ..SimConfig::default() };
         assert!(c.validate().is_err());
-        let mut c = SimConfig::default();
-        c.feeders_per_collector = 0;
+        let c = SimConfig { feeders_per_collector: 0, ..SimConfig::default() };
         assert!(c.validate().is_err());
-        let mut c = SimConfig::default();
-        c.full_feeder_fraction = -0.1;
+        let c = SimConfig { full_feeder_fraction: -0.1, ..SimConfig::default() };
         assert!(c.validate().is_err());
     }
 

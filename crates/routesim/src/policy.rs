@@ -265,8 +265,7 @@ mod tests {
         let b = PolicyTable::build(&truth, &SimConfig::default());
         assert_eq!(a.tagging_ases(), b.tagging_ases());
         assert_eq!(a.documented_ases(), b.documented_ases());
-        let mut other = SimConfig::default();
-        other.seed = 7;
+        let other = SimConfig { seed: 7, ..SimConfig::default() };
         let c = PolicyTable::build(&truth, &other);
         // Different seed; overwhelmingly likely to differ for 50+ ASes.
         assert!(a.tagging_ases() != c.tagging_ases() || a.documented_ases() != c.documented_ases());

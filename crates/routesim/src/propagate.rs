@@ -248,9 +248,8 @@ pub fn propagate_origin(
             }
         }
         // Deterministic order: by target node, then candidate quality.
-        peer_candidates.sort_by_key(|(next, cand)| {
-            (next.0, cand.path_len, graph.asn(cand.next_hop).value())
-        });
+        peer_candidates
+            .sort_by_key(|(next, cand)| (next.0, cand.path_len, graph.asn(cand.next_hop).value()));
         for (next, cand) in peer_candidates {
             if better(&routes[next.index()], &cand, graph, RouteClass::Peer) {
                 routes[next.index()] = Some(cand);
@@ -267,11 +266,7 @@ pub fn propagate_origin(
         let mut heap: BinaryHeap<Reverse<Candidate>> = BinaryHeap::new();
         for id in 0..n as u32 {
             if let Some(info) = routes[id as usize] {
-                heap.push(Reverse(Candidate {
-                    path_len: info.path_len,
-                    tie_break: 0,
-                    node: id,
-                }));
+                heap.push(Reverse(Candidate { path_len: info.path_len, tie_break: 0, node: id }));
             }
         }
         while let Some(Reverse(Candidate { path_len, node, .. })) = heap.pop() {
@@ -307,8 +302,9 @@ pub fn propagate_origin(
 
     // ---- Phase 4: route leaks -------------------------------------------------
     if options.leak_probability > 0.0 {
-        let mut rng =
-            ChaCha8Rng::seed_from_u64(options.seed ^ (u64::from(origin.value()) << 20) ^ 0x6c65616b);
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            options.seed ^ (u64::from(origin.value()) << 20) ^ 0x6c65616b,
+        );
         // Decide leaks against the pre-leak state so adoption cannot cycle.
         let snapshot = routes.clone();
         let mut adoptions: Vec<(NodeId, RouteInfo)> = Vec::new();
@@ -332,8 +328,11 @@ pub fn propagate_origin(
                 if !forbidden {
                     continue;
                 }
-                let cand =
-                    RouteInfo { class: RouteClass::Leaked, path_len: info.path_len + 1, next_hop: node };
+                let cand = RouteInfo {
+                    class: RouteClass::Leaked,
+                    path_len: info.path_len + 1,
+                    next_hop: node,
+                };
                 let adopt = match snapshot[next.index()] {
                     None => true,
                     // The receiver believes it is a customer/peer route, so
@@ -347,7 +346,8 @@ pub fn propagate_origin(
                 }
             }
         }
-        adoptions.sort_by_key(|(next, cand)| (next.0, cand.path_len, graph.asn(cand.next_hop).value()));
+        adoptions
+            .sort_by_key(|(next, cand)| (next.0, cand.path_len, graph.asn(cand.next_hop).value()));
         for (next, cand) in adoptions {
             // Never replace the route of a node that is itself leaking (its
             // exported route was computed from the snapshot).
@@ -482,8 +482,7 @@ mod tests {
     #[test]
     fn every_as_gets_a_route_in_a_connected_hierarchy() {
         let g = fixture_graph();
-        let outcome =
-            propagate_origin(&g, Asn(50), IpVersion::V4, &PropagationOptions::default());
+        let outcome = propagate_origin(&g, Asn(50), IpVersion::V4, &PropagationOptions::default());
         assert_eq!(outcome.routed_count(), g.node_count());
         // The origin's provider learned it from a customer.
         assert_eq!(outcome.route(&g, Asn(30)).unwrap().class, RouteClass::Customer);
@@ -581,12 +580,8 @@ mod tests {
         // is c2p, peer?? 20-10 is p2c for 20 (20 is customer on v6) so
         // 41 climbs to 20, climbs to 10? no: 10->20 is p2c so 20->10 is c2p;
         // 41->20 c2p, 20->10 c2p, 10->40 p2c, 40->52 p2c: valley-free.
-        let strict = propagate_origin(
-            &truth.graph,
-            Asn(52),
-            IpVersion::V6,
-            &PropagationOptions::default(),
-        );
+        let strict =
+            propagate_origin(&truth.graph, Asn(52), IpVersion::V6, &PropagationOptions::default());
         assert!(strict.route(&truth.graph, Asn(41)).is_some());
         assert_eq!(strict.routed_count(), truth.graph.node_count());
     }
@@ -624,11 +619,8 @@ mod tests {
     #[test]
     fn determinism_across_runs() {
         let g = fixture_graph();
-        let opts = PropagationOptions {
-            reachability_relaxation: true,
-            leak_probability: 0.5,
-            seed: 99,
-        };
+        let opts =
+            PropagationOptions { reachability_relaxation: true, leak_probability: 0.5, seed: 99 };
         let a = propagate_origin(&g, Asn(50), IpVersion::V6, &opts);
         let b = propagate_origin(&g, Asn(50), IpVersion::V6, &opts);
         for asn in g.asns() {

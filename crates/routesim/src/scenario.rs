@@ -95,14 +95,7 @@ impl Scenario {
             .collect();
 
         for plane in IpVersion::BOTH {
-            Self::populate_plane(
-                &truth,
-                &policies,
-                &collectors,
-                &mut snapshots,
-                sim_config,
-                plane,
-            );
+            Self::populate_plane(&truth, &policies, &collectors, &mut snapshots, sim_config, plane);
         }
 
         Scenario {
@@ -135,13 +128,13 @@ impl Scenario {
         feeder_map.sort_by_key(|(asn, _, _)| *asn);
 
         let options = PropagationOptions {
-            reachability_relaxation: plane == IpVersion::V6 && sim_config.v6_reachability_relaxation,
+            reachability_relaxation: plane == IpVersion::V6
+                && sim_config.v6_reachability_relaxation,
             leak_probability: sim_config.leak_probability,
             seed: sim_config.seed,
         };
 
-        let mut origins: Vec<Asn> =
-            graph.asns().filter(|a| graph.degree(*a, plane) > 0).collect();
+        let mut origins: Vec<Asn> = graph.asns().filter(|a| graph.degree(*a, plane) > 0).collect();
         origins.sort();
 
         for origin in origins {
@@ -268,8 +261,7 @@ fn build_rib_entry<R: Rng>(
             // Keep only communities defined by this AS (the usual
             // "delete foreign communities" policy), plus the TE community
             // addressed to an AS we have not reached yet.
-            let own: Vec<bgp_types::Community> =
-                attrs.communities.defined_by(this_as).collect();
+            let own: Vec<bgp_types::Community> = attrs.communities.defined_by(this_as).collect();
             let keep_te = te_target.filter(|(target, _)| {
                 // The TE target is upstream of the origin; once passed it is
                 // allowed to be scrubbed like anything else.
@@ -438,9 +430,7 @@ mod tests {
         let mut checked = 0;
         for ((feeder, _), _) in by_rel.iter() {
             let get = |rel: Relationship| {
-                by_rel.get(&(*feeder, rel)).map(|v| {
-                    v.iter().copied().max().unwrap_or(0)
-                })
+                by_rel.get(&(*feeder, rel)).map(|v| v.iter().copied().max().unwrap_or(0))
             };
             if let (Some(c), Some(p)) =
                 (get(Relationship::ProviderToCustomer), get(Relationship::CustomerToProvider))
@@ -475,7 +465,11 @@ mod tests {
                         .graph
                         .relationship(tagger, path[pos + 1], entry.plane())
                         .expect("tagged link must exist");
-                    assert_eq!(actual, expected, "community {community} on {}", entry.attrs.as_path);
+                    assert_eq!(
+                        actual, expected,
+                        "community {community} on {}",
+                        entry.attrs.as_path
+                    );
                     verified += 1;
                 }
             }

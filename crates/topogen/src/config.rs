@@ -102,12 +102,7 @@ impl TopologyConfig {
     /// A small configuration (hundreds of ASes) for unit tests and doc
     /// examples; runs in milliseconds.
     pub fn small() -> Self {
-        TopologyConfig {
-            tier1_count: 6,
-            tier2_count: 60,
-            stub_count: 400,
-            ..Default::default()
-        }
+        TopologyConfig { tier1_count: 6, tier2_count: 60, stub_count: 400, ..Default::default() }
     }
 
     /// A tiny configuration (tens of ASes) for property tests that must
@@ -193,28 +188,22 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_configs() {
-        let mut c = TopologyConfig::default();
-        c.tier1_count = 1;
+        let c = TopologyConfig { tier1_count: 1, ..TopologyConfig::default() };
         assert!(c.validate().is_err());
 
-        let mut c = TopologyConfig::default();
-        c.hybrid_fraction = 1.5;
+        let c = TopologyConfig { hybrid_fraction: 1.5, ..TopologyConfig::default() };
         assert!(c.validate().unwrap_err().contains("hybrid_fraction"));
 
-        let mut c = TopologyConfig::default();
-        c.stub_providers = (3, 1);
+        let c = TopologyConfig { stub_providers: (3, 1), ..TopologyConfig::default() };
         assert!(c.validate().is_err());
 
-        let mut c = TopologyConfig::default();
-        c.stub_count = 70_000;
+        let c = TopologyConfig { stub_count: 70_000, ..TopologyConfig::default() };
         assert!(c.validate().unwrap_err().contains("ASN space"));
 
-        let mut c = TopologyConfig::default();
-        c.tier2_count = 0;
+        let c = TopologyConfig { tier2_count: 0, ..TopologyConfig::default() };
         assert!(c.validate().is_err());
 
-        let mut c = TopologyConfig::default();
-        c.tier2_providers = (0, 2);
+        let c = TopologyConfig { tier2_providers: (0, 2), ..TopologyConfig::default() };
         assert!(c.validate().is_err());
     }
 

@@ -90,10 +90,7 @@ mod tests {
     fn figure1_variants_differ_exactly_as_the_paper_describes() {
         let a = figure1_topology(true);
         let b = figure1_topology(false);
-        assert_eq!(
-            customer_tree(&a, Asn(1), IpVersion::V6),
-            vec![Asn(2), Asn(3), Asn(4), Asn(5)]
-        );
+        assert_eq!(customer_tree(&a, Asn(1), IpVersion::V6), vec![Asn(2), Asn(3), Asn(4), Asn(5)]);
         assert_eq!(customer_tree(&b, Asn(1), IpVersion::V6), vec![Asn(3)]);
     }
 
@@ -104,7 +101,10 @@ mod tests {
         assert_eq!(truth.hybrid_fraction() * truth.dual_stack_link_count() as f64, 1.0);
         assert!(truth.graph.has_link(Asn(30), Asn(41), IpVersion::V6));
         assert!(!truth.graph.has_link(Asn(30), Asn(41), IpVersion::V4));
-        assert_eq!(truth.plane_link_count(IpVersion::V6), truth.plane_link_count(IpVersion::V4) + 1);
+        assert_eq!(
+            truth.plane_link_count(IpVersion::V6),
+            truth.plane_link_count(IpVersion::V4) + 1
+        );
         assert_eq!(truth.ipv6_as_count(), 10);
         assert_eq!(truth.ases_of_tier(PlannedTier::Tier1), vec![Asn(10), Asn(20)]);
     }

@@ -143,16 +143,13 @@ pub fn generate(config: &TopologyConfig) -> GroundTruth {
     }
 
     // ---- IPv6-only peering links ----------------------------------------------
-    let v6_ases: Vec<Asn> = truth
-        .ipv6_capable
-        .iter()
-        .filter(|(_, capable)| **capable)
-        .map(|(asn, _)| *asn)
-        .collect();
+    let v6_ases: Vec<Asn> =
+        truth.ipv6_capable.iter().filter(|(_, capable)| **capable).map(|(asn, _)| *asn).collect();
     let mut v6_ases = v6_ases;
     v6_ases.sort();
     if v6_ases.len() > 1 {
-        let expected = (config.v6_only_peering_degree * v6_ases.len() as f64 / 2.0).round() as usize;
+        let expected =
+            (config.v6_only_peering_degree * v6_ases.len() as f64 / 2.0).round() as usize;
         for _ in 0..expected {
             let a = v6_ases[rng.gen_range(0..v6_ases.len())];
             let b = v6_ases[rng.gen_range(0..v6_ases.len())];
@@ -305,11 +302,13 @@ fn inject_hybrids<R: Rng>(
             }
             HybridClass::TransitV4PeeringV6 => {
                 // Keep (or force) a transit v4 relationship, peer on v6.
-                let v4 = if v4_rel.is_transit() { v4_rel } else { Relationship::ProviderToCustomer };
+                let v4 =
+                    if v4_rel.is_transit() { v4_rel } else { Relationship::ProviderToCustomer };
                 (v4, Relationship::PeerToPeer)
             }
             HybridClass::OppositeTransit => {
-                let v4 = if v4_rel.is_transit() { v4_rel } else { Relationship::ProviderToCustomer };
+                let v4 =
+                    if v4_rel.is_transit() { v4_rel } else { Relationship::ProviderToCustomer };
                 (v4, v4.reverse())
             }
         };
@@ -428,12 +427,9 @@ mod tests {
     #[test]
     fn hybrids_prefer_well_connected_ases() {
         let truth = truth_small();
-        let mean_degree_all: f64 = truth
-            .graph
-            .asns()
-            .map(|a| truth.graph.degree(a, IpVersion::V4) as f64)
-            .sum::<f64>()
-            / truth.graph.node_count() as f64;
+        let mean_degree_all: f64 =
+            truth.graph.asns().map(|a| truth.graph.degree(a, IpVersion::V4) as f64).sum::<f64>()
+                / truth.graph.node_count() as f64;
         let mean_degree_hybrid: f64 = truth
             .hybrid_links
             .iter()

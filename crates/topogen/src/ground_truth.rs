@@ -53,8 +53,12 @@ impl HybridClass {
             return None;
         }
         match (pair.v4, pair.v6) {
-            (Relationship::PeerToPeer, r6) if r6.is_transit() => Some(HybridClass::PeeringV4TransitV6),
-            (r4, Relationship::PeerToPeer) if r4.is_transit() => Some(HybridClass::TransitV4PeeringV6),
+            (Relationship::PeerToPeer, r6) if r6.is_transit() => {
+                Some(HybridClass::PeeringV4TransitV6)
+            }
+            (r4, Relationship::PeerToPeer) if r4.is_transit() => {
+                Some(HybridClass::TransitV4PeeringV6)
+            }
             (r4, r6) if r4.is_transit() && r6.is_transit() && r4 != r6 => {
                 Some(HybridClass::OppositeTransit)
             }

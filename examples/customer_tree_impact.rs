@@ -31,7 +31,10 @@ fn main() {
     let report = Pipeline::with_impact(20, Some(200)).run(PipelineInput::from_scenario(&scenario));
     let curve = report.impact.expect("impact sweep requested");
 
-    println!("{:>10} {:>22} {:>10} {:>14}", "corrected", "avg valley-free path", "diameter", "reachability");
+    println!(
+        "{:>10} {:>22} {:>10} {:>14}",
+        "corrected", "avg valley-free path", "diameter", "reachability"
+    );
     for step in &curve.steps {
         println!(
             "{:>10} {:>22.3} {:>10} {:>13.1}%",

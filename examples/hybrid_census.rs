@@ -59,7 +59,9 @@ fn main() {
     let mut wrong = 0usize;
     for finding in &hybrids.findings {
         match scenario.truth.relationship_pair(finding.a, finding.b) {
-            Some(pair) if pair.is_hybrid() && HybridClass::classify(pair) == Some(finding.class) => {
+            Some(pair)
+                if pair.is_hybrid() && HybridClass::classify(pair) == Some(finding.class) =>
+            {
                 correct += 1
             }
             _ => wrong += 1,

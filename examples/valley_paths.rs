@@ -11,14 +11,18 @@
 use hybrid_as_rel::prelude::*;
 
 fn run(relaxation: bool, leak_probability: f64) -> Report {
-    let mut sim = SimConfig::default();
-    sim.v6_reachability_relaxation = relaxation;
-    sim.leak_probability = leak_probability;
+    let sim = SimConfig {
+        v6_reachability_relaxation: relaxation,
+        leak_probability,
+        ..SimConfig::default()
+    };
     // A sparser IPv6 plane makes valley-free partitions more likely, which
     // is the phenomenon this example is about.
-    let mut topology = TopologyConfig::small();
-    topology.stub_ipv6_adoption = 0.25;
-    topology.v6_only_peering_degree = 1.2;
+    let topology = TopologyConfig {
+        stub_ipv6_adoption: 0.25,
+        v6_only_peering_degree: 1.2,
+        ..TopologyConfig::small()
+    };
     let scenario = Scenario::build(&topology, &sim);
     Pipeline::default().run(PipelineInput::from_scenario(&scenario))
 }

@@ -3,9 +3,9 @@
 //! analysis, validated against the simulator's ground truth.
 
 use hybrid_as_rel::prelude::*;
+use hybrid_as_rel::topology::HybridClass;
 use hybrid_as_rel::tor::communities::InferenceSource;
 use hybrid_as_rel::tor::extract::extract;
-use hybrid_as_rel::topology::HybridClass;
 
 fn scenario(seed: u64) -> Scenario {
     let mut topology = TopologyConfig::small();
@@ -106,8 +106,7 @@ fn every_detected_hybrid_is_a_real_hybrid() {
 fn hybrid_recall_improves_with_documentation() {
     let truth = hybrid_as_rel::topology::generate(&TopologyConfig::small());
     let recall_at = |documentation: f64| {
-        let mut sim = SimConfig::default();
-        sim.documentation_probability = documentation;
+        let sim = SimConfig { documentation_probability: documentation, ..SimConfig::default() };
         let scenario = Scenario::build_from_truth(truth.clone(), TopologyConfig::small(), &sim);
         let report = Pipeline::default().run(PipelineInput::from_scenario(&scenario));
         report.hybrids.findings.len() as f64 / truth.hybrid_links.len().max(1) as f64
@@ -127,8 +126,8 @@ fn mrt_files_and_registry_reproduce_the_in_memory_measurement() {
     let registry_path = dir.join("registry.txt");
     scenario.registry.save(&registry_path).unwrap();
 
-    let from_disk = Pipeline::default()
-        .run(PipelineInput::from_files(&mrt_paths, &registry_path).unwrap());
+    let from_disk =
+        Pipeline::default().run(PipelineInput::from_files(&mrt_paths, &registry_path).unwrap());
     let in_memory = Pipeline::default().run(PipelineInput::from_scenario(&scenario));
 
     assert_eq!(from_disk.dataset.ipv6_paths, in_memory.dataset.ipv6_paths);

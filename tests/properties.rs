@@ -98,6 +98,92 @@ proptest! {
         prop_assert_eq!(decoded.attrs, attrs);
     }
 
+    // ---- communities ------------------------------------------------------
+
+    #[test]
+    fn community_set_text_and_wire_roundtrip(raws in prop::collection::vec(any::<u32>(), 0..16)) {
+        let set: CommunitySet = raws.iter().copied().map(Community::from_u32).collect();
+        // Textual round trip, element by element (the set renders as a
+        // space-separated list of `asn:value` communities).
+        for c in set.iter() {
+            prop_assert_eq!(c.to_string().parse::<Community>().unwrap(), c);
+        }
+        let text = set.to_string();
+        let reparsed: CommunitySet =
+            text.split_whitespace().map(|t| t.parse::<Community>().unwrap()).collect();
+        prop_assert_eq!(reparsed, set.clone());
+        // Wire round trip on both planes, through the shared attribute codec.
+        for prefix in ["198.51.100.0/24".parse::<Prefix>().unwrap(), "2001:db8::/32".parse().unwrap()]
+        {
+            let mut attrs = PathAttributes::with_path("6939 3333".parse().unwrap());
+            attrs.communities = set.clone();
+            let blob = encode_attributes(&attrs, &prefix, AttrContext::TableDumpV2).freeze();
+            let decoded = decode_attributes(blob, AttrContext::TableDumpV2).unwrap();
+            prop_assert_eq!(&decoded.attrs.communities, &set);
+        }
+    }
+
+    #[test]
+    fn community_set_is_an_ordered_set(raws in prop::collection::vec(any::<u32>(), 0..24)) {
+        let set: CommunitySet = raws.iter().copied().map(Community::from_u32).collect();
+        let listed: Vec<Community> = set.iter().collect();
+        // Deduplicated ...
+        let distinct: std::collections::HashSet<u32> = raws.iter().copied().collect();
+        prop_assert_eq!(listed.len(), distinct.len());
+        // ... and iterated in sorted order, so serializations are canonical.
+        let mut sorted = listed.clone();
+        sorted.sort();
+        prop_assert_eq!(listed, sorted);
+        // Re-inserting every member is a no-op.
+        let mut again = set.clone();
+        for c in set.iter() {
+            prop_assert!(!again.insert(c));
+        }
+        prop_assert_eq!(again, set);
+    }
+
+    // ---- AS-path prepending ----------------------------------------------
+
+    #[test]
+    fn prepend_extends_without_disturbing_the_tail(
+        asns in prop::collection::vec(1u32..1_000_000, 1..10),
+        head in 1u32..1_000_000
+    ) {
+        let path = AsPath::from_sequence(asns.iter().copied().map(Asn).collect::<Vec<_>>());
+        let prepended = path.prepended(Asn(head));
+        prop_assert_eq!(prepended.len(), path.len() + 1);
+        prop_assert_eq!(prepended.first(), Some(Asn(head)));
+        prop_assert_eq!(prepended.origin(), path.origin());
+        // The original path's links all survive the prepend.
+        let links: std::collections::HashSet<_> = prepended.links().collect();
+        for link in path.links() {
+            prop_assert!(links.contains(&link));
+        }
+    }
+
+    #[test]
+    fn repeated_prepends_collapse_under_deprepending(
+        asns in prop::collection::vec(1u32..1_000_000, 1..10),
+        head in 1u32..1_000_000,
+        repeats in 1usize..6
+    ) {
+        let path = AsPath::from_sequence(asns.iter().copied().map(Asn).collect::<Vec<_>>());
+        let mut padded = path.prepended(Asn(head));
+        for _ in 1..repeats {
+            padded.prepend(Asn(head));
+        }
+        // However many times the head AS prepends itself, the de-prepended
+        // path is the one a single export would have produced.
+        prop_assert_eq!(padded.deprepended(), path.prepended(Asn(head)).deprepended());
+        // Path-selection length counts every prepend (RFC 4271 §9.1.2.2).
+        prop_assert_eq!(padded.routing_length(), path.routing_length() + repeats);
+        // And de-prepending never invents links.
+        let original: std::collections::HashSet<_> = path.prepended(Asn(head)).links().collect();
+        for link in padded.links() {
+            prop_assert!(original.contains(&link));
+        }
+    }
+
     // ---- valley-free rule -------------------------------------------------
 
     #[test]
@@ -108,7 +194,7 @@ proptest! {
         if peer {
             rels.push(Relationship::PeerToPeer);
         }
-        rels.extend(std::iter::repeat(Relationship::ProviderToCustomer).take(downs));
+        rels.extend(std::iter::repeat_n(Relationship::ProviderToCustomer, downs));
         prop_assert!(is_valley_free(&rels));
     }
 

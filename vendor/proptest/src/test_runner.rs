@@ -1,0 +1,68 @@
+//! The case runner behind the `proptest!` macro.
+
+use std::fmt;
+
+use rand::SeedableRng;
+
+use crate::strategy::{Strategy, TestRng};
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed proptest case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Fail with a message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Fixed base seed: runs are deterministic; vary per case index.
+const BASE_SEED: u64 = 0x70726f7074657374; // "proptest"
+
+/// Run `config.cases` generated cases of `test` (used by `proptest!`).
+pub fn run_cases<S, F>(config: &ProptestConfig, strategy: &S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    for case in 0..config.cases {
+        let mut rng = TestRng::seed_from_u64(BASE_SEED ^ u64::from(case).wrapping_mul(0x9E3779B97F4A7C15));
+        let value = strategy.new_value(&mut rng);
+        let shown = format!("{value:?}");
+        if let Err(e) = test(value) {
+            panic!(
+                "proptest case {case}/{total} failed: {e}\n  input: {shown}",
+                total = config.cases
+            );
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Offline stand-in for `rand_chacha`.
+//!
+//! Implements a genuine ChaCha-with-8-rounds block function behind the
+//! vendored `rand` shim's `RngCore`/`SeedableRng` traits. The stream is
+//! deterministic for a given seed (the workspace's only requirement) but
+//! is not bit-compatible with upstream `rand_chacha`.
+
+use rand::{RngCore, SeedableRng};
+
+/// A ChaCha random number generator with 8 rounds.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng(ChaChaCore<4>);
+
+/// A ChaCha random number generator with 12 rounds.
+#[derive(Debug, Clone)]
+pub struct ChaCha12Rng(ChaChaCore<6>);
+
+/// A ChaCha random number generator with 20 rounds.
+#[derive(Debug, Clone)]
+pub struct ChaCha20Rng(ChaChaCore<10>);
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+fn init_state(seed: [u8; 32]) -> [u32; 16] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes([
+            seed[4 * i],
+            seed[4 * i + 1],
+            seed[4 * i + 2],
+            seed[4 * i + 3],
+        ]);
+    }
+    // Counter (words 12–13) and nonce (words 14–15) start at zero.
+    state
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+fn block(state: &[u32; 16], double_rounds: usize, out: &mut [u32; 16]) {
+    let mut working = *state;
+    for _ in 0..double_rounds {
+        // Column rounds.
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+    for i in 0..16 {
+        out[i] = working[i].wrapping_add(state[i]);
+    }
+}
+
+fn advance_counter(state: &mut [u32; 16]) {
+    let (next, carry) = state[12].overflowing_add(1);
+    state[12] = next;
+    if carry {
+        state[13] = state[13].wrapping_add(1);
+    }
+}
+
+/// Generic core shared by all round-count variants.
+#[derive(Debug, Clone)]
+struct ChaChaCore<const DOUBLE_ROUNDS: usize> {
+    state: [u32; 16],
+    buffer: [u32; 16],
+    index: usize,
+}
+
+impl<const DR: usize> ChaChaCore<DR> {
+    fn from_seed(seed: [u8; 32]) -> Self {
+        ChaChaCore { state: init_state(seed), buffer: [0; 16], index: 16 }
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            block(&self.state, DR, &mut self.buffer);
+            advance_counter(&mut self.state);
+            self.index = 0;
+        }
+        let word = self.buffer[self.index];
+        self.index += 1;
+        word
+    }
+}
+
+macro_rules! impl_variant {
+    ($name:ident) => {
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                $name(ChaChaCore::from_seed(seed))
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                self.0.next_u32()
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_u32() as u64;
+                let hi = self.next_u32() as u64;
+                (hi << 32) | lo
+            }
+        }
+    };
+}
+
+impl_variant!(ChaCha8Rng);
+impl_variant!(ChaCha12Rng);
+impl_variant!(ChaCha20Rng);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(99);
+        let mut b = ChaCha8Rng::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let sa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn chacha20_zero_seed_matches_rfc_block_function_shape() {
+        // Sanity: the first block of ChaCha20 with an all-zero key and
+        // nonce is a fixed, well-known stream; check internal consistency
+        // (first word differs from the raw constant).
+        let mut rng = ChaCha20Rng::from_seed([0u8; 32]);
+        let first = rng.next_u32();
+        assert_ne!(first, 0x6170_7865);
+    }
+}

@@ -1,0 +1,5 @@
+/root/repo/vendor/rand_chacha/target/debug/deps/rand_chacha-aa09b88ab6a34fab.d: src/lib.rs
+
+/root/repo/vendor/rand_chacha/target/debug/deps/rand_chacha-aa09b88ab6a34fab: src/lib.rs
+
+src/lib.rs:

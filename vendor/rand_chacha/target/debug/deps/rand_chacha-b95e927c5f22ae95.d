@@ -1,0 +1,7 @@
+/root/repo/vendor/rand_chacha/target/debug/deps/rand_chacha-b95e927c5f22ae95.d: src/lib.rs
+
+/root/repo/vendor/rand_chacha/target/debug/deps/librand_chacha-b95e927c5f22ae95.rlib: src/lib.rs
+
+/root/repo/vendor/rand_chacha/target/debug/deps/librand_chacha-b95e927c5f22ae95.rmeta: src/lib.rs
+
+src/lib.rs:

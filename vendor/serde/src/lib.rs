@@ -1,0 +1,544 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde crate is unavailable in this build environment, so this
+//! crate provides the subset of the API the workspace actually uses:
+//! `Serialize`/`Deserialize` traits (routed through an owned JSON-like
+//! [`Value`] data model rather than serde's visitor machinery) plus the
+//! `#[derive(Serialize, Deserialize)]` macros re-exported from the sibling
+//! `serde_derive` shim. `serde_json` (also vendored) renders [`Value`] to
+//! text and parses it back.
+//!
+//! Behavioural notes mirroring real serde where it matters to callers:
+//! * newtype structs and `#[serde(transparent)]` wrappers serialize as
+//!   their inner value;
+//! * enums use the externally-tagged representation;
+//! * missing `Option` fields deserialize to `None`, other missing fields
+//!   are an error; unknown fields are ignored;
+//! * map keys are coerced to JSON strings and parsed back.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every `Serialize`/`Deserialize` impl
+/// goes through. Mirrors the JSON data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Integer too large for `u64`.
+    U128(u128),
+    /// Floating point number.
+    F64(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow the object entries if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Borrow the array elements if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Borrow the string if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::U64(_) | Value::I64(_) | Value::U128(_) | Value::F64(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization (and serialization) error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// "expected X, found Y" error.
+    pub fn expected(what: &str, found: &Value) -> Error {
+        Error(format!("expected {what}, found {}", found.kind()))
+    }
+
+    /// Arbitrary custom error.
+    pub fn custom(msg: impl fmt::Display) -> Error {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be turned into a [`Value`].
+pub trait Serialize {
+    /// Convert `self` into the data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from the data model.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+
+    /// Called when a struct field of this type is absent. Mirrors serde's
+    /// behaviour: an error for most types, `None` for `Option`.
+    fn from_missing(field: &'static str) -> Result<Self, Error> {
+        Err(Error(format!("missing field `{field}`")))
+    }
+}
+
+/// Look up a field in an object's entries (first match wins, like serde).
+pub fn get_field<'a>(entries: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+    entries.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+/// Deserialize a struct field, falling back to [`Deserialize::from_missing`]
+/// when the key is absent. Used by the derive macro.
+pub fn field<T: Deserialize>(
+    entries: &[(String, Value)],
+    name: &'static str,
+) -> Result<T, Error> {
+    match get_field(entries, name) {
+        Some(v) => T::from_value(v)
+            .map_err(|e| Error(format!("field `{name}`: {e}"))),
+        None => T::from_missing(name),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw: u128 = match *value {
+                    Value::U64(n) => n as u128,
+                    Value::U128(n) => n,
+                    Value::I64(n) if n >= 0 => n as u128,
+                    _ => return Err(Error::expected("unsigned integer", value)),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| Error(format!("integer {raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        match u64::try_from(*self) {
+            Ok(n) => Value::U64(n),
+            Err(_) => Value::U128(*self),
+        }
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match *value {
+            Value::U64(n) => Ok(n as u128),
+            Value::U128(n) => Ok(n),
+            Value::I64(n) if n >= 0 => Ok(n as u128),
+            _ => Err(Error::expected("unsigned integer", value)),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v < 0 { Value::I64(v) } else { Value::U64(v as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw: i128 = match *value {
+                    Value::U64(n) => n as i128,
+                    Value::U128(n) => i128::try_from(n)
+                        .map_err(|_| Error::custom("integer out of range"))?,
+                    Value::I64(n) => n as i128,
+                    _ => return Err(Error::expected("integer", value)),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| Error(format!("integer {raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                if self.is_finite() { Value::F64(*self as f64) } else { Value::Null }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match *value {
+                    Value::F64(f) => Ok(f as $t),
+                    Value::U64(n) => Ok(n as $t),
+                    Value::U128(n) => Ok(n as $t),
+                    Value::I64(n) => Ok(n as $t),
+                    Value::Null => Ok(<$t>::NAN),
+                    _ => Err(Error::expected("number", value)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("boolean", value)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let s = value.as_str().ok_or_else(|| Error::expected("string", value))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected a single-character string")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::expected("string", value))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn from_missing(_field: &'static str) -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::expected("array", value))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::expected("array", value))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize + Eq + Hash> Serialize for HashSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::expected("array", value))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let items = value.as_array().ok_or_else(|| Error::expected("array", value))?;
+                let expected = [$($n),+].len();
+                if items.len() != expected {
+                    return Err(Error(format!(
+                        "expected a tuple of {expected} elements, found {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($t::from_value(&items[$n])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+// ---------------------------------------------------------------------------
+// Maps — JSON object keys must be strings, so keys round-trip through text
+// (real serde_json does the same for integer keys).
+// ---------------------------------------------------------------------------
+
+/// Render a key's serialized form as a JSON object key string.
+fn key_to_string(v: &Value) -> Result<String, Error> {
+    match v {
+        Value::String(s) => Ok(s.clone()),
+        Value::U64(n) => Ok(n.to_string()),
+        Value::I64(n) => Ok(n.to_string()),
+        Value::U128(n) => Ok(n.to_string()),
+        Value::Bool(b) => Ok(b.to_string()),
+        other => Err(Error(format!("map key must be a string or integer, found {}", other.kind()))),
+    }
+}
+
+/// Rebuild a key from its JSON object key string.
+fn key_from_string<K: Deserialize>(s: &str) -> Result<K, Error> {
+    // Try the string form first, then the integer forms.
+    let as_string = Value::String(s.to_owned());
+    if let Ok(k) = K::from_value(&as_string) {
+        return Ok(k);
+    }
+    if let Ok(n) = s.parse::<u64>() {
+        if let Ok(k) = K::from_value(&Value::U64(n)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(n) = s.parse::<i64>() {
+        if let Ok(k) = K::from_value(&Value::I64(n)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(b) = s.parse::<bool>() {
+        if let Ok(k) = K::from_value(&Value::Bool(b)) {
+            return Ok(k);
+        }
+    }
+    Err(Error(format!("cannot parse map key from {s:?}")))
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut entries = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            let key = key_to_string(&k.to_value()).unwrap_or_else(|_| String::from("<key>"));
+            entries.push((key, v.to_value()));
+        }
+        Value::Object(entries)
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let entries = value.as_object().ok_or_else(|| Error::expected("object", value))?;
+        let mut map = BTreeMap::new();
+        for (k, v) in entries {
+            map.insert(key_from_string(k)?, V::from_value(v)?);
+        }
+        Ok(map)
+    }
+}
+
+impl<K: Serialize + Eq + Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut entries = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            let key = key_to_string(&k.to_value()).unwrap_or_else(|_| String::from("<key>"));
+            entries.push((key, v.to_value()));
+        }
+        Value::Object(entries)
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let entries = value.as_object().ok_or_else(|| Error::expected("object", value))?;
+        let mut map = HashMap::with_capacity(entries.len());
+        for (k, v) in entries {
+            map.insert(key_from_string(k)?, V::from_value(v)?);
+        }
+        Ok(map)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// std::net — serialized in their human-readable text form, like real serde.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_display_fromstr {
+    ($($t:ty => $what:expr),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::String(self.to_string())
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let s = value.as_str().ok_or_else(|| Error::expected($what, value))?;
+                s.parse().map_err(|_| Error(format!("invalid {}: {s:?}", $what)))
+            }
+        }
+    )*};
+}
+
+impl_display_fromstr! {
+    Ipv4Addr => "IPv4 address",
+    Ipv6Addr => "IPv6 address",
+    IpAddr => "IP address"
+}

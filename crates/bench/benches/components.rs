@@ -8,8 +8,9 @@ use std::hint::black_box;
 
 use asgraph::customer_tree::tree_union_metrics;
 use asgraph::valley::valley_free_distances;
-use bgp_types::IpVersion;
-use routesim::propagate::{propagate_origin, PropagationOptions};
+use bgp_types::{Asn, IpVersion};
+use hybrid_tor::pipeline::{Pipeline, PipelineInput};
+use routesim::propagate::{propagate_origin, propagate_origins, PropagationOptions};
 
 fn components(c: &mut Criterion) {
     let scale = bench::bench_scale();
@@ -53,6 +54,47 @@ fn components(c: &mut Criterion) {
             )
         })
     });
+
+    // Sharded propagation of every origin at several worker counts —
+    // `propagate/threads=1` is the sequential baseline the parallel rows
+    // are compared against (the outputs are byte-identical by contract).
+    let graph = &scenario.truth.graph;
+    let mut origins: Vec<Asn> =
+        graph.asns().filter(|a| graph.degree(*a, IpVersion::V4) > 0).collect();
+    origins.sort();
+    let mut group = c.benchmark_group("propagate");
+    group.throughput(Throughput::Elements(origins.len() as u64));
+    for threads in [1usize, 2, 4] {
+        group.bench_function(&format!("threads={threads}"), |b| {
+            b.iter(|| {
+                black_box(
+                    propagate_origins(
+                        graph,
+                        black_box(&origins),
+                        IpVersion::V4,
+                        &PropagationOptions::default(),
+                        threads,
+                    )
+                    .len(),
+                )
+            })
+        });
+    }
+    group.finish();
+
+    // The full measurement pipeline (input pooling + all stages) at the
+    // same worker counts.
+    let mut group = c.benchmark_group("pipeline");
+    for threads in [1usize, 2, 4] {
+        let pipeline = Pipeline::with_concurrency(threads);
+        group.bench_function(&format!("threads={threads}"), |b| {
+            b.iter(|| {
+                let input = PipelineInput::from_scenario_with(&scenario, &pipeline.options);
+                black_box(pipeline.run(input).dataset.ipv6_links)
+            })
+        });
+    }
+    group.finish();
 
     // Valley-free single-source traversal and the tree-union metric.
     c.bench_function("valley_free_distances", |b| {

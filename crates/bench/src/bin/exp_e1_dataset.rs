@@ -10,7 +10,11 @@
 fn main() {
     let small = std::env::args().any(|a| a == "--small");
     let scale = if small { bench::bench_scale() } else { bench::paper_scale() };
-    eprintln!("building scenario ({} ASes)...", scale.topology.total_as_count());
+    eprintln!(
+        "building scenario ({} ASes, {} worker threads; set HYBRID_THREADS to override)...",
+        scale.topology.total_as_count(),
+        routesim::effective_concurrency(bench::configured_concurrency())
+    );
     let scenario = bench::build_scenario(&scale);
     eprintln!("running measurement pipeline...");
     let report = bench::run_measurement(&scenario);

@@ -15,11 +15,20 @@ use asgraph::customer_tree::customer_tree;
 use asgraph::AsGraph;
 use bgp_types::{Asn, IpVersion};
 use hybrid_tor::baselines::{gao_inference, BaselineInput, InferenceAccuracy};
-use hybrid_tor::pipeline::{Pipeline, PipelineInput};
+use hybrid_tor::pipeline::{Pipeline, PipelineInput, PipelineOptions};
 use hybrid_tor::report::Report;
 use routesim::{Scenario, SimConfig};
 use topogen::fixtures::figure1_topology;
 use topogen::TopologyConfig;
+
+/// Worker-thread count for scenario building and the pipeline, taken from
+/// the `HYBRID_THREADS` environment variable. Unset, empty or unparsable
+/// values mean `0` = all available cores; `HYBRID_THREADS=1` forces the
+/// sequential path. Output is byte-identical either way — the knob only
+/// trades wall-clock time.
+pub fn configured_concurrency() -> usize {
+    std::env::var("HYBRID_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+}
 
 /// Topology/simulation configuration pair.
 #[derive(Debug, Clone)]
@@ -46,15 +55,24 @@ pub fn tiny_scale() -> ExperimentScale {
     ExperimentScale { topology: TopologyConfig::tiny(), sim: SimConfig::small() }
 }
 
-/// Build the scenario for a scale.
+/// Build the scenario for a scale, honouring `HYBRID_THREADS` when the
+/// scale does not pin a worker count itself.
 pub fn build_scenario(scale: &ExperimentScale) -> Scenario {
-    Scenario::build(&scale.topology, &scale.sim)
+    let mut sim = scale.sim.clone();
+    if sim.concurrency == 0 {
+        sim.concurrency = configured_concurrency();
+    }
+    Scenario::build(&scale.topology, &sim)
 }
 
 /// E1/E2/E3/E4 + A1: run the full measurement pipeline (without the
-/// Figure 2 sweep) and return the report.
+/// Figure 2 sweep) and return the report. Honours `HYBRID_THREADS`.
 pub fn run_measurement(scenario: &Scenario) -> Report {
-    Pipeline::default().run(PipelineInput::from_scenario(scenario))
+    let pipeline = Pipeline {
+        options: PipelineOptions::with_concurrency(configured_concurrency()),
+        ..Default::default()
+    };
+    pipeline.run(PipelineInput::from_scenario_with(scenario, &pipeline.options))
 }
 
 /// F2: run the measurement including the customer-tree correction sweep.
@@ -66,7 +84,11 @@ pub fn run_measurement_with_impact(
     top_k: usize,
     source_cap: Option<usize>,
 ) -> Report {
-    Pipeline::with_impact(top_k, source_cap).run(PipelineInput::from_scenario(scenario))
+    let pipeline = Pipeline {
+        options: PipelineOptions::with_concurrency(configured_concurrency()),
+        ..Pipeline::with_impact(top_k, source_cap)
+    };
+    pipeline.run(PipelineInput::from_scenario_with(scenario, &pipeline.options))
 }
 
 /// F1: the Figure 1 example — the customer tree of AS1 under the two

@@ -63,6 +63,6 @@ pub use extract::{ExtractedData, ObservedPath};
 pub use hybrid::{HybridFinding, HybridReport};
 pub use impact::{CorrectionStep, ImpactCurve};
 pub use locpref::LocPrfRosetta;
-pub use pipeline::{Pipeline, PipelineInput};
+pub use pipeline::{Pipeline, PipelineInput, PipelineOptions};
 pub use report::Report;
 pub use valley::{ValleyAttribution, ValleyReport};

@@ -30,29 +30,101 @@ pub struct PipelineInput {
 
 impl PipelineInput {
     /// Build the input from a simulated scenario: pools its collectors,
-    /// parses its registry, and carries the ground truth along.
+    /// parses its registry, and carries the ground truth along. Uses the
+    /// default execution options (all available parallelism).
     pub fn from_scenario(scenario: &routesim::Scenario) -> Self {
-        PipelineInput {
-            snapshot: scenario.merged_snapshot(),
-            dictionary: scenario.registry.build_dictionary(),
-            truth: Some(scenario.truth.clone()),
-        }
+        Self::from_scenario_with(scenario, &PipelineOptions::default())
+    }
+
+    /// [`from_scenario`](Self::from_scenario) with explicit execution
+    /// options: per-collector snapshot pooling runs sharded, concurrently
+    /// with the IRR dictionary build, when more than one worker is
+    /// allowed. The pooled entry order is worker-count independent.
+    pub fn from_scenario_with(scenario: &routesim::Scenario, options: &PipelineOptions) -> Self {
+        let workers = options.workers();
+        let (snapshot, dictionary) = if workers > 1 {
+            std::thread::scope(|scope| {
+                // The main thread builds the dictionary, so pooling gets
+                // one worker less to keep the total at the budget.
+                let pool_workers = workers - 1;
+                let pooled = scope.spawn(move || scenario.pooled_snapshot(pool_workers));
+                let dictionary = scenario.registry.build_dictionary();
+                (pooled.join().expect("snapshot pooling worker panicked"), dictionary)
+            })
+        } else {
+            (scenario.pooled_snapshot(1), scenario.registry.build_dictionary())
+        };
+        PipelineInput { snapshot, dictionary, truth: Some(scenario.truth.clone()) }
     }
 
     /// Build the input from MRT files and an IRR dump on disk — the shape
-    /// a measurement against real archives would take.
+    /// a measurement against real archives would take. Uses the default
+    /// execution options (all available parallelism).
     pub fn from_files(
-        mrt_paths: &[impl AsRef<Path>],
+        mrt_paths: &[impl AsRef<Path> + Sync],
         registry_path: impl AsRef<Path>,
     ) -> Result<Self, std::io::Error> {
+        Self::from_files_with(mrt_paths, registry_path, &PipelineOptions::default())
+    }
+
+    /// [`from_files`](Self::from_files) with explicit execution options:
+    /// the per-collector MRT files are parsed on worker threads and merged
+    /// in path order, so the pooled snapshot — and the first error
+    /// surfaced, if any — match the sequential read exactly.
+    pub fn from_files_with(
+        mrt_paths: &[impl AsRef<Path> + Sync],
+        registry_path: impl AsRef<Path>,
+        options: &PipelineOptions,
+    ) -> Result<Self, std::io::Error> {
+        let read = |path: &dyn AsRef<Path>| {
+            mrt::read_snapshot_from_path(path).map_err(|e| std::io::Error::other(e.to_string()))
+        };
+        let workers = options.workers();
         let mut snapshot = RibSnapshot::default();
-        for path in mrt_paths {
-            let snap = mrt::read_snapshot_from_path(path)
-                .map_err(|e| std::io::Error::other(e.to_string()))?;
-            snapshot.merge(snap);
+        if workers <= 1 || mrt_paths.len() <= 1 {
+            // Sequential: stop at the first failing file.
+            for path in mrt_paths {
+                snapshot.merge(read(path)?);
+            }
+        } else {
+            let parsed: Vec<Result<RibSnapshot, std::io::Error>> =
+                routesim::shard_map(mrt_paths, workers, |path| read(path));
+            for snap in parsed {
+                snapshot.merge(snap?);
+            }
         }
         let registry = IrrRegistry::load(registry_path)?;
         Ok(PipelineInput { snapshot, dictionary: registry.build_dictionary(), truth: None })
+    }
+}
+
+/// Execution options for the pipeline: how much of the hardware to use.
+///
+/// Parallelism in this codebase is an execution detail, never an output
+/// knob — every worker count produces byte-identical reports (the
+/// determinism suite runs the same seeds at `concurrency` 1, 2 and 8 and
+/// compares the JSON byte-for-byte).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PipelineOptions {
+    /// Worker threads for the parallel sections: `0` uses all available
+    /// parallelism (the default), `1` is the fully sequential path.
+    pub concurrency: usize,
+}
+
+impl PipelineOptions {
+    /// Options pinned to `concurrency` worker threads.
+    pub fn with_concurrency(concurrency: usize) -> Self {
+        PipelineOptions { concurrency }
+    }
+
+    /// The fully sequential execution path.
+    pub fn sequential() -> Self {
+        Self::with_concurrency(1)
+    }
+
+    /// The worker count these options resolve to (`0` = all cores).
+    pub fn workers(&self) -> usize {
+        routesim::effective_concurrency(self.concurrency)
     }
 }
 
@@ -68,6 +140,8 @@ pub struct Pipeline {
     pub impact_options: ImpactOptions,
     /// Evaluate the Gao baseline against ground truth when available.
     pub evaluate_baseline: bool,
+    /// Execution options (worker threads for the parallel sections).
+    pub options: PipelineOptions,
 }
 
 impl Default for Pipeline {
@@ -77,6 +151,7 @@ impl Default for Pipeline {
             run_impact: false,
             impact_options: ImpactOptions::default(),
             evaluate_baseline: true,
+            options: PipelineOptions::default(),
         }
     }
 }
@@ -91,30 +166,78 @@ impl Pipeline {
         }
     }
 
+    /// A pipeline pinned to `concurrency` worker threads.
+    pub fn with_concurrency(concurrency: usize) -> Self {
+        Pipeline { options: PipelineOptions::with_concurrency(concurrency), ..Default::default() }
+    }
+
     /// Run the full measurement and produce a [`Report`].
+    ///
+    /// With more than one worker allowed, the stages that are independent
+    /// of one another run concurrently: extraction alongside community
+    /// decoding, then — after the LocPrf extension — hybrid detection,
+    /// valley analysis and the Gao baseline. Each stage computes exactly
+    /// what the sequential path computes, so the report is byte-identical
+    /// at every worker count.
     pub fn run(&self, input: PipelineInput) -> Report {
         let PipelineInput { snapshot, dictionary, truth } = input;
+        let workers = self.options.workers();
 
-        // 1. Extraction.
-        let data = extract(&snapshot);
+        // 1+2. Extraction and communities-based inference are independent
+        //      scans of the pooled snapshot.
+        let (data, mut inference) = if workers > 1 {
+            std::thread::scope(|scope| {
+                let extracted = scope.spawn(|| extract(&snapshot));
+                let inference = CommunityInference::from_snapshot(&snapshot, &dictionary);
+                (extracted.join().expect("extraction worker panicked"), inference)
+            })
+        } else {
+            (extract(&snapshot), CommunityInference::from_snapshot(&snapshot, &dictionary))
+        };
 
-        // 2. Communities-based inference.
-        let mut inference = CommunityInference::from_snapshot(&snapshot, &dictionary);
-
-        // 3. LocPrf Rosetta Stone.
+        // 3. LocPrf Rosetta Stone (reads and extends the inference, so it
+        //    stays on the critical path).
         if self.use_locpref {
             let mut rosetta = LocPrfRosetta::learn(&snapshot, &dictionary, &inference);
             rosetta.apply(&snapshot, &dictionary, &mut inference);
         }
 
-        // 4. Hybrid detection and visibility.
-        let hybrids = detect_hybrids(&data, &inference);
-
-        // 5. Valley analysis on the IPv6 plane, against the inferred
-        //    relationships.
-        let mut annotated = data.graph.clone();
-        inference.annotate_graph(&mut annotated);
-        let valleys = analyze_valleys(&data, &annotated, IpVersion::V6);
+        // 4+5+7a. Hybrid detection, valley analysis and the Gao baseline
+        //         all read (data, inference) without touching each other.
+        //         The caller thread counts against the worker budget, so
+        //         only spawn up to `workers - 1` helpers.
+        let (hybrids, valleys, baseline) = if workers > 2 {
+            std::thread::scope(|scope| {
+                let hybrids = scope.spawn(|| detect_hybrids(&data, &inference));
+                let valleys = scope.spawn(|| {
+                    let mut annotated = data.graph.clone();
+                    inference.annotate_graph(&mut annotated);
+                    analyze_valleys(&data, &annotated, IpVersion::V6)
+                });
+                let baseline = gao_inference(&data, BaselineInput::BothPlanes);
+                (
+                    hybrids.join().expect("hybrid detection worker panicked"),
+                    valleys.join().expect("valley analysis worker panicked"),
+                    baseline,
+                )
+            })
+        } else if workers > 1 {
+            std::thread::scope(|scope| {
+                let hybrids = scope.spawn(|| detect_hybrids(&data, &inference));
+                let mut annotated = data.graph.clone();
+                inference.annotate_graph(&mut annotated);
+                let valleys = analyze_valleys(&data, &annotated, IpVersion::V6);
+                let baseline = gao_inference(&data, BaselineInput::BothPlanes);
+                (hybrids.join().expect("hybrid detection worker panicked"), valleys, baseline)
+            })
+        } else {
+            let hybrids = detect_hybrids(&data, &inference);
+            let mut annotated = data.graph.clone();
+            inference.annotate_graph(&mut annotated);
+            let valleys = analyze_valleys(&data, &annotated, IpVersion::V6);
+            let baseline = gao_inference(&data, BaselineInput::BothPlanes);
+            (hybrids, valleys, baseline)
+        };
 
         // 6. Dataset summary.
         let dual_stack_classified_both = data
@@ -143,9 +266,8 @@ impl Pipeline {
             dictionary_size: dictionary.len(),
         };
 
-        // 7. Baseline (Gao) inference: both for accuracy evaluation and as
-        //    the misinferred starting point of the Figure 2 sweep.
-        let baseline = gao_inference(&data, BaselineInput::BothPlanes);
+        // 7b. Baseline accuracy against ground truth (the baseline itself
+        //     was computed above, alongside the other independent stages).
         let (baseline_accuracy_v4, baseline_accuracy_v6) = match (&truth, self.evaluate_baseline) {
             (Some(truth), true) => (
                 Some(InferenceAccuracy::evaluate(&baseline, &truth.graph, IpVersion::V4)),
@@ -268,5 +390,39 @@ mod tests {
     fn missing_files_surface_an_error() {
         let result = PipelineInput::from_files(&["/nonexistent/a.mrt"], "/nonexistent/irr.txt");
         assert!(result.is_err());
+        // The sequential path surfaces the same error.
+        let sequential = PipelineInput::from_files_with(
+            &["/nonexistent/a.mrt"],
+            "/nonexistent/irr.txt",
+            &PipelineOptions::sequential(),
+        );
+        assert!(sequential.is_err());
+    }
+
+    #[test]
+    fn pipeline_options_resolve_worker_counts() {
+        assert!(PipelineOptions::default().workers() >= 1, "auto resolves to at least one");
+        assert_eq!(PipelineOptions::sequential().workers(), 1);
+        assert_eq!(PipelineOptions::with_concurrency(5).workers(), 5);
+        assert_eq!(Pipeline::with_concurrency(3).options.concurrency, 3);
+    }
+
+    #[test]
+    fn concurrent_pipeline_reports_are_byte_identical_to_sequential() {
+        let scenario = scenario();
+        let render = |concurrency: usize| {
+            let pipeline = Pipeline {
+                run_impact: true,
+                impact_options: ImpactOptions { top_k: 3, source_cap: Some(64) },
+                options: PipelineOptions::with_concurrency(concurrency),
+                ..Default::default()
+            };
+            let input = PipelineInput::from_scenario_with(&scenario, &pipeline.options);
+            serde_json::to_string_pretty(&pipeline.run(input)).expect("report serializes")
+        };
+        let sequential = render(1);
+        for workers in [2usize, 4] {
+            assert!(render(workers) == sequential, "concurrency={workers} diverged");
+        }
     }
 }

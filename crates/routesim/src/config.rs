@@ -54,6 +54,13 @@ pub struct SimConfig {
     /// Snapshot timestamp recorded in the generated RIBs/MRT files
     /// (defaults to 2010-08-01T00:00:00Z to mirror the paper's dataset).
     pub timestamp: u64,
+
+    /// Worker threads for route propagation and RIB materialisation:
+    /// `0` uses all available parallelism, `1` is the sequential path.
+    /// Whatever the value, the produced snapshots are byte-identical —
+    /// parallelism is an execution detail, never an output knob (the
+    /// determinism suite enforces this).
+    pub concurrency: usize,
 }
 
 impl Default for SimConfig {
@@ -73,6 +80,7 @@ impl Default for SimConfig {
             feeders_per_collector: 12,
             full_feeder_fraction: 0.5,
             timestamp: 1_280_620_800, // 2010-08-01
+            concurrency: 0,
         }
     }
 }
@@ -82,6 +90,16 @@ impl SimConfig {
     /// topologies.
     pub fn small() -> Self {
         SimConfig { collector_count: 2, feeders_per_collector: 6, ..Default::default() }
+    }
+
+    /// The same configuration pinned to `concurrency` worker threads.
+    pub fn with_concurrency(self, concurrency: usize) -> Self {
+        SimConfig { concurrency, ..self }
+    }
+
+    /// The worker count this configuration resolves to (`0` = all cores).
+    pub fn effective_concurrency(&self) -> usize {
+        crate::shard::effective_concurrency(self.concurrency)
     }
 
     /// Validate probability ranges and structural requirements.
@@ -140,5 +158,14 @@ mod tests {
         let json = serde_json::to_string(&c).unwrap();
         let back: SimConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn concurrency_knob_resolves_and_validates() {
+        assert_eq!(SimConfig::default().concurrency, 0, "default is auto");
+        assert!(SimConfig::default().effective_concurrency() >= 1);
+        let pinned = SimConfig::small().with_concurrency(3);
+        assert_eq!(pinned.effective_concurrency(), 3);
+        assert!(pinned.validate().is_ok(), "any worker count is valid");
     }
 }

@@ -38,9 +38,11 @@ pub mod config;
 pub mod policy;
 pub mod propagate;
 pub mod scenario;
+pub mod shard;
 
 pub use collector::{CollectorSetup, FeederKind};
 pub use config::SimConfig;
 pub use policy::{AsPolicy, PolicyTable};
-pub use propagate::{propagate_origin, RouteClass, RoutingOutcome};
+pub use propagate::{propagate_origin, propagate_origins, RouteClass, RoutingOutcome};
 pub use scenario::Scenario;
+pub use shard::{effective_concurrency, shard_map};

@@ -21,7 +21,8 @@ use topogen::{GroundTruth, TopologyConfig};
 use crate::collector::{build_collectors, CollectorSetup, FeederKind};
 use crate::config::SimConfig;
 use crate::policy::PolicyTable;
-use crate::propagate::{propagate_origin, PropagationOptions};
+use crate::propagate::{propagate_origins, PropagationOptions};
+use crate::shard::shard_map;
 
 /// A fully materialised measurement scenario: the synthetic Internet, what
 /// its operators configured, and what the collectors recorded.
@@ -137,8 +138,19 @@ impl Scenario {
         let mut origins: Vec<Asn> = graph.asns().filter(|a| graph.degree(*a, plane) > 0).collect();
         origins.sort();
 
-        for origin in origins {
-            let outcome = propagate_origin(graph, origin, plane, &options);
+        // Shard this plane's propagation round across worker threads; the
+        // outcomes come back in origin order, so the rest of the round is
+        // oblivious to how (or whether) it was parallelised.
+        let workers = sim_config.effective_concurrency();
+        let outcomes = propagate_origins(graph, &origins, plane, &options, workers);
+
+        // Materialise each origin's RIB entries, also sharded: everything
+        // an origin contributes is a pure function of (origin, outcome)
+        // because the route RNG is seeded per origin. Batches are pushed
+        // into the per-collector snapshots in origin order, reproducing
+        // the sequential entry sequence exactly.
+        let batches: Vec<Vec<(usize, RibEntry)>> = shard_map(&outcomes, workers, |outcome| {
+            let origin = outcome.origin;
             let prefix = origin_prefix(origin, plane);
             // Per-origin deterministic RNG so results do not depend on how
             // many feeders or collectors exist.
@@ -149,9 +161,10 @@ impl Scenario {
             // preference on this prefix?
             let te_requested = route_rng.gen_bool(sim_config.te_request_probability);
 
+            let mut batch: Vec<(usize, RibEntry)> = Vec::new();
             for &(feeder_asn, collector_idx, kind) in &feeder_map {
                 let Some(path) = outcome.path(graph, feeder_asn) else { continue };
-                let entry = build_rib_entry(
+                let mut entry = build_rib_entry(
                     graph,
                     policies,
                     sim_config,
@@ -168,20 +181,34 @@ impl Scenario {
                     .iter()
                     .find(|f| f.asn == feeder_asn)
                     .expect("feeder map is built from collectors");
-                let mut entry = entry;
                 entry.peer = feeder.peer_id(plane);
+                batch.push((collector_idx, entry));
+            }
+            batch
+        });
+        for batch in batches {
+            for (collector_idx, entry) in batch {
                 snapshots[collector_idx].push(entry);
             }
         }
     }
 
     /// Pool every collector's snapshot into one view, as the paper pools
-    /// RouteViews and RIS.
+    /// RouteViews and RIS. Uses the scenario's configured concurrency.
     pub fn merged_snapshot(&self) -> RibSnapshot {
+        self.pooled_snapshot(self.sim_config.concurrency)
+    }
+
+    /// [`merged_snapshot`](Self::merged_snapshot) with an explicit worker
+    /// count (`0` = all cores, `1` = sequential). Per-collector entry
+    /// cloning is sharded; the pooled entry order — collector order, then
+    /// each collector's own order — is identical at every worker count.
+    pub fn pooled_snapshot(&self, concurrency: usize) -> RibSnapshot {
         let mut merged = RibSnapshot::new(CollectorId::new("merged"), self.sim_config.timestamp);
-        for snap in &self.snapshots {
-            merged.entries.extend(snap.entries.iter().cloned());
-        }
+        let workers = crate::shard::effective_concurrency(concurrency);
+        let chunks: Vec<Vec<RibEntry>> =
+            shard_map(&self.snapshots, workers, |snap| snap.entries.clone());
+        merged.entries = chunks.into_iter().flatten().collect();
         merged
     }
 
@@ -363,6 +390,22 @@ mod tests {
             merged.plane_entries(IpVersion::V4).count()
                 > merged.plane_entries(IpVersion::V6).count()
         );
+    }
+
+    #[test]
+    fn parallel_scenario_build_is_byte_identical_to_sequential() {
+        let sequential =
+            Scenario::build(&TopologyConfig::tiny(), &SimConfig::small().with_concurrency(1));
+        for workers in [0usize, 2, 4] {
+            let parallel = Scenario::build(
+                &TopologyConfig::tiny(),
+                &SimConfig::small().with_concurrency(workers),
+            );
+            assert_eq!(parallel.snapshots, sequential.snapshots, "workers={workers}");
+            assert_eq!(parallel.registry, sequential.registry, "workers={workers}");
+            // Pooling order is independent of the pooling worker count too.
+            assert_eq!(parallel.pooled_snapshot(workers), sequential.merged_snapshot());
+        }
     }
 
     #[test]

@@ -5,7 +5,11 @@
 //! cargo run --release --example quickstart            # human-readable report
 //! cargo run --release --example quickstart -- --json  # JSON report
 //! cargo run --release --example quickstart -- --seed 7 --scale small
+//! cargo run --release --example quickstart -- --threads 1   # sequential run
 //! ```
+//!
+//! `--threads 0` (the default) uses all available cores; the report is
+//! byte-identical at every thread count.
 
 use hybrid_as_rel::prelude::*;
 
@@ -18,6 +22,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse::<u64>().ok())
         .unwrap_or(20100801);
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(0);
     let scale = args
         .iter()
         .position(|a| a == "--scale")
@@ -36,7 +46,7 @@ fn main() {
         "generating a synthetic Internet: {} ASes (seed {seed}) ...",
         topology.total_as_count()
     );
-    let scenario = Scenario::build(&topology, &SimConfig::small());
+    let scenario = Scenario::build(&topology, &SimConfig::small().with_concurrency(threads));
     eprintln!(
         "collectors recorded {} RIB entries; IRR documents {} ASes",
         scenario.total_rib_entries(),
@@ -44,7 +54,8 @@ fn main() {
     );
 
     eprintln!("running the hybrid-relationship measurement pipeline ...");
-    let report = Pipeline::default().run(PipelineInput::from_scenario(&scenario));
+    let pipeline = Pipeline::with_concurrency(threads);
+    let report = pipeline.run(PipelineInput::from_scenario_with(&scenario, &pipeline.options));
 
     if json {
         println!("{}", report.to_json());

@@ -76,7 +76,7 @@ pub mod tor {
 pub mod prelude {
     pub use asgraph::{AsGraph, Tier};
     pub use bgp_types::{Asn, Community, IpVersion, Prefix, Relationship, RibSnapshot};
-    pub use hybrid_tor::pipeline::{Pipeline, PipelineInput};
+    pub use hybrid_tor::pipeline::{Pipeline, PipelineInput, PipelineOptions};
     pub use hybrid_tor::report::Report;
     pub use routesim::{Scenario, SimConfig};
     pub use topogen::{GroundTruth, TopologyConfig};

@@ -1,13 +1,22 @@
 //! Deterministic-seed regression tests: the synthetic scenario and the
 //! whole measurement pipeline must be pure functions of their
-//! configuration seeds. Future parallelism or refactoring PRs must keep
-//! these passing — byte-identical report serializations are the contract.
+//! configuration seeds — byte-identical report serializations are the
+//! contract. Since the sharded execution layer landed, the contract is
+//! two-dimensional: the same seeds must produce the same bytes across
+//! runs AND across worker counts (`concurrency` ∈ {1, 2, 8}), and the
+//! committed golden snapshot pins the fixture report so output drift is
+//! visible at review time.
 
 use hybrid_as_rel::prelude::*;
+use hybrid_as_rel::topology::fixtures::two_plane_fixture;
 
-fn report_json(topology: &TopologyConfig, sim: &SimConfig) -> String {
-    let scenario = Scenario::build(topology, sim);
-    let report = Pipeline::default().run(PipelineInput::from_scenario(&scenario));
+/// Render the report for `(topology, sim)` with both the simulator and
+/// the pipeline pinned to `concurrency` worker threads.
+fn report_json(topology: &TopologyConfig, sim: &SimConfig, concurrency: usize) -> String {
+    let sim = sim.clone().with_concurrency(concurrency);
+    let scenario = Scenario::build(topology, &sim);
+    let pipeline = Pipeline::with_concurrency(concurrency);
+    let report = pipeline.run(PipelineInput::from_scenario_with(&scenario, &pipeline.options));
     serde_json::to_string_pretty(&report).expect("report serializes")
 }
 
@@ -15,9 +24,48 @@ fn report_json(topology: &TopologyConfig, sim: &SimConfig) -> String {
 fn same_seed_produces_byte_identical_reports() {
     let topology = TopologyConfig::tiny();
     let sim = SimConfig::small();
-    let first = report_json(&topology, &sim);
-    let second = report_json(&topology, &sim);
+    let first = report_json(&topology, &sim, 0);
+    let second = report_json(&topology, &sim, 0);
     assert!(first == second, "two runs with the same seeds diverged");
+}
+
+#[test]
+fn concurrency_matrix_produces_byte_identical_reports() {
+    let topology = TopologyConfig::tiny();
+    let sim = SimConfig::small();
+    let sequential = report_json(&topology, &sim, 1);
+    for concurrency in [2usize, 8] {
+        let parallel = report_json(&topology, &sim, concurrency);
+        assert!(
+            parallel == sequential,
+            "concurrency={concurrency} diverged from the sequential report"
+        );
+    }
+}
+
+#[test]
+fn fixture_report_matches_the_committed_golden_snapshot() {
+    let scenario = Scenario::build_from_truth(
+        two_plane_fixture(),
+        TopologyConfig::tiny(),
+        &SimConfig::small().with_concurrency(1),
+    );
+    let report = Pipeline::with_concurrency(1)
+        .run(PipelineInput::from_scenario_with(&scenario, &PipelineOptions::sequential()));
+    let rendered = serde_json::to_string_pretty(&report).expect("report serializes");
+
+    let golden_path =
+        concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/two_plane_fixture_report.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path, format!("{rendered}\n")).expect("write golden snapshot");
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path).expect("golden snapshot is committed");
+    assert!(
+        rendered.trim_end() == golden.trim_end(),
+        "fixture report drifted from tests/golden/two_plane_fixture_report.json; if the change \
+         is intended, regenerate with: UPDATE_GOLDEN=1 cargo test --test determinism"
+    );
 }
 
 #[test]
@@ -47,7 +95,7 @@ fn different_topology_seeds_produce_different_internets() {
     let base = TopologyConfig::tiny();
     let reseeded = TopologyConfig { seed: base.seed ^ 0x5eed, ..base.clone() };
     let sim = SimConfig::small();
-    let a = report_json(&base, &sim);
-    let b = report_json(&reseeded, &sim);
+    let a = report_json(&base, &sim, 0);
+    let b = report_json(&reseeded, &sim, 0);
     assert!(a != b, "changing the topology seed should change the measured internet");
 }

@@ -67,6 +67,18 @@ fn pipeline_from_files_matches_the_in_memory_measurement() {
         .run(PipelineInput::from_files(&mrt_paths, &registry_path).expect("load files"));
     let in_memory = Pipeline::default().run(PipelineInput::from_scenario(&scenario));
 
+    // Sequential and parallel file loading pool the same snapshot.
+    let sequential =
+        PipelineInput::from_files_with(&mrt_paths, &registry_path, &PipelineOptions::sequential())
+            .expect("load files sequentially");
+    let parallel = PipelineInput::from_files_with(
+        &mrt_paths,
+        &registry_path,
+        &PipelineOptions::with_concurrency(4),
+    )
+    .expect("load files in parallel");
+    assert_eq!(sequential.snapshot, parallel.snapshot, "pooling order depends on worker count");
+
     assert_eq!(from_disk.dataset.ipv6_paths, in_memory.dataset.ipv6_paths);
     assert_eq!(from_disk.dataset.ipv4_paths, in_memory.dataset.ipv4_paths);
     assert_eq!(from_disk.dataset.ipv6_links, in_memory.dataset.ipv6_links);
@@ -74,5 +86,48 @@ fn pipeline_from_files_matches_the_in_memory_measurement() {
     assert_eq!(from_disk.dataset.ipv6_links_classified, in_memory.dataset.ipv6_links_classified);
     assert_eq!(from_disk.hybrids.findings, in_memory.hybrids.findings);
     assert_eq!(from_disk.valleys.valley_paths, in_memory.valleys.valley_paths);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// `PipelineInput::from_files` error paths: a missing MRT file, a
+/// truncated MRT record, and bad registry paths must all surface errors
+/// (on the sequential and the sharded loader alike) instead of silently
+/// producing a partial measurement.
+#[test]
+fn pipeline_from_files_surfaces_missing_and_malformed_inputs() {
+    let scenario = Scenario::build(&TopologyConfig::tiny(), &SimConfig::small());
+    let dir = temp_dir("mrt-errors");
+    let mrt_paths = scenario.write_mrt_files(&dir).expect("write per-collector MRT files");
+    let registry_path = dir.join("irr.txt");
+    scenario.registry.save(&registry_path).expect("write IRR registry dump");
+
+    // A missing MRT file among valid ones fails the whole load, at any
+    // worker count.
+    let mut with_missing = mrt_paths.clone();
+    with_missing.push(dir.join("missing.rib.mrt"));
+    for options in [PipelineOptions::sequential(), PipelineOptions::with_concurrency(4)] {
+        let err = PipelineInput::from_files_with(&with_missing, &registry_path, &options)
+            .expect_err("missing MRT file must fail");
+        assert!(!err.to_string().is_empty());
+    }
+
+    // A stream that ends mid-record is a truncation error, not a short
+    // but "successful" snapshot.
+    let bytes = std::fs::read(&mrt_paths[0]).expect("read a valid MRT file");
+    assert!(bytes.len() > 16, "fixture MRT file is implausibly small");
+    let truncated_path = dir.join("truncated.rib.mrt");
+    std::fs::write(&truncated_path, &bytes[..bytes.len() - 7]).expect("write truncated file");
+    let err = PipelineInput::from_files(&[truncated_path], &registry_path)
+        .expect_err("truncated MRT record must fail");
+    assert!(
+        err.to_string().to_lowercase().contains("truncated"),
+        "unexpected truncation error: {err}"
+    );
+
+    // Registry problems surface too: a missing dump and a directory where
+    // a file is expected.
+    assert!(PipelineInput::from_files(&mrt_paths, dir.join("missing-irr.txt")).is_err());
+    assert!(PipelineInput::from_files(&mrt_paths, &dir).is_err());
+
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }

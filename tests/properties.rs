@@ -1,12 +1,15 @@
 //! Property-based tests (proptest) on the core data structures and
 //! invariants: text and wire round trips, orientation consistency of the
-//! annotated graph, and the valley-free rule.
+//! annotated graph, the valley-free rule, and the parallel-equals-
+//! sequential contract of the sharded execution layer.
 
 use proptest::prelude::*;
 
 use hybrid_as_rel::graph::valley::{first_violation, is_valley_free};
 use hybrid_as_rel::graph::AsGraph;
 use hybrid_as_rel::mrt::bgp::{decode_attributes, encode_attributes, AttrContext};
+use hybrid_as_rel::prelude::{Scenario, SimConfig, TopologyConfig};
+use hybrid_as_rel::sim::propagate::{propagate_origins, PropagationOptions};
 use hybrid_as_rel::types::{
     AsPath, Asn, Community, CommunitySet, IpVersion, PathAttributes, Prefix, Relationship,
 };
@@ -267,6 +270,74 @@ proptest! {
                 (Some(_), None) => prop_assert!(false, "policy path without physical path"),
                 _ => {}
             }
+        }
+    }
+}
+
+// ---- sharded execution: parallel == sequential -------------------------
+//
+// Scenario building is orders of magnitude heavier than a wire round
+// trip, so these run with far fewer cases than the codec properties.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_propagation_matches_sequential_on_random_graphs(
+        links in prop::collection::vec((1u32..40, 1u32..40, arb_relationship()), 1..60),
+        relaxation in any::<bool>(),
+        leak_tenths in 0u8..=10,
+        seed in any::<u64>(),
+    ) {
+        let mut graph = AsGraph::new();
+        for (a, b, rel) in &links {
+            if a != b {
+                graph.annotate(Asn(*a), Asn(*b), IpVersion::V6, *rel);
+            }
+        }
+        let mut origins: Vec<Asn> = graph.asns().collect();
+        origins.sort();
+        let options = PropagationOptions {
+            reachability_relaxation: relaxation,
+            leak_probability: f64::from(leak_tenths) / 10.0,
+            seed,
+        };
+        let sequential = propagate_origins(&graph, &origins, IpVersion::V6, &options, 1);
+        for threads in [2usize, 4] {
+            let parallel = propagate_origins(&graph, &origins, IpVersion::V6, &options, threads);
+            prop_assert_eq!(&parallel, &sequential, "threads={}", threads);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn parallel_scenario_build_yields_identical_rib_snapshots(
+        topo_seed in any::<u64>(),
+        sim_seed in any::<u64>(),
+        collector_count in 1usize..3,
+        feeders_per_collector in 2usize..6,
+        relaxation in any::<bool>(),
+    ) {
+        let topology = TopologyConfig { seed: topo_seed, ..TopologyConfig::tiny() };
+        let sim = SimConfig {
+            seed: sim_seed,
+            collector_count,
+            feeders_per_collector,
+            v6_reachability_relaxation: relaxation,
+            ..SimConfig::small()
+        };
+        let sequential = Scenario::build(&topology, &sim.clone().with_concurrency(1));
+        for threads in [2usize, 4] {
+            let parallel = Scenario::build(&topology, &sim.clone().with_concurrency(threads));
+            prop_assert_eq!(
+                &parallel.merged_snapshot(),
+                &sequential.merged_snapshot(),
+                "threads={}",
+                threads
+            );
         }
     }
 }

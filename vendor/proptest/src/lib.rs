@@ -82,6 +82,22 @@ macro_rules! prop_assert_eq {
             ));
         }
     }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    format!($($fmt)+),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
 }
 
 /// Assert inequality inside a proptest case.

@@ -9,6 +9,7 @@ use std::hint::black_box;
 use asgraph::customer_tree::tree_union_metrics;
 use asgraph::valley::valley_free_distances;
 use bgp_types::{Asn, IpVersion};
+use hybrid_tor::impact::{correction_sweep_with, ImpactOptions, SweepOptions};
 use hybrid_tor::pipeline::{Pipeline, PipelineInput};
 use routesim::propagate::{propagate_origin, propagate_origins, PropagationOptions};
 
@@ -94,6 +95,47 @@ fn components(c: &mut Criterion) {
             })
         });
     }
+    group.finish();
+
+    // The Figure 2 correction sweep at several worker counts — the curve
+    // is byte-identical at every row (and with the memo on or off); the
+    // rows only measure the execution layer. `sweep/threads=1` keeps the
+    // cross-step memo, `sweep/uncached` is the fully recomputing path the
+    // pre-sharding implementation ran.
+    let (misinferred, hybrid_findings) = bench::sweep_inputs(&scenario);
+    let impact_options = ImpactOptions { top_k: 10, source_cap: Some(100) };
+    let mut group = c.benchmark_group("sweep");
+    for threads in [1usize, 2, 4] {
+        let sweep = SweepOptions::with_concurrency(threads);
+        group.bench_function(&format!("threads={threads}"), |b| {
+            b.iter(|| {
+                black_box(
+                    correction_sweep_with(
+                        black_box(&misinferred),
+                        &hybrid_findings,
+                        &impact_options,
+                        &sweep,
+                    )
+                    .steps
+                    .len(),
+                )
+            })
+        });
+    }
+    group.bench_function("uncached", |b| {
+        b.iter(|| {
+            black_box(
+                correction_sweep_with(
+                    black_box(&misinferred),
+                    &hybrid_findings,
+                    &impact_options,
+                    &SweepOptions::sequential(),
+                )
+                .steps
+                .len(),
+            )
+        })
+    });
     group.finish();
 
     // Valley-free single-source traversal and the tree-union metric.

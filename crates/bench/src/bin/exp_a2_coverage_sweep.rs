@@ -6,7 +6,11 @@ fn main() {
     let small = std::env::args().any(|a| a == "--small");
     let scale = if small { bench::bench_scale() } else { bench::paper_scale() };
     let rates = [0.1, 0.25, 0.5, 0.75, 0.82, 1.0];
-    eprintln!("running coverage sweep over {} documentation rates...", rates.len());
+    eprintln!(
+        "running coverage sweep over {} documentation rates ({} worker threads, HYBRID_THREADS to change)...",
+        rates.len(),
+        routesim::effective_concurrency(bench::configured_concurrency())
+    );
     let rows: Vec<Vec<String>> = bench::coverage_sweep(&scale, &rates)
         .into_iter()
         .map(|(rate, v6, dual)| {

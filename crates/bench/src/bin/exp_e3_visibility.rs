@@ -11,7 +11,11 @@ use bgp_types::IpVersion;
 fn main() {
     let small = std::env::args().any(|a| a == "--small");
     let scale = if small { bench::bench_scale() } else { bench::paper_scale() };
-    eprintln!("building scenario ({} ASes)...", scale.topology.total_as_count());
+    eprintln!(
+        "building scenario ({} ASes, {} worker threads, HYBRID_THREADS to change)...",
+        scale.topology.total_as_count(),
+        routesim::effective_concurrency(bench::configured_concurrency())
+    );
     let scenario = bench::build_scenario(&scale);
     let report = bench::run_measurement(&scenario);
     let h = &report.hybrids;

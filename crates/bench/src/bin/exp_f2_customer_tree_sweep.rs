@@ -16,7 +16,11 @@ fn main() {
     let source_cap = if small { None } else { Some(400) };
     eprintln!("building scenario ({} ASes)...", scale.topology.total_as_count());
     let scenario = bench::build_scenario(&scale);
-    eprintln!("running measurement + correction sweep (top 20 hybrids)...");
+    eprintln!(
+        "running measurement + correction sweep (top 20 hybrids, {} worker threads, \
+         HYBRID_THREADS to change)...",
+        routesim::effective_concurrency(bench::configured_concurrency())
+    );
     let report = bench::run_measurement_with_impact(&scenario, 20, source_cap);
     let curve = report.impact.expect("impact sweep requested");
     let mut rows = Vec::new();

@@ -15,19 +15,34 @@ use asgraph::customer_tree::customer_tree;
 use asgraph::AsGraph;
 use bgp_types::{Asn, IpVersion};
 use hybrid_tor::baselines::{gao_inference, BaselineInput, InferenceAccuracy};
+use hybrid_tor::hybrid::HybridFinding;
 use hybrid_tor::pipeline::{Pipeline, PipelineInput, PipelineOptions};
 use hybrid_tor::report::Report;
 use routesim::{Scenario, SimConfig};
 use topogen::fixtures::figure1_topology;
 use topogen::TopologyConfig;
 
-/// Worker-thread count for scenario building and the pipeline, taken from
-/// the `HYBRID_THREADS` environment variable. Unset, empty or unparsable
-/// values mean `0` = all available cores; `HYBRID_THREADS=1` forces the
-/// sequential path. Output is byte-identical either way — the knob only
-/// trades wall-clock time.
+/// Worker-thread count for scenario building, the pipeline and the impact
+/// sweep, taken from the `HYBRID_THREADS` environment variable. Unset,
+/// empty or unparsable values mean `0` = all available cores;
+/// `HYBRID_THREADS=1` forces the sequential path — consistently with
+/// `SimConfig::concurrency` and `PipelineOptions::concurrency`. Output is
+/// byte-identical either way — the knob only trades wall-clock time.
 pub fn configured_concurrency() -> usize {
     std::env::var("HYBRID_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+}
+
+/// Apply `HYBRID_THREADS` to a simulator configuration that does not pin a
+/// worker count itself (`concurrency == 0`). Every scenario the harness
+/// builds — including the per-rate/per-collector rebuilds inside
+/// [`coverage_sweep`] and [`collector_sensitivity`], which previously
+/// ignored the knob — goes through this.
+fn configured_sim(sim: &SimConfig) -> SimConfig {
+    let mut sim = sim.clone();
+    if sim.concurrency == 0 {
+        sim.concurrency = configured_concurrency();
+    }
+    sim
 }
 
 /// Topology/simulation configuration pair.
@@ -58,11 +73,7 @@ pub fn tiny_scale() -> ExperimentScale {
 /// Build the scenario for a scale, honouring `HYBRID_THREADS` when the
 /// scale does not pin a worker count itself.
 pub fn build_scenario(scale: &ExperimentScale) -> Scenario {
-    let mut sim = scale.sim.clone();
-    if sim.concurrency == 0 {
-        sim.concurrency = configured_concurrency();
-    }
-    Scenario::build(&scale.topology, &sim)
+    Scenario::build(&scale.topology, &configured_sim(&scale.sim))
 }
 
 /// E1/E2/E3/E4 + A1: run the full measurement pipeline (without the
@@ -117,7 +128,7 @@ pub fn coverage_sweep(scale: &ExperimentScale, rates: &[f64]) -> Vec<(f64, f64, 
     rates
         .iter()
         .map(|&rate| {
-            let mut sim = scale.sim.clone();
+            let mut sim = configured_sim(&scale.sim);
             sim.documentation_probability = rate;
             let scenario = Scenario::build_from_truth(truth.clone(), scale.topology.clone(), &sim);
             let report = run_measurement(&scenario);
@@ -136,7 +147,7 @@ pub fn collector_sensitivity(
     collector_counts
         .iter()
         .map(|&count| {
-            let mut sim = scale.sim.clone();
+            let mut sim = configured_sim(&scale.sim);
             sim.collector_count = count;
             let scenario = Scenario::build_from_truth(truth.clone(), scale.topology.clone(), &sim);
             let report = run_measurement(&scenario);
@@ -154,13 +165,29 @@ pub fn collector_sensitivity(
 /// relationship applied to both planes, which is the starting point of the
 /// Figure 2 correction sweep.
 pub fn misinferred_graph(scenario: &Scenario) -> AsGraph {
+    sweep_inputs(scenario).0
+}
+
+/// Everything the Figure 2 correction sweep consumes, precomputed from a
+/// scenario: the plane-blind misinferred graph and the detected hybrid
+/// findings (sorted by descending IPv6 path visibility). Used by the
+/// `sweep/*` criterion group and the bench gate so they time exactly the
+/// sweep, not the surrounding pipeline.
+pub fn sweep_inputs(scenario: &Scenario) -> (AsGraph, Vec<HybridFinding>) {
     let snapshot = scenario.merged_snapshot();
     let data = hybrid_tor::extract::extract(&snapshot);
     let dictionary = scenario.registry.build_dictionary();
     let inference =
         hybrid_tor::communities::CommunityInference::from_snapshot(&snapshot, &dictionary);
     let baseline = gao_inference(&data, BaselineInput::BothPlanes);
-    hybrid_tor::impact::plane_blind_annotation(&data.graph, &inference, &baseline)
+    let misinferred = hybrid_tor::impact::plane_blind_annotation_with(
+        &data.graph,
+        &inference,
+        &baseline,
+        configured_concurrency(),
+    );
+    let hybrids = hybrid_tor::hybrid::detect_hybrids(&data, &inference).findings;
+    (misinferred, hybrids)
 }
 
 /// Render a simple two-column table for the binaries' stdout.
@@ -255,5 +282,17 @@ mod tests {
         let annotated =
             graph.plane_edges(IpVersion::V6).filter(|e| e.rel(IpVersion::V6).is_some()).count();
         assert!(annotated > 0);
+    }
+
+    #[test]
+    fn sweep_inputs_feed_an_equivalent_parallel_sweep() {
+        use hybrid_tor::impact::{correction_sweep, correction_sweep_with, SweepOptions};
+        let scenario = build_scenario(&tiny_scale());
+        let (misinferred, hybrids) = sweep_inputs(&scenario);
+        let options = hybrid_tor::impact::ImpactOptions { top_k: 3, source_cap: Some(32) };
+        let sequential = correction_sweep(&misinferred, &hybrids, &options);
+        let parallel =
+            correction_sweep_with(&misinferred, &hybrids, &options, &SweepOptions::default());
+        assert_eq!(parallel.steps, sequential.steps);
     }
 }

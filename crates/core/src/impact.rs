@@ -8,12 +8,26 @@
 //! union of IPv6 customer trees. The paper reports the average falling
 //! from 3.8 to 2.23 hops and the diameter from 11 to 7 as the 20 most
 //! visible hybrid links are corrected.
+//!
+//! The sweep is the most expensive part of the pipeline (one valley-free
+//! BFS per union member per correction step), so it is built on the
+//! workspace's sharded execution layer: the per-source BFS work is striped
+//! across workers with [`routesim::shard_map`], and a [`SweepCache`]
+//! memoizes per-source results across correction steps — a source whose
+//! valley-free reachable set touches neither endpoint of the corrected
+//! link provably keeps the same distance map, so its metrics are reused
+//! instead of recomputed. Whatever the worker count and cache setting, the
+//! produced [`ImpactCurve`] is byte-identical to the sequential, uncached
+//! computation (all accumulation is integer arithmetic combined in source
+//! order; the determinism suite enforces the contract).
 
 use serde::{Deserialize, Serialize};
 
-use asgraph::customer_tree::{tree_union_metrics, TreeMetrics};
+use asgraph::customer_tree::{customer_tree_union, tree_union_metrics, TreeMetrics};
+use asgraph::valley::valley_free_distances;
 use asgraph::AsGraph;
 use bgp_types::{Asn, IpVersion, Relationship};
+use routesim::{effective_concurrency, shard_map};
 
 use crate::hybrid::HybridFinding;
 
@@ -50,7 +64,9 @@ impl ImpactCurve {
         self.steps.last()
     }
 
-    /// Change in average path length from baseline to final.
+    /// Change in average path length from baseline to final. An empty
+    /// curve (no steps at all) and a single-step curve (baseline only)
+    /// both report `0.0`.
     pub fn avg_path_delta(&self) -> f64 {
         match (self.baseline(), self.r#final()) {
             (Some(b), Some(f)) => f.avg_path_length - b.avg_path_length,
@@ -58,7 +74,8 @@ impl ImpactCurve {
         }
     }
 
-    /// Change in diameter from baseline to final.
+    /// Change in diameter from baseline to final. An empty curve and a
+    /// single-step curve both report `0`.
     pub fn diameter_delta(&self) -> i64 {
         match (self.baseline(), self.r#final()) {
             (Some(b), Some(f)) => i64::from(f.diameter) - i64::from(b.diameter),
@@ -78,12 +95,29 @@ pub fn plane_blind_annotation(
     inference: &crate::communities::CommunityInference,
     baseline: &crate::baselines::BaselineInference,
 ) -> AsGraph {
+    plane_blind_annotation_with(data_graph, inference, baseline, 1)
+}
+
+/// [`plane_blind_annotation`] with an explicit worker count (`0` = all
+/// cores, `1` = sequential): the per-link relationship lookups are striped
+/// across workers and applied in edge order, so the annotated graph is
+/// identical whatever the worker count.
+pub fn plane_blind_annotation_with(
+    data_graph: &AsGraph,
+    inference: &crate::communities::CommunityInference,
+    baseline: &crate::baselines::BaselineInference,
+    concurrency: usize,
+) -> AsGraph {
+    let workers = effective_concurrency(concurrency);
     let mut graph = data_graph.clone();
-    for edge in data_graph.edges() {
-        let rel = inference
+    let edges: Vec<_> = data_graph.edges().collect();
+    let rels: Vec<Option<Relationship>> = shard_map(&edges, workers, |edge| {
+        inference
             .relationship(edge.a, edge.b, IpVersion::V4)
             .or_else(|| inference.relationship(edge.a, edge.b, IpVersion::V6))
-            .or_else(|| baseline.relationship(edge.a, edge.b));
+            .or_else(|| baseline.relationship(edge.a, edge.b))
+    });
+    for (edge, rel) in edges.iter().zip(rels) {
         if let Some(rel) = rel {
             for plane in IpVersion::BOTH {
                 if edge.present(plane) {
@@ -111,6 +145,190 @@ impl Default for ImpactOptions {
     }
 }
 
+/// Execution options for the impact subsystem: worker threads and the
+/// cross-step memoization switch. Neither knob affects the output — the
+/// curve is byte-identical at every setting; they only trade wall-clock
+/// time and memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepOptions {
+    /// Worker threads for the per-source BFS work: `0` uses all available
+    /// parallelism, `1` is the sequential path.
+    pub concurrency: usize,
+    /// Reuse per-source propagation results across correction steps when a
+    /// step provably cannot change them (see [`SweepCache`]).
+    pub cache: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions { concurrency: 0, cache: true }
+    }
+}
+
+impl SweepOptions {
+    /// The fully sequential, uncached execution path — exactly the
+    /// computation the pre-sharding implementation performed.
+    pub fn sequential() -> Self {
+        SweepOptions { concurrency: 1, cache: false }
+    }
+
+    /// Options pinned to `concurrency` worker threads, cache enabled.
+    pub fn with_concurrency(concurrency: usize) -> Self {
+        SweepOptions { concurrency, cache: true }
+    }
+
+    /// The worker count these options resolve to (`0` = all cores).
+    pub fn workers(&self) -> usize {
+        effective_concurrency(self.concurrency)
+    }
+}
+
+/// The metrics one BFS source contributes to a [`CorrectionStep`]. All
+/// fields are integers, so combining partials is order-independent and the
+/// parallel sweep reproduces the sequential accumulation bit for bit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct SourcePartial {
+    sum: u64,
+    count: u64,
+    diameter: u32,
+    reachable_now: u64,
+    total_pairs: u64,
+}
+
+/// Per-source memo: the partial metrics and valley-free reachability
+/// bitmap from the most recently computed step.
+#[derive(Debug, Clone)]
+struct SourceState {
+    partial: SourcePartial,
+    reachable: Vec<bool>,
+}
+
+impl SourceState {
+    /// One valley-free BFS from `src` plus the metric accumulation over
+    /// the union pairs. `baseline_row` is the source's step-0 reachability
+    /// bitmap (the pair population is fixed by the baseline, as in the
+    /// paper); `None` means "this *is* the baseline step", where the
+    /// source's own map plays that role.
+    fn compute(
+        graph: &AsGraph,
+        src: Asn,
+        in_union: &[bool],
+        baseline_row: Option<&[bool]>,
+    ) -> SourceState {
+        let dist = valley_free_distances(graph, src, IpVersion::V6);
+        let src_idx = graph.node(src).map(|n| n.index()).unwrap_or(usize::MAX);
+        let reachable: Vec<bool> = dist.iter().map(|d| d.is_some()).collect();
+        let mut partial = SourcePartial::default();
+        for (idx, d) in dist.iter().enumerate() {
+            if idx == src_idx || !in_union.get(idx).copied().unwrap_or(false) {
+                continue;
+            }
+            partial.total_pairs += 1;
+            if d.is_some() {
+                partial.reachable_now += 1;
+            }
+            let in_baseline = match baseline_row {
+                Some(row) => row.get(idx).copied().unwrap_or(false),
+                None => true,
+            };
+            if in_baseline {
+                if let Some(d) = d {
+                    partial.sum += u64::from(*d);
+                    partial.count += 1;
+                    partial.diameter = partial.diameter.max(*d);
+                }
+            }
+        }
+        SourceState { partial, reachable }
+    }
+}
+
+/// Memoized per-source propagation state for the correction sweep.
+///
+/// Correcting the link `a`–`b` can only change the valley-free distance
+/// map of a source that could already reach `a` or `b`: any walk that
+/// traverses the edge must first arrive at one of its endpoints through
+/// unchanged edges. Sources whose reachable set misses both endpoints
+/// therefore keep their distance map — and their metric contribution —
+/// unchanged, and the cache reuses them instead of re-running the BFS.
+///
+/// The cache is working memory for one sweep at a time (its per-source
+/// state is rebuilt by every [`correction_sweep_in`] call), but the
+/// hit/miss counters accumulate across calls so repeated sweeps — e.g.
+/// the experiment harnesses re-annotating plane after plane — can report
+/// aggregate reuse.
+#[derive(Debug, Clone, Default)]
+pub struct SweepCache {
+    states: Vec<SourceState>,
+    baseline_rows: Vec<Vec<bool>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl SweepCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SweepCache::default()
+    }
+
+    /// Per-source step computations served from the memo (no BFS run).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Per-source step computations that ran a fresh BFS.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total per-source step computations observed.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of computations served from the memo (0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+
+    /// Drop the per-source state from a previous sweep; counters persist.
+    fn reset(&mut self) {
+        self.states.clear();
+        self.baseline_rows.clear();
+    }
+}
+
+/// Fold per-source partials (in source order) into one curve step.
+fn combine_step(
+    partials: impl Iterator<Item = SourcePartial>,
+    corrected: usize,
+    link: Option<(Asn, Asn)>,
+) -> CorrectionStep {
+    let mut total = SourcePartial::default();
+    for p in partials {
+        total.sum += p.sum;
+        total.count += p.count;
+        total.diameter = total.diameter.max(p.diameter);
+        total.reachable_now += p.reachable_now;
+        total.total_pairs += p.total_pairs;
+    }
+    CorrectionStep {
+        corrected,
+        link,
+        avg_path_length: if total.count == 0 { 0.0 } else { total.sum as f64 / total.count as f64 },
+        diameter: total.diameter,
+        reachability: if total.total_pairs == 0 {
+            0.0
+        } else {
+            total.reachable_now as f64 / total.total_pairs as f64
+        },
+    }
+}
+
 /// Run the correction sweep on the IPv6 plane.
 ///
 /// * `misinferred` — a graph whose IPv6 annotation comes from the
@@ -128,16 +346,43 @@ impl Default for ImpactOptions {
 /// corrections shorten those paths (pairs that only become reachable
 /// thanks to a correction are reflected in `reachability`, which is
 /// measured over all ordered union pairs).
+///
+/// This entry point runs sequentially without memoization (the historical
+/// behaviour); use [`correction_sweep_with`] to pick worker counts and
+/// caching — the curve is identical either way.
 pub fn correction_sweep(
     misinferred: &AsGraph,
     hybrids: &[HybridFinding],
     options: &ImpactOptions,
 ) -> ImpactCurve {
-    use asgraph::customer_tree::customer_tree_union;
-    use asgraph::valley::valley_free_distances;
+    correction_sweep_with(misinferred, hybrids, options, &SweepOptions::sequential())
+}
 
+/// [`correction_sweep`] with explicit execution options (a fresh
+/// throwaway [`SweepCache`] is used when `sweep.cache` is set).
+pub fn correction_sweep_with(
+    misinferred: &AsGraph,
+    hybrids: &[HybridFinding],
+    options: &ImpactOptions,
+    sweep: &SweepOptions,
+) -> ImpactCurve {
+    correction_sweep_in(misinferred, hybrids, options, sweep, &mut SweepCache::new())
+}
+
+/// [`correction_sweep`] with explicit execution options and a
+/// caller-owned [`SweepCache`], so hit/miss statistics can be inspected
+/// (and accumulated across sweeps) afterwards.
+pub fn correction_sweep_in(
+    misinferred: &AsGraph,
+    hybrids: &[HybridFinding],
+    options: &ImpactOptions,
+    sweep: &SweepOptions,
+    cache: &mut SweepCache,
+) -> ImpactCurve {
+    let workers = sweep.workers();
     let mut graph = misinferred.clone();
     let mut curve = ImpactCurve::default();
+    cache.reset();
 
     // Fix the union, the sources and the baseline-reachable pair set.
     let mut union = customer_tree_union(&graph, IpVersion::V6);
@@ -163,57 +408,79 @@ pub fn correction_sweep(
         Some(cap) if cap < union.len() => union.iter().copied().take(cap).collect(),
         _ => union.clone(),
     };
-    let baseline_reachable: Vec<Vec<bool>> = sources
-        .iter()
-        .map(|&src| {
-            valley_free_distances(&graph, src, IpVersion::V6).iter().map(|d| d.is_some()).collect()
-        })
-        .collect();
+    let corrections: Vec<&HybridFinding> = hybrids.iter().take(options.top_k).collect();
 
-    let record = |graph: &AsGraph, corrected: usize, link: Option<(Asn, Asn)>| {
-        let mut sum = 0u64;
-        let mut count = 0u64;
-        let mut diameter = 0u32;
-        let mut reachable_now = 0u64;
-        let mut total_pairs = 0u64;
-        for (si, &src) in sources.iter().enumerate() {
-            let dist = valley_free_distances(graph, src, IpVersion::V6);
-            let src_idx = graph.node(src).unwrap().index();
-            for (idx, d) in dist.iter().enumerate() {
-                if idx == src_idx || !in_union[idx] {
-                    continue;
-                }
-                total_pairs += 1;
-                if d.is_some() {
-                    reachable_now += 1;
-                }
-                if baseline_reachable[si][idx] {
-                    if let Some(d) = d {
-                        sum += u64::from(*d);
-                        count += 1;
-                        diameter = diameter.max(*d);
-                    }
-                }
+    // Baseline step: one sharded BFS pass over the sources. Each source's
+    // own reachability map doubles as its baseline-reachable row, so the
+    // legacy "compute the baseline rows, then recompute the step-0
+    // metrics" double pass collapses into one.
+    cache.states =
+        shard_map(&sources, workers, |&src| SourceState::compute(&graph, src, &in_union, None));
+    cache.baseline_rows = cache.states.iter().map(|s| s.reachable.clone()).collect();
+    cache.misses += sources.len() as u64;
+    curve.steps.push(combine_step(cache.states.iter().map(|s| s.partial), 0, None));
+
+    if sweep.cache {
+        // Memoized path: steps run in order; per step, only the sources
+        // whose reachable set touches the corrected link recompute (those
+        // are striped across the workers), everyone else is a cache hit.
+        for (i, finding) in corrections.iter().enumerate() {
+            let a_idx = graph.node(finding.a).map(|n| n.index());
+            let b_idx = graph.node(finding.b).map(|n| n.index());
+            graph.annotate(finding.a, finding.b, IpVersion::V6, finding.relationships.v6);
+            let touches = |state: &SourceState, idx: Option<usize>| {
+                idx.is_some_and(|i| state.reachable.get(i).copied().unwrap_or(false))
+            };
+            let dirty: Vec<usize> = (0..sources.len())
+                .filter(|&si| {
+                    touches(&cache.states[si], a_idx) || touches(&cache.states[si], b_idx)
+                })
+                .collect();
+            cache.hits += (sources.len() - dirty.len()) as u64;
+            cache.misses += dirty.len() as u64;
+            let recomputed: Vec<SourceState> = {
+                let graph = &graph;
+                let in_union = &in_union;
+                let sources = &sources;
+                let baseline_rows = &cache.baseline_rows;
+                shard_map(&dirty, workers, move |&si| {
+                    SourceState::compute(graph, sources[si], in_union, Some(&baseline_rows[si]))
+                })
+            };
+            for (si, state) in dirty.into_iter().zip(recomputed) {
+                cache.states[si] = state;
             }
+            curve.steps.push(combine_step(
+                cache.states.iter().map(|s| s.partial),
+                i + 1,
+                Some((finding.a, finding.b)),
+            ));
         }
-        CorrectionStep {
-            corrected,
-            link,
-            avg_path_length: if count == 0 { 0.0 } else { sum as f64 / count as f64 },
-            diameter,
-            reachability: if total_pairs == 0 {
-                0.0
-            } else {
-                reachable_now as f64 / total_pairs as f64
-            },
+    } else {
+        // Uncached path: apply each correction to the one working graph
+        // and recompute every source for that step, striped across the
+        // workers — no memo, and no per-step graph clones (memory stays
+        // O(graph) however large top_k is).
+        let source_indices: Vec<usize> = (0..sources.len()).collect();
+        for (i, finding) in corrections.iter().enumerate() {
+            graph.annotate(finding.a, finding.b, IpVersion::V6, finding.relationships.v6);
+            let partials: Vec<SourcePartial> = {
+                let graph = &graph;
+                let in_union = &in_union;
+                let sources = &sources;
+                let baseline_rows = &cache.baseline_rows;
+                shard_map(&source_indices, workers, move |&si| {
+                    SourceState::compute(graph, sources[si], in_union, Some(&baseline_rows[si]))
+                        .partial
+                })
+            };
+            cache.misses += partials.len() as u64;
+            curve.steps.push(combine_step(
+                partials.into_iter(),
+                i + 1,
+                Some((finding.a, finding.b)),
+            ));
         }
-    };
-
-    curve.steps.push(record(&graph, 0, None));
-    for (i, finding) in hybrids.iter().take(options.top_k).enumerate() {
-        let corrected_rel: Relationship = finding.relationships.v6;
-        graph.annotate(finding.a, finding.b, IpVersion::V6, corrected_rel);
-        curve.steps.push(record(&graph, i + 1, Some((finding.a, finding.b))));
     }
     curve
 }
@@ -248,6 +515,20 @@ mod tests {
             ),
             class: HybridClass::PeeringV4TransitV6,
             v6_path_visibility: 10,
+        }
+    }
+
+    /// A second correction, flipping the 9-8 link to peering on IPv6.
+    fn second_finding() -> HybridFinding {
+        HybridFinding {
+            a: Asn(9),
+            b: Asn(8),
+            relationships: RelationshipPair::new(
+                Relationship::ProviderToCustomer,
+                Relationship::PeerToPeer,
+            ),
+            class: HybridClass::TransitV4PeeringV6,
+            v6_path_visibility: 5,
         }
     }
 
@@ -299,5 +580,122 @@ mod tests {
         let before = graph.relationship(Asn(10), Asn(20), IpVersion::V6);
         let _ = correction_sweep(&graph, &[finding()], &ImpactOptions::default());
         assert_eq!(graph.relationship(Asn(10), Asn(20), IpVersion::V6), before);
+    }
+
+    #[test]
+    fn deltas_of_empty_and_single_step_curves_are_zero() {
+        // A curve with no steps at all (never produced by the sweep, but
+        // representable) reports zero deltas instead of panicking.
+        let empty = ImpactCurve::default();
+        assert_eq!(empty.avg_path_delta(), 0.0);
+        assert_eq!(empty.diameter_delta(), 0);
+        assert!(empty.baseline().is_none());
+        assert!(empty.r#final().is_none());
+        // A single-step curve (baseline only): baseline == final, so both
+        // deltas are exactly zero even with non-zero metrics.
+        let single = ImpactCurve {
+            steps: vec![CorrectionStep {
+                corrected: 0,
+                link: None,
+                avg_path_length: 3.8,
+                diameter: 11,
+                reachability: 0.9,
+            }],
+        };
+        assert_eq!(single.avg_path_delta(), 0.0);
+        assert_eq!(single.diameter_delta(), 0);
+    }
+
+    #[test]
+    fn parallel_and_cached_sweeps_match_the_sequential_curve() {
+        let graph = misinferred_graph();
+        let findings = [finding(), second_finding()];
+        let options = ImpactOptions::default();
+        let sequential =
+            correction_sweep_with(&graph, &findings, &options, &SweepOptions::sequential());
+        for concurrency in [2usize, 4] {
+            for cache in [false, true] {
+                let sweep = SweepOptions { concurrency, cache };
+                let parallel = correction_sweep_with(&graph, &findings, &options, &sweep);
+                assert_eq!(
+                    parallel.steps, sequential.steps,
+                    "concurrency={concurrency} cache={cache} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cache_reuses_sources_in_untouched_components() {
+        // Two disconnected provider chains; all corrections stay in the
+        // first component, so every source in the second component is a
+        // provable cache hit at every step.
+        let mut g = misinferred_graph();
+        for (p, c) in [(100, 110), (100, 120), (110, 130)] {
+            g.annotate_both(Asn(p), Asn(c), Relationship::ProviderToCustomer);
+        }
+        let findings = [finding(), second_finding()];
+        let mut cache = SweepCache::new();
+        let cached = correction_sweep_in(
+            &g,
+            &findings,
+            &ImpactOptions::default(),
+            &SweepOptions { concurrency: 1, cache: true },
+            &mut cache,
+        );
+        assert!(cache.hits() > 0, "disconnected sources should be served from the memo");
+        assert!(cache.misses() > 0);
+        assert!(cache.hit_rate() > 0.0 && cache.hit_rate() < 1.0);
+        assert_eq!(cache.lookups(), cache.hits() + cache.misses());
+        let uncached = correction_sweep(&g, &findings, &ImpactOptions::default());
+        assert_eq!(cached.steps, uncached.steps, "memoization changed the curve");
+    }
+
+    #[test]
+    fn cache_counters_accumulate_across_sweeps() {
+        let g = misinferred_graph();
+        let findings = [finding()];
+        let mut cache = SweepCache::new();
+        let sweep = SweepOptions::with_concurrency(1);
+        let _ = correction_sweep_in(&g, &findings, &ImpactOptions::default(), &sweep, &mut cache);
+        let first = cache.lookups();
+        assert!(first > 0);
+        let _ = correction_sweep_in(&g, &findings, &ImpactOptions::default(), &sweep, &mut cache);
+        assert_eq!(cache.lookups(), 2 * first, "second sweep should add the same lookup count");
+    }
+
+    #[test]
+    fn plane_blind_annotation_is_identical_at_any_worker_count() {
+        // plane_blind_annotation_with must not depend on the worker count;
+        // exercise it through an empty inference/baseline pair (the lookup
+        // closure is still evaluated per edge).
+        let g = misinferred_graph();
+        let inference = crate::communities::CommunityInference::default();
+        let baseline = crate::baselines::BaselineInference::default();
+        let sequential = plane_blind_annotation_with(&g, &inference, &baseline, 1);
+        for workers in [2usize, 4] {
+            let parallel = plane_blind_annotation_with(&g, &inference, &baseline, workers);
+            for edge in sequential.edges() {
+                for plane in IpVersion::BOTH {
+                    assert_eq!(
+                        parallel.relationship(edge.a, edge.b, plane),
+                        sequential.relationship(edge.a, edge.b, plane),
+                        "workers={workers} diverged on {}-{}",
+                        edge.a,
+                        edge.b
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_options_resolve_and_default_sensibly() {
+        assert_eq!(SweepOptions::sequential().workers(), 1);
+        assert!(!SweepOptions::sequential().cache);
+        assert_eq!(SweepOptions::with_concurrency(3).workers(), 3);
+        assert!(SweepOptions::with_concurrency(3).cache);
+        assert!(SweepOptions::default().workers() >= 1);
+        assert!(SweepOptions::default().cache);
     }
 }

@@ -10,7 +10,7 @@ use crate::baselines::{gao_inference, BaselineInput, InferenceAccuracy};
 use crate::communities::{CommunityInference, InferenceSource};
 use crate::extract::extract;
 use crate::hybrid::detect_hybrids;
-use crate::impact::{correction_sweep, ImpactOptions};
+use crate::impact::{correction_sweep_with, ImpactOptions, SweepOptions};
 use crate::locpref::LocPrfRosetta;
 use crate::report::{DatasetSummary, Report};
 use crate::valley::analyze_valleys;
@@ -109,17 +109,30 @@ pub struct PipelineOptions {
     /// Worker threads for the parallel sections: `0` uses all available
     /// parallelism (the default), `1` is the fully sequential path.
     pub concurrency: usize,
+    /// Execution options for the Figure 2 impact subsystem (worker threads
+    /// for the sharded correction sweep and the cross-step memoization
+    /// switch). `SweepOptions::default()` — all cores, cache on — is what
+    /// `PipelineOptions::default()` carries; like `concurrency`, the knob
+    /// never changes the report bytes.
+    pub sweep: SweepOptions,
 }
 
 impl PipelineOptions {
-    /// Options pinned to `concurrency` worker threads.
+    /// Options pinned to `concurrency` worker threads (the sweep follows
+    /// the same worker count, with memoization enabled).
     pub fn with_concurrency(concurrency: usize) -> Self {
-        PipelineOptions { concurrency }
+        PipelineOptions { concurrency, sweep: SweepOptions::with_concurrency(concurrency) }
     }
 
-    /// The fully sequential execution path.
+    /// The fully sequential execution path (sweep memoization stays on —
+    /// it trades memory, not determinism).
     pub fn sequential() -> Self {
         Self::with_concurrency(1)
+    }
+
+    /// These options with the given sweep execution settings.
+    pub fn with_sweep(self, sweep: SweepOptions) -> Self {
+        PipelineOptions { sweep, ..self }
     }
 
     /// The worker count these options resolve to (`0` = all cores).
@@ -282,9 +295,18 @@ impl Pipeline {
         //    visible hybrid links with their community-derived IPv6
         //    relationship.
         let impact = if self.run_impact {
-            let misinferred =
-                crate::impact::plane_blind_annotation(&data.graph, &inference, &baseline);
-            Some(correction_sweep(&misinferred, &hybrids.findings, &self.impact_options))
+            let misinferred = crate::impact::plane_blind_annotation_with(
+                &data.graph,
+                &inference,
+                &baseline,
+                self.options.sweep.concurrency,
+            );
+            Some(correction_sweep_with(
+                &misinferred,
+                &hybrids.findings,
+                &self.impact_options,
+                &self.options.sweep,
+            ))
         } else {
             None
         };
@@ -405,24 +427,38 @@ mod tests {
         assert_eq!(PipelineOptions::sequential().workers(), 1);
         assert_eq!(PipelineOptions::with_concurrency(5).workers(), 5);
         assert_eq!(Pipeline::with_concurrency(3).options.concurrency, 3);
+        // The sweep follows the pipeline's worker count unless overridden.
+        assert!(PipelineOptions::default().sweep.cache);
+        assert_eq!(PipelineOptions::with_concurrency(5).sweep.concurrency, 5);
+        assert_eq!(Pipeline::with_concurrency(3).options.sweep.workers(), 3);
+        let custom = PipelineOptions::with_concurrency(4).with_sweep(SweepOptions::sequential());
+        assert_eq!(custom.concurrency, 4);
+        assert_eq!(custom.sweep, SweepOptions::sequential());
     }
 
     #[test]
     fn concurrent_pipeline_reports_are_byte_identical_to_sequential() {
         let scenario = scenario();
-        let render = |concurrency: usize| {
+        let render = |options: PipelineOptions| {
             let pipeline = Pipeline {
                 run_impact: true,
                 impact_options: ImpactOptions { top_k: 3, source_cap: Some(64) },
-                options: PipelineOptions::with_concurrency(concurrency),
+                options,
                 ..Default::default()
             };
             let input = PipelineInput::from_scenario_with(&scenario, &pipeline.options);
             serde_json::to_string_pretty(&pipeline.run(input)).expect("report serializes")
         };
-        let sequential = render(1);
+        let sequential = render(PipelineOptions::sequential());
         for workers in [2usize, 4] {
-            assert!(render(workers) == sequential, "concurrency={workers} diverged");
+            let parallel = render(PipelineOptions::with_concurrency(workers));
+            assert!(parallel == sequential, "concurrency={workers} diverged");
+            // The sweep memoization switch must not change a byte either.
+            let uncached = render(
+                PipelineOptions::with_concurrency(workers)
+                    .with_sweep(SweepOptions { concurrency: workers, cache: false }),
+            );
+            assert!(uncached == sequential, "concurrency={workers} uncached sweep diverged");
         }
     }
 }

@@ -159,6 +159,13 @@ impl fmt::Display for Report {
                     100.0 * b.reachability,
                     100.0 * last.reachability
                 )?;
+                writeln!(
+                    f,
+                    "after {} corrections:     avg {:+.2} hops, diameter {:+}",
+                    curve.steps.len().saturating_sub(1),
+                    curve.avg_path_delta(),
+                    curve.diameter_delta()
+                )?;
             }
         }
         if let (Some(v4), Some(v6)) = (&self.baseline_accuracy_v4, &self.baseline_accuracy_v6) {
@@ -236,6 +243,9 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("3.80 -> 2.23"));
         assert!(text.contains("11 -> 7"));
+        assert!(text.contains("after 1 corrections"));
+        assert!(text.contains("-1.57"));
+        assert!(text.contains("diameter -4"));
         assert!(text.contains("Gao"));
     }
 }

@@ -9,6 +9,7 @@
 
 use hybrid_as_rel::prelude::*;
 use hybrid_as_rel::topology::fixtures::two_plane_fixture;
+use hybrid_as_rel::tor::impact::{ImpactOptions, SweepOptions};
 
 /// Render the report for `(topology, sim)` with both the simulator and
 /// the pipeline pinned to `concurrency` worker threads.
@@ -40,6 +41,47 @@ fn concurrency_matrix_produces_byte_identical_reports() {
             parallel == sequential,
             "concurrency={concurrency} diverged from the sequential report"
         );
+    }
+}
+
+/// Render the report with the Figure 2 impact sweep enabled, pinning the
+/// whole stack (simulator, pipeline stages, sweep) to `concurrency`
+/// workers and the sweep's cross-step memo to `cache`.
+fn impact_report_json(
+    topology: &TopologyConfig,
+    sim: &SimConfig,
+    concurrency: usize,
+    cache: bool,
+) -> String {
+    let sim = sim.clone().with_concurrency(concurrency);
+    let scenario = Scenario::build(topology, &sim);
+    let options = PipelineOptions::with_concurrency(concurrency)
+        .with_sweep(SweepOptions { concurrency, cache });
+    let pipeline = Pipeline {
+        run_impact: true,
+        impact_options: ImpactOptions { top_k: 5, source_cap: Some(64) },
+        options,
+        ..Default::default()
+    };
+    let report = pipeline.run(PipelineInput::from_scenario_with(&scenario, &pipeline.options));
+    serde_json::to_string_pretty(&report).expect("report serializes")
+}
+
+#[test]
+fn impact_sweep_matrix_produces_byte_identical_reports() {
+    let topology = TopologyConfig::tiny();
+    let sim = SimConfig::small();
+    // The reference computation: fully sequential, no memoization —
+    // exactly what the pre-sharding implementation produced.
+    let sequential = impact_report_json(&topology, &sim, 1, false);
+    for concurrency in [1usize, 2, 8] {
+        for cache in [false, true] {
+            let report = impact_report_json(&topology, &sim, concurrency, cache);
+            assert!(
+                report == sequential,
+                "impact sweep diverged at concurrency={concurrency} cache={cache}"
+            );
+        }
     }
 }
 

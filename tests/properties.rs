@@ -10,8 +10,12 @@ use hybrid_as_rel::graph::AsGraph;
 use hybrid_as_rel::mrt::bgp::{decode_attributes, encode_attributes, AttrContext};
 use hybrid_as_rel::prelude::{Scenario, SimConfig, TopologyConfig};
 use hybrid_as_rel::sim::propagate::{propagate_origins, PropagationOptions};
+use hybrid_as_rel::topology::HybridClass;
+use hybrid_as_rel::tor::hybrid::HybridFinding;
+use hybrid_as_rel::tor::impact::{correction_sweep_with, ImpactOptions, SweepOptions};
 use hybrid_as_rel::types::{
     AsPath, Asn, Community, CommunitySet, IpVersion, PathAttributes, Prefix, Relationship,
+    RelationshipPair,
 };
 
 fn arb_relationship() -> impl Strategy<Value = Relationship> {
@@ -306,6 +310,52 @@ proptest! {
         for threads in [2usize, 4] {
             let parallel = propagate_origins(&graph, &origins, IpVersion::V6, &options, threads);
             prop_assert_eq!(&parallel, &sequential, "threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn parallel_correction_sweep_matches_sequential_on_random_graphs(
+        links in prop::collection::vec((1u32..40, 1u32..40, arb_relationship()), 1..60),
+        corrections in prop::collection::vec((any::<usize>(), arb_relationship()), 0..8),
+        top_k in 0usize..8,
+        source_cap in prop::option::of(1usize..24),
+    ) {
+        let mut graph = AsGraph::new();
+        for (a, b, rel) in &links {
+            if a != b {
+                graph.annotate(Asn(*a), Asn(*b), IpVersion::V6, *rel);
+            }
+        }
+        // Turn random link indices into hybrid findings whose IPv6
+        // relationship gets corrected to a random value; visibility is
+        // descending, matching how the hybrid detector sorts its report.
+        let findings: Vec<HybridFinding> = corrections
+            .iter()
+            .enumerate()
+            .filter_map(|(i, (idx, corrected))| {
+                let (a, b, v4) = links[idx % links.len()];
+                (a != b).then(|| HybridFinding {
+                    a: Asn(a),
+                    b: Asn(b),
+                    relationships: RelationshipPair::new(v4, *corrected),
+                    class: HybridClass::PeeringV4TransitV6,
+                    v6_path_visibility: corrections.len() - i,
+                })
+            })
+            .collect();
+        let options = ImpactOptions { top_k, source_cap };
+        // The reference: fully sequential and uncached, exactly the
+        // computation the pre-sharding implementation performed.
+        let sequential =
+            correction_sweep_with(&graph, &findings, &options, &SweepOptions::sequential());
+        for threads in [2usize, 4] {
+            for cache in [false, true] {
+                let sweep = SweepOptions { concurrency: threads, cache };
+                let curve = correction_sweep_with(&graph, &findings, &options, &sweep);
+                prop_assert_eq!(
+                    &curve.steps, &sequential.steps, "threads={} cache={}", threads, cache
+                );
+            }
         }
     }
 }

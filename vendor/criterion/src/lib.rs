@@ -10,6 +10,14 @@
 //! `sample_size` timed iterations and reports min/mean/max wall-clock
 //! time. `cargo bench -- --test` runs every closure exactly once (smoke
 //! mode), matching real criterion's behaviour.
+//!
+//! Shim extension (not part of the upstream API surface): when the
+//! `CRITERION_JSON` environment variable names a file, every completed
+//! benchmark appends one JSON line `{"id":…,"mean_ns":…,"min_ns":…,
+//! "max_ns":…}` to it, giving tooling (the workspace's `bench_compare`
+//! regression gate) a machine-readable channel without parsing stdout.
+//! With the real criterion crate the variable is simply ignored and
+//! tooling falls back to criterion's own `target/criterion` output.
 
 use std::time::{Duration, Instant};
 
@@ -163,6 +171,38 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
         "{id}: mean {mean:?} (min {min:?}, max {max:?}, {} samples){rate}",
         bencher.samples.len()
     );
+    if let Some(path) = std::env::var_os("CRITERION_JSON") {
+        append_json_line(std::path::Path::new(&path), id, mean, min, max);
+    }
+}
+
+fn append_json_line(path: &std::path::Path, id: &str, mean: Duration, min: Duration, max: Duration) {
+    use std::io::Write;
+    // Benchmark ids in this workspace are plain `[A-Za-z0-9_/=-]` strings,
+    // but escape the JSON string characters anyway.
+    let escaped: String = id
+        .chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => vec![' '],
+            c => vec![c],
+        })
+        .collect();
+    let line = format!(
+        "{{\"id\":\"{escaped}\",\"mean_ns\":{},\"min_ns\":{},\"max_ns\":{}}}\n",
+        mean.as_nanos(),
+        min.as_nanos(),
+        max.as_nanos()
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("criterion shim: cannot append to CRITERION_JSON file {}: {e}", path.display());
+    }
 }
 
 /// Define a benchmark group function.

@@ -10,6 +10,10 @@
 //! * [`valley`] — valley-free path validation and the three-state
 //!   (uphill / peer / downhill) BFS that computes shortest valley-free
 //!   paths and valley-free reachability.
+//! * [`delta`] — a reusable [`delta::DistanceMap`] that repairs a
+//!   valley-free distance map incrementally when one edge's relationship
+//!   changes (frontier re-expansion with a proven full-BFS fallback),
+//!   the engine behind the Figure 2 correction sweep.
 //! * [`customer_tree`] — customer trees and cones ("all ASes reachable
 //!   from a root through p2c links"), the metric Figure 2 of the paper is
 //!   built on.
@@ -40,6 +44,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod customer_tree;
+pub mod delta;
 pub mod graph;
 pub mod metrics;
 pub mod tiers;
@@ -47,6 +52,7 @@ pub mod valley;
 
 pub use bgp_types::{Asn, IpVersion, Relationship};
 pub use customer_tree::{customer_cone_sizes, customer_tree, tree_union_metrics, TreeMetrics};
+pub use delta::{DeltaOutcome, DistanceMap, EdgeCorrection};
 pub use graph::{AsGraph, EdgeId, EdgeView, NodeId};
 pub use metrics::{connected_components, degree_stats, GraphSummary};
 pub use tiers::{classify_tiers, Tier, TierMap};

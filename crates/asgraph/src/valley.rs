@@ -116,30 +116,47 @@ pub fn classify_path(graph: &AsGraph, path: &[Asn], plane: IpVersion) -> PathVal
     }
 }
 
-/// Shortest valley-free distances (in AS hops) from `root` to every AS in
-/// the graph on the given plane.
-///
-/// The traversal walks paths *from the root outward*, i.e. it asks "what is
-/// the shortest AS path the root could use to reach X under export
-/// policies consistent with the annotated relationships". Links without a
-/// relationship annotation are not traversed. Returns `None` for
-/// unreachable ASes (including ASes not in the graph's node range).
-///
-/// The result vector is indexed by [`NodeId`] index.
-pub fn valley_free_distances(graph: &AsGraph, root: Asn, plane: IpVersion) -> Vec<Option<u32>> {
+/// Number of phases in the valley-free traversal automaton.
+pub(crate) const PHASES: usize = 3;
+
+/// One step of the valley-free traversal automaton. Phases are encoded as
+/// `0` = climbing, `1` = peered, `2` = descending; `rel` is oriented in
+/// the direction of travel. Returns the phase after crossing the link, or
+/// `None` when the crossing would create a valley. This single function is
+/// the rule both the full BFS below and the incremental repair in
+/// [`crate::delta`] traverse with — they must never disagree.
+#[inline]
+pub(crate) fn phase_transition(phase: u8, rel: Relationship) -> Option<u8> {
+    match (phase, rel) {
+        (_, Relationship::SiblingToSibling) => Some(phase),
+        (0, Relationship::CustomerToProvider) => Some(0),
+        (0, Relationship::PeerToPeer) => Some(1),
+        (0..=2, Relationship::ProviderToCustomer) => Some(2),
+        _ => None,
+    }
+}
+
+/// The full valley-free BFS over the phase-layered graph: per node, the
+/// shortest distance at which the root reaches it in each phase (`u32::MAX`
+/// = unreachable in that phase), plus the min-over-phases distance view.
+/// This is the ground-truth computation the incremental engine repairs
+/// towards; both index by [`NodeId`].
+pub(crate) fn layered_search(
+    graph: &AsGraph,
+    root: Asn,
+    plane: IpVersion,
+) -> (Vec<[u32; PHASES]>, Vec<Option<u32>>) {
     let n = graph.node_count();
-    let mut best = vec![[u32::MAX; 3]; n];
+    let mut best = vec![[u32::MAX; PHASES]; n];
     let mut out = vec![None; n];
-    let root_node = match graph.node(root) {
-        Some(r) => r,
-        None => return out,
+    let Some(root_node) = graph.node(root) else {
+        return (best, out);
     };
 
-    // Phase encoding for the BFS: 0 = climbing, 1 = peered, 2 = descending.
     // A route the root uses to reach a destination climbs through the
     // root's providers, crosses at most one peering, then descends.
     let mut queue: VecDeque<(NodeId, u8, u32)> = VecDeque::new();
-    best[root_node.index()] = [0; 3];
+    best[root_node.index()] = [0; PHASES];
     out[root_node.index()] = Some(0);
     queue.push_back((root_node, 0, 0));
 
@@ -149,15 +166,7 @@ pub fn valley_free_distances(graph: &AsGraph, root: Asn, plane: IpVersion) -> Ve
         }
         for (next, rel) in graph.neighbors_by_id(node, plane) {
             let Some(rel) = rel else { continue };
-            let next_phase = match (phase, rel) {
-                (_, Relationship::SiblingToSibling) => Some(phase),
-                (0, Relationship::CustomerToProvider) => Some(0),
-                (0, Relationship::PeerToPeer) => Some(1),
-                (0, Relationship::ProviderToCustomer) => Some(2),
-                (1 | 2, Relationship::ProviderToCustomer) => Some(2),
-                _ => None,
-            };
-            let Some(next_phase) = next_phase else { continue };
+            let Some(next_phase) = phase_transition(phase, rel) else { continue };
             let next_dist = dist + 1;
             if next_dist < best[next.index()][next_phase as usize] {
                 best[next.index()][next_phase as usize] = next_dist;
@@ -169,7 +178,21 @@ pub fn valley_free_distances(graph: &AsGraph, root: Asn, plane: IpVersion) -> Ve
             }
         }
     }
-    out
+    (best, out)
+}
+
+/// Shortest valley-free distances (in AS hops) from `root` to every AS in
+/// the graph on the given plane.
+///
+/// The traversal walks paths *from the root outward*, i.e. it asks "what is
+/// the shortest AS path the root could use to reach X under export
+/// policies consistent with the annotated relationships". Links without a
+/// relationship annotation are not traversed. Returns `None` for
+/// unreachable ASes (including ASes not in the graph's node range).
+///
+/// The result vector is indexed by [`NodeId`] index.
+pub fn valley_free_distances(graph: &AsGraph, root: Asn, plane: IpVersion) -> Vec<Option<u32>> {
+    layered_search(graph, root, plane).1
 }
 
 /// The set of ASes reachable from `root` through valley-free paths on the

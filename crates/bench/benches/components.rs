@@ -12,6 +12,7 @@ use bgp_types::{Asn, IpVersion};
 use hybrid_tor::impact::{correction_sweep_with, ImpactOptions, SweepOptions};
 use hybrid_tor::pipeline::{Pipeline, PipelineInput};
 use routesim::propagate::{propagate_origin, propagate_origins, PropagationOptions};
+use routesim::Scenario;
 
 fn components(c: &mut Criterion) {
     let scale = bench::bench_scale();
@@ -98,16 +99,37 @@ fn components(c: &mut Criterion) {
     group.finish();
 
     // The Figure 2 correction sweep at several worker counts — the curve
-    // is byte-identical at every row (and with the memo on or off); the
-    // rows only measure the execution layer. `sweep/threads=1` keeps the
-    // cross-step memo, `sweep/uncached` is the fully recomputing path the
-    // pre-sharding implementation ran.
+    // is byte-identical at every row (and whatever the memo/incremental
+    // settings); the rows only measure the execution layer.
+    // `sweep/threads=*` runs the production default (memo + delta
+    // engine), `sweep/incremental` vs `sweep/full-recompute` isolates
+    // what the delta tier saves on the dirty sources (same memo, same
+    // single worker, only the repair strategy differs), and
+    // `sweep/uncached` is the fully recomputing path the pre-sharding
+    // implementation ran.
     let (misinferred, hybrid_findings) = bench::sweep_inputs(&scenario);
     let impact_options = ImpactOptions { top_k: 10, source_cap: Some(100) };
     let mut group = c.benchmark_group("sweep");
     for threads in [1usize, 2, 4] {
         let sweep = SweepOptions::with_concurrency(threads);
         group.bench_function(&format!("threads={threads}"), |b| {
+            b.iter(|| {
+                black_box(
+                    correction_sweep_with(
+                        black_box(&misinferred),
+                        &hybrid_findings,
+                        &impact_options,
+                        &sweep,
+                    )
+                    .steps
+                    .len(),
+                )
+            })
+        });
+    }
+    for (name, incremental) in [("incremental", true), ("full-recompute", false)] {
+        let sweep = SweepOptions::with_concurrency(1).with_incremental(incremental);
+        group.bench_function(name, |b| {
             b.iter(|| {
                 black_box(
                     correction_sweep_with(
@@ -133,6 +155,29 @@ fn components(c: &mut Criterion) {
                 )
                 .steps
                 .len(),
+            )
+        })
+    });
+    group.finish();
+
+    // Sweep-point scenario construction: a full from-config rebuild (what
+    // the experiment bins did before the reuse layer) against
+    // `Scenario::rebuild_with` patching the same sweep point out of a
+    // built base. Outputs are byte-identical; only the work differs.
+    let mut group = c.benchmark_group("scenario");
+    group.bench_function("rebuild", |b| {
+        b.iter(|| {
+            let mut sim = scale.sim.clone();
+            sim.documentation_probability = 0.5;
+            black_box(Scenario::build(&scale.topology, &sim).total_rib_entries())
+        })
+    });
+    group.bench_function("reuse", |b| {
+        b.iter(|| {
+            black_box(
+                scenario
+                    .rebuild_with(|sim| sim.documentation_probability = 0.5)
+                    .total_rib_entries(),
             )
         })
     });

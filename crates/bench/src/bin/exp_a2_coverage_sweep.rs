@@ -7,9 +7,10 @@ fn main() {
     let scale = if small { bench::bench_scale() } else { bench::paper_scale() };
     let rates = [0.1, 0.25, 0.5, 0.75, 0.82, 1.0];
     eprintln!(
-        "running coverage sweep over {} documentation rates ({} worker threads, HYBRID_THREADS to change)...",
+        "running coverage sweep over {} documentation rates ({} worker threads, HYBRID_THREADS \
+         to change; sweep points reuse the base scenario's propagation)...",
         rates.len(),
-        routesim::effective_concurrency(bench::configured_concurrency())
+        bench::threads()
     );
     let rows: Vec<Vec<String>> = bench::coverage_sweep(&scale, &rates)
         .into_iter()

@@ -6,7 +6,11 @@ fn main() {
     let small = std::env::args().any(|a| a == "--small");
     let scale = if small { bench::bench_scale() } else { bench::paper_scale() };
     let counts = [1usize, 2, 4, 8];
-    eprintln!("running collector sensitivity sweep...");
+    eprintln!(
+        "running collector sensitivity sweep ({} worker threads, HYBRID_THREADS to change; \
+         sweep points reuse the base scenario's propagation)...",
+        bench::threads()
+    );
     let rows: Vec<Vec<String>> = bench::collector_sensitivity(&scale, &counts)
         .into_iter()
         .map(|(c, hybrids, fraction, links)| {

@@ -13,7 +13,7 @@ fn main() {
     eprintln!(
         "building scenario ({} ASes, {} worker threads; set HYBRID_THREADS to override)...",
         scale.topology.total_as_count(),
-        routesim::effective_concurrency(bench::configured_concurrency())
+        bench::threads()
     );
     let scenario = bench::build_scenario(&scale);
     eprintln!("running measurement pipeline...");

@@ -14,7 +14,7 @@ fn main() {
     eprintln!(
         "building scenario ({} ASes, {} worker threads, HYBRID_THREADS to change)...",
         scale.topology.total_as_count(),
-        routesim::effective_concurrency(bench::configured_concurrency())
+        bench::threads()
     );
     let scenario = bench::build_scenario(&scale);
     let report = bench::run_measurement(&scenario);

@@ -18,8 +18,9 @@ fn main() {
     let scenario = bench::build_scenario(&scale);
     eprintln!(
         "running measurement + correction sweep (top 20 hybrids, {} worker threads, \
-         HYBRID_THREADS to change)...",
-        routesim::effective_concurrency(bench::configured_concurrency())
+         HYBRID_THREADS to change; incremental delta-BFS {}, HYBRID_INCREMENTAL=0 to disable)...",
+        bench::threads(),
+        if bench::configured_incremental() { "on" } else { "off" }
     );
     let report = bench::run_measurement_with_impact(&scenario, 20, source_cap);
     let curve = report.impact.expect("impact sweep requested");
@@ -45,5 +46,8 @@ fn main() {
             "paper: avg 3.8 -> 2.23 hops, diameter 11 -> 7; measured: avg {:.2} -> {:.2}, diameter {} -> {}",
             b.avg_path_length, f.avg_path_length, b.diameter, f.diameter
         );
+    }
+    if let Some(stats) = &report.sweep_stats {
+        println!("sweep execution: {stats}");
     }
 }

@@ -16,9 +16,10 @@ use asgraph::AsGraph;
 use bgp_types::{Asn, IpVersion};
 use hybrid_tor::baselines::{gao_inference, BaselineInput, InferenceAccuracy};
 use hybrid_tor::hybrid::HybridFinding;
+use hybrid_tor::impact::SweepOptions;
 use hybrid_tor::pipeline::{Pipeline, PipelineInput, PipelineOptions};
 use hybrid_tor::report::Report;
-use routesim::{Scenario, SimConfig};
+use routesim::{Scenario, ScenarioPool, SimConfig};
 use topogen::fixtures::figure1_topology;
 use topogen::TopologyConfig;
 
@@ -30,6 +31,36 @@ use topogen::TopologyConfig;
 /// byte-identical either way — the knob only trades wall-clock time.
 pub fn configured_concurrency() -> usize {
     std::env::var("HYBRID_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+}
+
+/// The worker count the experiment bins actually run with —
+/// [`configured_concurrency`] resolved against the host (`0` = all
+/// cores). One helper instead of per-bin copies of the same
+/// `effective_concurrency(configured_concurrency())` expression, which
+/// had already drifted apart once.
+pub fn threads() -> usize {
+    routesim::effective_concurrency(configured_concurrency())
+}
+
+/// Whether the sweep's incremental delta-BFS engine is enabled, from the
+/// `HYBRID_INCREMENTAL` environment variable: unset, empty or anything
+/// other than `0`/`false` means on (the default). The knob never changes
+/// the measured numbers — curve, coverage, census are byte-identical
+/// either way; only the opt-in `sweep_stats` execution counters (which
+/// describe *how* the sweep ran) reflect it.
+pub fn configured_incremental() -> bool {
+    !matches!(
+        std::env::var("HYBRID_INCREMENTAL").ok().as_deref().map(str::trim),
+        Some("0") | Some("false")
+    )
+}
+
+/// The sweep execution options the experiment bins run with:
+/// `HYBRID_THREADS` workers, memoization on, and the incremental engine
+/// steered by `HYBRID_INCREMENTAL`.
+pub fn configured_sweep() -> SweepOptions {
+    SweepOptions::with_concurrency(configured_concurrency())
+        .with_incremental(configured_incremental())
 }
 
 /// Apply `HYBRID_THREADS` to a simulator configuration that does not pin a
@@ -89,14 +120,18 @@ pub fn run_measurement(scenario: &Scenario) -> Report {
 /// F2: run the measurement including the customer-tree correction sweep.
 ///
 /// `source_cap` bounds the all-pairs computation; `None` is exact and is
-/// what the paper-scale binary uses.
+/// what the paper-scale binary uses. Honours `HYBRID_THREADS` and
+/// `HYBRID_INCREMENTAL`, and asks the pipeline for the sweep's execution
+/// statistics so the bins can print cache/delta effectiveness.
 pub fn run_measurement_with_impact(
     scenario: &Scenario,
     top_k: usize,
     source_cap: Option<usize>,
 ) -> Report {
     let pipeline = Pipeline {
-        options: PipelineOptions::with_concurrency(configured_concurrency()),
+        options: PipelineOptions::with_concurrency(configured_concurrency())
+            .with_sweep(configured_sweep()),
+        emit_sweep_stats: true,
         ..Pipeline::with_impact(top_k, source_cap)
     };
     pipeline.run(PipelineInput::from_scenario_with(scenario, &pipeline.options))
@@ -121,16 +156,25 @@ pub fn baseline_accuracy(scenario: &Scenario) -> (InferenceAccuracy, InferenceAc
     )
 }
 
+/// The sweep-point factory the experiment sweeps run on: one topology
+/// generation and one propagation per plane, every sweep point derived by
+/// patching the base configuration (see [`routesim::ScenarioPool`]).
+pub fn scenario_pool(scale: &ExperimentScale) -> ScenarioPool {
+    ScenarioPool::new(&scale.topology, &configured_sim(&scale.sim))
+}
+
 /// A2: coverage as a function of the IRR documentation rate.
 /// Returns `(documentation_rate, ipv6_coverage, dual_stack_coverage)` rows.
+///
+/// Built on the sweep-point reuse layer: documentation only reaches the
+/// registry and the per-AS policies, so every rate shares the base
+/// scenario's propagation outcomes instead of rebuilding from config.
 pub fn coverage_sweep(scale: &ExperimentScale, rates: &[f64]) -> Vec<(f64, f64, f64)> {
-    let truth = topogen::generate(&scale.topology);
+    let mut pool = scenario_pool(scale);
     rates
         .iter()
         .map(|&rate| {
-            let mut sim = configured_sim(&scale.sim);
-            sim.documentation_probability = rate;
-            let scenario = Scenario::build_from_truth(truth.clone(), scale.topology.clone(), &sim);
+            let scenario = pool.scenario_with(|sim| sim.documentation_probability = rate);
             let report = run_measurement(&scenario);
             (rate, report.dataset.ipv6_coverage(), report.dataset.dual_stack_coverage())
         })
@@ -139,17 +183,19 @@ pub fn coverage_sweep(scale: &ExperimentScale, rates: &[f64]) -> Vec<(f64, f64, 
 
 /// A3: hybrid detection as a function of the number of collectors.
 /// Returns `(collectors, detected_hybrids, hybrid_fraction, ipv6_links)` rows.
+///
+/// Like [`coverage_sweep`], every collector count is a patch of the pooled
+/// base scenario: what the collectors *see* changes, what the Internet
+/// *routes* does not, so propagation is reused at every sweep point.
 pub fn collector_sensitivity(
     scale: &ExperimentScale,
     collector_counts: &[usize],
 ) -> Vec<(usize, usize, f64, usize)> {
-    let truth = topogen::generate(&scale.topology);
+    let mut pool = scenario_pool(scale);
     collector_counts
         .iter()
         .map(|&count| {
-            let mut sim = configured_sim(&scale.sim);
-            sim.collector_count = count;
-            let scenario = Scenario::build_from_truth(truth.clone(), scale.topology.clone(), &sim);
+            let scenario = pool.scenario_with(|sim| sim.collector_count = count);
             let report = run_measurement(&scenario);
             (
                 count,
@@ -282,6 +328,37 @@ mod tests {
         let annotated =
             graph.plane_edges(IpVersion::V6).filter(|e| e.rel(IpVersion::V6).is_some()).count();
         assert!(annotated > 0);
+    }
+
+    #[test]
+    fn env_helpers_resolve_sensibly() {
+        assert!(threads() >= 1, "resolved worker count is at least one");
+        let sweep = configured_sweep();
+        assert!(sweep.cache, "the bins always run with the memo tier on");
+        assert_eq!(sweep.incremental, configured_incremental());
+        assert_eq!(sweep.concurrency, configured_concurrency());
+    }
+
+    #[test]
+    fn pooled_sweep_points_reuse_propagation_and_match_from_scratch_builds() {
+        let scale = tiny_scale();
+        let mut pool = scenario_pool(&scale);
+        let pooled = pool.scenario_with(|sim| sim.documentation_probability = 0.4);
+        assert_eq!(pool.propagation_reuses(), 2, "both planes reused");
+        let mut sim = configured_sim(&scale.sim);
+        sim.documentation_probability = 0.4;
+        let scratch = routesim::Scenario::build(&scale.topology, &sim);
+        assert_eq!(pooled.snapshots, scratch.snapshots);
+        assert_eq!(pooled.registry, scratch.registry);
+    }
+
+    #[test]
+    fn impact_measurement_reports_sweep_stats() {
+        let scenario = build_scenario(&tiny_scale());
+        let report = run_measurement_with_impact(&scenario, 3, Some(64));
+        let stats = report.sweep_stats.expect("the harness asks for sweep stats");
+        assert!(stats.lookups() > 0);
+        assert_eq!(stats.misses, stats.delta_repairs + stats.full_rebuilds);
     }
 
     #[test]

@@ -10,24 +10,37 @@
 //! visible hybrid links are corrected.
 //!
 //! The sweep is the most expensive part of the pipeline (one valley-free
-//! BFS per union member per correction step), so it is built on the
-//! workspace's sharded execution layer: the per-source BFS work is striped
-//! across workers with [`routesim::shard_map`], and a [`SweepCache`]
-//! memoizes per-source results across correction steps — a source whose
-//! valley-free reachable set touches neither endpoint of the corrected
-//! link provably keeps the same distance map, so its metrics are reused
-//! instead of recomputed. Whatever the worker count and cache setting, the
-//! produced [`ImpactCurve`] is byte-identical to the sequential, uncached
-//! computation (all accumulation is integer arithmetic combined in source
-//! order; the determinism suite enforces the contract).
+//! BFS per union member per correction step), so it runs on a two-tier
+//! skip/delta engine on top of the workspace's sharded execution layer:
+//!
+//! 1. **Skip tier** — the [`SweepCache`] memo: a source whose valley-free
+//!    reachable set touches neither endpoint of the corrected link
+//!    provably keeps the same distance map, so its metrics are reused
+//!    without touching the BFS state at all.
+//! 2. **Delta tier** — sources that *do* touch the link keep a reusable
+//!    [`asgraph::delta::DistanceMap`] and repair it incrementally
+//!    (frontier re-expansion over the affected region, with a proven
+//!    fallback to a full BFS when the delta cannot be bounded) instead of
+//!    recomputing from scratch. `SweepOptions::incremental` switches this
+//!    tier off, degrading dirty sources to full recomputation.
+//!
+//! Per-source work is striped across workers with [`routesim::shard_map`]
+//! / [`routesim::shard_map_owned`]. Whatever the worker count, cache and
+//! incremental settings, the produced [`ImpactCurve`] is byte-identical
+//! to the sequential, uncached, fully recomputing sweep (distance maps
+//! are a unique fixed point and all accumulation is integer arithmetic
+//! combined in source order; the determinism suite enforces the
+//! contract).
+
+use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
 use asgraph::customer_tree::{customer_tree_union, tree_union_metrics, TreeMetrics};
-use asgraph::valley::valley_free_distances;
+use asgraph::delta::{DeltaOutcome, DistanceMap, EdgeCorrection};
 use asgraph::AsGraph;
 use bgp_types::{Asn, IpVersion, Relationship};
-use routesim::{effective_concurrency, shard_map};
+use routesim::{effective_concurrency, shard_map, shard_map_owned};
 
 use crate::hybrid::HybridFinding;
 
@@ -145,10 +158,10 @@ impl Default for ImpactOptions {
     }
 }
 
-/// Execution options for the impact subsystem: worker threads and the
-/// cross-step memoization switch. Neither knob affects the output — the
-/// curve is byte-identical at every setting; they only trade wall-clock
-/// time and memory.
+/// Execution options for the impact subsystem: worker threads, the
+/// cross-step memoization switch and the incremental delta-BFS switch.
+/// None of the knobs affects the output — the curve is byte-identical at
+/// every setting; they only trade wall-clock time and memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SweepOptions {
     /// Worker threads for the per-source BFS work: `0` uses all available
@@ -157,24 +170,37 @@ pub struct SweepOptions {
     /// Reuse per-source propagation results across correction steps when a
     /// step provably cannot change them (see [`SweepCache`]).
     pub cache: bool,
+    /// Repair dirty sources' distance maps incrementally (delta over the
+    /// corrected edge) instead of recomputing the full BFS. Only effective
+    /// together with `cache` (the delta engine lives on the memoized
+    /// per-source state). Defaults to on; the experiment harness maps
+    /// `HYBRID_INCREMENTAL=0` onto this knob.
+    pub incremental: bool,
 }
 
 impl Default for SweepOptions {
     fn default() -> Self {
-        SweepOptions { concurrency: 0, cache: true }
+        SweepOptions { concurrency: 0, cache: true, incremental: true }
     }
 }
 
 impl SweepOptions {
-    /// The fully sequential, uncached execution path — exactly the
-    /// computation the pre-sharding implementation performed.
+    /// The fully sequential, uncached, fully recomputing execution path —
+    /// exactly the computation the pre-sharding implementation performed.
     pub fn sequential() -> Self {
-        SweepOptions { concurrency: 1, cache: false }
+        SweepOptions { concurrency: 1, cache: false, incremental: false }
     }
 
-    /// Options pinned to `concurrency` worker threads, cache enabled.
+    /// Options pinned to `concurrency` worker threads, cache and
+    /// incremental repair enabled.
     pub fn with_concurrency(concurrency: usize) -> Self {
-        SweepOptions { concurrency, cache: true }
+        SweepOptions { concurrency, cache: true, incremental: true }
+    }
+
+    /// These options with the incremental delta-BFS tier switched on or
+    /// off (dirty sources recompute the full BFS when off).
+    pub fn with_incremental(self, incremental: bool) -> Self {
+        SweepOptions { incremental, ..self }
     }
 
     /// The worker count these options resolve to (`0` = all cores).
@@ -195,92 +221,153 @@ struct SourcePartial {
     total_pairs: u64,
 }
 
-/// Per-source memo: the partial metrics and valley-free reachability
-/// bitmap from the most recently computed step.
-#[derive(Debug, Clone)]
+/// Per-source memo: what the last BFS established (see [`SourceMemo`])
+/// and the partial metrics it implied at that step.
+#[derive(Debug, Clone, Default)]
 struct SourceState {
     partial: SourcePartial,
-    reachable: Vec<bool>,
+    memo: SourceMemo,
+}
+
+/// What the memo keeps of a source's last BFS. The delta tier needs the
+/// full repairable [`DistanceMap`] (per-phase labels, ~20 bytes/node);
+/// with `incremental` off only the endpoint-reachability question is ever
+/// asked again, so the memo degrades to the 1 byte/node bitmap the
+/// pre-delta implementation stored.
+#[derive(Debug, Clone)]
+enum SourceMemo {
+    /// Full per-phase labels, repairable in place (incremental on).
+    Map(DistanceMap),
+    /// Reachability bitmap only (incremental off).
+    Reachable(Vec<bool>),
+}
+
+impl Default for SourceMemo {
+    fn default() -> Self {
+        SourceMemo::Reachable(Vec::new())
+    }
 }
 
 impl SourceState {
-    /// One valley-free BFS from `src` plus the metric accumulation over
-    /// the union pairs. `baseline_row` is the source's step-0 reachability
-    /// bitmap (the pair population is fixed by the baseline, as in the
-    /// paper); `None` means "this *is* the baseline step", where the
-    /// source's own map plays that role.
+    /// One full valley-free BFS from `src` plus the metric accumulation
+    /// over the union pairs. `baseline_row` is the source's step-0
+    /// reachability bitmap (the pair population is fixed by the baseline,
+    /// as in the paper); `None` means "this *is* the baseline step", where
+    /// the source's own map plays that role. `keep_map` decides whether
+    /// the memo keeps the repairable labels or only the bitmap.
     fn compute(
         graph: &AsGraph,
         src: Asn,
         in_union: &[bool],
         baseline_row: Option<&[bool]>,
+        keep_map: bool,
     ) -> SourceState {
-        let dist = valley_free_distances(graph, src, IpVersion::V6);
-        let src_idx = graph.node(src).map(|n| n.index()).unwrap_or(usize::MAX);
-        let reachable: Vec<bool> = dist.iter().map(|d| d.is_some()).collect();
-        let mut partial = SourcePartial::default();
-        for (idx, d) in dist.iter().enumerate() {
-            if idx == src_idx || !in_union.get(idx).copied().unwrap_or(false) {
-                continue;
-            }
-            partial.total_pairs += 1;
-            if d.is_some() {
-                partial.reachable_now += 1;
-            }
-            let in_baseline = match baseline_row {
-                Some(row) => row.get(idx).copied().unwrap_or(false),
-                None => true,
-            };
-            if in_baseline {
-                if let Some(d) = d {
-                    partial.sum += u64::from(*d);
-                    partial.count += 1;
-                    partial.diameter = partial.diameter.max(*d);
-                }
+        let dist = DistanceMap::compute(graph, src, IpVersion::V6);
+        let partial = accumulate_partial(graph, &dist, in_union, baseline_row);
+        let memo = if keep_map {
+            SourceMemo::Map(dist)
+        } else {
+            SourceMemo::Reachable(dist.distances().iter().map(Option::is_some).collect())
+        };
+        SourceState { partial, memo }
+    }
+
+    /// Whether the node at `index` was valley-free reachable from this
+    /// source at the last computed step.
+    fn is_reachable(&self, index: usize) -> bool {
+        match &self.memo {
+            SourceMemo::Map(dist) => dist.is_reachable(index),
+            SourceMemo::Reachable(bits) => bits.get(index).copied().unwrap_or(false),
+        }
+    }
+
+    /// This source's reachability bitmap at the last computed step.
+    fn reachable_row(&self) -> Vec<bool> {
+        match &self.memo {
+            SourceMemo::Map(dist) => dist.distances().iter().map(Option::is_some).collect(),
+            SourceMemo::Reachable(bits) => bits.clone(),
+        }
+    }
+
+    /// Repair this source's distance map after a correction (incremental
+    /// when the delta is bounded, full BFS otherwise) and refresh the
+    /// partial metrics when anything moved. Only the delta tier calls
+    /// this, and the delta tier always memoizes full maps (the
+    /// `incremental` flag is fixed for the duration of a sweep and the
+    /// baseline pass computes the memo under the same flag), so a bitmap
+    /// memo here is a caller bug.
+    fn repair(
+        &mut self,
+        graph: &AsGraph,
+        correction: &EdgeCorrection,
+        in_union: &[bool],
+        baseline_row: &[bool],
+    ) -> DeltaOutcome {
+        let SourceMemo::Map(dist) = &mut self.memo else {
+            unreachable!("delta repair on a bitmap memo: the incremental flag changed mid-sweep")
+        };
+        let outcome = dist.apply_correction(graph, correction);
+        if outcome != DeltaOutcome::Unchanged {
+            self.partial = accumulate_partial(graph, dist, in_union, Some(baseline_row));
+        }
+        outcome
+    }
+}
+
+/// Fold one source's distance map into its metric contribution. Pure
+/// integer accumulation over the union pairs, so it is exactly as
+/// order-stable as the distances themselves.
+fn accumulate_partial(
+    graph: &AsGraph,
+    dist: &DistanceMap,
+    in_union: &[bool],
+    baseline_row: Option<&[bool]>,
+) -> SourcePartial {
+    let src_idx = graph.node(dist.root()).map(|n| n.index()).unwrap_or(usize::MAX);
+    let mut partial = SourcePartial::default();
+    for (idx, d) in dist.distances().iter().enumerate() {
+        if idx == src_idx || !in_union.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        partial.total_pairs += 1;
+        if d.is_some() {
+            partial.reachable_now += 1;
+        }
+        let in_baseline = match baseline_row {
+            Some(row) => row.get(idx).copied().unwrap_or(false),
+            None => true,
+        };
+        if in_baseline {
+            if let Some(d) = d {
+                partial.sum += u64::from(*d);
+                partial.count += 1;
+                partial.diameter = partial.diameter.max(*d);
             }
         }
-        SourceState { partial, reachable }
     }
+    partial
 }
 
-/// Memoized per-source propagation state for the correction sweep.
-///
-/// Correcting the link `a`–`b` can only change the valley-free distance
-/// map of a source that could already reach `a` or `b`: any walk that
-/// traverses the edge must first arrive at one of its endpoints through
-/// unchanged edges. Sources whose reachable set misses both endpoints
-/// therefore keep their distance map — and their metric contribution —
-/// unchanged, and the cache reuses them instead of re-running the BFS.
-///
-/// The cache is working memory for one sweep at a time (its per-source
-/// state is rebuilt by every [`correction_sweep_in`] call), but the
-/// hit/miss counters accumulate across calls so repeated sweeps — e.g.
-/// the experiment harnesses re-annotating plane after plane — can report
-/// aggregate reuse.
-#[derive(Debug, Clone, Default)]
-pub struct SweepCache {
-    states: Vec<SourceState>,
-    baseline_rows: Vec<Vec<bool>>,
-    hits: u64,
-    misses: u64,
+/// Execution statistics of a correction sweep: how much of the per-source
+/// work the skip tier memoized away, and how the remainder split between
+/// incremental delta repairs and full BFS recomputations. Purely
+/// observational — the counters never influence the curve.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepStats {
+    /// Per-source step computations served from the memo (no BFS state
+    /// touched at all).
+    pub hits: u64,
+    /// Per-source step computations that had to touch the BFS state.
+    pub misses: u64,
+    /// Misses resolved by the incremental delta engine (bounded frontier
+    /// repair, including repairs that proved the map unchanged).
+    pub delta_repairs: u64,
+    /// Misses that ran a full valley-free BFS (baseline passes, the
+    /// incremental engine's proven fallback, or `incremental: false`).
+    pub full_rebuilds: u64,
 }
 
-impl SweepCache {
-    /// An empty cache.
-    pub fn new() -> Self {
-        SweepCache::default()
-    }
-
-    /// Per-source step computations served from the memo (no BFS run).
-    pub fn hits(&self) -> u64 {
-        self.hits
-    }
-
-    /// Per-source step computations that ran a fresh BFS.
-    pub fn misses(&self) -> u64 {
-        self.misses
-    }
-
+impl SweepStats {
     /// Total per-source step computations observed.
     pub fn lookups(&self) -> u64 {
         self.hits + self.misses
@@ -293,6 +380,103 @@ impl SweepCache {
         } else {
             self.hits as f64 / self.lookups() as f64
         }
+    }
+
+    /// Fraction of misses the delta engine absorbed (0 when unused).
+    pub fn delta_rate(&self) -> f64 {
+        if self.misses == 0 {
+            0.0
+        } else {
+            self.delta_repairs as f64 / self.misses as f64
+        }
+    }
+}
+
+impl fmt::Display for SweepStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1}% memo hits ({} of {}); {} delta repairs, {} full BFS ({:.1}% of misses \
+             incremental)",
+            100.0 * self.hit_rate(),
+            self.hits,
+            self.lookups(),
+            self.delta_repairs,
+            self.full_rebuilds,
+            100.0 * self.delta_rate(),
+        )
+    }
+}
+
+/// Memoized per-source propagation state for the correction sweep — the
+/// skip tier of the two-tier engine.
+///
+/// Correcting the link `a`–`b` can only change the valley-free distance
+/// map of a source that could already reach `a` or `b`: any walk that
+/// traverses the edge must first arrive at one of its endpoints through
+/// unchanged edges. Sources whose reachable set misses both endpoints
+/// therefore keep their distance map — and their metric contribution —
+/// unchanged, and the cache reuses them instead of re-running the BFS.
+/// Sources that do touch the link fall through to the delta tier (see
+/// [`SweepOptions::incremental`]).
+///
+/// The cache is working memory for one sweep at a time (its per-source
+/// state is rebuilt by every [`correction_sweep_in`] call), but the
+/// counters accumulate across calls so repeated sweeps — e.g. the
+/// experiment harnesses re-annotating plane after plane — can report
+/// aggregate reuse via [`SweepCache::stats`].
+#[derive(Debug, Clone, Default)]
+pub struct SweepCache {
+    states: Vec<SourceState>,
+    baseline_rows: Vec<Vec<bool>>,
+    stats: SweepStats,
+}
+
+impl SweepCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SweepCache::default()
+    }
+
+    /// Per-source step computations served from the memo (no BFS run).
+    pub fn hits(&self) -> u64 {
+        self.stats.hits
+    }
+
+    /// Per-source step computations that touched the BFS state.
+    pub fn misses(&self) -> u64 {
+        self.stats.misses
+    }
+
+    /// Total per-source step computations observed.
+    pub fn lookups(&self) -> u64 {
+        self.stats.lookups()
+    }
+
+    /// Fraction of computations served from the memo (0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        self.stats.hit_rate()
+    }
+
+    /// Misses the incremental delta engine absorbed.
+    pub fn delta_repairs(&self) -> u64 {
+        self.stats.delta_repairs
+    }
+
+    /// Misses that ran a full valley-free BFS.
+    pub fn full_rebuilds(&self) -> u64 {
+        self.stats.full_rebuilds
+    }
+
+    /// The accumulated counters as a reportable snapshot.
+    pub fn stats(&self) -> SweepStats {
+        self.stats
+    }
+
+    /// Record `count` full BFS computations.
+    fn count_full(&mut self, count: u64) {
+        self.stats.misses += count;
+        self.stats.full_rebuilds += count;
     }
 
     /// Drop the per-source state from a previous sweep; counters persist.
@@ -413,42 +597,92 @@ pub fn correction_sweep_in(
     // Baseline step: one sharded BFS pass over the sources. Each source's
     // own reachability map doubles as its baseline-reachable row, so the
     // legacy "compute the baseline rows, then recompute the step-0
-    // metrics" double pass collapses into one.
-    cache.states =
-        shard_map(&sources, workers, |&src| SourceState::compute(&graph, src, &in_union, None));
-    cache.baseline_rows = cache.states.iter().map(|s| s.reachable.clone()).collect();
-    cache.misses += sources.len() as u64;
+    // metrics" double pass collapses into one. The memo keeps the full
+    // repairable labels only when the delta tier will actually use them
+    // (incremental together with the memo); otherwise it keeps the
+    // 1 byte/node bitmap of the pre-delta implementation.
+    let keep_map = sweep.cache && sweep.incremental;
+    cache.states = shard_map(&sources, workers, |&src| {
+        SourceState::compute(&graph, src, &in_union, None, keep_map)
+    });
+    cache.baseline_rows = cache.states.iter().map(SourceState::reachable_row).collect();
+    cache.count_full(sources.len() as u64);
     curve.steps.push(combine_step(cache.states.iter().map(|s| s.partial), 0, None));
 
     if sweep.cache {
         // Memoized path: steps run in order; per step, only the sources
-        // whose reachable set touches the corrected link recompute (those
-        // are striped across the workers), everyone else is a cache hit.
+        // whose reachable set touches the corrected link are dirty —
+        // everyone else is a skip-tier hit. Dirty sources either repair
+        // their distance map through the delta engine (striped across the
+        // workers, each map moved to its worker and back without cloning)
+        // or, with `incremental` off, recompute the full BFS.
         for (i, finding) in corrections.iter().enumerate() {
             let a_idx = graph.node(finding.a).map(|n| n.index());
             let b_idx = graph.node(finding.b).map(|n| n.index());
+            let correction = EdgeCorrection::observe(
+                &graph,
+                finding.a,
+                finding.b,
+                IpVersion::V6,
+                finding.relationships.v6,
+            );
             graph.annotate(finding.a, finding.b, IpVersion::V6, finding.relationships.v6);
             let touches = |state: &SourceState, idx: Option<usize>| {
-                idx.is_some_and(|i| state.reachable.get(i).copied().unwrap_or(false))
+                idx.is_some_and(|i| state.is_reachable(i))
             };
             let dirty: Vec<usize> = (0..sources.len())
                 .filter(|&si| {
                     touches(&cache.states[si], a_idx) || touches(&cache.states[si], b_idx)
                 })
                 .collect();
-            cache.hits += (sources.len() - dirty.len()) as u64;
-            cache.misses += dirty.len() as u64;
-            let recomputed: Vec<SourceState> = {
-                let graph = &graph;
-                let in_union = &in_union;
-                let sources = &sources;
-                let baseline_rows = &cache.baseline_rows;
-                shard_map(&dirty, workers, move |&si| {
-                    SourceState::compute(graph, sources[si], in_union, Some(&baseline_rows[si]))
-                })
-            };
-            for (si, state) in dirty.into_iter().zip(recomputed) {
-                cache.states[si] = state;
+            cache.stats.hits += (sources.len() - dirty.len()) as u64;
+            cache.stats.misses += dirty.len() as u64;
+            if sweep.incremental {
+                // Delta tier: move each dirty state out of the memo,
+                // repair it on a worker, and put it back in source order.
+                let taken: Vec<(usize, SourceState)> = dirty
+                    .into_iter()
+                    .map(|si| (si, std::mem::take(&mut cache.states[si])))
+                    .collect();
+                let repaired: Vec<(usize, SourceState, DeltaOutcome)> = {
+                    let graph = &graph;
+                    let in_union = &in_union;
+                    let baseline_rows = &cache.baseline_rows;
+                    let correction = &correction;
+                    shard_map_owned(taken, workers, move |(si, mut state)| {
+                        let outcome = state.repair(graph, correction, in_union, &baseline_rows[si]);
+                        (si, state, outcome)
+                    })
+                };
+                for (si, state, outcome) in repaired {
+                    match outcome {
+                        DeltaOutcome::FullRebuild => cache.stats.full_rebuilds += 1,
+                        DeltaOutcome::Incremental | DeltaOutcome::Unchanged => {
+                            cache.stats.delta_repairs += 1
+                        }
+                    }
+                    cache.states[si] = state;
+                }
+            } else {
+                cache.stats.full_rebuilds += dirty.len() as u64;
+                let recomputed: Vec<SourceState> = {
+                    let graph = &graph;
+                    let in_union = &in_union;
+                    let sources = &sources;
+                    let baseline_rows = &cache.baseline_rows;
+                    shard_map(&dirty, workers, move |&si| {
+                        SourceState::compute(
+                            graph,
+                            sources[si],
+                            in_union,
+                            Some(&baseline_rows[si]),
+                            false,
+                        )
+                    })
+                };
+                for (si, state) in dirty.into_iter().zip(recomputed) {
+                    cache.states[si] = state;
+                }
             }
             curve.steps.push(combine_step(
                 cache.states.iter().map(|s| s.partial),
@@ -470,11 +704,17 @@ pub fn correction_sweep_in(
                 let sources = &sources;
                 let baseline_rows = &cache.baseline_rows;
                 shard_map(&source_indices, workers, move |&si| {
-                    SourceState::compute(graph, sources[si], in_union, Some(&baseline_rows[si]))
-                        .partial
+                    SourceState::compute(
+                        graph,
+                        sources[si],
+                        in_union,
+                        Some(&baseline_rows[si]),
+                        false,
+                    )
+                    .partial
                 })
             };
-            cache.misses += partials.len() as u64;
+            cache.count_full(partials.len() as u64);
             curve.steps.push(combine_step(
                 partials.into_iter(),
                 i + 1,
@@ -615,12 +855,15 @@ mod tests {
             correction_sweep_with(&graph, &findings, &options, &SweepOptions::sequential());
         for concurrency in [2usize, 4] {
             for cache in [false, true] {
-                let sweep = SweepOptions { concurrency, cache };
-                let parallel = correction_sweep_with(&graph, &findings, &options, &sweep);
-                assert_eq!(
-                    parallel.steps, sequential.steps,
-                    "concurrency={concurrency} cache={cache} diverged"
-                );
+                for incremental in [false, true] {
+                    let sweep = SweepOptions { concurrency, cache, incremental };
+                    let parallel = correction_sweep_with(&graph, &findings, &options, &sweep);
+                    assert_eq!(
+                        parallel.steps, sequential.steps,
+                        "concurrency={concurrency} cache={cache} incremental={incremental} \
+                         diverged"
+                    );
+                }
             }
         }
     }
@@ -640,7 +883,7 @@ mod tests {
             &g,
             &findings,
             &ImpactOptions::default(),
-            &SweepOptions { concurrency: 1, cache: true },
+            &SweepOptions { concurrency: 1, cache: true, incremental: true },
             &mut cache,
         );
         assert!(cache.hits() > 0, "disconnected sources should be served from the memo");
@@ -693,9 +936,73 @@ mod tests {
     fn sweep_options_resolve_and_default_sensibly() {
         assert_eq!(SweepOptions::sequential().workers(), 1);
         assert!(!SweepOptions::sequential().cache);
+        assert!(!SweepOptions::sequential().incremental);
         assert_eq!(SweepOptions::with_concurrency(3).workers(), 3);
         assert!(SweepOptions::with_concurrency(3).cache);
+        assert!(SweepOptions::with_concurrency(3).incremental);
         assert!(SweepOptions::default().workers() >= 1);
         assert!(SweepOptions::default().cache);
+        assert!(SweepOptions::default().incremental, "delta engine defaults to on");
+        let degraded = SweepOptions::default().with_incremental(false);
+        assert!(!degraded.incremental);
+        assert!(degraded.cache, "with_incremental leaves the other knobs alone");
+    }
+
+    #[test]
+    fn delta_engine_absorbs_misses_and_counters_add_up() {
+        let g = misinferred_graph();
+        let findings = [finding(), second_finding()];
+        let mut cache = SweepCache::new();
+        let incremental = correction_sweep_in(
+            &g,
+            &findings,
+            &ImpactOptions::default(),
+            &SweepOptions { concurrency: 1, cache: true, incremental: true },
+            &mut cache,
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.misses, stats.delta_repairs + stats.full_rebuilds);
+        assert_eq!(stats.lookups(), stats.hits + stats.misses);
+        assert!(stats.delta_repairs > 0, "dirty sources should go through the delta tier");
+        assert!(stats.full_rebuilds > 0, "the baseline pass always runs full BFS computations");
+        assert_eq!(cache.delta_repairs(), stats.delta_repairs);
+        assert_eq!(cache.full_rebuilds(), stats.full_rebuilds);
+        assert!(stats.delta_rate() > 0.0);
+        // The rendered form mentions both sides of the split.
+        let text = stats.to_string();
+        assert!(text.contains("delta repairs"));
+        assert!(text.contains("full BFS"));
+        // And the curve is exactly the full-recompute one.
+        let full = correction_sweep(&g, &findings, &ImpactOptions::default());
+        assert_eq!(incremental.steps, full.steps, "delta engine changed the curve");
+    }
+
+    #[test]
+    fn disabling_incremental_pushes_all_misses_to_full_rebuilds() {
+        let g = misinferred_graph();
+        let findings = [finding(), second_finding()];
+        let mut cache = SweepCache::new();
+        let _ = correction_sweep_in(
+            &g,
+            &findings,
+            &ImpactOptions::default(),
+            &SweepOptions { concurrency: 1, cache: true, incremental: false },
+            &mut cache,
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.delta_repairs, 0);
+        assert_eq!(stats.full_rebuilds, stats.misses);
+    }
+
+    #[test]
+    fn empty_stats_report_zero_rates() {
+        let stats = SweepStats::default();
+        assert_eq!(stats.hit_rate(), 0.0);
+        assert_eq!(stats.delta_rate(), 0.0);
+        assert_eq!(stats.lookups(), 0);
+        // Serialization round trip (the report embeds these).
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: SweepStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
     }
 }

@@ -10,7 +10,7 @@ use crate::baselines::{gao_inference, BaselineInput, InferenceAccuracy};
 use crate::communities::{CommunityInference, InferenceSource};
 use crate::extract::extract;
 use crate::hybrid::detect_hybrids;
-use crate::impact::{correction_sweep_with, ImpactOptions, SweepOptions};
+use crate::impact::{correction_sweep_in, ImpactOptions, SweepCache, SweepOptions};
 use crate::locpref::LocPrfRosetta;
 use crate::report::{DatasetSummary, Report};
 use crate::valley::analyze_valleys;
@@ -153,6 +153,11 @@ pub struct Pipeline {
     pub impact_options: ImpactOptions,
     /// Evaluate the Gao baseline against ground truth when available.
     pub evaluate_baseline: bool,
+    /// Attach the sweep's execution statistics (memo hits, delta repairs
+    /// vs full BFS) to the report. Off by default: the counters depend on
+    /// the cache/incremental knobs, so reports in the determinism matrix
+    /// and the committed golden snapshots never carry them.
+    pub emit_sweep_stats: bool,
     /// Execution options (worker threads for the parallel sections).
     pub options: PipelineOptions,
 }
@@ -164,6 +169,7 @@ impl Default for Pipeline {
             run_impact: false,
             impact_options: ImpactOptions::default(),
             evaluate_baseline: true,
+            emit_sweep_stats: false,
             options: PipelineOptions::default(),
         }
     }
@@ -294,24 +300,35 @@ impl Pipeline {
         //    what the pre-existing datasets encode) and correct the most
         //    visible hybrid links with their community-derived IPv6
         //    relationship.
-        let impact = if self.run_impact {
+        let (impact, sweep_stats) = if self.run_impact {
             let misinferred = crate::impact::plane_blind_annotation_with(
                 &data.graph,
                 &inference,
                 &baseline,
                 self.options.sweep.concurrency,
             );
-            Some(correction_sweep_with(
+            let mut cache = SweepCache::new();
+            let curve = correction_sweep_in(
                 &misinferred,
                 &hybrids.findings,
                 &self.impact_options,
                 &self.options.sweep,
-            ))
+                &mut cache,
+            );
+            (Some(curve), self.emit_sweep_stats.then(|| cache.stats()))
         } else {
-            None
+            (None, None)
         };
 
-        Report { dataset, hybrids, valleys, impact, baseline_accuracy_v4, baseline_accuracy_v6 }
+        Report {
+            dataset,
+            hybrids,
+            valleys,
+            impact,
+            sweep_stats,
+            baseline_accuracy_v4,
+            baseline_accuracy_v6,
+        }
     }
 }
 
@@ -382,6 +399,26 @@ mod tests {
         assert!(!curve.steps.is_empty());
         assert_eq!(curve.steps[0].corrected, 0);
         assert!(curve.steps.len() <= 6);
+        assert!(report.sweep_stats.is_none(), "stats are opt-in");
+    }
+
+    #[test]
+    fn sweep_stats_are_emitted_only_on_request_and_never_change_the_curve() {
+        let scenario = scenario();
+        let silent = Pipeline::with_impact(5, Some(64));
+        let chatty = Pipeline { emit_sweep_stats: true, ..Pipeline::with_impact(5, Some(64)) };
+        let without = silent.run(PipelineInput::from_scenario(&scenario));
+        let with = chatty.run(PipelineInput::from_scenario(&scenario));
+        let stats = with.sweep_stats.expect("stats requested");
+        assert!(stats.lookups() > 0);
+        assert_eq!(stats.misses, stats.delta_repairs + stats.full_rebuilds);
+        assert_eq!(
+            with.impact.as_ref().unwrap().steps,
+            without.impact.as_ref().unwrap().steps,
+            "emitting stats must not perturb the curve"
+        );
+        assert!(with.to_json().contains("sweep_stats"));
+        assert!(!without.to_json().contains("sweep_stats"));
     }
 
     #[test]
@@ -454,10 +491,12 @@ mod tests {
             let parallel = render(PipelineOptions::with_concurrency(workers));
             assert!(parallel == sequential, "concurrency={workers} diverged");
             // The sweep memoization switch must not change a byte either.
-            let uncached = render(
-                PipelineOptions::with_concurrency(workers)
-                    .with_sweep(SweepOptions { concurrency: workers, cache: false }),
-            );
+            let uncached =
+                render(PipelineOptions::with_concurrency(workers).with_sweep(SweepOptions {
+                    concurrency: workers,
+                    cache: false,
+                    incremental: false,
+                }));
             assert!(uncached == sequential, "concurrency={workers} uncached sweep diverged");
         }
     }

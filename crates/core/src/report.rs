@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::baselines::InferenceAccuracy;
 use crate::hybrid::HybridReport;
-use crate::impact::ImpactCurve;
+use crate::impact::{ImpactCurve, SweepStats};
 use crate::valley::ValleyReport;
 
 /// Dataset and coverage summary — the paper's first paragraph of Section 3
@@ -72,6 +72,13 @@ pub struct Report {
     pub valleys: ValleyReport,
     /// F2: the customer-tree correction curve, if the pipeline ran it.
     pub impact: Option<ImpactCurve>,
+    /// F2: execution statistics of the correction sweep (memo hits, delta
+    /// repairs vs full BFS). Only populated when the pipeline is asked to
+    /// emit them (`Pipeline::emit_sweep_stats`) — the key is omitted from
+    /// the JSON when absent, so committed report snapshots and the
+    /// determinism contract are untouched by the knob.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub sweep_stats: Option<SweepStats>,
     /// A1: baseline accuracy against ground truth, when ground truth is
     /// available (simulated scenarios only).
     pub baseline_accuracy_v4: Option<InferenceAccuracy>,
@@ -168,6 +175,9 @@ impl fmt::Display for Report {
                 )?;
             }
         }
+        if let Some(stats) = &self.sweep_stats {
+            writeln!(f, "sweep execution:          {stats}")?;
+        }
         if let (Some(v4), Some(v6)) = (&self.baseline_accuracy_v4, &self.baseline_accuracy_v6) {
             writeln!(f, "== Baseline (Gao) accuracy vs ground truth (A1) ==")?;
             writeln!(f, "IPv4: {:.1}% of {} links", 100.0 * v4.accuracy(), v4.comparable)?;
@@ -247,5 +257,38 @@ mod tests {
         assert!(text.contains("-1.57"));
         assert!(text.contains("diameter -4"));
         assert!(text.contains("Gao"));
+    }
+
+    #[test]
+    fn sweep_stats_are_omitted_when_absent_and_round_trip_when_present() {
+        // Absent: the key must not appear at all, so reports rendered
+        // before the counters existed (golden snapshots, the determinism
+        // matrix) are byte-identical to reports rendered today.
+        let plain = Report::default();
+        assert!(plain.sweep_stats.is_none());
+        assert!(!plain.to_json().contains("sweep_stats"));
+        assert!(!plain.to_string().contains("sweep execution"));
+        // And a JSON without the key still deserializes.
+        let back: Report = serde_json::from_str(&plain.to_json()).unwrap();
+        assert!(back.sweep_stats.is_none());
+
+        // Present: serialized, displayed, and round-tripped.
+        let report = Report {
+            sweep_stats: Some(SweepStats {
+                hits: 75,
+                misses: 25,
+                delta_repairs: 20,
+                full_rebuilds: 5,
+            }),
+            ..Default::default()
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"sweep_stats\""));
+        assert!(json.contains("\"delta_repairs\": 20"));
+        let back: Report = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.sweep_stats, report.sweep_stats);
+        let text = report.to_string();
+        assert!(text.contains("sweep execution"));
+        assert!(text.contains("75.0% memo hits"));
     }
 }

@@ -44,5 +44,5 @@ pub use collector::{CollectorSetup, FeederKind};
 pub use config::SimConfig;
 pub use policy::{AsPolicy, PolicyTable};
 pub use propagate::{propagate_origin, propagate_origins, RouteClass, RoutingOutcome};
-pub use scenario::Scenario;
-pub use shard::{effective_concurrency, shard_map};
+pub use scenario::{PropagationCache, Scenario, ScenarioPool};
+pub use shard::{effective_concurrency, shard_map, shard_map_owned};

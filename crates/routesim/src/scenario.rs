@@ -1,10 +1,14 @@
 //! End-to-end scenario assembly: topology → policies → propagation →
-//! collector RIBs → IRR registry → MRT files.
+//! collector RIBs → IRR registry → MRT files — plus the sweep-point reuse
+//! layer ([`Scenario::rebuild_with`] / [`ScenarioPool`]) that patches a
+//! built scenario into a neighbouring configuration without recomputing
+//! the state the patch provably cannot change.
 
 use std::collections::HashMap;
 use std::io;
 use std::net::{Ipv4Addr, Ipv6Addr};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use rand::Rng;
 use rand::SeedableRng;
@@ -21,8 +25,67 @@ use topogen::{GroundTruth, TopologyConfig};
 use crate::collector::{build_collectors, CollectorSetup, FeederKind};
 use crate::config::SimConfig;
 use crate::policy::PolicyTable;
-use crate::propagate::{propagate_origins, PropagationOptions};
+use crate::propagate::{propagate_origins, PropagationOptions, RoutingOutcome};
 use crate::shard::shard_map;
+
+/// The per-plane propagation outcomes a built [`Scenario`] carries so
+/// sweep-point rebuilds can reuse them. Outcomes are `Arc`-shared: cloning
+/// a scenario (or rebuilding one with an unchanged propagation
+/// configuration) costs two pointer bumps, not a re-propagation.
+///
+/// A cache is only meaningful against the ground truth it was computed
+/// from — [`Scenario::rebuild_with`] maintains that invariant by always
+/// pairing `self.propagation` with `self.truth`.
+#[derive(Debug, Clone, Default)]
+pub struct PropagationCache {
+    planes: [Option<PlaneOutcomes>; 2],
+}
+
+#[derive(Debug, Clone)]
+struct PlaneOutcomes {
+    options: PropagationOptions,
+    outcomes: Arc<Vec<RoutingOutcome>>,
+}
+
+fn plane_slot(plane: IpVersion) -> usize {
+    match plane {
+        IpVersion::V4 => 0,
+        IpVersion::V6 => 1,
+    }
+}
+
+impl PropagationCache {
+    /// The cached outcomes for a plane, if they were computed under
+    /// exactly `options`.
+    fn matching(
+        &self,
+        plane: IpVersion,
+        options: &PropagationOptions,
+    ) -> Option<Arc<Vec<RoutingOutcome>>> {
+        self.planes[plane_slot(plane)]
+            .as_ref()
+            .filter(|entry| entry.options == *options)
+            .map(|entry| Arc::clone(&entry.outcomes))
+    }
+
+    fn set(
+        &mut self,
+        plane: IpVersion,
+        options: PropagationOptions,
+        outcomes: Arc<Vec<RoutingOutcome>>,
+    ) {
+        self.planes[plane_slot(plane)] = Some(PlaneOutcomes { options, outcomes });
+    }
+
+    /// True when both caches hold the *same allocation* for the plane —
+    /// the tell that a rebuild reused rather than recomputed.
+    pub fn shares_outcomes(&self, other: &PropagationCache, plane: IpVersion) -> bool {
+        match (&self.planes[plane_slot(plane)], &other.planes[plane_slot(plane)]) {
+            (Some(a), Some(b)) => Arc::ptr_eq(&a.outcomes, &b.outcomes),
+            _ => false,
+        }
+    }
+}
 
 /// A fully materialised measurement scenario: the synthetic Internet, what
 /// its operators configured, and what the collectors recorded.
@@ -42,6 +105,65 @@ pub struct Scenario {
     pub topology_config: TopologyConfig,
     /// The simulation configuration used.
     pub sim_config: SimConfig,
+    /// The propagation outcomes the snapshots were materialised from,
+    /// kept (Arc-shared) so [`Scenario::rebuild_with`] can patch the
+    /// configuration without re-running propagation.
+    pub propagation: PropagationCache,
+}
+
+/// Every [`SimConfig`] knob that feeds the generated artefacts (policies,
+/// registry, collectors, propagation and RIB materialisation) — i.e.
+/// everything except `concurrency`, which is an execution detail with
+/// byte-identical output by contract. The exhaustive destructuring is the
+/// point: adding a field to `SimConfig` refuses to compile here until the
+/// rebuild logic accounts for it.
+type OutputKey = ((u64, f64, f64, f64, f64), (f64, f64, f64, bool, f64), (usize, usize, f64, u64));
+
+fn output_key(sim: &SimConfig) -> OutputKey {
+    let SimConfig {
+        seed,
+        transit_tagging_probability,
+        stub_tagging_probability,
+        documentation_probability,
+        te_documentation_probability,
+        te_request_probability,
+        location_tag_probability,
+        community_scrub_probability,
+        v6_reachability_relaxation,
+        leak_probability,
+        collector_count,
+        feeders_per_collector,
+        full_feeder_fraction,
+        timestamp,
+        concurrency: _,
+    } = *sim;
+    (
+        (
+            seed,
+            transit_tagging_probability,
+            stub_tagging_probability,
+            documentation_probability,
+            te_documentation_probability,
+        ),
+        (
+            te_request_probability,
+            location_tag_probability,
+            community_scrub_probability,
+            v6_reachability_relaxation,
+            leak_probability,
+        ),
+        (collector_count, feeders_per_collector, full_feeder_fraction, timestamp),
+    )
+}
+
+/// The propagation configuration of one plane, derived from the
+/// simulation config exactly as the build derives it.
+fn propagation_options(sim_config: &SimConfig, plane: IpVersion) -> PropagationOptions {
+    PropagationOptions {
+        reachability_relaxation: plane == IpVersion::V6 && sim_config.v6_reachability_relaxation,
+        leak_probability: sim_config.leak_probability,
+        seed: sim_config.seed,
+    }
 }
 
 /// The deterministic prefix an AS originates on a plane.
@@ -76,6 +198,47 @@ impl Scenario {
         topology_config: TopologyConfig,
         sim_config: &SimConfig,
     ) -> Scenario {
+        Self::assemble(truth, topology_config, sim_config, &PropagationCache::default())
+    }
+
+    /// Rebuild this scenario under a patched configuration, reusing every
+    /// cached artefact the patch provably cannot change:
+    ///
+    /// * the ground truth is always reused (the topology is a function of
+    ///   `topology_config` alone);
+    /// * per-plane propagation outcomes are reused whenever the patch
+    ///   leaves that plane's [`PropagationOptions`] (seed, leak
+    ///   probability, v6 relaxation) untouched — this is the expensive
+    ///   part of a build, and it is independent of policies, collectors
+    ///   and documentation by construction;
+    /// * if the patch changes *nothing* that feeds the generated
+    ///   artefacts (e.g. only `concurrency`), the policies, registry,
+    ///   collectors and RIB snapshots are cloned outright.
+    ///
+    /// The result is byte-identical to `Scenario::build` with the patched
+    /// configuration — reuse is an execution detail, never an output knob
+    /// (the scenario tests and the determinism suite enforce it).
+    pub fn rebuild_with(&self, patch: impl FnOnce(&mut SimConfig)) -> Scenario {
+        let mut sim = self.sim_config.clone();
+        patch(&mut sim);
+        sim.validate().expect("invalid simulation configuration");
+        if output_key(&sim) == output_key(&self.sim_config) {
+            // Clone-and-patch: nothing that reaches the outputs changed.
+            return Scenario { sim_config: sim, ..self.clone() };
+        }
+        Self::assemble(self.truth.clone(), self.topology_config.clone(), &sim, &self.propagation)
+    }
+
+    /// The shared build path: generate policies, registry and collectors
+    /// for `sim_config`, reuse propagation outcomes from `reuse` where the
+    /// options match (computing and caching them otherwise), and
+    /// materialise the collector RIBs.
+    fn assemble(
+        truth: GroundTruth,
+        topology_config: TopologyConfig,
+        sim_config: &SimConfig,
+        reuse: &PropagationCache,
+    ) -> Scenario {
         sim_config.validate().expect("invalid simulation configuration");
         let policies = PolicyTable::build(&truth, sim_config);
 
@@ -95,8 +258,22 @@ impl Scenario {
             .map(|c| RibSnapshot::new(c.id.clone(), sim_config.timestamp))
             .collect();
 
+        let mut propagation = PropagationCache::default();
         for plane in IpVersion::BOTH {
-            Self::populate_plane(&truth, &policies, &collectors, &mut snapshots, sim_config, plane);
+            let options = propagation_options(sim_config, plane);
+            let outcomes = reuse.matching(plane, &options).unwrap_or_else(|| {
+                Arc::new(Self::propagate_plane(&truth, sim_config, plane, &options))
+            });
+            Self::materialise_plane(
+                &truth,
+                &policies,
+                &collectors,
+                &mut snapshots,
+                sim_config,
+                plane,
+                &outcomes,
+            );
+            propagation.set(plane, options, outcomes);
         }
 
         Scenario {
@@ -107,16 +284,35 @@ impl Scenario {
             snapshots,
             topology_config,
             sim_config: sim_config.clone(),
+            propagation,
         }
     }
 
-    fn populate_plane(
+    /// One plane's propagation round: every origin present on the plane,
+    /// sharded across worker threads; the outcomes come back in origin
+    /// order, so the rest of the build is oblivious to how (or whether)
+    /// it was parallelised.
+    fn propagate_plane(
+        truth: &GroundTruth,
+        sim_config: &SimConfig,
+        plane: IpVersion,
+        options: &PropagationOptions,
+    ) -> Vec<RoutingOutcome> {
+        let graph = &truth.graph;
+        let mut origins: Vec<Asn> = graph.asns().filter(|a| graph.degree(*a, plane) > 0).collect();
+        origins.sort();
+        propagate_origins(graph, &origins, plane, options, sim_config.effective_concurrency())
+    }
+
+    /// Materialise one plane's RIB entries from its propagation outcomes.
+    fn materialise_plane(
         truth: &GroundTruth,
         policies: &PolicyTable,
         collectors: &[CollectorSetup],
         snapshots: &mut [RibSnapshot],
         sim_config: &SimConfig,
         plane: IpVersion,
+        outcomes: &[RoutingOutcome],
     ) {
         let graph = &truth.graph;
         // Feeder -> collector index, for the feeders active on this plane.
@@ -128,28 +324,14 @@ impl Scenario {
         }
         feeder_map.sort_by_key(|(asn, _, _)| *asn);
 
-        let options = PropagationOptions {
-            reachability_relaxation: plane == IpVersion::V6
-                && sim_config.v6_reachability_relaxation,
-            leak_probability: sim_config.leak_probability,
-            seed: sim_config.seed,
-        };
-
-        let mut origins: Vec<Asn> = graph.asns().filter(|a| graph.degree(*a, plane) > 0).collect();
-        origins.sort();
-
-        // Shard this plane's propagation round across worker threads; the
-        // outcomes come back in origin order, so the rest of the round is
-        // oblivious to how (or whether) it was parallelised.
         let workers = sim_config.effective_concurrency();
-        let outcomes = propagate_origins(graph, &origins, plane, &options, workers);
 
-        // Materialise each origin's RIB entries, also sharded: everything
-        // an origin contributes is a pure function of (origin, outcome)
+        // Materialise each origin's RIB entries, sharded: everything an
+        // origin contributes is a pure function of (origin, outcome)
         // because the route RNG is seeded per origin. Batches are pushed
         // into the per-collector snapshots in origin order, reproducing
         // the sequential entry sequence exactly.
-        let batches: Vec<Vec<(usize, RibEntry)>> = shard_map(&outcomes, workers, |outcome| {
+        let batches: Vec<Vec<(usize, RibEntry)>> = shard_map(outcomes, workers, |outcome| {
             let origin = outcome.origin;
             let prefix = origin_prefix(origin, plane);
             // Per-origin deterministic RNG so results do not depend on how
@@ -235,6 +417,67 @@ impl Scenario {
     /// The total number of RIB entries across all collectors.
     pub fn total_rib_entries(&self) -> usize {
         self.snapshots.iter().map(|s| s.len()).sum()
+    }
+}
+
+/// A sweep-point factory over one topology: builds a base scenario once,
+/// then derives every further sweep point from it with
+/// [`Scenario::rebuild_with`], so the topology is never regenerated and
+/// propagation is only re-run when a patch actually changes its inputs.
+///
+/// This is the layer the paper-scale experiment bins sweep on (the
+/// coverage sweep patches `documentation_probability`, the collector
+/// sensitivity sweep patches `collector_count`; neither touches
+/// propagation, so every point after the first reuses the routed
+/// outcomes). The reuse counters report how often that happened.
+#[derive(Debug, Clone)]
+pub struct ScenarioPool {
+    base: Scenario,
+    propagation_reuses: u64,
+    propagation_computes: u64,
+}
+
+impl ScenarioPool {
+    /// Build the base scenario (topology generation + full build) the
+    /// pool derives sweep points from.
+    pub fn new(topology: &TopologyConfig, sim: &SimConfig) -> ScenarioPool {
+        Self::from_scenario(Scenario::build(topology, sim))
+    }
+
+    /// Wrap an already-built scenario as the pool's base.
+    pub fn from_scenario(base: Scenario) -> ScenarioPool {
+        // The base build propagated both planes itself.
+        ScenarioPool { base, propagation_reuses: 0, propagation_computes: 2 }
+    }
+
+    /// The base scenario sweep points are derived from.
+    pub fn base(&self) -> &Scenario {
+        &self.base
+    }
+
+    /// Build the sweep point obtained by patching the base configuration
+    /// — byte-identical to `Scenario::build` with the patched config.
+    pub fn scenario_with(&mut self, patch: impl FnOnce(&mut SimConfig)) -> Scenario {
+        let scenario = self.base.rebuild_with(patch);
+        for plane in IpVersion::BOTH {
+            if scenario.propagation.shares_outcomes(&self.base.propagation, plane) {
+                self.propagation_reuses += 1;
+            } else {
+                self.propagation_computes += 1;
+            }
+        }
+        scenario
+    }
+
+    /// Per-plane propagation rounds served from the base's cache.
+    pub fn propagation_reuses(&self) -> u64 {
+        self.propagation_reuses
+    }
+
+    /// Per-plane propagation rounds actually computed (including the two
+    /// the base build ran).
+    pub fn propagation_computes(&self) -> u64 {
+        self.propagation_computes
     }
 }
 
@@ -545,6 +788,90 @@ mod tests {
         }
         assert_eq!(total, s.total_rib_entries());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Canonical comparison of two scenarios' outputs: snapshots,
+    /// registry and collectors must match entry for entry.
+    fn assert_same_outputs(a: &Scenario, b: &Scenario, what: &str) {
+        assert_eq!(a.snapshots, b.snapshots, "{what}: snapshots diverged");
+        assert_eq!(a.registry, b.registry, "{what}: registry diverged");
+        assert_eq!(a.collectors, b.collectors, "{what}: collectors diverged");
+    }
+
+    #[test]
+    fn rebuild_with_matches_a_from_scratch_build() {
+        let topology = TopologyConfig::tiny();
+        let base = Scenario::build(&topology, &SimConfig::small());
+        // Patches the three sweep bins apply, plus a propagation-relevant
+        // one that must force a recompute — all must be byte-identical to
+        // building from config.
+        type Patch = Box<dyn Fn(&mut SimConfig)>;
+        let patches: Vec<(&str, Patch)> = vec![
+            (
+                "documentation rate",
+                Box::new(|s: &mut SimConfig| s.documentation_probability = 0.25),
+            ),
+            ("collector count", Box::new(|s: &mut SimConfig| s.collector_count = 3)),
+            ("leak probability", Box::new(|s: &mut SimConfig| s.leak_probability = 0.2)),
+            ("concurrency only", Box::new(|s: &mut SimConfig| s.concurrency = 2)),
+            ("identity", Box::new(|_| {})),
+        ];
+        for (what, patch) in &patches {
+            let rebuilt = base.rebuild_with(patch);
+            let mut sim = SimConfig::small();
+            patch(&mut sim);
+            let scratch = Scenario::build(&topology, &sim);
+            assert_same_outputs(&rebuilt, &scratch, what);
+            assert_eq!(rebuilt.sim_config, sim, "{what}: sim config not patched");
+        }
+    }
+
+    #[test]
+    fn rebuild_with_reuses_propagation_only_when_its_inputs_are_unchanged() {
+        let base = Scenario::build(&TopologyConfig::tiny(), &SimConfig::small());
+        let doc_patched = base.rebuild_with(|s| s.documentation_probability = 0.3);
+        let leak_patched = base.rebuild_with(|s| s.leak_probability = 0.3);
+        for plane in IpVersion::BOTH {
+            assert!(
+                doc_patched.propagation.shares_outcomes(&base.propagation, plane),
+                "documentation patch must reuse {plane:?} propagation"
+            );
+            assert!(
+                !leak_patched.propagation.shares_outcomes(&base.propagation, plane),
+                "leak patch must recompute {plane:?} propagation"
+            );
+        }
+        // Relaxation is a v6-only input: v4 outcomes survive the patch.
+        let relax_patched = base.rebuild_with(|s| s.v6_reachability_relaxation = false);
+        assert!(relax_patched.propagation.shares_outcomes(&base.propagation, IpVersion::V4));
+        assert!(!relax_patched.propagation.shares_outcomes(&base.propagation, IpVersion::V6));
+    }
+
+    #[test]
+    fn scenario_pool_counts_reuse_and_reproduces_builds() {
+        let topology = TopologyConfig::tiny();
+        let mut pool = ScenarioPool::new(&topology, &SimConfig::small());
+        assert_eq!(pool.propagation_computes(), 2, "the base build propagates both planes");
+        assert_eq!(pool.propagation_reuses(), 0);
+        assert!(pool.base().total_rib_entries() > 0);
+        for rate in [0.1, 0.5, 1.0] {
+            let pooled = pool.scenario_with(|s| s.documentation_probability = rate);
+            let mut sim = SimConfig::small();
+            sim.documentation_probability = rate;
+            let scratch = Scenario::build(&topology, &sim);
+            assert_same_outputs(&pooled, &scratch, "pooled sweep point");
+        }
+        assert_eq!(pool.propagation_reuses(), 6, "3 sweep points × 2 planes reused");
+        assert_eq!(pool.propagation_computes(), 2, "no sweep point re-propagated");
+        let _ = pool.scenario_with(|s| s.leak_probability = 0.5);
+        assert_eq!(pool.propagation_computes(), 4, "a leak patch re-propagates both planes");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid simulation configuration")]
+    fn rebuild_with_rejects_invalid_patches() {
+        let base = Scenario::build(&TopologyConfig::tiny(), &SimConfig::small());
+        let _ = base.rebuild_with(|s| s.collector_count = 0);
     }
 
     #[test]

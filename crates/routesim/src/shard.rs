@@ -63,6 +63,44 @@ where
         .collect()
 }
 
+/// [`shard_map`] over owned items: `f` consumes each item instead of
+/// borrowing it, which lets workers mutate heavyweight per-item state in
+/// place (the incremental sweep moves each dirty source's distance map
+/// through its repair without cloning it). Same striping, same in-order
+/// reassembly, same sequential fast path — and therefore the same
+/// determinism contract as [`shard_map`].
+pub fn shard_map_owned<T, U, F>(items: Vec<T>, workers: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let workers = workers.clamp(1, items.len().max(1));
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Pre-stripe the owned items into one bucket per worker (item i goes
+    // to bucket i % workers, preserving relative order within a bucket).
+    let mut buckets: Vec<Vec<T>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        buckets[i % workers].push(item);
+    }
+    let mut shards: Vec<Vec<U>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| scope.spawn(move || bucket.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        shards = handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect();
+    });
+    let total: usize = shards.iter().map(Vec::len).sum();
+    let mut drains: Vec<std::vec::IntoIter<U>> = shards.into_iter().map(Vec::into_iter).collect();
+    (0..total)
+        .map(|i| drains[i % workers].next().expect("stripes cover every index exactly once"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,5 +127,19 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(shard_map(&empty, 4, |&x| x).is_empty());
         assert_eq!(shard_map(&[9u32], 4, |&x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn shard_map_owned_preserves_order_and_moves_items() {
+        // Non-Clone payloads prove the items are moved, not copied.
+        struct Payload(u32);
+        for workers in [0usize, 1, 2, 3, 8, 200] {
+            let items: Vec<Payload> = (0..101).map(Payload).collect();
+            let got = shard_map_owned(items, workers, |p| u64::from(p.0) * 3);
+            let expected: Vec<u64> = (0..101u32).map(|x| u64::from(x) * 3).collect();
+            assert_eq!(got, expected, "workers={workers}");
+        }
+        assert!(shard_map_owned(Vec::<u32>::new(), 4, |x| x).is_empty());
+        assert_eq!(shard_map_owned(vec![9u32], 4, |x| x + 1), vec![10]);
     }
 }

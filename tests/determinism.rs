@@ -46,17 +46,22 @@ fn concurrency_matrix_produces_byte_identical_reports() {
 
 /// Render the report with the Figure 2 impact sweep enabled, pinning the
 /// whole stack (simulator, pipeline stages, sweep) to `concurrency`
-/// workers and the sweep's cross-step memo to `cache`.
+/// workers, the sweep's cross-step memo to `cache` and its delta engine
+/// to `incremental`.
 fn impact_report_json(
     topology: &TopologyConfig,
     sim: &SimConfig,
     concurrency: usize,
     cache: bool,
+    incremental: bool,
 ) -> String {
     let sim = sim.clone().with_concurrency(concurrency);
     let scenario = Scenario::build(topology, &sim);
-    let options = PipelineOptions::with_concurrency(concurrency)
-        .with_sweep(SweepOptions { concurrency, cache });
+    let options = PipelineOptions::with_concurrency(concurrency).with_sweep(SweepOptions {
+        concurrency,
+        cache,
+        incremental,
+    });
     let pipeline = Pipeline {
         run_impact: true,
         impact_options: ImpactOptions { top_k: 5, source_cap: Some(64) },
@@ -71,16 +76,20 @@ fn impact_report_json(
 fn impact_sweep_matrix_produces_byte_identical_reports() {
     let topology = TopologyConfig::tiny();
     let sim = SimConfig::small();
-    // The reference computation: fully sequential, no memoization —
-    // exactly what the pre-sharding implementation produced.
-    let sequential = impact_report_json(&topology, &sim, 1, false);
+    // The reference computation: fully sequential, no memoization, full
+    // recomputation per step — exactly what the pre-sharding
+    // implementation produced.
+    let sequential = impact_report_json(&topology, &sim, 1, false, false);
     for concurrency in [1usize, 2, 8] {
         for cache in [false, true] {
-            let report = impact_report_json(&topology, &sim, concurrency, cache);
-            assert!(
-                report == sequential,
-                "impact sweep diverged at concurrency={concurrency} cache={cache}"
-            );
+            for incremental in [false, true] {
+                let report = impact_report_json(&topology, &sim, concurrency, cache, incremental);
+                assert!(
+                    report == sequential,
+                    "impact sweep diverged at concurrency={concurrency} cache={cache} \
+                     incremental={incremental}"
+                );
+            }
         }
     }
 }
@@ -108,6 +117,39 @@ fn fixture_report_matches_the_committed_golden_snapshot() {
         "fixture report drifted from tests/golden/two_plane_fixture_report.json; if the change \
          is intended, regenerate with: UPDATE_GOLDEN=1 cargo test --test determinism"
     );
+}
+
+#[test]
+fn pooled_sweep_points_produce_byte_identical_reports() {
+    // The sweep-point reuse layer must be invisible in the output: a
+    // report measured on a pooled scenario is byte-for-byte the report
+    // measured on a scenario built from the patched config directly.
+    let topology = TopologyConfig::tiny();
+    let sim = SimConfig::small();
+    let render = |scenario: &Scenario| {
+        let report = Pipeline::with_concurrency(1)
+            .run(PipelineInput::from_scenario_with(scenario, &PipelineOptions::sequential()));
+        serde_json::to_string_pretty(&report).expect("report serializes")
+    };
+    let mut pool = hybrid_as_rel::sim::ScenarioPool::new(&topology, &sim);
+    for (what, patch) in [
+        (
+            "documentation",
+            Box::new(|s: &mut SimConfig| s.documentation_probability = 0.4)
+                as Box<dyn Fn(&mut SimConfig)>,
+        ),
+        ("collectors", Box::new(|s: &mut SimConfig| s.collector_count = 3)),
+    ] {
+        let pooled = pool.scenario_with(&patch);
+        let mut patched = sim.clone();
+        patch(&mut patched);
+        let scratch = Scenario::build(&topology, &patched);
+        assert!(
+            render(&pooled) == render(&scratch),
+            "pooled {what} sweep point diverged from the from-scratch build"
+        );
+    }
+    assert!(pool.propagation_reuses() > 0, "neither patch touches propagation inputs");
 }
 
 #[test]

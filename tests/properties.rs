@@ -344,16 +344,71 @@ proptest! {
             })
             .collect();
         let options = ImpactOptions { top_k, source_cap };
-        // The reference: fully sequential and uncached, exactly the
-        // computation the pre-sharding implementation performed.
+        // The reference: fully sequential, uncached and fully
+        // recomputing, exactly the computation the pre-sharding
+        // implementation performed.
         let sequential =
             correction_sweep_with(&graph, &findings, &options, &SweepOptions::sequential());
         for threads in [2usize, 4] {
             for cache in [false, true] {
-                let sweep = SweepOptions { concurrency: threads, cache };
-                let curve = correction_sweep_with(&graph, &findings, &options, &sweep);
+                for incremental in [false, true] {
+                    let sweep = SweepOptions { concurrency: threads, cache, incremental };
+                    let curve = correction_sweep_with(&graph, &findings, &options, &sweep);
+                    prop_assert_eq!(
+                        &curve.steps,
+                        &sequential.steps,
+                        "threads={} cache={} incremental={}",
+                        threads,
+                        cache,
+                        incremental
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_delta_bfs_matches_full_recompute_on_random_graphs(
+        links in prop::collection::vec((1u32..30, 1u32..30, arb_relationship()), 1..50),
+        corrections in prop::collection::vec((any::<usize>(), arb_relationship()), 1..10),
+    ) {
+        use hybrid_as_rel::graph::delta::{DistanceMap, EdgeCorrection};
+        use hybrid_as_rel::graph::valley::valley_free_distances;
+
+        let mut graph = AsGraph::new();
+        for (a, b, rel) in &links {
+            if a != b {
+                graph.annotate(Asn(*a), Asn(*b), IpVersion::V6, *rel);
+            }
+        }
+        if graph.node_count() == 0 {
+            return Ok(());
+        }
+        // One reusable map per root, driven through the whole correction
+        // sequence; after every correction each map must equal a fresh
+        // full BFS on the mutated graph.
+        let roots: Vec<Asn> = graph.asns().take(6).collect();
+        let mut maps: Vec<DistanceMap> =
+            roots.iter().map(|&r| DistanceMap::compute(&graph, r, IpVersion::V6)).collect();
+        for (idx, corrected) in &corrections {
+            let (a, b, _) = links[idx % links.len()];
+            if a == b {
+                continue;
+            }
+            let correction =
+                EdgeCorrection::observe(&graph, Asn(a), Asn(b), IpVersion::V6, *corrected);
+            graph.annotate(Asn(a), Asn(b), IpVersion::V6, *corrected);
+            for map in &mut maps {
+                map.apply_correction(&graph, &correction);
+                let full = valley_free_distances(&graph, map.root(), IpVersion::V6);
                 prop_assert_eq!(
-                    &curve.steps, &sequential.steps, "threads={} cache={}", threads, cache
+                    map.distances(),
+                    &full[..],
+                    "root {} diverged after correcting {}-{} to {:?}",
+                    map.root(),
+                    a,
+                    b,
+                    corrected
                 );
             }
         }

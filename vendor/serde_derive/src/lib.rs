@@ -5,10 +5,15 @@
 //! `proc_macro` (no `syn`/`quote` available offline), so it supports the
 //! shapes this workspace actually contains:
 //!
-//! * structs with named fields (including `#[serde(transparent)]`),
+//! * structs with named fields (including `#[serde(transparent)]` and
+//!   field-level `#[serde(skip_serializing_if = "path")]` — the skipped
+//!   key is simply absent from the emitted object; deserialization of an
+//!   absent field already works for any type with a `from_missing`, e.g.
+//!   `Option`),
 //! * tuple structs (newtypes serialize as their inner value),
 //! * unit structs,
-//! * enums with unit, tuple and struct variants (externally tagged),
+//! * enums with unit, tuple and struct variants (externally tagged; field
+//!   attributes are ignored on variants),
 //! * no generic parameters.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
@@ -23,8 +28,15 @@ struct Input {
     shape: Shape,
 }
 
+struct Field {
+    name: String,
+    /// Predicate path from `#[serde(skip_serializing_if = "path")]`: when
+    /// `path(&self.field)` is true the field is omitted from the object.
+    skip_if: Option<String>,
+}
+
 enum Shape {
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
     Unit,
     Enum(Vec<Variant>),
@@ -118,18 +130,39 @@ fn parse_input(input: TokenStream) -> Result<Input, String> {
     }
 }
 
-/// Parse `name: Type, ...` field lists, skipping attributes, visibility and
-/// the types themselves (commas inside generic argument lists are tracked
-/// via `<`/`>` depth).
-fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+/// Extract the quoted predicate path of a
+/// `serde(skip_serializing_if = "path")` attribute body, if present.
+fn skip_serializing_if_of(attr_body: &str) -> Option<String> {
+    if !attr_body.starts_with("serde") || !attr_body.contains("skip_serializing_if") {
+        return None;
+    }
+    let after = attr_body.split("skip_serializing_if").nth(1)?;
+    let start = after.find('"')? + 1;
+    let end = start + after[start..].find('"')?;
+    Some(after[start..end].to_string())
+}
+
+/// Parse `name: Type, ...` field lists, capturing per-field
+/// `skip_serializing_if` attributes and skipping other attributes,
+/// visibility and the types themselves (commas inside generic argument
+/// lists are tracked via `<`/`>` depth).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        // Skip attributes and visibility.
+        // Inspect attributes, skip visibility.
+        let mut skip_if = None;
         loop {
             match tokens.get(i) {
-                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                        if let Some(path) = skip_serializing_if_of(&g.stream().to_string()) {
+                            skip_if = Some(path);
+                        }
+                    }
+                    i += 2;
+                }
                 Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
                     i += 1;
                     if let Some(TokenTree::Group(g)) = tokens.get(i) {
@@ -167,7 +200,7 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
             }
             i += 1;
         }
-        fields.push(field);
+        fields.push(Field { name: field, skip_if });
     }
     Ok(fields)
 }
@@ -228,7 +261,11 @@ fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
             }
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
                 i += 1;
-                VariantKind::Named(parse_named_fields(g.stream())?)
+                // Variant fields keep only their names; field attributes
+                // are not supported on enum variants.
+                VariantKind::Named(
+                    parse_named_fields(g.stream())?.into_iter().map(|f| f.name).collect(),
+                )
             }
             _ => VariantKind::Unit,
         };
@@ -268,14 +305,20 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                 if fields.len() != 1 {
                     return compile_error("#[serde(transparent)] requires exactly one field");
                 }
-                format!("::serde::Serialize::to_value(&self.{})", fields[0])
+                format!("::serde::Serialize::to_value(&self.{})", fields[0].name)
             } else {
                 let mut pushes = String::new();
                 for f in fields {
-                    pushes.push_str(&format!(
-                        "__obj.push(({:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));",
-                        f
-                    ));
+                    let name = &f.name;
+                    let push = format!(
+                        "__obj.push(({name:?}.to_string(), ::serde::Serialize::to_value(&self.{name})));"
+                    );
+                    match &f.skip_if {
+                        Some(path) => pushes.push_str(&format!(
+                            "if !(({path})(&self.{name})) {{ {push} }}"
+                        )),
+                        None => pushes.push_str(&push),
+                    }
                 }
                 format!(
                     "{{ let mut __obj = ::std::vec::Vec::new(); {pushes} ::serde::Value::Object(__obj) }}"
@@ -354,11 +397,12 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                 }
                 format!(
                     "::core::result::Result::Ok({name} {{ {f}: ::serde::Deserialize::from_value(__value)? }})",
-                    f = fields[0]
+                    f = fields[0].name
                 )
             } else {
                 let mut inits = String::new();
                 for f in fields {
+                    let f = &f.name;
                     inits.push_str(&format!("{f}: ::serde::field(__entries, {f:?})?,"));
                 }
                 format!(

@@ -22,6 +22,13 @@
 //! bench_compare --record BENCH_pr4.json   # record a new committed baseline
 //! bench_compare --baseline BENCH_pr3.json --threshold 40 --force
 //! ```
+//!
+//! CI integration: when `CRITERION_JSON` names a path, the raw per-line
+//! measurement stream the harnesses emit is kept there (instead of a
+//! deleted temp file) so the workflow can upload it as an artifact; when
+//! `GITHUB_STEP_SUMMARY` is set, the gate verdict and the full comparison
+//! table are appended to it as Markdown, so a regression is diagnosable
+//! from the run summary without replaying the benches.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -90,6 +97,10 @@ fn run() -> Result<i32, String> {
              measure sharding overhead rather than speedup and wall-clock comparisons against \
              the committed baseline are not meaningful. Re-run with --force to gate anyway."
         );
+        append_step_summary(
+            "### Bench gate: SKIPPED\n\nSingle-CPU runner — wall-clock comparison against the \
+             baseline is not meaningful here.",
+        );
         return Ok(0);
     }
 
@@ -121,6 +132,12 @@ fn run() -> Result<i32, String> {
                      BENCH_prN.json) or re-run with --force to gate anyway.",
                     file.display()
                 );
+                append_step_summary(&format!(
+                    "### Bench gate: SKIPPED\n\nBaseline `{}` was recorded on a \
+                     {baseline_cores}-CPU host but this runner has {cores} — cross-hardware \
+                     wall-clock comparisons are not meaningful.",
+                    file.display()
+                ));
                 return Ok(0);
             }
         }
@@ -135,12 +152,20 @@ fn run() -> Result<i32, String> {
 
     let (Some(baseline_file), Some(baseline)) = (baseline_file, baseline) else {
         println!("no committed BENCH_pr*.json baseline found; nothing to compare against");
+        append_step_summary(
+            "### Bench gate: no baseline\n\nNo committed `BENCH_pr*.json` found to compare \
+             against.",
+        );
         return Ok(0);
     };
 
     println!(
         "\ncomparison vs {} (gate threshold: +{threshold:.0}% on the mean):",
         baseline_file.display()
+    );
+    let mut table = String::from(
+        "| benchmark | baseline mean | current mean | delta | verdict |\n\
+         |---|---:|---:|---:|---|\n",
     );
     let mut regressions: Vec<String> = Vec::new();
     let mut missing: Vec<&str> = Vec::new();
@@ -156,6 +181,10 @@ fn run() -> Result<i32, String> {
             "  {id:<32} {:>12} ns -> {:>12} ns  {delta:+7.1}%  {verdict}",
             base_mean, row.mean_ns
         );
+        table.push_str(&format!(
+            "| `{id}` | {} ns | {} ns | {delta:+.1}% | {verdict} |\n",
+            base_mean, row.mean_ns
+        ));
         if delta > threshold {
             regressions.push(format!("{id} ({delta:+.1}%)"));
         }
@@ -168,9 +197,26 @@ fn run() -> Result<i32, String> {
             "  {id:<32} MISSING — present in baseline but not in this run (renamed or removed? \
              record a new baseline to retire it)"
         );
+        table.push_str(&format!("| `{id}` | — | — | — | MISSING |\n"));
     }
 
-    if regressions.is_empty() && missing.is_empty() {
+    let ok = regressions.is_empty() && missing.is_empty();
+    let headline = if ok {
+        format!("### Bench gate: OK\n\nNo tracked group regressed more than {threshold:.0}%.")
+    } else {
+        format!(
+            "### Bench gate: FAILED\n\n{} regression(s), {} missing benchmark(s) \
+             (threshold +{threshold:.0}% on the mean).",
+            regressions.len(),
+            missing.len()
+        )
+    };
+    append_step_summary(&format!(
+        "{headline}\n\nCompared against `{}` on a {cores}-CPU runner.\n\n{table}",
+        baseline_file.display()
+    ));
+
+    if ok {
         println!("\nbench gate OK: no tracked group regressed more than {threshold:.0}%");
         return Ok(0);
     }
@@ -191,11 +237,51 @@ fn run() -> Result<i32, String> {
     Ok(if gate { 1 } else { 0 })
 }
 
+/// Append a Markdown block to the GitHub Actions step summary, when the
+/// runner provides one (`GITHUB_STEP_SUMMARY`); a silent no-op anywhere
+/// else, including when the file cannot be written — the summary is a
+/// convenience, never the verdict.
+fn append_step_summary(markdown: &str) {
+    use std::io::Write;
+    let Some(path) = std::env::var_os("GITHUB_STEP_SUMMARY") else { return };
+    if path.is_empty() {
+        return;
+    }
+    if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+        let _ = writeln!(file, "{markdown}");
+    }
+}
+
 /// Run `cargo bench -p bench` (both harnesses) with the criterion shim's
 /// JSON channel pointed at a scratch file, and parse the emitted lines.
+///
+/// When the caller already exports `CRITERION_JSON`, the raw stream is
+/// written there and *kept* (CI uploads it as a workflow artifact);
+/// otherwise a temp file is used and removed after parsing.
 fn run_benches() -> Result<BTreeMap<String, Row>, String> {
-    let json_path =
-        std::env::temp_dir().join(format!("bench-compare-{}.jsonl", std::process::id()));
+    let caller_path =
+        std::env::var_os("CRITERION_JSON").filter(|p| !p.is_empty()).map(PathBuf::from);
+    let keep_raw = caller_path.is_some();
+    let json_path = caller_path.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("bench-compare-{}.jsonl", std::process::id()))
+    });
+    // Absolutize before handing the path to the child: cargo runs bench
+    // binaries with their cwd at the *package* root (crates/bench), so a
+    // relative path like `target/criterion-raw.jsonl` would make the
+    // harnesses write one file and this process read another.
+    let json_path = if json_path.is_relative() {
+        std::env::current_dir()
+            .map_err(|e| format!("cannot resolve the working directory: {e}"))?
+            .join(json_path)
+    } else {
+        json_path
+    };
+    if let Some(parent) = json_path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+    }
     let _ = std::fs::remove_file(&json_path);
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
     println!("running: {cargo} bench -p bench (CRITERION_JSON={})", json_path.display());
@@ -209,7 +295,11 @@ fn run_benches() -> Result<BTreeMap<String, Row>, String> {
     }
     let text = std::fs::read_to_string(&json_path)
         .map_err(|e| format!("harnesses produced no {} ({e})", json_path.display()))?;
-    let _ = std::fs::remove_file(&json_path);
+    if keep_raw {
+        println!("raw CRITERION_JSON stream kept at {}", json_path.display());
+    } else {
+        let _ = std::fs::remove_file(&json_path);
+    }
 
     let mut rows = BTreeMap::new();
     for line in text.lines().filter(|l| !l.trim().is_empty()) {

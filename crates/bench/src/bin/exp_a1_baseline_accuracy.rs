@@ -2,8 +2,7 @@
 //! ground truth, per plane. Quantifies why IPv6 needs its own inference.
 
 fn main() {
-    let small = std::env::args().any(|a| a == "--small");
-    let scale = if small { bench::bench_scale() } else { bench::paper_scale() };
+    let scale = bench::scale_from_args();
     eprintln!("building scenario ({} ASes)...", scale.topology.total_as_count());
     let scenario = bench::build_scenario(&scale);
     let (v4, v6) = bench::baseline_accuracy(&scenario);

@@ -3,8 +3,7 @@
 //! property of 2010 documentation habits; this sweep shows the dependence.
 
 fn main() {
-    let small = std::env::args().any(|a| a == "--small");
-    let scale = if small { bench::bench_scale() } else { bench::paper_scale() };
+    let scale = bench::scale_from_args();
     let rates = [0.1, 0.25, 0.5, 0.75, 0.82, 1.0];
     eprintln!(
         "running coverage sweep over {} documentation rates ({} worker threads, HYBRID_THREADS \

@@ -3,8 +3,7 @@
 //! of the injected hybrids.
 
 fn main() {
-    let small = std::env::args().any(|a| a == "--small");
-    let scale = if small { bench::bench_scale() } else { bench::paper_scale() };
+    let scale = bench::scale_from_args();
     let counts = [1usize, 2, 4, 8];
     eprintln!(
         "running collector sensitivity sweep ({} worker threads, HYBRID_THREADS to change; \

@@ -5,11 +5,11 @@
 //! obtained from Communities + LocPrf (72% of IPv6 links, 81% of
 //! dual-stack links in the paper).
 //!
-//! Run with `--small` for a quick, reduced-scale run.
+//! Run with `--small` for a quick, reduced-scale run, or `--tiny` for
+//! the fixture-sized scale the `exp-smoke` CI goldens are pinned at.
 
 fn main() {
-    let small = std::env::args().any(|a| a == "--small");
-    let scale = if small { bench::bench_scale() } else { bench::paper_scale() };
+    let scale = bench::scale_from_args();
     eprintln!(
         "building scenario ({} ASes, {} worker threads; set HYBRID_THREADS to override)...",
         scale.topology.total_as_count(),

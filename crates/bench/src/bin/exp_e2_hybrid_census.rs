@@ -5,8 +5,7 @@
 //! single link with opposite transit directions.
 
 fn main() {
-    let small = std::env::args().any(|a| a == "--small");
-    let scale = if small { bench::bench_scale() } else { bench::paper_scale() };
+    let scale = bench::scale_from_args();
     eprintln!("building scenario ({} ASes)...", scale.topology.total_as_count());
     let scenario = bench::build_scenario(&scale);
     let report = bench::run_measurement(&scenario);

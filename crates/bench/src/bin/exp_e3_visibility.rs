@@ -9,8 +9,7 @@ use asgraph::tiers::classify_tiers;
 use bgp_types::IpVersion;
 
 fn main() {
-    let small = std::env::args().any(|a| a == "--small");
-    let scale = if small { bench::bench_scale() } else { bench::paper_scale() };
+    let scale = bench::scale_from_args();
     eprintln!(
         "building scenario ({} ASes, {} worker threads, HYBRID_THREADS to change)...",
         scale.topology.total_as_count(),

@@ -8,12 +8,12 @@
 //! and 11 -> 7 hops.
 
 fn main() {
-    let small = std::env::args().any(|a| a == "--small");
-    let scale = if small { bench::bench_scale() } else { bench::paper_scale() };
+    let scale = bench::scale_from_args();
     // The all-pairs computation over the full default topology is heavy;
     // cap the number of BFS sources at paper scale to keep the sweep
     // tractable while preserving the curve's shape.
-    let source_cap = if small { None } else { Some(400) };
+    let paper = scale.topology.total_as_count() >= bench::paper_scale().topology.total_as_count();
+    let source_cap = if paper { Some(400) } else { None };
     eprintln!("building scenario ({} ASes)...", scale.topology.total_as_count());
     let scenario = bench::build_scenario(&scale);
     eprintln!(

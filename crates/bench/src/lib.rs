@@ -42,6 +42,25 @@ pub fn threads() -> usize {
     routesim::effective_concurrency(configured_concurrency())
 }
 
+/// Within-origin frontier worker count, from the `HYBRID_FRONTIER`
+/// environment variable: `0` = give the frontier the whole worker
+/// budget, `1` = sequential level scans — the same convention as
+/// `HYBRID_THREADS`. Unset, empty or unparsable values mean `1`: by
+/// default the whole budget goes to per-origin sharding, which scales
+/// better whenever there are more origins than cores. Output is
+/// byte-identical at every value.
+pub fn configured_frontier() -> usize {
+    std::env::var("HYBRID_FRONTIER").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
+}
+
+/// The `(origin workers, frontier workers)` split the experiment bins'
+/// propagation actually runs with: both env knobs resolved against the
+/// host and composed so their product never exceeds the core budget
+/// (see `SimConfig::propagation_split`).
+pub fn propagation_split() -> (usize, usize) {
+    configured_sim(&SimConfig::default()).propagation_split()
+}
+
 /// Whether the sweep's incremental delta-BFS engine is enabled, from the
 /// `HYBRID_INCREMENTAL` environment variable: unset, empty or anything
 /// other than `0`/`false` means on (the default). The knob never changes
@@ -63,17 +82,24 @@ pub fn configured_sweep() -> SweepOptions {
         .with_incremental(configured_incremental())
 }
 
-/// Apply `HYBRID_THREADS` to a simulator configuration that does not pin a
-/// worker count itself (`concurrency == 0`). Every scenario the harness
-/// builds — including the per-rate/per-collector rebuilds inside
-/// [`coverage_sweep`] and [`collector_sensitivity`], which previously
-/// ignored the knob — goes through this.
+/// The pipeline execution options the env knobs resolve to — the single
+/// place `HYBRID_THREADS` and `HYBRID_FRONTIER` become a
+/// [`PipelineOptions`] (the sweep knobs ride separately via
+/// [`configured_sweep`]).
+fn configured_options() -> PipelineOptions {
+    PipelineOptions::with_concurrency(configured_concurrency()).with_frontier(configured_frontier())
+}
+
+/// Apply `HYBRID_THREADS` and `HYBRID_FRONTIER` to a simulator
+/// configuration, via [`PipelineOptions::configure_sim`]: knobs the
+/// configuration leaves at their *defaults* (`concurrency == 0`,
+/// `frontier_concurrency == 1`) take the env values, anything else is
+/// kept. Every scenario the harness builds — including the
+/// per-rate/per-collector rebuilds inside [`coverage_sweep`] and
+/// [`collector_sensitivity`], which once ignored the knob — goes through
+/// this.
 fn configured_sim(sim: &SimConfig) -> SimConfig {
-    let mut sim = sim.clone();
-    if sim.concurrency == 0 {
-        sim.concurrency = configured_concurrency();
-    }
-    sim
+    configured_options().configure_sim(sim.clone())
 }
 
 /// Topology/simulation configuration pair.
@@ -96,9 +122,31 @@ pub fn bench_scale() -> ExperimentScale {
     ExperimentScale { topology: TopologyConfig::small(), sim: SimConfig::small() }
 }
 
-/// An even smaller scale for unit tests of the harness itself.
+/// An even smaller scale for unit tests of the harness itself and the
+/// `exp-smoke` CI goldens (`--tiny` on every experiment binary).
 pub fn tiny_scale() -> ExperimentScale {
     ExperimentScale { topology: TopologyConfig::tiny(), sim: SimConfig::small() }
+}
+
+/// The scale an experiment binary should run at, from its command line:
+/// `--tiny` (the `exp-smoke` golden scale), `--small` ([`bench_scale`]),
+/// default [`paper_scale`]. One shared parser so the nine bins cannot
+/// drift apart on flag spelling or precedence (the smallest requested
+/// scale wins).
+pub fn scale_from_args() -> ExperimentScale {
+    let mut tiny = false;
+    let mut small = false;
+    for arg in std::env::args() {
+        tiny |= arg == "--tiny";
+        small |= arg == "--small";
+    }
+    if tiny {
+        tiny_scale()
+    } else if small {
+        bench_scale()
+    } else {
+        paper_scale()
+    }
 }
 
 /// Build the scenario for a scale, honouring `HYBRID_THREADS` when the
@@ -110,10 +158,7 @@ pub fn build_scenario(scale: &ExperimentScale) -> Scenario {
 /// E1/E2/E3/E4 + A1: run the full measurement pipeline (without the
 /// Figure 2 sweep) and return the report. Honours `HYBRID_THREADS`.
 pub fn run_measurement(scenario: &Scenario) -> Report {
-    let pipeline = Pipeline {
-        options: PipelineOptions::with_concurrency(configured_concurrency()),
-        ..Default::default()
-    };
+    let pipeline = Pipeline { options: configured_options(), ..Default::default() };
     pipeline.run(PipelineInput::from_scenario_with(scenario, &pipeline.options))
 }
 
@@ -129,8 +174,7 @@ pub fn run_measurement_with_impact(
     source_cap: Option<usize>,
 ) -> Report {
     let pipeline = Pipeline {
-        options: PipelineOptions::with_concurrency(configured_concurrency())
-            .with_sweep(configured_sweep()),
+        options: configured_options().with_sweep(configured_sweep()),
         emit_sweep_stats: true,
         ..Pipeline::with_impact(top_k, source_cap)
     };
@@ -337,6 +381,21 @@ mod tests {
         assert!(sweep.cache, "the bins always run with the memo tier on");
         assert_eq!(sweep.incremental, configured_incremental());
         assert_eq!(sweep.concurrency, configured_concurrency());
+        let (origins, frontier) = propagation_split();
+        assert!(origins >= 1 && frontier >= 1);
+        assert!(origins * frontier <= threads().max(1), "split never oversubscribes");
+    }
+
+    #[test]
+    fn scale_from_args_defaults_to_paper_scale() {
+        // The test binary's argv carries neither --tiny nor --small.
+        let scale = scale_from_args();
+        assert_eq!(
+            scale.topology.total_as_count(),
+            paper_scale().topology.total_as_count(),
+            "no flag means paper scale"
+        );
+        assert!(tiny_scale().topology.total_as_count() < bench_scale().topology.total_as_count());
     }
 
     #[test]

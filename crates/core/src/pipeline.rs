@@ -104,11 +104,21 @@ impl PipelineInput {
 /// knob — every worker count produces byte-identical reports (the
 /// determinism suite runs the same seeds at `concurrency` 1, 2 and 8 and
 /// compares the JSON byte-for-byte).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PipelineOptions {
     /// Worker threads for the parallel sections: `0` uses all available
     /// parallelism (the default), `1` is the fully sequential path.
     pub concurrency: usize,
+    /// Worker threads for the within-origin frontier expansion of any
+    /// route propagation run on this pipeline's behalf (`0` = all cores,
+    /// `1` — the default — = sequential level scans). The pipeline itself
+    /// consumes already-propagated snapshots; this field completes the
+    /// one-struct description of the execution stack so callers that
+    /// *do* build or rebuild scenarios for a run (the bench harness
+    /// resolves `HYBRID_FRONTIER` into it and into
+    /// `SimConfig::frontier_concurrency`) steer both levels from one
+    /// place. Execution only — never a byte of the report.
+    pub frontier_concurrency: usize,
     /// Execution options for the Figure 2 impact subsystem (worker threads
     /// for the sharded correction sweep and the cross-step memoization
     /// switch). `SweepOptions::default()` — all cores, cache on — is what
@@ -117,11 +127,23 @@ pub struct PipelineOptions {
     pub sweep: SweepOptions,
 }
 
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions { concurrency: 0, frontier_concurrency: 1, sweep: SweepOptions::default() }
+    }
+}
+
 impl PipelineOptions {
     /// Options pinned to `concurrency` worker threads (the sweep follows
-    /// the same worker count, with memoization enabled).
+    /// the same worker count, with memoization enabled; the frontier
+    /// expansion stays sequential unless [`with_frontier`](Self::with_frontier)
+    /// retunes it).
     pub fn with_concurrency(concurrency: usize) -> Self {
-        PipelineOptions { concurrency, sweep: SweepOptions::with_concurrency(concurrency) }
+        PipelineOptions {
+            concurrency,
+            sweep: SweepOptions::with_concurrency(concurrency),
+            ..Default::default()
+        }
     }
 
     /// The fully sequential execution path (sweep memoization stays on —
@@ -135,9 +157,39 @@ impl PipelineOptions {
         PipelineOptions { sweep, ..self }
     }
 
+    /// These options with the given within-origin frontier worker count.
+    pub fn with_frontier(self, frontier_concurrency: usize) -> Self {
+        PipelineOptions { frontier_concurrency, ..self }
+    }
+
     /// The worker count these options resolve to (`0` = all cores).
     pub fn workers(&self) -> usize {
         routesim::effective_concurrency(self.concurrency)
+    }
+
+    /// The frontier worker count these options resolve to (`0` = all
+    /// cores).
+    pub fn frontier_workers(&self) -> usize {
+        routesim::effective_concurrency(self.frontier_concurrency)
+    }
+
+    /// Stamp these options onto a simulator configuration so a scenario
+    /// built for this pipeline run propagates under the same worker
+    /// budget and frontier split. Only knobs the configuration leaves at
+    /// their *default values* are overwritten (`concurrency == 0`,
+    /// `frontier_concurrency == 1`); any other value is kept. Note the
+    /// defaults double as the "unpinned" sentinels: a caller that wants
+    /// `concurrency = 0` (all cores) or `frontier_concurrency = 1`
+    /// (sequential scans) *regardless of these options* must set them
+    /// after this call, not before.
+    pub fn configure_sim(&self, mut sim: routesim::SimConfig) -> routesim::SimConfig {
+        if sim.concurrency == 0 {
+            sim.concurrency = self.concurrency;
+        }
+        if sim.frontier_concurrency == 1 {
+            sim.frontier_concurrency = self.frontier_concurrency;
+        }
+        sim
     }
 }
 
@@ -471,6 +523,24 @@ mod tests {
         let custom = PipelineOptions::with_concurrency(4).with_sweep(SweepOptions::sequential());
         assert_eq!(custom.concurrency, 4);
         assert_eq!(custom.sweep, SweepOptions::sequential());
+    }
+
+    #[test]
+    fn frontier_knob_resolves_and_stamps_unpinned_sim_configs() {
+        assert_eq!(PipelineOptions::default().frontier_concurrency, 1, "default is sequential");
+        assert_eq!(PipelineOptions::sequential().frontier_workers(), 1);
+        let options = PipelineOptions::with_concurrency(4).with_frontier(2);
+        assert_eq!(options.frontier_workers(), 2);
+        assert!(PipelineOptions::default().with_frontier(0).frontier_workers() >= 1);
+        // Unpinned sim knobs take the pipeline's execution options ...
+        let sim = options.configure_sim(SimConfig::small());
+        assert_eq!(sim.concurrency, 4);
+        assert_eq!(sim.frontier_concurrency, 2);
+        // ... pinned ones are kept.
+        let pinned = SimConfig::small().with_concurrency(3).with_frontier(5);
+        let kept = options.configure_sim(pinned);
+        assert_eq!(kept.concurrency, 3);
+        assert_eq!(kept.frontier_concurrency, 5);
     }
 
     #[test]

@@ -61,6 +61,16 @@ pub struct SimConfig {
     /// parallelism is an execution detail, never an output knob (the
     /// determinism suite enforces this).
     pub concurrency: usize,
+
+    /// Worker threads for the *within-origin* frontier expansion of the
+    /// propagation (the level-synchronous Phase 1/3 walks and the Phase 2
+    /// exporter scan): `0` = all available cores, `1` (the default) =
+    /// sequential scans, with all parallelism going to the per-origin
+    /// sharding. The two levels compose without oversubscription —
+    /// [`SimConfig::propagation_split`] bounds origins × frontier workers
+    /// by the budget `concurrency` resolves to. Like `concurrency`, the
+    /// knob is an execution detail with byte-identical output.
+    pub frontier_concurrency: usize,
 }
 
 impl Default for SimConfig {
@@ -81,6 +91,7 @@ impl Default for SimConfig {
             full_feeder_fraction: 0.5,
             timestamp: 1_280_620_800, // 2010-08-01
             concurrency: 0,
+            frontier_concurrency: 1,
         }
     }
 }
@@ -97,9 +108,34 @@ impl SimConfig {
         SimConfig { concurrency, ..self }
     }
 
+    /// The same configuration pinned to `frontier_concurrency`
+    /// within-origin frontier workers.
+    pub fn with_frontier(self, frontier_concurrency: usize) -> Self {
+        SimConfig { frontier_concurrency, ..self }
+    }
+
     /// The worker count this configuration resolves to (`0` = all cores).
     pub fn effective_concurrency(&self) -> usize {
         crate::shard::effective_concurrency(self.concurrency)
+    }
+
+    /// Split the resolved worker budget between the two propagation
+    /// levels as `(origin workers, frontier workers)`: the frontier knob
+    /// is resolved first (`0` = the whole budget) and capped by the
+    /// budget, then per-origin sharding gets what integer-divides into
+    /// the rest — so `origins × frontier ≤ effective_concurrency()` and
+    /// nested parallelism never oversubscribes the host. The default
+    /// (`frontier_concurrency = 1`) keeps the whole budget on per-origin
+    /// sharding, which is the right split whenever there are more origins
+    /// than cores.
+    pub fn propagation_split(&self) -> (usize, usize) {
+        let budget = self.effective_concurrency().max(1);
+        // Within the split, "all available parallelism" is the budget
+        // itself — `concurrency` already resolved the host's cores.
+        let frontier =
+            if self.frontier_concurrency == 0 { budget } else { self.frontier_concurrency };
+        let frontier = frontier.clamp(1, budget);
+        ((budget / frontier).max(1), frontier)
     }
 
     /// Validate probability ranges and structural requirements.
@@ -167,5 +203,31 @@ mod tests {
         let pinned = SimConfig::small().with_concurrency(3);
         assert_eq!(pinned.effective_concurrency(), 3);
         assert!(pinned.validate().is_ok(), "any worker count is valid");
+    }
+
+    #[test]
+    fn propagation_split_bounds_nested_parallelism_by_the_budget() {
+        assert_eq!(SimConfig::default().frontier_concurrency, 1, "default keeps frontier seq");
+        // Default split: everything to per-origin sharding.
+        let sim = SimConfig::small().with_concurrency(6);
+        assert_eq!(sim.propagation_split(), (6, 1));
+        // A pinned frontier divides the budget.
+        assert_eq!(sim.clone().with_frontier(2).propagation_split(), (3, 2));
+        assert_eq!(sim.clone().with_frontier(4).propagation_split(), (1, 4));
+        // Frontier 0 claims the whole budget; origins drop to one worker.
+        assert_eq!(sim.clone().with_frontier(0).propagation_split(), (1, 6));
+        // Oversized requests are capped by the budget.
+        assert_eq!(sim.clone().with_frontier(64).propagation_split(), (1, 6));
+        // Fully sequential stays fully sequential.
+        assert_eq!(sim.with_concurrency(1).with_frontier(8).propagation_split(), (1, 1));
+        // The product never exceeds the resolved budget.
+        for concurrency in [0usize, 1, 2, 3, 8] {
+            for frontier in [0usize, 1, 2, 3, 8] {
+                let sim = SimConfig::small().with_concurrency(concurrency).with_frontier(frontier);
+                let (origins, frontier_workers) = sim.propagation_split();
+                assert!(origins * frontier_workers <= sim.effective_concurrency().max(1));
+                assert!(origins >= 1 && frontier_workers >= 1);
+            }
+        }
     }
 }

@@ -43,6 +43,8 @@ pub mod shard;
 pub use collector::{CollectorSetup, FeederKind};
 pub use config::SimConfig;
 pub use policy::{AsPolicy, PolicyTable};
-pub use propagate::{propagate_origin, propagate_origins, RouteClass, RoutingOutcome};
+pub use propagate::{
+    propagate_origin, propagate_origins, PropagationOptions, RouteClass, RoutingOutcome,
+};
 pub use scenario::{PropagationCache, Scenario, ScenarioPool};
-pub use shard::{effective_concurrency, shard_map, shard_map_owned};
+pub use shard::{effective_concurrency, shard_frontier, shard_map, shard_map_owned};

@@ -21,6 +21,13 @@
 //! * **route leaks** — with a small probability an AS re-exports a peer-
 //!   or provider-learned route to a peer/provider that should not have
 //!   received it.
+//!
+//! Execution is parallel on two levels, both steered by knobs that never
+//! change the selected routes: origins shard across workers
+//! ([`propagate_origins`]), and *within* one origin the Phase 1/3 walks
+//! run level-synchronously with each level's neighbor scan striped across
+//! workers ([`PropagationOptions::frontier_concurrency`], resolved with
+//! the usual `0` = all cores / `1` = sequential convention).
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -31,6 +38,8 @@ use rand_chacha::ChaCha8Rng;
 
 use asgraph::{AsGraph, NodeId};
 use bgp_types::{Asn, IpVersion, Relationship};
+
+use crate::shard::shard_frontier;
 
 /// How an AS learned its best route towards the origin.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -70,7 +79,7 @@ pub struct RouteInfo {
     pub next_hop: NodeId,
 }
 
-/// Options controlling the propagation deviations.
+/// Options controlling the propagation deviations and its execution.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PropagationOptions {
     /// Enable the reachability relaxation phase.
@@ -79,11 +88,52 @@ pub struct PropagationOptions {
     pub leak_probability: f64,
     /// Seed mixed with the origin ASN for the leak draws.
     pub seed: u64,
+    /// Worker threads for the *within-origin* frontier expansion: each
+    /// level of the Phase 1/3 level-synchronous walks and the Phase 2
+    /// exporter scan stripe their neighbor scans across this many
+    /// threads. `0` = all available cores, `1` (the default) = the plain
+    /// sequential scan — the same convention as every other concurrency
+    /// knob. Execution only: the selected routes are identical at every
+    /// value (see [`PropagationOptions::same_route_model`]).
+    pub frontier_concurrency: usize,
 }
 
 impl Default for PropagationOptions {
     fn default() -> Self {
-        PropagationOptions { reachability_relaxation: false, leak_probability: 0.0, seed: 0 }
+        PropagationOptions {
+            reachability_relaxation: false,
+            leak_probability: 0.0,
+            seed: 0,
+            frontier_concurrency: 1,
+        }
+    }
+}
+
+impl PropagationOptions {
+    /// These options pinned to `frontier_concurrency` within-origin
+    /// workers.
+    pub fn with_frontier(self, frontier_concurrency: usize) -> Self {
+        PropagationOptions { frontier_concurrency, ..self }
+    }
+
+    /// True when `other` selects exactly the same routes: every field
+    /// that feeds route selection matches, ignoring the execution-only
+    /// `frontier_concurrency`. The scenario layer's propagation cache
+    /// compares options with this (not `==`), so retuning the frontier
+    /// knob between sweep points neither invalidates cached outcomes nor
+    /// smuggles an execution detail into reuse decisions. The exhaustive
+    /// destructuring makes a new field refuse to compile until it is
+    /// classified as route model or execution detail.
+    pub fn same_route_model(&self, other: &PropagationOptions) -> bool {
+        let PropagationOptions {
+            reachability_relaxation,
+            leak_probability,
+            seed,
+            frontier_concurrency: _,
+        } = *self;
+        reachability_relaxation == other.reachability_relaxation
+            && leak_probability == other.leak_probability
+            && seed == other.seed
     }
 }
 
@@ -160,6 +210,20 @@ struct Candidate {
     node: u32,
 }
 
+/// Below this many frontier nodes per worker, scanning a level is cheaper
+/// than spawning the scoped threads that would stripe it, so the
+/// expansion stays sequential whatever the knob says. Execution only:
+/// [`shard_frontier`] produces the same candidate sequence at any worker
+/// count, this merely skips the spawn when it cannot pay for itself.
+const MIN_FRONTIER_PER_WORKER: usize = 128;
+
+/// The worker count actually used for one level's scan: the requested
+/// count, capped so every worker gets at least
+/// [`MIN_FRONTIER_PER_WORKER`] nodes.
+fn level_workers(requested: usize, frontier_len: usize) -> usize {
+    requested.min(frontier_len / MIN_FRONTIER_PER_WORKER).max(1)
+}
+
 /// Propagate one origin's prefix over one plane.
 pub fn propagate_origin(
     graph: &AsGraph,
@@ -178,48 +242,60 @@ pub fn propagate_origin(
     }
     routes[origin_node.index()] =
         Some(RouteInfo { class: RouteClass::Origin, path_len: 0, next_hop: origin_node });
+    let workers = crate::shard::effective_concurrency(options.frontier_concurrency);
 
     // ---- Phase 1: customer routes (and the origin's siblings) -----------
     // A route travels "upward": from a node to its providers, and across
-    // sibling links, keeping the Customer class.
+    // sibling links, keeping the Customer class. Level-synchronous
+    // frontier expansion: every node's final path length is its level in
+    // the climb BFS, and a level's candidates all come from the previous
+    // level, so scanning one level at a time and merging with `better(..)`
+    // reaches exactly the fixed point of the old priority-queue walk —
+    // while each level's neighbor scan stripes across `workers` threads.
     {
-        let mut heap: BinaryHeap<Reverse<Candidate>> = BinaryHeap::new();
-        heap.push(Reverse(Candidate { path_len: 0, tie_break: 0, node: origin_node.0 }));
-        while let Some(Reverse(Candidate { path_len, node, .. })) = heap.pop() {
-            let node = NodeId(node);
-            let current = routes[node.index()].expect("queued nodes are routed");
-            if current.path_len < path_len {
-                continue;
-            }
-            for (next, rel) in graph.neighbors_by_id(node, plane) {
-                let Some(rel) = rel else { continue };
-                // The route moves node -> next. `next` learns it from `node`.
-                // next sees node as a customer when rel(next -> node) = p2c,
-                // i.e. rel(node -> next) = c2p. Sibling links always carry it.
-                let climbs = rel == Relationship::CustomerToProvider
-                    || rel == Relationship::SiblingToSibling;
-                if !climbs {
-                    continue;
+        let mut frontier: Vec<NodeId> = vec![origin_node];
+        let mut next_len: u32 = 0;
+        while !frontier.is_empty() {
+            next_len += 1;
+            // The route moves node -> next. `next` learns it from `node`.
+            // next sees node as a customer when rel(next -> node) = p2c,
+            // i.e. rel(node -> next) = c2p. Sibling links always carry it.
+            let candidates: Vec<(NodeId, NodeId)> =
+                shard_frontier(&frontier, level_workers(workers, frontier.len()), |&node, out| {
+                    for (next, rel) in graph.neighbors_by_id(node, plane) {
+                        let climbs = rel == Some(Relationship::CustomerToProvider)
+                            || rel == Some(Relationship::SiblingToSibling);
+                        if climbs {
+                            out.push((next, node));
+                        }
+                    }
+                });
+            // Deterministic merge: `better(..)` is a strict total order on
+            // (path_len, next-hop ASN), so the per-target winner does not
+            // depend on candidate order, which itself is frontier order at
+            // every worker count.
+            let mut next_frontier = Vec::new();
+            for (target, sender) in candidates {
+                let cand =
+                    RouteInfo { class: RouteClass::Customer, path_len: next_len, next_hop: sender };
+                if better(&routes[target.index()], &cand, graph, RouteClass::Customer) {
+                    // First assignment at this level enters the next
+                    // frontier; later candidates can only improve the
+                    // next hop, never re-queue the node.
+                    if routes[target.index()].is_none() {
+                        next_frontier.push(target);
+                    }
+                    routes[target.index()] = Some(cand);
                 }
-                let cand = RouteInfo {
-                    class: RouteClass::Customer,
-                    path_len: path_len + 1,
-                    next_hop: node,
-                };
-                if better(&routes[next.index()], &cand, graph, RouteClass::Customer) {
-                    routes[next.index()] = Some(cand);
-                    heap.push(Reverse(Candidate {
-                        path_len: cand.path_len,
-                        tie_break: graph.asn(node).value(),
-                        node: next.0,
-                    }));
-                }
             }
+            frontier = next_frontier;
         }
     }
 
     // ---- Phase 2: peer routes --------------------------------------------
-    // Nodes with a customer/origin route export it across one peering link.
+    // Nodes with a customer/origin route export it across one peering
+    // link; the exporter scan stripes across workers and the sort below
+    // makes the merge order-independent.
     {
         let exporters: Vec<NodeId> = (0..n as u32)
             .map(NodeId)
@@ -230,23 +306,23 @@ pub fn propagate_origin(
                 )
             })
             .collect();
-        let mut peer_candidates: Vec<(NodeId, RouteInfo)> = Vec::new();
-        for node in exporters {
-            let info = routes[node.index()].unwrap();
-            for (next, rel) in graph.neighbors_by_id(node, plane) {
-                if rel != Some(Relationship::PeerToPeer) {
-                    continue;
+        let mut peer_candidates: Vec<(NodeId, RouteInfo)> =
+            shard_frontier(&exporters, level_workers(workers, exporters.len()), |&node, out| {
+                let info = routes[node.index()].expect("exporters are routed");
+                for (next, rel) in graph.neighbors_by_id(node, plane) {
+                    if rel != Some(Relationship::PeerToPeer) {
+                        continue;
+                    }
+                    out.push((
+                        next,
+                        RouteInfo {
+                            class: RouteClass::Peer,
+                            path_len: info.path_len + 1,
+                            next_hop: node,
+                        },
+                    ));
                 }
-                peer_candidates.push((
-                    next,
-                    RouteInfo {
-                        class: RouteClass::Peer,
-                        path_len: info.path_len + 1,
-                        next_hop: node,
-                    },
-                ));
-            }
-        }
+            });
         // Deterministic order: by target node, then candidate quality.
         peer_candidates
             .sort_by_key(|(next, cand)| (next.0, cand.path_len, graph.asn(cand.next_hop).value()));
@@ -262,38 +338,52 @@ pub fn propagate_origin(
     // ---- Phase 3: provider routes ------------------------------------------
     // Any routed node exports its best route to its customers; customers
     // that still lack a better route take it, and pass it on downhill.
+    // Same level-synchronous scheme as Phase 1, with multiple sources at
+    // different levels: every routed node exports once, at its route's
+    // path length, and a customer accepting a provider route at level
+    // d+1 exports at level d+1. Same-level improvements only change the
+    // next hop (never the level), so each node is scheduled exactly once
+    // and the levels can be processed strictly in order.
     {
-        let mut heap: BinaryHeap<Reverse<Candidate>> = BinaryHeap::new();
+        let mut buckets: Vec<Vec<NodeId>> = Vec::new();
+        let schedule = |buckets: &mut Vec<Vec<NodeId>>, level: usize, node: NodeId| {
+            if buckets.len() <= level {
+                buckets.resize_with(level + 1, Vec::new);
+            }
+            buckets[level].push(node);
+        };
         for id in 0..n as u32 {
             if let Some(info) = routes[id as usize] {
-                heap.push(Reverse(Candidate { path_len: info.path_len, tie_break: 0, node: id }));
+                schedule(&mut buckets, info.path_len as usize, NodeId(id));
             }
         }
-        while let Some(Reverse(Candidate { path_len, node, .. })) = heap.pop() {
-            let node = NodeId(node);
-            let Some(current) = routes[node.index()] else { continue };
-            if current.path_len < path_len {
+        let mut level = 0;
+        while level < buckets.len() {
+            let frontier = std::mem::take(&mut buckets[level]);
+            level += 1;
+            if frontier.is_empty() {
                 continue;
             }
-            for (next, rel) in graph.neighbors_by_id(node, plane) {
-                // node -> next is p2c: next is node's customer, so next
-                // learns the route from its provider. Sibling links also
-                // carry it (class preserved handled by closure below).
-                if rel != Some(Relationship::ProviderToCustomer) {
-                    continue;
-                }
-                let cand = RouteInfo {
-                    class: RouteClass::Provider,
-                    path_len: current.path_len + 1,
-                    next_hop: node,
-                };
-                if better(&routes[next.index()], &cand, graph, RouteClass::Provider) {
-                    routes[next.index()] = Some(cand);
-                    heap.push(Reverse(Candidate {
-                        path_len: cand.path_len,
-                        tie_break: graph.asn(node).value(),
-                        node: next.0,
-                    }));
+            // node -> next is p2c: next is node's customer, so next
+            // learns the route from its provider. Sibling links also
+            // carry it (class preserved, handled by the closure below).
+            let candidates: Vec<(NodeId, NodeId)> =
+                shard_frontier(&frontier, level_workers(workers, frontier.len()), |&node, out| {
+                    for (next, rel) in graph.neighbors_by_id(node, plane) {
+                        if rel == Some(Relationship::ProviderToCustomer) {
+                            out.push((next, node));
+                        }
+                    }
+                });
+            let next_len = level as u32;
+            for (target, sender) in candidates {
+                let cand =
+                    RouteInfo { class: RouteClass::Provider, path_len: next_len, next_hop: sender };
+                if better(&routes[target.index()], &cand, graph, RouteClass::Provider) {
+                    if routes[target.index()].is_none() {
+                        schedule(&mut buckets, next_len as usize, target);
+                    }
+                    routes[target.index()] = Some(cand);
                 }
             }
         }
@@ -414,6 +504,12 @@ pub fn propagate_origin(
 /// never interact. Outcomes are merged back in the order of `origins`
 /// (callers pass a sorted origin list), making the result byte-identical
 /// to the sequential run at every worker count.
+///
+/// `options.frontier_concurrency` adds a second, nested level of
+/// parallelism *inside* each origin's round; callers that use both should
+/// bound `concurrency × frontier workers` by the core budget (the
+/// scenario layer does this via `SimConfig::propagation_split`) so the
+/// two levels do not oversubscribe the host.
 pub fn propagate_origins(
     graph: &AsGraph,
     origins: &[Asn],
@@ -624,6 +720,11 @@ mod tests {
         g.annotate_both(Asn(3), Asn(5), Relationship::ProviderToCustomer);
 
         let leaky = PropagationOptions { leak_probability: 1.0, seed: 1, ..Default::default() };
+        // The frontier knob must not perturb the seeded deviations either.
+        assert_eq!(
+            propagate_origin(&g, Asn(4), IpVersion::V4, &leaky.with_frontier(4)),
+            propagate_origin(&g, Asn(4), IpVersion::V4, &leaky),
+        );
         let outcome = propagate_origin(&g, Asn(4), IpVersion::V4, &leaky);
         // Every AS still has a route and paths still terminate at the origin.
         assert_eq!(outcome.routed_count(), g.node_count());
@@ -641,8 +742,12 @@ mod tests {
     #[test]
     fn determinism_across_runs() {
         let g = fixture_graph();
-        let opts =
-            PropagationOptions { reachability_relaxation: true, leak_probability: 0.5, seed: 99 };
+        let opts = PropagationOptions {
+            reachability_relaxation: true,
+            leak_probability: 0.5,
+            seed: 99,
+            ..Default::default()
+        };
         let a = propagate_origin(&g, Asn(50), IpVersion::V6, &opts);
         let b = propagate_origin(&g, Asn(50), IpVersion::V6, &opts);
         for asn in g.asns() {
@@ -658,7 +763,12 @@ mod tests {
         // Exercise both the strict policy path and the seeded deviations.
         let variants = [
             PropagationOptions::default(),
-            PropagationOptions { reachability_relaxation: true, leak_probability: 0.5, seed: 7 },
+            PropagationOptions {
+                reachability_relaxation: true,
+                leak_probability: 0.5,
+                seed: 7,
+                ..Default::default()
+            },
         ];
         for plane in IpVersion::BOTH {
             for options in &variants {
@@ -669,6 +779,100 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn frontier_parallel_propagation_matches_sequential_at_every_worker_count() {
+        let g = fixture_graph();
+        let mut origins: Vec<Asn> = g.asns().collect();
+        origins.sort();
+        let variants = [
+            PropagationOptions::default(),
+            PropagationOptions {
+                reachability_relaxation: true,
+                leak_probability: 0.5,
+                seed: 7,
+                ..Default::default()
+            },
+        ];
+        for plane in IpVersion::BOTH {
+            for options in &variants {
+                let sequential = propagate_origins(&g, &origins, plane, options, 1);
+                // Nested combinations: frontier workers × origin workers.
+                for frontier in [0usize, 2, 3, 8] {
+                    for workers in [1usize, 2] {
+                        let parallel = propagate_origins(
+                            &g,
+                            &origins,
+                            plane,
+                            &options.with_frontier(frontier),
+                            workers,
+                        );
+                        assert_eq!(
+                            parallel, sequential,
+                            "plane {plane:?}, frontier {frontier}, workers {workers}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_frontiers_stripe_across_workers_and_match_sequential() {
+        // Levels wider than MIN_FRONTIER_PER_WORKER × workers, so the
+        // scans genuinely run on multiple threads (the fixture graphs are
+        // too small to clear the sequential cutoff): the origin has WIDE
+        // providers (Phase 1 level 1), each with a customer of its own
+        // (Phase 3), a peering ring across the providers (Phase 2), and
+        // ties everywhere — every provider reaches the origin at the same
+        // distance, so the deterministic next-hop ASN tie-break is what
+        // keeps the merged routes identical at every worker count.
+        const WIDE: u32 = 4 * MIN_FRONTIER_PER_WORKER as u32 + 17;
+        let mut g = AsGraph::new();
+        for i in 0..WIDE {
+            let provider = Asn(2 + i);
+            g.annotate_both(provider, Asn(1), Relationship::ProviderToCustomer);
+            g.annotate_both(provider, Asn(10_000 + i), Relationship::ProviderToCustomer);
+            g.annotate_both(provider, Asn(2 + ((i + 1) % WIDE)), Relationship::PeerToPeer);
+        }
+        assert_eq!(level_workers(4, WIDE as usize), 4, "the wide level must actually stripe");
+        for options in [
+            PropagationOptions::default(),
+            PropagationOptions {
+                reachability_relaxation: true,
+                leak_probability: 0.3,
+                seed: 11,
+                ..Default::default()
+            },
+        ] {
+            let sequential = propagate_origin(&g, Asn(1), IpVersion::V4, &options);
+            for frontier in [0usize, 2, 4, 7] {
+                let parallel =
+                    propagate_origin(&g, Asn(1), IpVersion::V4, &options.with_frontier(frontier));
+                assert_eq!(parallel, sequential, "frontier={frontier}");
+            }
+        }
+    }
+
+    #[test]
+    fn level_workers_caps_by_frontier_size() {
+        assert_eq!(level_workers(8, 0), 1);
+        assert_eq!(level_workers(8, MIN_FRONTIER_PER_WORKER - 1), 1);
+        assert_eq!(level_workers(8, 2 * MIN_FRONTIER_PER_WORKER), 2);
+        assert_eq!(level_workers(2, 100 * MIN_FRONTIER_PER_WORKER), 2);
+        assert_eq!(level_workers(1, 100 * MIN_FRONTIER_PER_WORKER), 1);
+    }
+
+    #[test]
+    fn same_route_model_ignores_only_the_frontier_knob() {
+        let base = PropagationOptions { seed: 9, ..Default::default() };
+        assert!(base.same_route_model(&base.with_frontier(8)));
+        assert!(!base.same_route_model(&PropagationOptions { seed: 10, ..base }));
+        assert!(
+            !base.same_route_model(&PropagationOptions { reachability_relaxation: true, ..base })
+        );
+        assert!(!base.same_route_model(&PropagationOptions { leak_probability: 0.5, ..base }));
     }
 
     #[test]

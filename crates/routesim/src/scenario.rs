@@ -55,8 +55,10 @@ fn plane_slot(plane: IpVersion) -> usize {
 }
 
 impl PropagationCache {
-    /// The cached outcomes for a plane, if they were computed under
-    /// exactly `options`.
+    /// The cached outcomes for a plane, if they were computed under the
+    /// same *route model* as `options` — execution knobs (the frontier
+    /// worker count) are ignored, so retuning them between sweep points
+    /// still reuses the cached propagation.
     fn matching(
         &self,
         plane: IpVersion,
@@ -64,7 +66,7 @@ impl PropagationCache {
     ) -> Option<Arc<Vec<RoutingOutcome>>> {
         self.planes[plane_slot(plane)]
             .as_ref()
-            .filter(|entry| entry.options == *options)
+            .filter(|entry| entry.options.same_route_model(options))
             .map(|entry| Arc::clone(&entry.outcomes))
     }
 
@@ -113,10 +115,10 @@ pub struct Scenario {
 
 /// Every [`SimConfig`] knob that feeds the generated artefacts (policies,
 /// registry, collectors, propagation and RIB materialisation) — i.e.
-/// everything except `concurrency`, which is an execution detail with
-/// byte-identical output by contract. The exhaustive destructuring is the
-/// point: adding a field to `SimConfig` refuses to compile here until the
-/// rebuild logic accounts for it.
+/// everything except `concurrency` and `frontier_concurrency`, which are
+/// execution details with byte-identical output by contract. The
+/// exhaustive destructuring is the point: adding a field to `SimConfig`
+/// refuses to compile here until the rebuild logic accounts for it.
 type OutputKey = ((u64, f64, f64, f64, f64), (f64, f64, f64, bool, f64), (usize, usize, f64, u64));
 
 fn output_key(sim: &SimConfig) -> OutputKey {
@@ -136,6 +138,7 @@ fn output_key(sim: &SimConfig) -> OutputKey {
         full_feeder_fraction,
         timestamp,
         concurrency: _,
+        frontier_concurrency: _,
     } = *sim;
     (
         (
@@ -157,12 +160,16 @@ fn output_key(sim: &SimConfig) -> OutputKey {
 }
 
 /// The propagation configuration of one plane, derived from the
-/// simulation config exactly as the build derives it.
+/// simulation config exactly as the build derives it. The frontier
+/// worker count comes from [`SimConfig::propagation_split`], so nested
+/// parallelism (origins × frontier) stays within the worker budget.
 fn propagation_options(sim_config: &SimConfig, plane: IpVersion) -> PropagationOptions {
+    let (_, frontier_workers) = sim_config.propagation_split();
     PropagationOptions {
         reachability_relaxation: plane == IpVersion::V6 && sim_config.v6_reachability_relaxation,
         leak_probability: sim_config.leak_probability,
         seed: sim_config.seed,
+        frontier_concurrency: frontier_workers,
     }
 }
 
@@ -289,9 +296,12 @@ impl Scenario {
     }
 
     /// One plane's propagation round: every origin present on the plane,
-    /// sharded across worker threads; the outcomes come back in origin
-    /// order, so the rest of the build is oblivious to how (or whether)
-    /// it was parallelised.
+    /// sharded across worker threads, each origin's own walk expanded
+    /// with the frontier workers `options` carries (the split computed by
+    /// [`SimConfig::propagation_split`], so origins × frontier stays
+    /// within the budget); the outcomes come back in origin order, so the
+    /// rest of the build is oblivious to how (or whether) it was
+    /// parallelised.
     fn propagate_plane(
         truth: &GroundTruth,
         sim_config: &SimConfig,
@@ -301,7 +311,8 @@ impl Scenario {
         let graph = &truth.graph;
         let mut origins: Vec<Asn> = graph.asns().filter(|a| graph.degree(*a, plane) > 0).collect();
         origins.sort();
-        propagate_origins(graph, &origins, plane, options, sim_config.effective_concurrency())
+        let (origin_workers, _) = sim_config.propagation_split();
+        propagate_origins(graph, &origins, plane, options, origin_workers)
     }
 
     /// Materialise one plane's RIB entries from its propagation outcomes.
@@ -648,6 +659,37 @@ mod tests {
             assert_eq!(parallel.registry, sequential.registry, "workers={workers}");
             // Pooling order is independent of the pooling worker count too.
             assert_eq!(parallel.pooled_snapshot(workers), sequential.merged_snapshot());
+        }
+    }
+
+    #[test]
+    fn frontier_knob_is_invisible_in_scenario_outputs() {
+        let sequential =
+            Scenario::build(&TopologyConfig::tiny(), &SimConfig::small().with_concurrency(1));
+        for (workers, frontier) in [(1usize, 2usize), (1, 0), (2, 2), (0, 4), (4, 1)] {
+            let parallel = Scenario::build(
+                &TopologyConfig::tiny(),
+                &SimConfig::small().with_concurrency(workers).with_frontier(frontier),
+            );
+            assert_eq!(
+                parallel.snapshots, sequential.snapshots,
+                "workers={workers} frontier={frontier}"
+            );
+            assert_eq!(parallel.registry, sequential.registry);
+        }
+    }
+
+    #[test]
+    fn rebuild_with_a_frontier_only_patch_reuses_everything() {
+        let base = Scenario::build(&TopologyConfig::tiny(), &SimConfig::small());
+        // The frontier knob never reaches the outputs, so the rebuild is
+        // the clone-and-patch fast path: snapshots identical, propagation
+        // outcomes Arc-shared on both planes.
+        let patched = base.rebuild_with(|s| s.frontier_concurrency = 4);
+        assert_eq!(patched.snapshots, base.snapshots);
+        assert_eq!(patched.sim_config.frontier_concurrency, 4);
+        for plane in IpVersion::BOTH {
+            assert!(patched.propagation.shares_outcomes(&base.propagation, plane));
         }
     }
 

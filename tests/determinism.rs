@@ -12,13 +12,25 @@ use hybrid_as_rel::topology::fixtures::two_plane_fixture;
 use hybrid_as_rel::tor::impact::{ImpactOptions, SweepOptions};
 
 /// Render the report for `(topology, sim)` with both the simulator and
-/// the pipeline pinned to `concurrency` worker threads.
-fn report_json(topology: &TopologyConfig, sim: &SimConfig, concurrency: usize) -> String {
-    let sim = sim.clone().with_concurrency(concurrency);
+/// the pipeline pinned to `concurrency` worker threads and `frontier`
+/// within-origin frontier workers.
+fn report_json_at(
+    topology: &TopologyConfig,
+    sim: &SimConfig,
+    concurrency: usize,
+    frontier: usize,
+) -> String {
+    let sim = sim.clone().with_concurrency(concurrency).with_frontier(frontier);
     let scenario = Scenario::build(topology, &sim);
-    let pipeline = Pipeline::with_concurrency(concurrency);
+    let mut pipeline = Pipeline::with_concurrency(concurrency);
+    pipeline.options = pipeline.options.with_frontier(frontier);
     let report = pipeline.run(PipelineInput::from_scenario_with(&scenario, &pipeline.options));
     serde_json::to_string_pretty(&report).expect("report serializes")
+}
+
+/// [`report_json_at`] with the default (sequential) frontier expansion.
+fn report_json(topology: &TopologyConfig, sim: &SimConfig, concurrency: usize) -> String {
+    report_json_at(topology, sim, concurrency, 1)
 }
 
 #[test]
@@ -41,6 +53,28 @@ fn concurrency_matrix_produces_byte_identical_reports() {
             parallel == sequential,
             "concurrency={concurrency} diverged from the sequential report"
         );
+    }
+}
+
+#[test]
+fn frontier_matrix_produces_byte_identical_reports() {
+    // The within-origin frontier expansion is the second level of the
+    // execution stack: every (origin concurrency × frontier concurrency)
+    // combination must produce the bytes of the fully sequential run.
+    let topology = TopologyConfig::tiny();
+    let sim = SimConfig::small();
+    let sequential = report_json_at(&topology, &sim, 1, 1);
+    for frontier in [1usize, 2, 4] {
+        for concurrency in [1usize, 2, 8] {
+            if (concurrency, frontier) == (1, 1) {
+                continue;
+            }
+            let report = report_json_at(&topology, &sim, concurrency, frontier);
+            assert!(
+                report == sequential,
+                "concurrency={concurrency} frontier={frontier} diverged from the sequential report"
+            );
+        }
     }
 }
 

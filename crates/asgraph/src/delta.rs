@@ -58,6 +58,23 @@ pub enum DeltaOutcome {
     FullRebuild,
 }
 
+/// What [`DistanceMap::apply_correction_with`] does when a removed
+/// transition was load-bearing (tight, with no alternative support at the
+/// same distance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RemovalPolicy {
+    /// Fall back to a full BFS — the original conservative behaviour and
+    /// the default ([`DistanceMap::apply_correction`] always uses it).
+    #[default]
+    Rebuild,
+    /// Repair in place: identify the states whose labels transitively
+    /// depended on the removed transitions (in increasing old-label
+    /// order, so support checks see their predecessors' final verdicts),
+    /// invalidate them, and recompute exactly that region from its
+    /// boundary. Still exact — only the amount of work changes.
+    Repair,
+}
+
 /// A single-edge relationship correction, with the pre-change state
 /// captured so the repair can diff old against new transitions.
 ///
@@ -180,6 +197,19 @@ impl DistanceMap {
         graph: &AsGraph,
         correction: &EdgeCorrection,
     ) -> DeltaOutcome {
+        self.apply_correction_with(graph, correction, RemovalPolicy::Rebuild)
+    }
+
+    /// [`DistanceMap::apply_correction`] with an explicit policy for
+    /// load-bearing removals. `RemovalPolicy::Rebuild` reproduces
+    /// `apply_correction` exactly; `RemovalPolicy::Repair` re-derives the
+    /// affected region in place instead of rebuilding. Both are exact.
+    pub fn apply_correction_with(
+        &mut self,
+        graph: &AsGraph,
+        correction: &EdgeCorrection,
+        policy: RemovalPolicy,
+    ) -> DeltaOutcome {
         if correction.plane != self.plane {
             // A correction on the other plane cannot touch this map.
             return DeltaOutcome::Unchanged;
@@ -210,8 +240,11 @@ impl DistanceMap {
         // Removal safety: every removed transition that was *tight* (its
         // tail label supported its head label) must have an alternative
         // support in the post-change graph, otherwise old labels may no
-        // longer be achievable and the delta is unbounded.
+        // longer be achievable and the delta is unbounded. Under
+        // `RemovalPolicy::Repair` the unsupported heads become seeds for
+        // an in-place repair instead of forcing a full rebuild.
         let directions = [(na, nb, &old_ab, &new_ab), (nb, na, &old_ba, &new_ba)];
+        let mut removal_seeds: Vec<(u32, NodeId, u8)> = Vec::new();
         for &(u, v, old, new) in &directions {
             for phase in 0..PHASES {
                 let removed = match (old[phase], new[phase]) {
@@ -227,10 +260,19 @@ impl DistanceMap {
                     continue; // not tight: the head never leaned on it
                 }
                 if !self.has_support(graph, v, removed, head) {
-                    self.rebuild(graph);
-                    return DeltaOutcome::FullRebuild;
+                    match policy {
+                        RemovalPolicy::Rebuild => {
+                            self.rebuild(graph);
+                            return DeltaOutcome::FullRebuild;
+                        }
+                        RemovalPolicy::Repair => removal_seeds.push((head, v, removed)),
+                    }
                 }
             }
+        }
+        let removal_repaired = !removal_seeds.is_empty();
+        if removal_repaired {
+            self.repair_removals(graph, removal_seeds);
         }
 
         // Additions only shorten labels: relax the added transitions and
@@ -254,7 +296,11 @@ impl DistanceMap {
             }
         }
         if queue.is_empty() {
-            return DeltaOutcome::Unchanged;
+            return if removal_repaired {
+                DeltaOutcome::Incremental
+            } else {
+                DeltaOutcome::Unchanged
+            };
         }
         // Worklist relaxation: labels only decrease and are bounded below
         // by the true distances, so processing order affects work, not the
@@ -274,6 +320,101 @@ impl DistanceMap {
             }
         }
         DeltaOutcome::Incremental
+    }
+
+    /// In-place repair after load-bearing removals, in the classic
+    /// delete-then-recompute shape: first identify every state whose label
+    /// transitively leaned on a removed transition (popping a min-heap in
+    /// increasing old-label order, so by the time a state's support is
+    /// re-checked all of its possibly-affected predecessors — which sit at
+    /// strictly smaller labels — carry their final verdict), then
+    /// recompute exactly that region from its boundary of intact states.
+    ///
+    /// `seeds` are `(old label, head node, head phase)` of removed tight
+    /// transitions with no alternative support.
+    fn repair_removals(&mut self, graph: &AsGraph, seeds: Vec<(u32, NodeId, u8)>) {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        // Phase A: mark the affected region. A popped state is affected
+        // iff no surviving in-transition still supports its old label;
+        // marking it (label := MAX) can strip support from its old tight
+        // successors, which therefore join the heap one label further out.
+        let mut heap: BinaryHeap<Reverse<(u32, u32, u8)>> =
+            seeds.into_iter().map(|(label, node, phase)| Reverse((label, node.0, phase))).collect();
+        let mut affected_states: Vec<(NodeId, u8)> = Vec::new();
+        let mut affected = vec![[false; PHASES]; self.best.len()];
+        while let Some(Reverse((label, raw, phase))) = heap.pop() {
+            let node = NodeId(raw);
+            if self.best[node.index()][phase as usize] != label {
+                continue; // already marked, or a stale duplicate
+            }
+            if self.has_support(graph, node, phase, label) {
+                continue; // an alternative predecessor still carries it
+            }
+            self.best[node.index()][phase as usize] = u32::MAX;
+            affected[node.index()][phase as usize] = true;
+            affected_states.push((node, phase));
+            for (next, rel) in graph.neighbors_by_id(node, self.plane) {
+                let Some(rel) = rel else { continue };
+                let Some(next_phase) = phase_transition(phase, rel) else { continue };
+                if self.best[next.index()][next_phase as usize] == label + 1 {
+                    heap.push(Reverse((label + 1, next.0, next_phase)));
+                }
+            }
+        }
+
+        // Phase B: recompute the affected states. Seed each from its
+        // intact in-neighbors (the region's boundary), then relax inside
+        // the region; labels only decrease and are bounded below by the
+        // true post-change distances, so order affects work, not results.
+        let mut queue: Vec<(NodeId, u8, u32)> = Vec::new();
+        for &(node, phase) in &affected_states {
+            let mut candidate = u32::MAX;
+            for (w, rel) in graph.neighbors_by_id(node, self.plane) {
+                let Some(rel) = rel else { continue };
+                let towards_node = rel.reverse();
+                for from_phase in 0..PHASES {
+                    if phase_transition(from_phase as u8, towards_node) != Some(phase) {
+                        continue;
+                    }
+                    let tail = self.best[w.index()][from_phase];
+                    if tail != u32::MAX {
+                        candidate = candidate.min(tail + 1);
+                    }
+                }
+            }
+            if candidate < self.best[node.index()][phase as usize] {
+                self.best[node.index()][phase as usize] = candidate;
+                queue.push((node, phase, candidate));
+            }
+        }
+        while let Some((node, phase, dist)) = queue.pop() {
+            if self.best[node.index()][phase as usize] < dist {
+                continue;
+            }
+            for (next, rel) in graph.neighbors_by_id(node, self.plane) {
+                let Some(rel) = rel else { continue };
+                let Some(next_phase) = phase_transition(phase, rel) else { continue };
+                if !affected[next.index()][next_phase as usize] {
+                    continue; // intact states already hold exact labels
+                }
+                let next_dist = dist + 1;
+                if next_dist < self.best[next.index()][next_phase as usize] {
+                    self.best[next.index()][next_phase as usize] = next_dist;
+                    queue.push((next, next_phase, next_dist));
+                }
+            }
+        }
+
+        // Removals can *raise* distances, which `improve` never does:
+        // refresh the min-over-phase view of every touched node.
+        let mut touched: Vec<usize> = affected_states.iter().map(|&(n, _)| n.index()).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        for idx in touched {
+            self.out[idx] = self.best[idx].iter().copied().filter(|&d| d != u32::MAX).min();
+        }
     }
 
     /// Lower the label of `(node, phase)` to `dist`, keeping the
@@ -501,6 +642,102 @@ mod tests {
             g.annotate(Asn(a), Asn(b), IpVersion::V6, new);
             map.apply_correction(&g, &correction);
             assert_matches_full(&map, &g);
+        }
+    }
+
+    #[test]
+    fn repair_policy_handles_unsupported_removal_incrementally() {
+        // The exact scenario that forces the default policy into a full
+        // rebuild: under `Repair` the far node's orphaned label is
+        // repaired in place and the result still matches a full BFS.
+        let mut g = AsGraph::new();
+        g.annotate(Asn(1), Asn(2), IpVersion::V6, Relationship::ProviderToCustomer);
+        let mut map = DistanceMap::compute(&g, Asn(1), IpVersion::V6);
+        let correction = EdgeCorrection::observe(
+            &g,
+            Asn(1),
+            Asn(2),
+            IpVersion::V6,
+            Relationship::CustomerToProvider,
+        );
+        g.annotate(Asn(1), Asn(2), IpVersion::V6, Relationship::CustomerToProvider);
+        let outcome = map.apply_correction_with(&g, &correction, RemovalPolicy::Repair);
+        assert_eq!(outcome, DeltaOutcome::Incremental);
+        assert_matches_full(&map, &g);
+    }
+
+    #[test]
+    fn repair_raises_distances_through_a_detour() {
+        // 4 is reachable at distance 2 through 2 and at distance 3 through
+        // the 3 → 5 detour. Flipping 2-4 to c2p strips the short support;
+        // the repair must *raise* 4's distance to the detour's 3 (a
+        // direction the addition worklist alone can never move).
+        let mut g = AsGraph::new();
+        for (p, c) in [(1u32, 2u32), (2, 4), (1, 3), (3, 5), (5, 4)] {
+            g.annotate(Asn(p), Asn(c), IpVersion::V6, Relationship::ProviderToCustomer);
+        }
+        let mut map = DistanceMap::compute(&g, Asn(1), IpVersion::V6);
+        let four = g.node(Asn(4)).unwrap().index();
+        assert_eq!(map.distance(four), Some(2));
+        let correction = EdgeCorrection::observe(
+            &g,
+            Asn(2),
+            Asn(4),
+            IpVersion::V6,
+            Relationship::CustomerToProvider,
+        );
+        g.annotate(Asn(2), Asn(4), IpVersion::V6, Relationship::CustomerToProvider);
+        let outcome = map.apply_correction_with(&g, &correction, RemovalPolicy::Repair);
+        assert_eq!(outcome, DeltaOutcome::Incremental);
+        assert_eq!(map.distance(four), Some(3));
+        assert_matches_full(&map, &g);
+    }
+
+    #[test]
+    fn repair_disconnects_an_orphaned_subtree() {
+        // Flipping 30-50 to c2p leaves 50 with no valley-free path from 9
+        // at all: the repair must mark it unreachable, not merely longer.
+        let mut g = misinferred_graph();
+        let mut map = DistanceMap::compute(&g, Asn(9), IpVersion::V6);
+        let fifty = g.node(Asn(50)).unwrap().index();
+        assert!(map.is_reachable(fifty));
+        let correction = EdgeCorrection::observe(
+            &g,
+            Asn(30),
+            Asn(50),
+            IpVersion::V6,
+            Relationship::CustomerToProvider,
+        );
+        g.annotate(Asn(30), Asn(50), IpVersion::V6, Relationship::CustomerToProvider);
+        let outcome = map.apply_correction_with(&g, &correction, RemovalPolicy::Repair);
+        assert_eq!(outcome, DeltaOutcome::Incremental);
+        assert!(!map.is_reachable(fifty));
+        assert_matches_full(&map, &g);
+    }
+
+    #[test]
+    fn repair_policy_never_rebuilds_on_a_correction_chain() {
+        // The same flip chain as `repeated_corrections_stay_exact`, driven
+        // through `Repair`: without graph growth the policy never falls
+        // back to a rebuild, and every step still matches a full BFS.
+        for root in [8u32, 9, 50] {
+            let mut g = misinferred_graph();
+            let mut map = DistanceMap::compute(&g, Asn(root), IpVersion::V6);
+            let flips = [
+                (10u32, 20u32, Relationship::ProviderToCustomer),
+                (9, 10, Relationship::PeerToPeer),
+                (10, 20, Relationship::PeerToPeer),
+                (9, 10, Relationship::ProviderToCustomer),
+                (20, 41, Relationship::SiblingToSibling),
+                (10, 20, Relationship::CustomerToProvider),
+            ];
+            for (a, b, new) in flips {
+                let correction = EdgeCorrection::observe(&g, Asn(a), Asn(b), IpVersion::V6, new);
+                g.annotate(Asn(a), Asn(b), IpVersion::V6, new);
+                let outcome = map.apply_correction_with(&g, &correction, RemovalPolicy::Repair);
+                assert_ne!(outcome, DeltaOutcome::FullRebuild, "root {root}, flip {a}-{b}");
+                assert_matches_full(&map, &g);
+            }
         }
     }
 }

@@ -52,7 +52,7 @@ pub mod valley;
 
 pub use bgp_types::{Asn, IpVersion, Relationship};
 pub use customer_tree::{customer_cone_sizes, customer_tree, tree_union_metrics, TreeMetrics};
-pub use delta::{DeltaOutcome, DistanceMap, EdgeCorrection};
+pub use delta::{DeltaOutcome, DistanceMap, EdgeCorrection, RemovalPolicy};
 pub use graph::{AsGraph, EdgeId, EdgeView, NodeId};
 pub use metrics::{connected_components, degree_stats, GraphSummary};
 pub use tiers::{classify_tiers, Tier, TierMap};

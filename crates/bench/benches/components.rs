@@ -8,11 +8,16 @@ use std::hint::black_box;
 
 use asgraph::customer_tree::tree_union_metrics;
 use asgraph::valley::valley_free_distances;
-use bgp_types::{Asn, IpVersion};
-use hybrid_tor::impact::{correction_sweep_with, ImpactOptions, SweepOptions};
+use asgraph::AsGraph;
+use bgp_types::{Asn, IpVersion, Relationship, RelationshipPair};
+use hybrid_tor::hybrid::HybridFinding;
+use hybrid_tor::impact::{
+    correction_sweep_in, correction_sweep_with, ImpactOptions, SweepCache, SweepOptions,
+};
 use hybrid_tor::pipeline::{Pipeline, PipelineInput};
 use routesim::propagate::{propagate_origin, propagate_origins, PropagationOptions};
-use routesim::Scenario;
+use routesim::{OriginScheduling, Scenario};
+use topogen::HybridClass;
 
 fn components(c: &mut Criterion) {
     let scale = bench::bench_scale();
@@ -78,6 +83,22 @@ fn components(c: &mut Criterion) {
                         threads,
                     )
                     .len(),
+                )
+            })
+        });
+    }
+    // The origin-to-worker schedule at a fixed worker count: degree-aware
+    // LPT binning against the static striping baseline. Outputs are
+    // byte-identical under both schedules — the rows only measure how
+    // evenly the per-origin work lands on the workers.
+    for (name, scheduling) in
+        [("lpt=degree", OriginScheduling::Degree), ("lpt=static", OriginScheduling::Static)]
+    {
+        let options = PropagationOptions::default().with_scheduling(scheduling);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    propagate_origins(graph, black_box(&origins), IpVersion::V4, &options, 4).len(),
                 )
             })
         });
@@ -184,6 +205,76 @@ fn components(c: &mut Criterion) {
             )
         })
     });
+    // Removal-heavy fixture: independent "detour" gadgets (4 reachable at
+    // distance 2 below 2 and at 3 behind the 3 → 5 detour) whose
+    // corrections each strip a load-bearing transition, forcing the
+    // default policy into per-source full rebuilds. `removal-repair`
+    // absorbs those in place; `removal-rebuild` is the fallback baseline.
+    let mut removal_graph = AsGraph::new();
+    let mut removal_findings = Vec::new();
+    for k in 0..16u32 {
+        let base = 10 * k;
+        for (p, c) in [(1, 2), (2, 4), (1, 3), (3, 5), (5, 4)] {
+            removal_graph.annotate_both(
+                Asn(base + p),
+                Asn(base + c),
+                Relationship::ProviderToCustomer,
+            );
+        }
+        removal_findings.push(HybridFinding {
+            a: Asn(base + 2),
+            b: Asn(base + 4),
+            relationships: RelationshipPair::new(
+                Relationship::ProviderToCustomer,
+                Relationship::CustomerToProvider,
+            ),
+            class: HybridClass::TransitV4PeeringV6,
+            v6_path_visibility: 3,
+        });
+    }
+    let removal_options = ImpactOptions { top_k: removal_findings.len(), source_cap: None };
+    // Outside the timed region: prove the repair tier actually absorbs
+    // rebuild fallbacks on this fixture and leaves the curve untouched.
+    let mut fallback_cache = SweepCache::new();
+    let fallback_curve = correction_sweep_in(
+        &removal_graph,
+        &removal_findings,
+        &removal_options,
+        &SweepOptions::with_concurrency(1),
+        &mut fallback_cache,
+    );
+    let mut repair_cache = SweepCache::new();
+    let repair_curve = correction_sweep_in(
+        &removal_graph,
+        &removal_findings,
+        &removal_options,
+        &SweepOptions::with_concurrency(1).with_removal_repair(true),
+        &mut repair_cache,
+    );
+    assert!(
+        repair_cache.full_rebuilds() < fallback_cache.full_rebuilds(),
+        "removal repair must reduce full rebuilds ({} vs {})",
+        repair_cache.full_rebuilds(),
+        fallback_cache.full_rebuilds(),
+    );
+    assert_eq!(repair_curve.steps, fallback_curve.steps, "removal repair moved the curve");
+    for (name, removal_repair) in [("removal-repair", true), ("removal-rebuild", false)] {
+        let sweep = SweepOptions::with_concurrency(1).with_removal_repair(removal_repair);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    correction_sweep_with(
+                        black_box(&removal_graph),
+                        &removal_findings,
+                        &removal_options,
+                        &sweep,
+                    )
+                    .steps
+                    .len(),
+                )
+            })
+        });
+    }
     group.finish();
 
     // Sweep-point scenario construction: a full from-config rebuild (what
@@ -205,6 +296,29 @@ fn components(c: &mut Criterion) {
                     .rebuild_with(|sim| sim.documentation_probability = 0.5)
                     .total_rib_entries(),
             )
+        })
+    });
+    // Alternating sweep points through the pool: with the options-keyed
+    // propagation LRU both points stay resident, so revisits stop
+    // rebuilding propagation. Outside the timed region, prove the LRU
+    // actually gets hit under the alternation this row measures.
+    {
+        let mut pool = bench::scenario_pool(&scale);
+        for leak in [0.1, 0.2, 0.1, 0.2] {
+            let _ = pool.scenario_with(|sim| sim.leak_probability = leak);
+        }
+        assert!(
+            pool.propagation_reuses() > 0,
+            "alternating sweep points must hit the propagation LRU"
+        );
+    }
+    group.bench_function("lru", |b| {
+        let mut pool = bench::scenario_pool(&scale);
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let leak = if flip { 0.1 } else { 0.2 };
+            black_box(pool.scenario_with(|sim| sim.leak_probability = leak).total_rib_entries())
         })
     });
     group.finish();

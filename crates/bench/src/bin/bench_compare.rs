@@ -364,22 +364,31 @@ fn write_bench_file(path: &Path, rows: &BTreeMap<String, Row>, cores: usize) -> 
 /// The newest committed `BENCH_pr<N>.json` in the working directory,
 /// excluding the file this run writes.
 fn newest_committed_baseline(exclude: &Path) -> Result<Option<PathBuf>, String> {
-    let mut best: Option<(u32, PathBuf)> = None;
     let entries =
         std::fs::read_dir(".").map_err(|e| format!("cannot list working directory: {e}"))?;
-    for entry in entries {
-        let entry = entry.map_err(|e| format!("cannot list working directory: {e}"))?;
-        let path = entry.path();
+    let paths: Vec<PathBuf> = entries
+        .map(|entry| entry.map(|e| e.path()))
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("cannot list working directory: {e}"))?;
+    Ok(newest_baseline_in(&paths, exclude))
+}
+
+/// The highest-numbered `BENCH_pr<N>.json` among `paths`, excluding
+/// `exclude` (comparing a fresh recording against itself is
+/// meaningless). Ordering is by the parsed PR number — numeric, not
+/// lexicographic, so `pr10` beats `pr9`.
+fn newest_baseline_in(paths: &[PathBuf], exclude: &Path) -> Option<PathBuf> {
+    let mut best: Option<(u32, PathBuf)> = None;
+    for path in paths {
         if path.file_name() == exclude.file_name() {
-            // Comparing a fresh recording against itself is meaningless.
             continue;
         }
-        let Some(pr) = pr_number_of(&path) else { continue };
+        let Some(pr) = pr_number_of(path) else { continue };
         if best.as_ref().is_none_or(|(n, _)| pr > *n) {
-            best = Some((pr, path));
+            best = Some((pr, path.clone()));
         }
     }
-    Ok(best.map(|(_, path)| path))
+    best.map(|(_, path)| path)
 }
 
 /// Parse `BENCH_pr<N>.json` out of a path, returning `N`.
@@ -445,4 +454,53 @@ fn today_utc() -> String {
     let m = if mp < 10 { mp + 3 } else { mp - 9 };
     let y = yoe + era * 400 + i64::from(m <= 2);
     format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paths(names: &[&str]) -> Vec<PathBuf> {
+        names.iter().map(PathBuf::from).collect()
+    }
+
+    #[test]
+    fn pr_numbers_parse_numerically() {
+        assert_eq!(pr_number_of(Path::new("BENCH_pr9.json")), Some(9));
+        assert_eq!(pr_number_of(Path::new("BENCH_pr10.json")), Some(10));
+        assert_eq!(pr_number_of(Path::new("some/dir/BENCH_pr123.json")), Some(123));
+        assert_eq!(pr_number_of(Path::new("BENCH_pr.json")), None);
+        assert_eq!(pr_number_of(Path::new("BENCH_prX.json")), None);
+        assert_eq!(pr_number_of(Path::new("BENCH_pr5.txt")), None);
+        assert_eq!(pr_number_of(Path::new("notes.md")), None);
+    }
+
+    #[test]
+    fn newest_baseline_orders_numerically_not_lexicographically() {
+        // Lexicographically "BENCH_pr9.json" > "BENCH_pr10.json"; the
+        // selection must use the parsed number.
+        let files = paths(&["BENCH_pr9.json", "BENCH_pr10.json", "BENCH_pr2.json"]);
+        let newest = newest_baseline_in(&files, Path::new("BENCH_pr11.json"));
+        assert_eq!(newest, Some(PathBuf::from("BENCH_pr10.json")));
+    }
+
+    #[test]
+    fn newest_baseline_skips_the_excluded_file_and_non_matching_names() {
+        let files = paths(&[
+            "BENCH_pr9.json",
+            "BENCH_pr10.json",
+            "BENCH_notes.json",
+            "README.md",
+            "BENCH_pr10.json.bak",
+        ]);
+        // The file this run writes is never its own baseline, even when it
+        // carries the highest number.
+        let newest = newest_baseline_in(&files, Path::new("BENCH_pr10.json"));
+        assert_eq!(newest, Some(PathBuf::from("BENCH_pr9.json")));
+        // Exclusion matches on file name, not the full path.
+        let newest = newest_baseline_in(&files, Path::new("./target/BENCH_pr10.json"));
+        assert_eq!(newest, Some(PathBuf::from("BENCH_pr9.json")));
+        // No candidates at all: no baseline, not an error.
+        assert_eq!(newest_baseline_in(&paths(&["x.json"]), Path::new("BENCH_pr1.json")), None);
+    }
 }

@@ -23,14 +23,72 @@ use routesim::{Scenario, ScenarioPool, SimConfig};
 use topogen::fixtures::figure1_topology;
 use topogen::TopologyConfig;
 
+/// Parse a worker-count knob: unset or empty (after trimming) means
+/// `default`; anything else must be a plain non-negative integer.
+/// Malformed values — `"2x"`, `"-1"`, `"two"` — are a hard error naming
+/// the variable and the offending value, instead of the old behaviour of
+/// silently falling back to the default (which made a typo'd
+/// `HYBRID_THREADS=2x` run an all-cores measurement labelled as 2
+/// threads).
+fn parse_count_knob(name: &str, value: Option<&str>, default: usize) -> Result<usize, String> {
+    match value.map(str::trim) {
+        None | Some("") => Ok(default),
+        Some(raw) => raw.parse::<usize>().map_err(|_| {
+            format!("{name} must be a non-negative integer (0 = all cores), got {raw:?}")
+        }),
+    }
+}
+
+/// Parse a boolean knob: unset or empty means `default`; otherwise only
+/// `1`/`true`/`on`/`yes` and `0`/`false`/`off`/`no` (case-insensitive)
+/// are accepted. Malformed values are a hard error — the old
+/// `HYBRID_INCREMENTAL` rule ("anything but 0/false is on") silently
+/// read `HYBRID_INCREMENTAL=flase` as *enabled*.
+fn parse_bool_knob(name: &str, value: Option<&str>, default: bool) -> Result<bool, String> {
+    match value.map(str::trim) {
+        None | Some("") => Ok(default),
+        Some(raw) => match raw.to_ascii_lowercase().as_str() {
+            "1" | "true" | "on" | "yes" => Ok(true),
+            "0" | "false" | "off" | "no" => Ok(false),
+            _ => Err(format!(
+                "{name} must be a boolean (1/0, true/false, on/off, yes/no), got {raw:?}"
+            )),
+        },
+    }
+}
+
+/// Parse the origin-scheduling knob: unset or empty means the default
+/// degree-aware schedule; otherwise only `degree` and `static`
+/// (case-insensitive) are accepted.
+fn parse_scheduling_knob(
+    name: &str,
+    value: Option<&str>,
+) -> Result<routesim::OriginScheduling, String> {
+    match value.map(str::trim) {
+        None | Some("") => Ok(routesim::OriginScheduling::Degree),
+        Some(raw) if raw.eq_ignore_ascii_case("degree") => Ok(routesim::OriginScheduling::Degree),
+        Some(raw) if raw.eq_ignore_ascii_case("static") => Ok(routesim::OriginScheduling::Static),
+        Some(raw) => Err(format!("{name} must be \"degree\" or \"static\", got {raw:?}")),
+    }
+}
+
+/// Read `name` from the environment and hand it to `parse`, turning a
+/// parse error into a panic with the parser's message — a malformed knob
+/// should stop an experiment run loudly, not silently mislabel it.
+fn env_knob<T>(name: &str, parse: impl Fn(Option<&str>) -> Result<T, String>) -> T {
+    let value = std::env::var(name).ok();
+    parse(value.as_deref()).unwrap_or_else(|message| panic!("{message}"))
+}
+
 /// Worker-thread count for scenario building, the pipeline and the impact
-/// sweep, taken from the `HYBRID_THREADS` environment variable. Unset,
-/// empty or unparsable values mean `0` = all available cores;
-/// `HYBRID_THREADS=1` forces the sequential path — consistently with
-/// `SimConfig::concurrency` and `PipelineOptions::concurrency`. Output is
-/// byte-identical either way — the knob only trades wall-clock time.
+/// sweep, taken from the `HYBRID_THREADS` environment variable. Unset or
+/// empty means `0` = all available cores; `HYBRID_THREADS=1` forces the
+/// sequential path — consistently with `SimConfig::concurrency` and
+/// `PipelineOptions::concurrency`; anything that is not a non-negative
+/// integer is a hard error. Output is byte-identical either way — the
+/// knob only trades wall-clock time.
 pub fn configured_concurrency() -> usize {
-    std::env::var("HYBRID_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+    env_knob("HYBRID_THREADS", |v| parse_count_knob("HYBRID_THREADS", v, 0))
 }
 
 /// The worker count the experiment bins actually run with —
@@ -45,12 +103,13 @@ pub fn threads() -> usize {
 /// Within-origin frontier worker count, from the `HYBRID_FRONTIER`
 /// environment variable: `0` = give the frontier the whole worker
 /// budget, `1` = sequential level scans — the same convention as
-/// `HYBRID_THREADS`. Unset, empty or unparsable values mean `1`: by
-/// default the whole budget goes to per-origin sharding, which scales
-/// better whenever there are more origins than cores. Output is
-/// byte-identical at every value.
+/// `HYBRID_THREADS`. Unset or empty means `1`: by default the whole
+/// budget goes to per-origin sharding, which scales better whenever
+/// there are more origins than cores; anything that is not a
+/// non-negative integer is a hard error. Output is byte-identical at
+/// every value.
 pub fn configured_frontier() -> usize {
-    std::env::var("HYBRID_FRONTIER").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
+    env_knob("HYBRID_FRONTIER", |v| parse_count_knob("HYBRID_FRONTIER", v, 1))
 }
 
 /// The `(origin workers, frontier workers)` split the experiment bins'
@@ -62,42 +121,62 @@ pub fn propagation_split() -> (usize, usize) {
 }
 
 /// Whether the sweep's incremental delta-BFS engine is enabled, from the
-/// `HYBRID_INCREMENTAL` environment variable: unset, empty or anything
-/// other than `0`/`false` means on (the default). The knob never changes
-/// the measured numbers — curve, coverage, census are byte-identical
-/// either way; only the opt-in `sweep_stats` execution counters (which
-/// describe *how* the sweep ran) reflect it.
+/// `HYBRID_INCREMENTAL` environment variable: unset or empty means on
+/// (the default); only the boolean spellings of [`parse_bool_knob`] are
+/// accepted, anything else is a hard error. The knob never changes the
+/// measured numbers — curve, coverage, census are byte-identical either
+/// way; only the opt-in `sweep_stats` execution counters (which describe
+/// *how* the sweep ran) reflect it.
 pub fn configured_incremental() -> bool {
-    !matches!(
-        std::env::var("HYBRID_INCREMENTAL").ok().as_deref().map(str::trim),
-        Some("0") | Some("false")
-    )
+    env_knob("HYBRID_INCREMENTAL", |v| parse_bool_knob("HYBRID_INCREMENTAL", v, true))
+}
+
+/// Whether the sweep repairs load-bearing removals in place instead of
+/// falling back to a full BFS, from the `HYBRID_REMOVAL_REPAIR`
+/// environment variable: unset or empty means off (the conservative
+/// default), same boolean spellings as `HYBRID_INCREMENTAL`. Like the
+/// other sweep knobs it only moves the `sweep_stats` counters, never a
+/// measured number.
+pub fn configured_removal_repair() -> bool {
+    env_knob("HYBRID_REMOVAL_REPAIR", |v| parse_bool_knob("HYBRID_REMOVAL_REPAIR", v, false))
+}
+
+/// How propagation assigns origins to workers, from the
+/// `HYBRID_SCHEDULING` environment variable: `degree` (the default,
+/// LPT binning by node degree) or `static` (index striping). Execution
+/// only — output is byte-identical under both schedules.
+pub fn configured_scheduling() -> routesim::OriginScheduling {
+    env_knob("HYBRID_SCHEDULING", |v| parse_scheduling_knob("HYBRID_SCHEDULING", v))
 }
 
 /// The sweep execution options the experiment bins run with:
-/// `HYBRID_THREADS` workers, memoization on, and the incremental engine
-/// steered by `HYBRID_INCREMENTAL`.
+/// `HYBRID_THREADS` workers, memoization on, the incremental engine
+/// steered by `HYBRID_INCREMENTAL` and the removal-repair tier by
+/// `HYBRID_REMOVAL_REPAIR`.
 pub fn configured_sweep() -> SweepOptions {
     SweepOptions::with_concurrency(configured_concurrency())
         .with_incremental(configured_incremental())
+        .with_removal_repair(configured_removal_repair())
 }
 
 /// The pipeline execution options the env knobs resolve to — the single
-/// place `HYBRID_THREADS` and `HYBRID_FRONTIER` become a
-/// [`PipelineOptions`] (the sweep knobs ride separately via
+/// place `HYBRID_THREADS`, `HYBRID_FRONTIER` and `HYBRID_SCHEDULING`
+/// become a [`PipelineOptions`] (the sweep knobs ride separately via
 /// [`configured_sweep`]).
 fn configured_options() -> PipelineOptions {
-    PipelineOptions::with_concurrency(configured_concurrency()).with_frontier(configured_frontier())
+    PipelineOptions::with_concurrency(configured_concurrency())
+        .with_frontier(configured_frontier())
+        .with_scheduling(configured_scheduling())
 }
 
-/// Apply `HYBRID_THREADS` and `HYBRID_FRONTIER` to a simulator
-/// configuration, via [`PipelineOptions::configure_sim`]: knobs the
-/// configuration leaves at their *defaults* (`concurrency == 0`,
-/// `frontier_concurrency == 1`) take the env values, anything else is
-/// kept. Every scenario the harness builds — including the
-/// per-rate/per-collector rebuilds inside [`coverage_sweep`] and
-/// [`collector_sensitivity`], which once ignored the knob — goes through
-/// this.
+/// Apply `HYBRID_THREADS`, `HYBRID_FRONTIER` and `HYBRID_SCHEDULING` to
+/// a simulator configuration, via [`PipelineOptions::configure_sim`]:
+/// knobs the configuration leaves at their *defaults* (`concurrency ==
+/// 0`, `frontier_concurrency == 1`, `scheduling == Degree`) take the env
+/// values, anything else is kept. Every scenario the harness builds —
+/// including the per-rate/per-collector rebuilds inside
+/// [`coverage_sweep`] and [`collector_sensitivity`], which once ignored
+/// the knob — goes through this.
 fn configured_sim(sim: &SimConfig) -> SimConfig {
     configured_options().configure_sim(sim.clone())
 }
@@ -380,10 +459,85 @@ mod tests {
         let sweep = configured_sweep();
         assert!(sweep.cache, "the bins always run with the memo tier on");
         assert_eq!(sweep.incremental, configured_incremental());
+        assert_eq!(sweep.removal_repair, configured_removal_repair());
         assert_eq!(sweep.concurrency, configured_concurrency());
         let (origins, frontier) = propagation_split();
         assert!(origins >= 1 && frontier >= 1);
         assert!(origins * frontier <= threads().max(1), "split never oversubscribes");
+    }
+
+    // The knob parsers are pure functions over `Option<&str>` so these
+    // tests never mutate the process environment (env mutation races
+    // against the parallel test harness and against the helpers above).
+
+    #[test]
+    fn count_knobs_accept_integers_and_default_when_absent() {
+        assert_eq!(parse_count_knob("HYBRID_THREADS", None, 0), Ok(0));
+        assert_eq!(parse_count_knob("HYBRID_THREADS", Some(""), 0), Ok(0));
+        assert_eq!(parse_count_knob("HYBRID_THREADS", Some("  "), 0), Ok(0));
+        assert_eq!(parse_count_knob("HYBRID_THREADS", Some("2"), 0), Ok(2));
+        assert_eq!(parse_count_knob("HYBRID_FRONTIER", Some(" 8 "), 1), Ok(8));
+        assert_eq!(parse_count_knob("HYBRID_FRONTIER", None, 1), Ok(1));
+    }
+
+    #[test]
+    fn malformed_count_knobs_are_a_hard_error_with_a_clear_message() {
+        for bad in ["2x", "-1", "two", "1.5", "0x2"] {
+            let err = parse_count_knob("HYBRID_THREADS", Some(bad), 0)
+                .expect_err(&format!("{bad:?} must be rejected"));
+            assert!(err.contains("HYBRID_THREADS"), "message names the variable: {err}");
+            assert!(err.contains(bad), "message quotes the value: {err}");
+            assert!(err.contains("non-negative integer"), "message says what is legal: {err}");
+        }
+    }
+
+    #[test]
+    fn bool_knobs_accept_both_spellings_and_default_when_absent() {
+        assert_eq!(parse_bool_knob("HYBRID_INCREMENTAL", None, true), Ok(true));
+        assert_eq!(parse_bool_knob("HYBRID_INCREMENTAL", Some(""), true), Ok(true));
+        assert_eq!(parse_bool_knob("HYBRID_REMOVAL_REPAIR", None, false), Ok(false));
+        for on in ["1", "true", "TRUE", "on", "yes", " Yes "] {
+            assert_eq!(parse_bool_knob("HYBRID_INCREMENTAL", Some(on), false), Ok(true), "{on:?}");
+        }
+        for off in ["0", "false", "False", "off", "NO"] {
+            assert_eq!(
+                parse_bool_knob("HYBRID_INCREMENTAL", Some(off), true),
+                Ok(false),
+                "{off:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_bool_knobs_are_a_hard_error_not_silently_on() {
+        // The regression this guards: `HYBRID_INCREMENTAL=flase` used to
+        // parse as *enabled* under the old "anything but 0/false" rule.
+        for bad in ["flase", "2", "enabled", "ja"] {
+            let err = parse_bool_knob("HYBRID_INCREMENTAL", Some(bad), true)
+                .expect_err(&format!("{bad:?} must be rejected"));
+            assert!(err.contains("HYBRID_INCREMENTAL"), "message names the variable: {err}");
+            assert!(err.contains(bad), "message quotes the value: {err}");
+        }
+    }
+
+    #[test]
+    fn scheduling_knob_parses_both_schedules_and_rejects_everything_else() {
+        use routesim::OriginScheduling;
+        assert_eq!(parse_scheduling_knob("HYBRID_SCHEDULING", None), Ok(OriginScheduling::Degree));
+        assert_eq!(
+            parse_scheduling_knob("HYBRID_SCHEDULING", Some("")),
+            Ok(OriginScheduling::Degree)
+        );
+        assert_eq!(
+            parse_scheduling_knob("HYBRID_SCHEDULING", Some("degree")),
+            Ok(OriginScheduling::Degree)
+        );
+        assert_eq!(
+            parse_scheduling_knob("HYBRID_SCHEDULING", Some(" Static ")),
+            Ok(OriginScheduling::Static)
+        );
+        let err = parse_scheduling_knob("HYBRID_SCHEDULING", Some("lpt")).unwrap_err();
+        assert!(err.contains("HYBRID_SCHEDULING") && err.contains("lpt"), "{err}");
     }
 
     #[test]

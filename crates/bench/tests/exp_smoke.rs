@@ -11,9 +11,13 @@
 //! the diff only when the output change is intended.
 //!
 //! The child environment is pinned (`HYBRID_THREADS`, `HYBRID_FRONTIER`,
-//! `HYBRID_INCREMENTAL`), so the comparison is reproducible whatever the
-//! caller's shell exports — and the second run flips every knob to prove
-//! the bytes do not depend on them.
+//! `HYBRID_INCREMENTAL`, `HYBRID_REMOVAL_REPAIR`), so the comparison is
+//! reproducible whatever the caller's shell exports — and the second run
+//! flips every knob to prove the bytes do not depend on them. One knob is
+//! deliberately *inherited* rather than pinned: `HYBRID_SCHEDULING` is
+//! forced to `static` only on the flipped run, while the reference run
+//! takes whatever the job environment exports, so a CI matrix leg can
+//! re-prove the goldens under either origin schedule.
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -36,15 +40,27 @@ fn golden_dir() -> PathBuf {
 }
 
 /// Run one binary at `--tiny` scale under the given execution knobs and
-/// return its stdout.
-fn run_tiny(name: &str, exe: &str, threads: &str, frontier: &str, incremental: &str) -> String {
-    let output = Command::new(exe)
+/// return its stdout. `scheduling` is `None` to inherit the caller's
+/// `HYBRID_SCHEDULING` (the CI matrix leg), `Some` to pin it.
+fn run_tiny(
+    name: &str,
+    exe: &str,
+    threads: &str,
+    frontier: &str,
+    incremental: &str,
+    scheduling: Option<&str>,
+) -> String {
+    let mut command = Command::new(exe);
+    command
         .arg("--tiny")
         .env("HYBRID_THREADS", threads)
         .env("HYBRID_FRONTIER", frontier)
         .env("HYBRID_INCREMENTAL", incremental)
-        .output()
-        .unwrap_or_else(|e| panic!("cannot spawn {name} ({exe}): {e}"));
+        .env("HYBRID_REMOVAL_REPAIR", "0");
+    if let Some(scheduling) = scheduling {
+        command.env("HYBRID_SCHEDULING", scheduling);
+    }
+    let output = command.output().unwrap_or_else(|e| panic!("cannot spawn {name} ({exe}): {e}"));
     assert!(
         output.status.success(),
         "{name} --tiny exited with {}; stderr:\n{}",
@@ -62,8 +78,10 @@ fn exp_bins_reproduce_their_goldens_at_every_execution_setting() {
         std::fs::create_dir_all(&dir).expect("create tests/golden/exp");
     }
     for (name, exe) in BINS {
-        // The sequential reference run pins the goldens ...
-        let sequential = run_tiny(name, exe, "1", "1", "1");
+        // The sequential reference run pins the goldens. It inherits
+        // HYBRID_SCHEDULING so the CI matrix can flip the schedule for
+        // the whole golden comparison.
+        let sequential = run_tiny(name, exe, "1", "1", "1", None);
         let golden_path = dir.join(format!("{name}.txt"));
         if update {
             std::fs::write(&golden_path, &sequential)
@@ -84,16 +102,17 @@ fn exp_bins_reproduce_their_goldens_at_every_execution_setting() {
             );
         }
         // ... and a run with both worker knobs flipped (sharded origins
-        // AND a parallel frontier) must produce the same bytes:
-        // parallelism is never an output knob. The incremental switch
-        // stays pinned — exp_f2 deliberately prints the sweep's
-        // execution counters, which describe *how* the sweep ran and so
-        // reflect that knob.
-        let parallel = run_tiny(name, exe, "2", "2", "1");
+        // AND a parallel frontier) plus the origin schedule pinned to
+        // static striping must produce the same bytes: parallelism is
+        // never an output knob, and neither is the schedule. The
+        // incremental switch stays pinned — exp_f2 deliberately prints
+        // the sweep's execution counters, which describe *how* the sweep
+        // ran and so reflect that knob.
+        let parallel = run_tiny(name, exe, "2", "2", "1", Some("static"));
         assert!(
             parallel == sequential,
             "{name} --tiny stdout depends on the worker knobs \
-             (HYBRID_THREADS/HYBRID_FRONTIER)"
+             (HYBRID_THREADS/HYBRID_FRONTIER/HYBRID_SCHEDULING)"
         );
     }
 }

@@ -37,7 +37,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use asgraph::customer_tree::{customer_tree_union, tree_union_metrics, TreeMetrics};
-use asgraph::delta::{DeltaOutcome, DistanceMap, EdgeCorrection};
+use asgraph::delta::{DeltaOutcome, DistanceMap, EdgeCorrection, RemovalPolicy};
 use asgraph::AsGraph;
 use bgp_types::{Asn, IpVersion, Relationship};
 use routesim::{effective_concurrency, shard_map, shard_map_owned};
@@ -176,11 +176,17 @@ pub struct SweepOptions {
     /// per-source state). Defaults to on; the experiment harness maps
     /// `HYBRID_INCREMENTAL=0` onto this knob.
     pub incremental: bool,
+    /// Repair load-bearing removals in place
+    /// ([`asgraph::delta::RemovalPolicy::Repair`]) instead of falling back
+    /// to a full BFS. Only effective together with `incremental`. Defaults
+    /// to off (the conservative historical fallback); the experiment
+    /// harness maps `HYBRID_REMOVAL_REPAIR=1` onto this knob.
+    pub removal_repair: bool,
 }
 
 impl Default for SweepOptions {
     fn default() -> Self {
-        SweepOptions { concurrency: 0, cache: true, incremental: true }
+        SweepOptions { concurrency: 0, cache: true, incremental: true, removal_repair: false }
     }
 }
 
@@ -188,19 +194,34 @@ impl SweepOptions {
     /// The fully sequential, uncached, fully recomputing execution path —
     /// exactly the computation the pre-sharding implementation performed.
     pub fn sequential() -> Self {
-        SweepOptions { concurrency: 1, cache: false, incremental: false }
+        SweepOptions { concurrency: 1, cache: false, incremental: false, removal_repair: false }
     }
 
     /// Options pinned to `concurrency` worker threads, cache and
-    /// incremental repair enabled.
+    /// incremental repair enabled (removal repair stays on its default).
     pub fn with_concurrency(concurrency: usize) -> Self {
-        SweepOptions { concurrency, cache: true, incremental: true }
+        SweepOptions { concurrency, ..SweepOptions::default() }
     }
 
     /// These options with the incremental delta-BFS tier switched on or
     /// off (dirty sources recompute the full BFS when off).
     pub fn with_incremental(self, incremental: bool) -> Self {
         SweepOptions { incremental, ..self }
+    }
+
+    /// These options with in-place removal repair switched on or off.
+    pub fn with_removal_repair(self, removal_repair: bool) -> Self {
+        SweepOptions { removal_repair, ..self }
+    }
+
+    /// The policy the delta tier hands to
+    /// [`asgraph::delta::DistanceMap::apply_correction_with`].
+    pub fn removal_policy(&self) -> RemovalPolicy {
+        if self.removal_repair {
+            RemovalPolicy::Repair
+        } else {
+            RemovalPolicy::Rebuild
+        }
     }
 
     /// The worker count these options resolve to (`0` = all cores).
@@ -302,11 +323,12 @@ impl SourceState {
         correction: &EdgeCorrection,
         in_union: &[bool],
         baseline_row: &[bool],
+        policy: RemovalPolicy,
     ) -> DeltaOutcome {
         let SourceMemo::Map(dist) = &mut self.memo else {
             unreachable!("delta repair on a bitmap memo: the incremental flag changed mid-sweep")
         };
-        let outcome = dist.apply_correction(graph, correction);
+        let outcome = dist.apply_correction_with(graph, correction, policy);
         if outcome != DeltaOutcome::Unchanged {
             self.partial = accumulate_partial(graph, dist, in_union, Some(baseline_row));
         }
@@ -649,8 +671,10 @@ pub fn correction_sweep_in(
                     let in_union = &in_union;
                     let baseline_rows = &cache.baseline_rows;
                     let correction = &correction;
+                    let policy = sweep.removal_policy();
                     shard_map_owned(taken, workers, move |(si, mut state)| {
-                        let outcome = state.repair(graph, correction, in_union, &baseline_rows[si]);
+                        let outcome =
+                            state.repair(graph, correction, in_union, &baseline_rows[si], policy);
                         (si, state, outcome)
                     })
                 };
@@ -856,13 +880,16 @@ mod tests {
         for concurrency in [2usize, 4] {
             for cache in [false, true] {
                 for incremental in [false, true] {
-                    let sweep = SweepOptions { concurrency, cache, incremental };
-                    let parallel = correction_sweep_with(&graph, &findings, &options, &sweep);
-                    assert_eq!(
-                        parallel.steps, sequential.steps,
-                        "concurrency={concurrency} cache={cache} incremental={incremental} \
-                         diverged"
-                    );
+                    for removal_repair in [false, true] {
+                        let sweep =
+                            SweepOptions { concurrency, cache, incremental, removal_repair };
+                        let parallel = correction_sweep_with(&graph, &findings, &options, &sweep);
+                        assert_eq!(
+                            parallel.steps, sequential.steps,
+                            "concurrency={concurrency} cache={cache} incremental={incremental} \
+                             removal_repair={removal_repair} diverged"
+                        );
+                    }
                 }
             }
         }
@@ -883,7 +910,7 @@ mod tests {
             &g,
             &findings,
             &ImpactOptions::default(),
-            &SweepOptions { concurrency: 1, cache: true, incremental: true },
+            &SweepOptions { concurrency: 1, cache: true, incremental: true, removal_repair: false },
             &mut cache,
         );
         assert!(cache.hits() > 0, "disconnected sources should be served from the memo");
@@ -957,7 +984,7 @@ mod tests {
             &g,
             &findings,
             &ImpactOptions::default(),
-            &SweepOptions { concurrency: 1, cache: true, incremental: true },
+            &SweepOptions { concurrency: 1, cache: true, incremental: true, removal_repair: false },
             &mut cache,
         );
         let stats = cache.stats();
@@ -986,12 +1013,86 @@ mod tests {
             &g,
             &findings,
             &ImpactOptions::default(),
-            &SweepOptions { concurrency: 1, cache: true, incremental: false },
+            &SweepOptions {
+                concurrency: 1,
+                cache: true,
+                incremental: false,
+                removal_repair: false,
+            },
             &mut cache,
         );
         let stats = cache.stats();
         assert_eq!(stats.delta_repairs, 0);
         assert_eq!(stats.full_rebuilds, stats.misses);
+    }
+
+    /// A topology whose correction is removal-heavy: 4 sits at distance 2
+    /// below 2 and at distance 3 behind the 3 → 5 detour, and the sweep
+    /// flips 2-4 from p2c to c2p — the orphaned labels have no
+    /// same-distance support, so the default policy must rebuild.
+    fn removal_heavy_graph() -> AsGraph {
+        let mut g = AsGraph::new();
+        for (p, c) in [(1, 2), (2, 4), (1, 3), (3, 5), (5, 4)] {
+            g.annotate_both(Asn(p), Asn(c), Relationship::ProviderToCustomer);
+        }
+        g
+    }
+
+    fn removal_finding() -> HybridFinding {
+        HybridFinding {
+            a: Asn(2),
+            b: Asn(4),
+            relationships: RelationshipPair::new(
+                Relationship::ProviderToCustomer,
+                Relationship::CustomerToProvider,
+            ),
+            class: HybridClass::TransitV4PeeringV6,
+            v6_path_visibility: 3,
+        }
+    }
+
+    #[test]
+    fn removal_repair_reduces_full_rebuilds_without_moving_the_curve() {
+        let g = removal_heavy_graph();
+        let findings = [removal_finding()];
+        let options = ImpactOptions::default();
+        let mut fallback_cache = SweepCache::new();
+        let fallback = correction_sweep_in(
+            &g,
+            &findings,
+            &options,
+            &SweepOptions::with_concurrency(1),
+            &mut fallback_cache,
+        );
+        let mut repair_cache = SweepCache::new();
+        let repaired = correction_sweep_in(
+            &g,
+            &findings,
+            &options,
+            &SweepOptions::with_concurrency(1).with_removal_repair(true),
+            &mut repair_cache,
+        );
+        assert!(
+            repair_cache.full_rebuilds() < fallback_cache.full_rebuilds(),
+            "removal repair should absorb the rebuild fallbacks ({} vs {})",
+            repair_cache.full_rebuilds(),
+            fallback_cache.full_rebuilds(),
+        );
+        assert!(repair_cache.delta_repairs() > fallback_cache.delta_repairs());
+        assert_eq!(repaired.steps, fallback.steps, "removal repair changed the curve");
+        let full = correction_sweep(&g, &findings, &options);
+        assert_eq!(repaired.steps, full.steps, "removal repair diverged from full recompute");
+    }
+
+    #[test]
+    fn sweep_options_map_the_removal_knob_onto_the_delta_policy() {
+        assert_eq!(SweepOptions::default().removal_policy(), RemovalPolicy::Rebuild);
+        assert!(!SweepOptions::default().removal_repair, "conservative fallback is the default");
+        let opts = SweepOptions::default().with_removal_repair(true);
+        assert_eq!(opts.removal_policy(), RemovalPolicy::Repair);
+        assert!(opts.incremental && opts.cache, "the builder leaves the other knobs alone");
+        assert!(!SweepOptions::sequential().removal_repair);
+        assert!(!SweepOptions::with_concurrency(3).removal_repair);
     }
 
     #[test]

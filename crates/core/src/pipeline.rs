@@ -119,6 +119,12 @@ pub struct PipelineOptions {
     /// `SimConfig::frontier_concurrency`) steer both levels from one
     /// place. Execution only — never a byte of the report.
     pub frontier_concurrency: usize,
+    /// How route propagation assigns origins to its workers (see
+    /// [`routesim::OriginScheduling`]): degree-aware LPT binning by
+    /// default, static striping as the reference schedule. Resolved into
+    /// `SimConfig::scheduling` by [`configure_sim`](Self::configure_sim);
+    /// execution only — never a byte of the report.
+    pub scheduling: routesim::OriginScheduling,
     /// Execution options for the Figure 2 impact subsystem (worker threads
     /// for the sharded correction sweep and the cross-step memoization
     /// switch). `SweepOptions::default()` — all cores, cache on — is what
@@ -129,7 +135,12 @@ pub struct PipelineOptions {
 
 impl Default for PipelineOptions {
     fn default() -> Self {
-        PipelineOptions { concurrency: 0, frontier_concurrency: 1, sweep: SweepOptions::default() }
+        PipelineOptions {
+            concurrency: 0,
+            frontier_concurrency: 1,
+            scheduling: routesim::OriginScheduling::default(),
+            sweep: SweepOptions::default(),
+        }
     }
 }
 
@@ -162,6 +173,11 @@ impl PipelineOptions {
         PipelineOptions { frontier_concurrency, ..self }
     }
 
+    /// These options with the given origin-to-worker schedule.
+    pub fn with_scheduling(self, scheduling: routesim::OriginScheduling) -> Self {
+        PipelineOptions { scheduling, ..self }
+    }
+
     /// The worker count these options resolve to (`0` = all cores).
     pub fn workers(&self) -> usize {
         routesim::effective_concurrency(self.concurrency)
@@ -175,19 +191,23 @@ impl PipelineOptions {
 
     /// Stamp these options onto a simulator configuration so a scenario
     /// built for this pipeline run propagates under the same worker
-    /// budget and frontier split. Only knobs the configuration leaves at
-    /// their *default values* are overwritten (`concurrency == 0`,
-    /// `frontier_concurrency == 1`); any other value is kept. Note the
+    /// budget, frontier split and origin schedule. Only knobs the
+    /// configuration leaves at their *default values* are overwritten
+    /// (`concurrency == 0`, `frontier_concurrency == 1`,
+    /// `scheduling == Degree`); any other value is kept. Note the
     /// defaults double as the "unpinned" sentinels: a caller that wants
-    /// `concurrency = 0` (all cores) or `frontier_concurrency = 1`
-    /// (sequential scans) *regardless of these options* must set them
-    /// after this call, not before.
+    /// `concurrency = 0` (all cores), `frontier_concurrency = 1`
+    /// (sequential scans) or degree-aware scheduling *regardless of these
+    /// options* must set them after this call, not before.
     pub fn configure_sim(&self, mut sim: routesim::SimConfig) -> routesim::SimConfig {
         if sim.concurrency == 0 {
             sim.concurrency = self.concurrency;
         }
         if sim.frontier_concurrency == 1 {
             sim.frontier_concurrency = self.frontier_concurrency;
+        }
+        if sim.scheduling == routesim::OriginScheduling::Degree {
+            sim.scheduling = self.scheduling;
         }
         sim
     }
@@ -544,6 +564,23 @@ mod tests {
     }
 
     #[test]
+    fn scheduling_knob_resolves_and_stamps_unpinned_sim_configs() {
+        use routesim::OriginScheduling;
+        assert_eq!(PipelineOptions::default().scheduling, OriginScheduling::Degree);
+        let options =
+            PipelineOptions::with_concurrency(4).with_scheduling(OriginScheduling::Static);
+        assert_eq!(options.scheduling, OriginScheduling::Static);
+        // An unpinned sim config takes the pipeline's schedule ...
+        let sim = options.configure_sim(SimConfig::small());
+        assert_eq!(sim.scheduling, OriginScheduling::Static);
+        // ... a pinned one is kept (Degree is the unpinned sentinel, so a
+        // config pinned to Static survives a Degree-scheduled pipeline).
+        let pinned = SimConfig::small().with_scheduling(OriginScheduling::Static);
+        let kept = PipelineOptions::default().configure_sim(pinned);
+        assert_eq!(kept.scheduling, OriginScheduling::Static);
+    }
+
+    #[test]
     fn concurrent_pipeline_reports_are_byte_identical_to_sequential() {
         let scenario = scenario();
         let render = |options: PipelineOptions| {
@@ -566,8 +603,16 @@ mod tests {
                     concurrency: workers,
                     cache: false,
                     incremental: false,
+                    removal_repair: false,
                 }));
             assert!(uncached == sequential, "concurrency={workers} uncached sweep diverged");
+            // Neither may the origin schedule or the removal-repair tier.
+            let static_schedule = render(
+                PipelineOptions::with_concurrency(workers)
+                    .with_scheduling(routesim::OriginScheduling::Static)
+                    .with_sweep(SweepOptions::with_concurrency(workers).with_removal_repair(true)),
+            );
+            assert!(static_schedule == sequential, "concurrency={workers} static/repair diverged");
         }
     }
 }

@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::propagate::OriginScheduling;
+
 /// All knobs of the route-propagation and measurement-visibility model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -71,6 +73,12 @@ pub struct SimConfig {
     /// by the budget `concurrency` resolves to. Like `concurrency`, the
     /// knob is an execution detail with byte-identical output.
     pub frontier_concurrency: usize,
+
+    /// How origins are assigned to the propagation workers (see
+    /// [`OriginScheduling`]): degree-aware LPT binning by default,
+    /// static striping as the reference schedule. Like the worker
+    /// counts, an execution detail with byte-identical output.
+    pub scheduling: OriginScheduling,
 }
 
 impl Default for SimConfig {
@@ -92,6 +100,7 @@ impl Default for SimConfig {
             timestamp: 1_280_620_800, // 2010-08-01
             concurrency: 0,
             frontier_concurrency: 1,
+            scheduling: OriginScheduling::default(),
         }
     }
 }
@@ -112,6 +121,11 @@ impl SimConfig {
     /// within-origin frontier workers.
     pub fn with_frontier(self, frontier_concurrency: usize) -> Self {
         SimConfig { frontier_concurrency, ..self }
+    }
+
+    /// The same configuration pinned to an origin-to-worker schedule.
+    pub fn with_scheduling(self, scheduling: OriginScheduling) -> Self {
+        SimConfig { scheduling, ..self }
     }
 
     /// The worker count this configuration resolves to (`0` = all cores).
@@ -229,5 +243,32 @@ mod tests {
                 assert!(origins >= 1 && frontier_workers >= 1);
             }
         }
+    }
+
+    #[test]
+    fn propagation_split_holds_at_degenerate_budgets() {
+        // Budget of one: whatever the frontier knob asks for — the whole
+        // budget (0), more than the budget, or exactly one — the split
+        // must collapse to the fully sequential (1, 1).
+        for frontier in [0usize, 1, 2, 8, usize::MAX] {
+            let sim = SimConfig::small().with_concurrency(1).with_frontier(frontier);
+            assert_eq!(sim.propagation_split(), (1, 1), "frontier={frontier}");
+        }
+        // Frontier larger than the budget: capped at the budget, origins
+        // drop to a single worker — never zero, never oversubscribed.
+        let sim = SimConfig::small().with_concurrency(2).with_frontier(3);
+        assert_eq!(sim.propagation_split(), (1, 2));
+        let sim = SimConfig::small().with_concurrency(2).with_frontier(usize::MAX);
+        assert_eq!(sim.propagation_split(), (1, 2));
+        // A frontier that does not divide the budget floors the origin
+        // side (5 / 2 = 2), keeping the product within the budget.
+        let sim = SimConfig::small().with_concurrency(5).with_frontier(2);
+        assert_eq!(sim.propagation_split(), (2, 2));
+        // `concurrency = 0` resolves to the host's cores before the
+        // split, so the invariant holds against that resolved budget.
+        let sim = SimConfig::small().with_concurrency(0).with_frontier(usize::MAX);
+        let (origins, frontier) = sim.propagation_split();
+        assert_eq!(origins, 1);
+        assert_eq!(frontier, sim.effective_concurrency().max(1));
     }
 }

@@ -44,7 +44,8 @@ pub use collector::{CollectorSetup, FeederKind};
 pub use config::SimConfig;
 pub use policy::{AsPolicy, PolicyTable};
 pub use propagate::{
-    propagate_origin, propagate_origins, PropagationOptions, RouteClass, RoutingOutcome,
+    propagate_origin, propagate_origins, OriginScheduling, PropagationOptions, RouteClass,
+    RoutingOutcome,
 };
-pub use scenario::{PropagationCache, Scenario, ScenarioPool};
-pub use shard::{effective_concurrency, shard_frontier, shard_map, shard_map_owned};
+pub use scenario::{PropagationCache, Scenario, ScenarioPool, PROPAGATION_LRU_CAPACITY};
+pub use shard::{effective_concurrency, shard_frontier, shard_map, shard_map_lpt, shard_map_owned};

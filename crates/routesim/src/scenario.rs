@@ -28,17 +28,32 @@ use crate::policy::PolicyTable;
 use crate::propagate::{propagate_origins, PropagationOptions, RoutingOutcome};
 use crate::shard::shard_map;
 
+/// How many per-plane propagation outcomes [`PropagationCache`] retains.
+/// Four covers the sweep shapes the harness actually runs (an A/B
+/// alternation plus the base point, with headroom) without letting a
+/// long one-shot sweep pin unbounded memory.
+pub const PROPAGATION_LRU_CAPACITY: usize = 4;
+
 /// The per-plane propagation outcomes a built [`Scenario`] carries so
 /// sweep-point rebuilds can reuse them. Outcomes are `Arc`-shared: cloning
 /// a scenario (or rebuilding one with an unchanged propagation
-/// configuration) costs two pointer bumps, not a re-propagation.
+/// configuration) costs pointer bumps, not a re-propagation.
+///
+/// Per plane this is a small options-keyed LRU (capacity
+/// [`PROPAGATION_LRU_CAPACITY`], keyed by the route-model subset of
+/// [`PropagationOptions`] — execution knobs never key anything): sweep
+/// points that *alternate* between option sets, as the A2/A3 bins do,
+/// keep hitting instead of evicting each other the way the old
+/// one-entry-per-plane cache did. Eviction is deterministic — the
+/// least-recently-used entry (the back of the list) goes first.
 ///
 /// A cache is only meaningful against the ground truth it was computed
 /// from — [`Scenario::rebuild_with`] maintains that invariant by always
 /// pairing `self.propagation` with `self.truth`.
 #[derive(Debug, Clone, Default)]
 pub struct PropagationCache {
-    planes: [Option<PlaneOutcomes>; 2],
+    /// Per-plane entries, most recently used first.
+    planes: [Vec<PlaneOutcomes>; 2],
 }
 
 #[derive(Debug, Clone)]
@@ -55,37 +70,46 @@ fn plane_slot(plane: IpVersion) -> usize {
 }
 
 impl PropagationCache {
-    /// The cached outcomes for a plane, if they were computed under the
-    /// same *route model* as `options` — execution knobs (the frontier
-    /// worker count) are ignored, so retuning them between sweep points
-    /// still reuses the cached propagation.
+    /// The cached outcomes for a plane, if any entry was computed under
+    /// the same *route model* as `options` — execution knobs (frontier
+    /// worker count, origin scheduling) are ignored, so retuning them
+    /// between sweep points still reuses the cached propagation.
     fn matching(
         &self,
         plane: IpVersion,
         options: &PropagationOptions,
     ) -> Option<Arc<Vec<RoutingOutcome>>> {
         self.planes[plane_slot(plane)]
-            .as_ref()
-            .filter(|entry| entry.options.same_route_model(options))
+            .iter()
+            .find(|entry| entry.options.same_route_model(options))
             .map(|entry| Arc::clone(&entry.outcomes))
     }
 
-    fn set(
+    /// Record `outcomes` as the plane's most recently used entry: any
+    /// existing entry with the same route model is replaced (so a reuse
+    /// refreshes its recency instead of duplicating it), and the
+    /// least-recently-used entry is evicted once the plane exceeds
+    /// [`PROPAGATION_LRU_CAPACITY`].
+    fn insert(
         &mut self,
         plane: IpVersion,
         options: PropagationOptions,
         outcomes: Arc<Vec<RoutingOutcome>>,
     ) {
-        self.planes[plane_slot(plane)] = Some(PlaneOutcomes { options, outcomes });
+        let entries = &mut self.planes[plane_slot(plane)];
+        entries.retain(|entry| !entry.options.same_route_model(&options));
+        entries.insert(0, PlaneOutcomes { options, outcomes });
+        entries.truncate(PROPAGATION_LRU_CAPACITY);
     }
 
-    /// True when both caches hold the *same allocation* for the plane —
-    /// the tell that a rebuild reused rather than recomputed.
+    /// True when `self`'s most recently used outcomes for the plane are
+    /// the *same allocation* as any entry of `other` — the tell that a
+    /// rebuild served the plane from `other`'s cache rather than
+    /// recomputing it.
     pub fn shares_outcomes(&self, other: &PropagationCache, plane: IpVersion) -> bool {
-        match (&self.planes[plane_slot(plane)], &other.planes[plane_slot(plane)]) {
-            (Some(a), Some(b)) => Arc::ptr_eq(&a.outcomes, &b.outcomes),
-            _ => false,
-        }
+        let slot = plane_slot(plane);
+        let Some(used) = self.planes[slot].first() else { return false };
+        other.planes[slot].iter().any(|entry| Arc::ptr_eq(&used.outcomes, &entry.outcomes))
     }
 }
 
@@ -115,10 +139,11 @@ pub struct Scenario {
 
 /// Every [`SimConfig`] knob that feeds the generated artefacts (policies,
 /// registry, collectors, propagation and RIB materialisation) — i.e.
-/// everything except `concurrency` and `frontier_concurrency`, which are
-/// execution details with byte-identical output by contract. The
-/// exhaustive destructuring is the point: adding a field to `SimConfig`
-/// refuses to compile here until the rebuild logic accounts for it.
+/// everything except `concurrency`, `frontier_concurrency` and
+/// `scheduling`, which are execution details with byte-identical output
+/// by contract. The exhaustive destructuring is the point: adding a field
+/// to `SimConfig` refuses to compile here until the rebuild logic
+/// accounts for it.
 type OutputKey = ((u64, f64, f64, f64, f64), (f64, f64, f64, bool, f64), (usize, usize, f64, u64));
 
 fn output_key(sim: &SimConfig) -> OutputKey {
@@ -139,6 +164,7 @@ fn output_key(sim: &SimConfig) -> OutputKey {
         timestamp,
         concurrency: _,
         frontier_concurrency: _,
+        scheduling: _,
     } = *sim;
     (
         (
@@ -170,6 +196,7 @@ fn propagation_options(sim_config: &SimConfig, plane: IpVersion) -> PropagationO
         leak_probability: sim_config.leak_probability,
         seed: sim_config.seed,
         frontier_concurrency: frontier_workers,
+        scheduling: sim_config.scheduling,
     }
 }
 
@@ -265,7 +292,11 @@ impl Scenario {
             .map(|c| RibSnapshot::new(c.id.clone(), sim_config.timestamp))
             .collect();
 
-        let mut propagation = PropagationCache::default();
+        // Inherit the reuse cache wholesale so entries the *current*
+        // options do not match stay available to later rebuilds — that is
+        // what lets an A/B/A sweep alternation keep hitting. The entry
+        // actually used is (re)inserted, refreshing its LRU position.
+        let mut propagation = reuse.clone();
         for plane in IpVersion::BOTH {
             let options = propagation_options(sim_config, plane);
             let outcomes = reuse.matching(plane, &options).unwrap_or_else(|| {
@@ -280,7 +311,7 @@ impl Scenario {
                 plane,
                 &outcomes,
             );
-            propagation.set(plane, options, outcomes);
+            propagation.insert(plane, options, outcomes);
         }
 
         Scenario {
@@ -477,6 +508,13 @@ impl ScenarioPool {
                 self.propagation_computes += 1;
             }
         }
+        // Adopt the sweep point's cache as the pool's: it carries every
+        // entry the base had plus whatever this point computed (all
+        // against the same, never-changing ground truth), so a later
+        // point that returns to these options reuses instead of
+        // recomputing. Without this write-back the base cache never
+        // learns and an A/B/A alternation re-propagates every iteration.
+        self.base.propagation = scenario.propagation.clone();
         scenario
     }
 
@@ -676,6 +714,27 @@ mod tests {
                 "workers={workers} frontier={frontier}"
             );
             assert_eq!(parallel.registry, sequential.registry);
+        }
+    }
+
+    #[test]
+    fn scheduling_knob_is_invisible_in_scenario_outputs() {
+        use crate::propagate::OriginScheduling;
+        let degree = Scenario::build(
+            &TopologyConfig::tiny(),
+            &SimConfig::small().with_scheduling(OriginScheduling::Degree),
+        );
+        let statically = Scenario::build(
+            &TopologyConfig::tiny(),
+            &SimConfig::small().with_scheduling(OriginScheduling::Static),
+        );
+        assert_eq!(degree.snapshots, statically.snapshots);
+        assert_eq!(degree.registry, statically.registry);
+        // And a scheduling-only patch is the clone-and-patch fast path.
+        let patched = degree.rebuild_with(|s| s.scheduling = OriginScheduling::Static);
+        assert_eq!(patched.snapshots, degree.snapshots);
+        for plane in IpVersion::BOTH {
+            assert!(patched.propagation.shares_outcomes(&degree.propagation, plane));
         }
     }
 
@@ -907,6 +966,51 @@ mod tests {
         assert_eq!(pool.propagation_computes(), 2, "no sweep point re-propagated");
         let _ = pool.scenario_with(|s| s.leak_probability = 0.5);
         assert_eq!(pool.propagation_computes(), 4, "a leak patch re-propagates both planes");
+    }
+
+    #[test]
+    fn pool_alternating_sweep_points_hit_the_propagation_lru() {
+        // Regression: the old one-entry-per-plane cache thrashed on an
+        // A/B/A/B alternation of propagation-relevant options — every
+        // sweep point evicted the other's outcomes and re-propagated.
+        // With the options-keyed LRU (plus the pool's cache write-back)
+        // the second A and the second B must both be served from cache.
+        let topology = TopologyConfig::tiny();
+        let mut pool = ScenarioPool::new(&topology, &SimConfig::small());
+        for leak in [0.1, 0.2, 0.1, 0.2] {
+            let pooled = pool.scenario_with(|s| s.leak_probability = leak);
+            let mut sim = SimConfig::small();
+            sim.leak_probability = leak;
+            let scratch = Scenario::build(&topology, &sim);
+            assert_same_outputs(&pooled, &scratch, "alternating sweep point");
+        }
+        assert!(pool.propagation_reuses() >= 1, "the A/B/A revisits must hit the cache");
+        assert_eq!(pool.propagation_reuses(), 4, "second A and second B reuse both planes");
+        assert_eq!(pool.propagation_computes(), 6, "base + first A + first B compute");
+    }
+
+    #[test]
+    fn propagation_lru_evicts_the_oldest_entry_deterministically() {
+        let mut cache = PropagationCache::default();
+        let options_for = |seed: u64| PropagationOptions { seed, ..Default::default() };
+        let distinct_outcomes = || Arc::new(Vec::new());
+        for seed in 0..=PROPAGATION_LRU_CAPACITY as u64 {
+            cache.insert(IpVersion::V4, options_for(seed), distinct_outcomes());
+        }
+        // One past capacity: the oldest (seed 0) is gone, everything else
+        // — and nothing on the untouched plane — survives.
+        assert!(cache.matching(IpVersion::V4, &options_for(0)).is_none(), "oldest evicted");
+        for seed in 1..=PROPAGATION_LRU_CAPACITY as u64 {
+            assert!(cache.matching(IpVersion::V4, &options_for(seed)).is_some(), "seed {seed}");
+        }
+        assert!(cache.matching(IpVersion::V6, &options_for(1)).is_none(), "planes are separate");
+        // A re-insert of an existing route model replaces (refreshes)
+        // instead of duplicating: inserting seed 1 again and then one
+        // fresh entry must evict seed 2, not seed 1.
+        cache.insert(IpVersion::V4, options_for(1), distinct_outcomes());
+        cache.insert(IpVersion::V4, options_for(99), distinct_outcomes());
+        assert!(cache.matching(IpVersion::V4, &options_for(1)).is_some(), "refreshed survives");
+        assert!(cache.matching(IpVersion::V4, &options_for(2)).is_none(), "LRU evicted");
     }
 
     #[test]

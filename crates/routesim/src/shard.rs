@@ -101,6 +101,66 @@ where
         .collect()
 }
 
+/// [`shard_map`] with degree-aware load balancing: items are assigned to
+/// workers by LPT (longest-processing-time-first) binning on a caller
+/// supplied work estimate, and the results are scattered back into input
+/// order.
+///
+/// Striping balances a cost-skewed *head* of the list; LPT balances any
+/// skew the weight function can see — for propagation the estimate is the
+/// origin's out-degree, which tracks how wide its customer climb and
+/// provider descent fan out. The binning is fully deterministic: weights
+/// are sorted descending with the input index as tie-break, each item
+/// goes to the least-loaded bin (lowest index on ties), and every result
+/// is written back to its item's input slot — so the output is
+/// element-for-element the sequential `items.iter().map(f)` whatever the
+/// worker count or weight function, exactly like [`shard_map`].
+pub fn shard_map_lpt<T, U, W, F>(items: &[T], workers: usize, weight: W, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    W: Fn(&T) -> u64,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = workers.clamp(1, items.len().max(1));
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let weights: Vec<u64> = items.iter().map(&weight).collect();
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(weights[i]), i));
+    let mut bins: Vec<Vec<usize>> = vec![Vec::new(); workers];
+    let mut loads: Vec<u64> = vec![0; workers];
+    for i in order {
+        // min_by_key returns the first minimum, so load ties break to the
+        // lowest-index bin — deterministic whatever the weights.
+        let b = (0..workers).min_by_key(|&b| loads[b]).expect("workers >= 1");
+        bins[b].push(i);
+        // Zero-weight items still cost *something* to dispatch; counting
+        // them as one unit keeps a run of them spread over the bins.
+        loads[b] += weights[i].max(1);
+    }
+    let mut slots: Vec<Option<U>> = Vec::new();
+    slots.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = bins
+            .iter()
+            .map(|bin| {
+                scope.spawn(move || {
+                    bin.iter().map(|&i| (i, f(&items[i]))).collect::<Vec<(usize, U)>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, result) in handle.join().expect("shard worker panicked") {
+                slots[i] = Some(result);
+            }
+        }
+    });
+    slots.into_iter().map(|s| s.expect("bins cover every index exactly once")).collect()
+}
+
 /// Stripe a frontier scan across up to `workers` scoped threads and
 /// return the concatenated per-item results in frontier order.
 ///
@@ -187,6 +247,39 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(shard_map(&empty, 4, |&x| x).is_empty());
         assert_eq!(shard_map(&[9u32], 4, |&x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn shard_map_lpt_preserves_order_for_any_worker_count_and_weighting() {
+        let items: Vec<u32> = (0..101).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| u64::from(x) * 3).collect();
+        // Uniform, skewed, inverted and degenerate (all-zero) weights must
+        // all be invisible in the output.
+        let weightings: [fn(&u32) -> u64; 4] =
+            [|_| 1, |&x| u64::from(x) * u64::from(x), |&x| u64::from(100 - x), |_| 0];
+        for weight in weightings {
+            for workers in [0usize, 1, 2, 3, 8, 200] {
+                let got = shard_map_lpt(&items, workers, weight, |&x| u64::from(x) * 3);
+                assert_eq!(got, expected, "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_map_lpt_handles_empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(shard_map_lpt(&empty, 4, |_| 1, |&x| x).is_empty());
+        assert_eq!(shard_map_lpt(&[9u32], 4, |_| 7, |&x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn shard_map_lpt_matches_shard_map_exactly() {
+        let items: Vec<u32> = (0..57).collect();
+        for workers in [1usize, 2, 5, 16] {
+            let striped = shard_map(&items, workers, |&x| x.wrapping_mul(17));
+            let binned = shard_map_lpt(&items, workers, |&x| u64::from(x), |&x| x.wrapping_mul(17));
+            assert_eq!(binned, striped, "workers={workers}");
+        }
     }
 
     #[test]

@@ -78,6 +78,29 @@ fn frontier_matrix_produces_byte_identical_reports() {
     }
 }
 
+#[test]
+fn scheduling_matrix_produces_byte_identical_reports() {
+    use hybrid_as_rel::sim::OriginScheduling;
+    // The origin-to-worker schedule is the third dimension of the
+    // execution stack (after origin and frontier workers): degree-aware
+    // LPT binning and static striping must both reproduce the bytes of
+    // the fully sequential run at every worker count.
+    let topology = TopologyConfig::tiny();
+    let sim = SimConfig::small();
+    let sequential = report_json(&topology, &sim, 1);
+    for scheduling in [OriginScheduling::Static, OriginScheduling::Degree] {
+        for concurrency in [1usize, 2, 8] {
+            let pinned = sim.clone().with_scheduling(scheduling);
+            let report = report_json(&topology, &pinned, concurrency);
+            assert!(
+                report == sequential,
+                "scheduling={scheduling:?} concurrency={concurrency} diverged from the \
+                 sequential report"
+            );
+        }
+    }
+}
+
 /// Render the report with the Figure 2 impact sweep enabled, pinning the
 /// whole stack (simulator, pipeline stages, sweep) to `concurrency`
 /// workers, the sweep's cross-step memo to `cache` and its delta engine
@@ -88,6 +111,7 @@ fn impact_report_json(
     concurrency: usize,
     cache: bool,
     incremental: bool,
+    removal_repair: bool,
 ) -> String {
     let sim = sim.clone().with_concurrency(concurrency);
     let scenario = Scenario::build(topology, &sim);
@@ -95,6 +119,7 @@ fn impact_report_json(
         concurrency,
         cache,
         incremental,
+        removal_repair,
     });
     let pipeline = Pipeline {
         run_impact: true,
@@ -113,16 +138,25 @@ fn impact_sweep_matrix_produces_byte_identical_reports() {
     // The reference computation: fully sequential, no memoization, full
     // recomputation per step — exactly what the pre-sharding
     // implementation produced.
-    let sequential = impact_report_json(&topology, &sim, 1, false, false);
+    let sequential = impact_report_json(&topology, &sim, 1, false, false, false);
     for concurrency in [1usize, 2, 8] {
         for cache in [false, true] {
             for incremental in [false, true] {
-                let report = impact_report_json(&topology, &sim, concurrency, cache, incremental);
-                assert!(
-                    report == sequential,
-                    "impact sweep diverged at concurrency={concurrency} cache={cache} \
-                     incremental={incremental}"
-                );
+                for removal_repair in [false, true] {
+                    let report = impact_report_json(
+                        &topology,
+                        &sim,
+                        concurrency,
+                        cache,
+                        incremental,
+                        removal_repair,
+                    );
+                    assert!(
+                        report == sequential,
+                        "impact sweep diverged at concurrency={concurrency} cache={cache} \
+                         incremental={incremental} removal_repair={removal_repair}"
+                    );
+                }
             }
         }
     }

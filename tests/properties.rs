@@ -397,16 +397,19 @@ proptest! {
         for threads in [2usize, 4] {
             for cache in [false, true] {
                 for incremental in [false, true] {
-                    let sweep = SweepOptions { concurrency: threads, cache, incremental };
-                    let curve = correction_sweep_with(&graph, &findings, &options, &sweep);
-                    prop_assert_eq!(
-                        &curve.steps,
-                        &sequential.steps,
-                        "threads={} cache={} incremental={}",
-                        threads,
-                        cache,
-                        incremental
-                    );
+                    for removal_repair in [false, true] {
+                        let sweep = SweepOptions { concurrency: threads, cache, incremental, removal_repair };
+                        let curve = correction_sweep_with(&graph, &findings, &options, &sweep);
+                        prop_assert_eq!(
+                            &curve.steps,
+                            &sequential.steps,
+                            "threads={} cache={} incremental={} removal_repair={}",
+                            threads,
+                            cache,
+                            incremental,
+                            removal_repair
+                        );
+                    }
                 }
             }
         }
@@ -450,6 +453,54 @@ proptest! {
                     map.distances(),
                     &full[..],
                     "root {} diverged after correcting {}-{} to {:?}",
+                    map.root(),
+                    a,
+                    b,
+                    corrected
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn removal_repair_matches_full_recompute_on_random_graphs(
+        links in prop::collection::vec((1u32..30, 1u32..30, arb_relationship()), 1..50),
+        corrections in prop::collection::vec((any::<usize>(), arb_relationship()), 1..10),
+    ) {
+        use hybrid_as_rel::graph::delta::{DistanceMap, EdgeCorrection, RemovalPolicy};
+        use hybrid_as_rel::graph::valley::valley_free_distances;
+
+        let mut graph = AsGraph::new();
+        for (a, b, rel) in &links {
+            if a != b {
+                graph.annotate(Asn(*a), Asn(*b), IpVersion::V6, *rel);
+            }
+        }
+        if graph.node_count() == 0 {
+            return Ok(());
+        }
+        // The in-place removal repair pitted against a fresh full BFS over
+        // random graphs × random correction (removal) sequences: one map
+        // per root runs the whole chain under `RemovalPolicy::Repair`,
+        // the only path `apply_correction` never takes on its own.
+        let roots: Vec<Asn> = graph.asns().take(6).collect();
+        let mut maps: Vec<DistanceMap> =
+            roots.iter().map(|&r| DistanceMap::compute(&graph, r, IpVersion::V6)).collect();
+        for (idx, corrected) in &corrections {
+            let (a, b, _) = links[idx % links.len()];
+            if a == b {
+                continue;
+            }
+            let correction =
+                EdgeCorrection::observe(&graph, Asn(a), Asn(b), IpVersion::V6, *corrected);
+            graph.annotate(Asn(a), Asn(b), IpVersion::V6, *corrected);
+            for map in &mut maps {
+                map.apply_correction_with(&graph, &correction, RemovalPolicy::Repair);
+                let full = valley_free_distances(&graph, map.root(), IpVersion::V6);
+                prop_assert_eq!(
+                    map.distances(),
+                    &full[..],
+                    "root {} diverged under removal repair after correcting {}-{} to {:?}",
                     map.root(),
                     a,
                     b,

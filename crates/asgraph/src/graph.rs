@@ -55,6 +55,106 @@ fn plane_index(v: IpVersion) -> usize {
     }
 }
 
+/// Frozen compressed-sparse-row mirror of the adjacency structure: one
+/// contiguous neighbor/edge-id array indexed by per-node offsets, with
+/// each directed entry's per-plane presence and relationship packed into
+/// a single byte (pre-oriented source → target, so the hot loop does no
+/// `edges[eid]` chase and no orientation branch). Entry order matches the
+/// adjacency lists exactly — CSR traversals visit neighbors in the same
+/// order as the map backend, which is what keeps reports byte-identical
+/// across the two.
+#[derive(Debug, Clone)]
+struct CsrCore {
+    /// `node_count() + 1` offsets into the directed-entry arrays.
+    offsets: Vec<u32>,
+    /// Neighbor node id of each directed entry.
+    targets: Vec<u32>,
+    /// Edge id of each directed entry (used to locate entries when an
+    /// annotation-only mutation re-packs them in place).
+    edge_ids: Vec<u32>,
+    /// Packed per-plane state of each directed entry; see
+    /// [`encode_plane`] for the byte layout.
+    plane_info: [Vec<u8>; 2],
+}
+
+/// Pack one plane of one directed entry: `0` = absent on the plane, `1` =
+/// present but unannotated, `2`..`5` = present with the relationship
+/// (oriented `source → target`).
+fn encode_plane(edge: &Edge, source: NodeId, idx: usize) -> u8 {
+    let plane = edge.planes[idx];
+    if !plane.present {
+        return 0;
+    }
+    match plane.rel.map(|r| if edge.a == source { r } else { r.reverse() }) {
+        None => 1,
+        Some(Relationship::ProviderToCustomer) => 2,
+        Some(Relationship::CustomerToProvider) => 3,
+        Some(Relationship::PeerToPeer) => 4,
+        Some(Relationship::SiblingToSibling) => 5,
+    }
+}
+
+/// Inverse of [`encode_plane`]: `None` = not present on the plane,
+/// `Some(rel)` = present with that (possibly missing) annotation.
+#[inline]
+fn decode_plane(byte: u8) -> Option<Option<Relationship>> {
+    match byte {
+        0 => None,
+        1 => Some(None),
+        2 => Some(Some(Relationship::ProviderToCustomer)),
+        3 => Some(Some(Relationship::CustomerToProvider)),
+        4 => Some(Some(Relationship::PeerToPeer)),
+        _ => Some(Some(Relationship::SiblingToSibling)),
+    }
+}
+
+/// Iterator over a node's plane-present neighbors, returned by
+/// [`AsGraph::neighbors_by_id`]. Runs over the frozen CSR arrays when the
+/// graph is frozen and over the adjacency-map backend otherwise; both
+/// backends yield identical sequences.
+pub struct NeighborsById<'g> {
+    inner: NeighborsInner<'g>,
+}
+
+enum NeighborsInner<'g> {
+    Csr { targets: &'g [u32], info: &'g [u8], pos: usize },
+    Map { graph: &'g AsGraph, node: NodeId, idx: usize, pos: usize },
+}
+
+impl Iterator for NeighborsById<'_> {
+    type Item = (NodeId, Option<Relationship>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match &mut self.inner {
+            NeighborsInner::Csr { targets, info, pos } => {
+                while *pos < targets.len() {
+                    let i = *pos;
+                    *pos += 1;
+                    if let Some(rel) = decode_plane(info[i]) {
+                        return Some((NodeId(targets[i]), rel));
+                    }
+                }
+                None
+            }
+            NeighborsInner::Map { graph, node, idx, pos } => {
+                let adj = &graph.adjacency[node.index()];
+                while *pos < adj.len() {
+                    let (other, eid) = adj[*pos];
+                    *pos += 1;
+                    let edge = &graph.edges[eid.index()];
+                    let plane = edge.planes[*idx];
+                    if !plane.present {
+                        continue;
+                    }
+                    let rel = plane.rel.map(|r| if edge.a == *node { r } else { r.reverse() });
+                    return Some((other, rel));
+                }
+                None
+            }
+        }
+    }
+}
+
 /// A read-only view of one edge, with endpoints as ASNs and the
 /// relationship oriented from `a` to `b`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,6 +214,13 @@ pub struct AsGraph {
     adjacency: Vec<Vec<(NodeId, EdgeId)>>,
     edges: Vec<Edge>,
     edge_lookup: HashMap<(NodeId, NodeId), EdgeId>,
+    /// Links currently marked present per plane (kept in sync by
+    /// [`AsGraph::observe_link`], so [`AsGraph::plane_edge_count`] is O(1)
+    /// instead of an O(E) scan per report).
+    plane_present: [usize; 2],
+    /// Frozen CSR mirror; `Some` while frozen, dropped by structural
+    /// mutation, kept in sync in place by annotation-only mutation.
+    csr: Option<CsrCore>,
 }
 
 impl AsGraph {
@@ -132,10 +239,10 @@ impl AsGraph {
         self.edges.len()
     }
 
-    /// Number of links present on the given plane.
+    /// Number of links present on the given plane. O(1): the count is
+    /// maintained on every presence transition rather than recomputed.
     pub fn plane_edge_count(&self, plane: IpVersion) -> usize {
-        let idx = plane_index(plane);
-        self.edges.iter().filter(|e| e.planes[idx].present).count()
+        self.plane_present[plane_index(plane)]
     }
 
     /// Add (or look up) a node for an ASN.
@@ -143,10 +250,14 @@ impl AsGraph {
         if let Some(&id) = self.asn_to_node.get(&asn) {
             return id;
         }
-        let id = NodeId(self.node_to_asn.len() as u32);
+        let id = NodeId(
+            u32::try_from(self.node_to_asn.len())
+                .expect("AsGraph node count exceeds the u32 id space"),
+        );
         self.asn_to_node.insert(asn, id);
         self.node_to_asn.push(asn);
         self.adjacency.push(Vec::new());
+        self.csr = None;
         id
     }
 
@@ -195,18 +306,26 @@ impl AsGraph {
         if let Some(&eid) = self.edge_lookup.get(&(lo, hi)) {
             return Some(eid);
         }
-        let eid = EdgeId(self.edges.len() as u32);
+        let eid = EdgeId(
+            u32::try_from(self.edges.len()).expect("AsGraph edge count exceeds the u32 id space"),
+        );
         self.edges.push(Edge { a: lo, b: hi, planes: [PlaneEdge::default(); 2] });
         self.edge_lookup.insert((lo, hi), eid);
         self.adjacency[lo.index()].push((hi, eid));
         self.adjacency[hi.index()].push((lo, eid));
+        self.csr = None;
         Some(eid)
     }
 
     /// Mark a link as observed on a plane (creating it if necessary).
     pub fn observe_link(&mut self, a: Asn, b: Asn, plane: IpVersion) -> Option<EdgeId> {
         let eid = self.add_link(a, b)?;
-        self.edges[eid.index()].planes[plane_index(plane)].present = true;
+        let slot = &mut self.edges[eid.index()].planes[plane_index(plane)];
+        if !slot.present {
+            slot.present = true;
+            self.plane_present[plane_index(plane)] += 1;
+            self.refresh_frozen_edge(eid);
+        }
         Some(eid)
     }
 
@@ -225,6 +344,7 @@ impl AsGraph {
         let na = self.asn_to_node[&a];
         let stored = if edge.a == na { rel } else { rel.reverse() };
         edge.planes[plane_index(plane)].rel = Some(stored);
+        self.refresh_frozen_edge(eid);
         Some(eid)
     }
 
@@ -239,6 +359,90 @@ impl AsGraph {
     pub fn clear_relationship(&mut self, a: Asn, b: Asn, plane: IpVersion) {
         if let Some(eid) = self.edge_id(a, b) {
             self.edges[eid.index()].planes[plane_index(plane)].rel = None;
+            self.refresh_frozen_edge(eid);
+        }
+    }
+
+    /// Build the frozen CSR mirror the traversal hot paths consume.
+    /// Idempotent. Structural mutation (a new node or link) drops the
+    /// mirror; annotation-only mutation (observe / annotate / clear on an
+    /// existing link) keeps it in sync in place, so a frozen graph can
+    /// still absorb the correction sweep's relationship flips.
+    pub fn freeze(&mut self) {
+        if self.csr.is_some() {
+            return;
+        }
+        let n = self.node_to_asn.len();
+        let total: usize = self.adjacency.iter().map(Vec::len).sum();
+        u32::try_from(total).expect("AsGraph CSR entry count exceeds the u32 offset space");
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(total);
+        let mut edge_ids = Vec::with_capacity(total);
+        let mut plane_info = [Vec::with_capacity(total), Vec::with_capacity(total)];
+        offsets.push(0u32);
+        for (node_idx, adj) in self.adjacency.iter().enumerate() {
+            // Node ids already fit u32: add_node allocated them checked.
+            let source = NodeId(node_idx as u32);
+            for &(other, eid) in adj {
+                let edge = &self.edges[eid.index()];
+                targets.push(other.0);
+                edge_ids.push(eid.0);
+                for (idx, info) in plane_info.iter_mut().enumerate() {
+                    info.push(encode_plane(edge, source, idx));
+                }
+            }
+            offsets
+                .push(u32::try_from(targets.len()).expect("AsGraph CSR offset exceeds u32 range"));
+        }
+        self.csr = Some(CsrCore { offsets, targets, edge_ids, plane_info });
+    }
+
+    /// Drop the frozen CSR mirror, returning to map-backed traversal.
+    pub fn thaw(&mut self) {
+        self.csr = None;
+    }
+
+    /// True while a frozen CSR mirror is active.
+    pub fn is_frozen(&self) -> bool {
+        self.csr.is_some()
+    }
+
+    /// An estimate of the bytes resident in the graph: the adjacency-map
+    /// backend plus the frozen CSR mirror when one is active. The bench
+    /// layer reports this alongside timings so the regression gate can
+    /// catch space as well as time regressions.
+    pub fn memory_footprint(&self) -> usize {
+        use std::mem::size_of;
+        let adjacency_entries: usize = self.adjacency.iter().map(Vec::capacity).sum();
+        let map_bytes = self.node_to_asn.capacity() * size_of::<Asn>()
+            + self.adjacency.capacity() * size_of::<Vec<(NodeId, EdgeId)>>()
+            + adjacency_entries * size_of::<(NodeId, EdgeId)>()
+            + self.edges.capacity() * size_of::<Edge>()
+            + self.asn_to_node.capacity() * (size_of::<Asn>() + size_of::<NodeId>())
+            + self.edge_lookup.capacity() * (size_of::<(NodeId, NodeId)>() + size_of::<EdgeId>());
+        let csr_bytes = self.csr.as_ref().map_or(0, |c| {
+            (c.offsets.capacity() + c.targets.capacity() + c.edge_ids.capacity()) * size_of::<u32>()
+                + c.plane_info.iter().map(Vec::capacity).sum::<usize>()
+        });
+        map_bytes + csr_bytes
+    }
+
+    /// Re-pack the CSR bytes of both directed entries of `eid` after an
+    /// annotation-only mutation. O(degree) per endpoint; a no-op when the
+    /// graph is not frozen.
+    fn refresh_frozen_edge(&mut self, eid: EdgeId) {
+        let edge = self.edges[eid.index()];
+        let Some(csr) = self.csr.as_mut() else { return };
+        for source in [edge.a, edge.b] {
+            let lo = csr.offsets[source.index()] as usize;
+            let hi = csr.offsets[source.index() + 1] as usize;
+            let k = csr.edge_ids[lo..hi]
+                .iter()
+                .position(|&e| e == eid.0)
+                .expect("frozen CSR is missing a directed entry for an existing edge");
+            for (idx, info) in csr.plane_info.iter_mut().enumerate() {
+                info[lo + k] = encode_plane(&edge, source, idx);
+            }
         }
     }
 
@@ -296,38 +500,32 @@ impl AsGraph {
         asn: Asn,
         plane: IpVersion,
     ) -> impl Iterator<Item = (Asn, Option<Relationship>)> + '_ {
-        let node = self.node(asn);
-        let idx = plane_index(plane);
-        node.into_iter().flat_map(move |n| {
-            self.adjacency[n.index()].iter().filter_map(move |&(other, eid)| {
-                let edge = &self.edges[eid.index()];
-                if !edge.planes[idx].present {
-                    return None;
-                }
-                let rel = edge.planes[idx].rel.map(|r| if edge.a == n { r } else { r.reverse() });
-                Some((self.asn(other), rel))
-            })
+        self.node(asn).into_iter().flat_map(move |n| {
+            self.neighbors_by_id(n, plane).map(|(other, rel)| (self.asn(other), rel))
         })
     }
 
     /// Adjacency in node-id space: the neighbors of a node on a plane with
     /// the relationship oriented `node → neighbor`. This is the fast path
     /// used by the traversal modules and the route simulator; prefer
-    /// [`AsGraph::neighbors`] when working with ASNs.
-    pub fn neighbors_by_id(
-        &self,
-        node: NodeId,
-        plane: IpVersion,
-    ) -> impl Iterator<Item = (NodeId, Option<Relationship>)> + '_ {
+    /// [`AsGraph::neighbors`] when working with ASNs. On a frozen graph
+    /// (see [`AsGraph::freeze`]) it runs over the flat CSR arrays instead
+    /// of chasing `edges[eid]`; both backends yield the same sequence.
+    pub fn neighbors_by_id(&self, node: NodeId, plane: IpVersion) -> NeighborsById<'_> {
         let idx = plane_index(plane);
-        self.adjacency[node.index()].iter().filter_map(move |&(other, eid)| {
-            let edge = &self.edges[eid.index()];
-            if !edge.planes[idx].present {
-                return None;
+        let inner = match &self.csr {
+            Some(csr) => {
+                let lo = csr.offsets[node.index()] as usize;
+                let hi = csr.offsets[node.index() + 1] as usize;
+                NeighborsInner::Csr {
+                    targets: &csr.targets[lo..hi],
+                    info: &csr.plane_info[idx][lo..hi],
+                    pos: 0,
+                }
             }
-            let rel = edge.planes[idx].rel.map(|r| if edge.a == node { r } else { r.reverse() });
-            Some((other, rel))
-        })
+            None => NeighborsInner::Map { graph: self, node, idx, pos: 0 },
+        };
+        NeighborsById { inner }
     }
 
     /// The degree of an AS on a plane (number of present links).
@@ -521,5 +719,117 @@ mod tests {
         clone.annotate(Asn(7), Asn(8), IpVersion::V6, Relationship::PeerToPeer);
         assert_eq!(g.node_count(), 3);
         assert_eq!(clone.node_count(), 5);
+    }
+
+    #[test]
+    fn plane_edge_counters_track_add_present_and_reannotate() {
+        let mut g = AsGraph::new();
+        let counts =
+            |g: &AsGraph| (g.plane_edge_count(IpVersion::V4), g.plane_edge_count(IpVersion::V6));
+        assert_eq!(counts(&g), (0, 0));
+        // A bare link is not present on any plane.
+        g.add_link(Asn(1), Asn(2));
+        assert_eq!(counts(&g), (0, 0));
+        g.observe_link(Asn(1), Asn(2), IpVersion::V4);
+        assert_eq!(counts(&g), (1, 0));
+        // Re-observing is idempotent — no double count.
+        g.observe_link(Asn(2), Asn(1), IpVersion::V4);
+        assert_eq!(counts(&g), (1, 0));
+        // Annotating marks the plane present.
+        g.annotate(Asn(1), Asn(2), IpVersion::V6, Relationship::PeerToPeer);
+        assert_eq!(counts(&g), (1, 1));
+        // Re-annotating an already-present plane changes nothing.
+        g.annotate(Asn(2), Asn(1), IpVersion::V6, Relationship::ProviderToCustomer);
+        assert_eq!(counts(&g), (1, 1));
+        // Clearing the relationship keeps the presence (and the count).
+        g.clear_relationship(Asn(1), Asn(2), IpVersion::V6);
+        assert_eq!(counts(&g), (1, 1));
+        g.annotate_both(Asn(2), Asn(3), Relationship::SiblingToSibling);
+        assert_eq!(counts(&g), (2, 2));
+        // The counters agree with the O(E) definition on a mixed graph.
+        let g = small_graph();
+        for plane in [IpVersion::V4, IpVersion::V6] {
+            assert_eq!(g.plane_edge_count(plane), g.plane_edges(plane).count());
+        }
+    }
+
+    /// Every (node, plane) neighbor sequence of a graph, for backend
+    /// comparison.
+    fn all_neighbor_seqs(g: &AsGraph) -> Vec<Vec<(NodeId, Option<Relationship>)>> {
+        let mut out = Vec::new();
+        for node in g.nodes() {
+            for plane in [IpVersion::V4, IpVersion::V6] {
+                out.push(g.neighbors_by_id(node, plane).collect());
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn frozen_csr_matches_map_traversal_in_order() {
+        let mut g = small_graph();
+        let map_seqs = all_neighbor_seqs(&g);
+        assert!(!g.is_frozen());
+        g.freeze();
+        assert!(g.is_frozen());
+        assert_eq!(all_neighbor_seqs(&g), map_seqs, "CSR must mirror adjacency order exactly");
+        // Freezing twice is a no-op; thawing restores the map backend.
+        g.freeze();
+        g.thaw();
+        assert!(!g.is_frozen());
+        assert_eq!(all_neighbor_seqs(&g), map_seqs);
+    }
+
+    #[test]
+    fn frozen_csr_absorbs_annotation_only_mutations_in_place() {
+        let mut g = small_graph();
+        g.freeze();
+        // Re-annotate an existing edge, annotate a present-but-bare edge,
+        // observe a new plane of an existing edge, and clear a rel: all
+        // annotation-only, so the graph must stay frozen and exact.
+        g.annotate(Asn(3), Asn(1), IpVersion::V4, Relationship::CustomerToProvider);
+        g.annotate(Asn(2), Asn(3), IpVersion::V6, Relationship::PeerToPeer);
+        g.observe_link(Asn(2), Asn(3), IpVersion::V4);
+        g.clear_relationship(Asn(1), Asn(2), IpVersion::V6);
+        assert!(g.is_frozen());
+        let frozen_seqs = all_neighbor_seqs(&g);
+        let frozen_counts = (g.plane_edge_count(IpVersion::V4), g.plane_edge_count(IpVersion::V6));
+        g.thaw();
+        assert_eq!(all_neighbor_seqs(&g), frozen_seqs);
+        assert_eq!(
+            (g.plane_edge_count(IpVersion::V4), g.plane_edge_count(IpVersion::V6)),
+            frozen_counts
+        );
+        assert_eq!(
+            g.relationship(Asn(1), Asn(3), IpVersion::V4),
+            Some(Relationship::ProviderToCustomer),
+            "orientation flip in the re-annotation is respected"
+        );
+    }
+
+    #[test]
+    fn structural_mutation_invalidates_the_frozen_csr() {
+        let mut g = small_graph();
+        g.freeze();
+        g.add_node(Asn(99));
+        assert!(!g.is_frozen(), "a new node drops the mirror");
+        g.freeze();
+        g.add_link(Asn(99), Asn(1));
+        assert!(!g.is_frozen(), "a new link drops the mirror");
+        // annotate() on a brand-new link is structural too.
+        g.freeze();
+        g.annotate(Asn(50), Asn(51), IpVersion::V4, Relationship::PeerToPeer);
+        assert!(!g.is_frozen());
+    }
+
+    #[test]
+    fn memory_footprint_counts_the_csr_mirror() {
+        let mut g = small_graph();
+        let before = g.memory_footprint();
+        assert!(before > 0);
+        g.freeze();
+        assert!(g.memory_footprint() > before, "freezing adds the CSR arrays");
+        g.thaw();
+        assert_eq!(g.memory_footprint(), before);
     }
 }

@@ -53,7 +53,7 @@ pub mod valley;
 pub use bgp_types::{Asn, IpVersion, Relationship};
 pub use customer_tree::{customer_cone_sizes, customer_tree, tree_union_metrics, TreeMetrics};
 pub use delta::{DeltaOutcome, DistanceMap, EdgeCorrection, RemovalPolicy};
-pub use graph::{AsGraph, EdgeId, EdgeView, NodeId};
+pub use graph::{AsGraph, EdgeId, EdgeView, NeighborsById, NodeId};
 pub use metrics::{connected_components, degree_stats, GraphSummary};
 pub use tiers::{classify_tiers, Tier, TierMap};
 pub use valley::{classify_path, is_valley_free, valley_free_distances, PathValidity};

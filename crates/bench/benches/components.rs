@@ -19,6 +19,24 @@ use routesim::propagate::{propagate_origin, propagate_origins, PropagationOption
 use routesim::{OriginScheduling, Scenario};
 use topogen::HybridClass;
 
+/// Record a non-timing gauge (bytes, counts) into the `CRITERION_JSON`
+/// channel, one JSONL row in the shim's shape, so `bench_compare
+/// --record` folds it into the committed BENCH snapshot next to the
+/// timing rows — the `*_ns` fields carry the gauge value verbatim and
+/// the id says what the unit really is.
+fn record_gauge(id: &str, value: u128) {
+    use std::io::Write;
+    let Some(path) = std::env::var_os("CRITERION_JSON") else { return };
+    if path.is_empty() {
+        return;
+    }
+    let line =
+        format!("{{\"id\":\"{id}\",\"mean_ns\":{value},\"min_ns\":{value},\"max_ns\":{value}}}\n");
+    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+        let _ = f.write_all(line.as_bytes());
+    }
+}
+
 fn components(c: &mut Criterion) {
     let scale = bench::bench_scale();
     let scenario = bench::build_scenario(&scale);
@@ -125,6 +143,46 @@ fn components(c: &mut Criterion) {
                 black_box(
                     propagate_origins(paper_graph, black_box(&heavy), IpVersion::V4, &options, 1)
                         .len(),
+                )
+            })
+        });
+    }
+    // Internet-scale rows: the frozen CSR backend propagating a sampled
+    // origin set over the CAIDA-shaped 10k/50k-AS graphs the `--scale`
+    // experiment knob runs at. Origins are strided exactly as
+    // `SimConfig::origin_sample` strides them, so the rows time what the
+    // experiment bins actually execute; the worker budget is the whole
+    // host (0 = all cores). The `memory/graph_bytes/*` gauges next to
+    // them pin the frozen graph's heap footprint at each scale.
+    for (name, scale) in
+        [("scale=10k", bench::internet_10k_scale()), ("scale=50k", bench::internet_50k_scale())]
+    {
+        let mut scale_graph = topogen::generate(&scale.topology).graph;
+        scale_graph.freeze();
+        let bytes = scale_graph.memory_footprint();
+        println!(
+            "memory/graph_bytes/{name}: {bytes} bytes frozen ({} nodes, {} edges)",
+            scale_graph.node_count(),
+            scale_graph.edge_count()
+        );
+        record_gauge(&format!("memory/graph_bytes/{name}"), bytes as u128);
+        let mut scale_origins: Vec<Asn> =
+            scale_graph.asns().filter(|a| scale_graph.degree(*a, IpVersion::V4) > 0).collect();
+        scale_origins.sort();
+        let scale_origins: Vec<Asn> =
+            scale_origins.into_iter().step_by(scale.sim.origin_sample.max(1)).collect();
+        group.throughput(Throughput::Elements(scale_origins.len() as u64));
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    propagate_origins(
+                        &scale_graph,
+                        black_box(&scale_origins),
+                        IpVersion::V4,
+                        &PropagationOptions::default(),
+                        0,
+                    )
+                    .len(),
                 )
             })
         });
@@ -275,6 +333,27 @@ fn components(c: &mut Criterion) {
             })
         });
     }
+    // The sweep at internet scale: the same correction sweep over the
+    // misinferred graph of a 10k-AS `--scale 10k` scenario (origin
+    // sampling and the frozen CSR backend exactly as the experiment
+    // bins run it), whole-host worker budget.
+    let scale10k = bench::internet_10k_scale();
+    let scenario10k = bench::build_scenario(&scale10k);
+    let (misinferred10k, hybrids10k) = bench::sweep_inputs(&scenario10k);
+    group.bench_function("scale=10k", |b| {
+        b.iter(|| {
+            black_box(
+                correction_sweep_with(
+                    black_box(&misinferred10k),
+                    &hybrids10k,
+                    &impact_options,
+                    &SweepOptions::with_concurrency(0),
+                )
+                .steps
+                .len(),
+            )
+        })
+    });
     group.finish();
 
     // Sweep-point scenario construction: a full from-config rebuild (what

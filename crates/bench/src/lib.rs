@@ -159,14 +159,25 @@ pub fn configured_sweep() -> SweepOptions {
         .with_removal_repair(configured_removal_repair())
 }
 
+/// Whether graphs are frozen into the flat CSR backend before the heavy
+/// traversals run, from the `HYBRID_CSR` environment variable: unset or
+/// empty means on (the default), same boolean spellings as
+/// `HYBRID_INCREMENTAL`, anything else is a hard error. Execution only —
+/// reports are byte-identical under both backends; the knob exists so
+/// the benches can A/B the map backend.
+pub fn configured_csr() -> bool {
+    env_knob("HYBRID_CSR", |v| parse_bool_knob("HYBRID_CSR", v, true))
+}
+
 /// The pipeline execution options the env knobs resolve to — the single
-/// place `HYBRID_THREADS`, `HYBRID_FRONTIER` and `HYBRID_SCHEDULING`
-/// become a [`PipelineOptions`] (the sweep knobs ride separately via
-/// [`configured_sweep`]).
+/// place `HYBRID_THREADS`, `HYBRID_FRONTIER`, `HYBRID_SCHEDULING` and
+/// `HYBRID_CSR` become a [`PipelineOptions`] (the sweep knobs ride
+/// separately via [`configured_sweep`]).
 fn configured_options() -> PipelineOptions {
     PipelineOptions::with_concurrency(configured_concurrency())
         .with_frontier(configured_frontier())
         .with_scheduling(configured_scheduling())
+        .with_csr(configured_csr())
 }
 
 /// Apply `HYBRID_THREADS`, `HYBRID_FRONTIER` and `HYBRID_SCHEDULING` to
@@ -207,25 +218,98 @@ pub fn tiny_scale() -> ExperimentScale {
     ExperimentScale { topology: TopologyConfig::tiny(), sim: SimConfig::small() }
 }
 
-/// The scale an experiment binary should run at, from its command line:
-/// `--tiny` (the `exp-smoke` golden scale), `--small` ([`bench_scale`]),
-/// default [`paper_scale`]. One shared parser so the nine bins cannot
-/// drift apart on flag spelling or precedence (the smallest requested
-/// scale wins).
-pub fn scale_from_args() -> ExperimentScale {
+/// An internet-shaped scale: a CAIDA-shaped topology at `topology`'s AS
+/// count with origin sampling striding every `origin_sample`-th origin,
+/// which is what keeps a 100k-AS pipeline in the seconds range (every
+/// sampled origin still floods the full graph, so the traversal layers
+/// are exercised at true scale — only the RIB volume is thinned).
+fn internet_scale(topology: TopologyConfig, origin_sample: usize) -> ExperimentScale {
+    ExperimentScale { topology, sim: SimConfig::default().with_origin_sample(origin_sample) }
+}
+
+/// The 10,000-AS internet scale (`--scale 10k`).
+pub fn internet_10k_scale() -> ExperimentScale {
+    internet_scale(TopologyConfig::internet_10k(), 32)
+}
+
+/// The 50,000-AS internet scale (`--scale 50k`).
+pub fn internet_50k_scale() -> ExperimentScale {
+    internet_scale(TopologyConfig::internet_50k(), 128)
+}
+
+/// The 100,000-AS internet scale (`--scale 100k`).
+pub fn internet_100k_scale() -> ExperimentScale {
+    internet_scale(TopologyConfig::internet_100k(), 256)
+}
+
+/// One `--scale` value resolved to its preset.
+fn parse_scale_value(value: &str) -> Result<ExperimentScale, String> {
+    match value.trim().to_ascii_lowercase().as_str() {
+        "10k" => Ok(internet_10k_scale()),
+        "50k" => Ok(internet_50k_scale()),
+        "100k" => Ok(internet_100k_scale()),
+        other => Err(format!("--scale must be 10k, 50k or 100k, got {other:?}")),
+    }
+}
+
+/// The scale an experiment binary should run at, parsed from its
+/// argument list (argv without the binary name): `--tiny` (the
+/// `exp-smoke` golden scale), `--small` ([`bench_scale`]), `--scale
+/// 10k|50k|100k` (also spelled `--scale=10k`) for the internet-shaped
+/// presets, default [`paper_scale`]. One shared parser so the nine bins
+/// cannot drift apart on flag spelling or precedence (the smallest
+/// requested scale wins, so CI can append `--tiny` to anything).
+///
+/// Any unrecognized `--flag` is a hard error naming the flag: the old
+/// parser scanned for known flags and ignored everything else, so a
+/// typo'd `--tinny` silently ran the multi-minute paper scale the smoke
+/// job thought it had skipped. Non-flag positionals are still tolerated.
+pub fn scale_from_argv<I, S>(args: I) -> Result<ExperimentScale, String>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let args: Vec<String> = args.into_iter().map(|a| a.as_ref().to_string()).collect();
     let mut tiny = false;
     let mut small = false;
-    for arg in std::env::args() {
-        tiny |= arg == "--tiny";
-        small |= arg == "--small";
+    let mut scale = None;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        if arg == "--tiny" {
+            tiny = true;
+        } else if arg == "--small" {
+            small = true;
+        } else if arg == "--scale" {
+            i += 1;
+            let value =
+                args.get(i).ok_or_else(|| "--scale needs a value: 10k, 50k or 100k".to_string())?;
+            scale = Some(parse_scale_value(value)?);
+        } else if let Some(value) = arg.strip_prefix("--scale=") {
+            scale = Some(parse_scale_value(value)?);
+        } else if arg.starts_with("--") {
+            return Err(format!(
+                "unrecognized flag {arg:?}; known flags: --tiny, --small, --scale {{10k,50k,100k}}"
+            ));
+        }
+        i += 1;
     }
-    if tiny {
+    Ok(if tiny {
         tiny_scale()
     } else if small {
         bench_scale()
+    } else if let Some(scale) = scale {
+        scale
     } else {
         paper_scale()
-    }
+    })
+}
+
+/// [`scale_from_argv`] over the process's own command line, panicking on
+/// a malformed flag — an experiment binary should refuse to run (and say
+/// why) rather than silently measure a scale nobody asked for.
+pub fn scale_from_args() -> ExperimentScale {
+    scale_from_argv(std::env::args().skip(1)).unwrap_or_else(|message| panic!("{message}"))
 }
 
 /// Build the scenario for a scale, honouring `HYBRID_THREADS` when the
@@ -464,6 +548,7 @@ mod tests {
         let (origins, frontier) = propagation_split();
         assert!(origins >= 1 && frontier >= 1);
         assert!(origins * frontier <= threads().max(1), "split never oversubscribes");
+        assert!(configured_csr(), "the CSR backend is the default");
     }
 
     // The knob parsers are pure functions over `Option<&str>` so these
@@ -541,15 +626,62 @@ mod tests {
     }
 
     #[test]
-    fn scale_from_args_defaults_to_paper_scale() {
-        // The test binary's argv carries neither --tiny nor --small.
-        let scale = scale_from_args();
+    fn scale_from_argv_defaults_to_paper_scale() {
+        let scale = scale_from_argv(Vec::<String>::new()).expect("empty argv is fine");
         assert_eq!(
             scale.topology.total_as_count(),
             paper_scale().topology.total_as_count(),
             "no flag means paper scale"
         );
         assert!(tiny_scale().topology.total_as_count() < bench_scale().topology.total_as_count());
+        // Non-flag positionals (the binary path cargo forwards, stray
+        // filenames) never change the scale and never error.
+        let scale = scale_from_argv(["target/release/exp_e1_dataset", "out.json"])
+            .expect("positionals are tolerated");
+        assert_eq!(scale.topology.total_as_count(), paper_scale().topology.total_as_count());
+    }
+
+    #[test]
+    fn scale_flag_selects_the_internet_presets() {
+        for (argv, total, sample) in [
+            (vec!["--scale", "10k"], 10_000, 32),
+            (vec!["--scale=50k"], 50_000, 128),
+            (vec!["--scale", "100K"], 100_000, 256),
+        ] {
+            let scale = scale_from_argv(argv.clone()).unwrap_or_else(|e| panic!("{argv:?}: {e}"));
+            assert_eq!(scale.topology.total_as_count(), total, "{argv:?}");
+            assert!(scale.topology.allow_32bit_asns, "internet presets cross 16-bit space");
+            assert_eq!(scale.sim.origin_sample, sample, "{argv:?} strides origins");
+        }
+    }
+
+    #[test]
+    fn unknown_flags_are_a_hard_error_naming_the_flag() {
+        // The regression this guards: `--tinny` used to be silently
+        // ignored, so the smoke job ran the full paper scale.
+        let err = scale_from_argv(["--tinny"]).expect_err("typo must be rejected");
+        assert!(err.contains("--tinny"), "message names the flag: {err}");
+        assert!(err.contains("--tiny"), "message lists the legal flags: {err}");
+
+        let err = scale_from_argv(["--scale", "10k", "--verbose"]).unwrap_err();
+        assert!(err.contains("--verbose"), "later flags are still checked: {err}");
+
+        let err = scale_from_argv(["--scale", "1k"]).expect_err("bad value rejected");
+        assert!(err.contains("1k") && err.contains("100k"), "{err}");
+
+        let err = scale_from_argv(["--scale"]).expect_err("missing value rejected");
+        assert!(err.contains("--scale"), "{err}");
+    }
+
+    #[test]
+    fn mixed_argv_lets_the_smallest_scale_win() {
+        let tiny = tiny_scale().topology.total_as_count();
+        let scale = scale_from_argv(["--scale=100k", "--tiny"]).unwrap();
+        assert_eq!(scale.topology.total_as_count(), tiny, "--tiny beats --scale");
+        let scale = scale_from_argv(["--small", "--scale", "50k"]).unwrap();
+        assert_eq!(scale.topology.total_as_count(), bench_scale().topology.total_as_count());
+        let scale = scale_from_argv(["--small", "--tiny"]).unwrap();
+        assert_eq!(scale.topology.total_as_count(), tiny, "--tiny beats --small");
     }
 
     #[test]

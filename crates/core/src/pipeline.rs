@@ -125,6 +125,14 @@ pub struct PipelineOptions {
     /// `SimConfig::scheduling` by [`configure_sim`](Self::configure_sim);
     /// execution only — never a byte of the report.
     pub scheduling: routesim::OriginScheduling,
+    /// Serve the pipeline's graph walks (hybrid detection, valley
+    /// analysis, the correction sweep) from the frozen CSR mirror of the
+    /// extracted graph (`true`, the default) or the adjacency-map
+    /// reference backend (`false`). Resolved into `SimConfig::csr` by
+    /// [`configure_sim`](Self::configure_sim); execution only — the CSR
+    /// iterates neighbours in adjacency order, so reports are
+    /// byte-identical either way.
+    pub csr: bool,
     /// Execution options for the Figure 2 impact subsystem (worker threads
     /// for the sharded correction sweep and the cross-step memoization
     /// switch). `SweepOptions::default()` — all cores, cache on — is what
@@ -139,6 +147,7 @@ impl Default for PipelineOptions {
             concurrency: 0,
             frontier_concurrency: 1,
             scheduling: routesim::OriginScheduling::default(),
+            csr: true,
             sweep: SweepOptions::default(),
         }
     }
@@ -178,6 +187,12 @@ impl PipelineOptions {
         PipelineOptions { scheduling, ..self }
     }
 
+    /// These options with the CSR mirror enabled (`true`) or the
+    /// adjacency-map reference backend (`false`).
+    pub fn with_csr(self, csr: bool) -> Self {
+        PipelineOptions { csr, ..self }
+    }
+
     /// The worker count these options resolve to (`0` = all cores).
     pub fn workers(&self) -> usize {
         routesim::effective_concurrency(self.concurrency)
@@ -191,14 +206,15 @@ impl PipelineOptions {
 
     /// Stamp these options onto a simulator configuration so a scenario
     /// built for this pipeline run propagates under the same worker
-    /// budget, frontier split and origin schedule. Only knobs the
-    /// configuration leaves at their *default values* are overwritten
-    /// (`concurrency == 0`, `frontier_concurrency == 1`,
-    /// `scheduling == Degree`); any other value is kept. Note the
-    /// defaults double as the "unpinned" sentinels: a caller that wants
-    /// `concurrency = 0` (all cores), `frontier_concurrency = 1`
-    /// (sequential scans) or degree-aware scheduling *regardless of these
-    /// options* must set them after this call, not before.
+    /// budget, frontier split, origin schedule and graph backend. Only
+    /// knobs the configuration leaves at their *default values* are
+    /// overwritten (`concurrency == 0`, `frontier_concurrency == 1`,
+    /// `scheduling == Degree`, `csr == true`); any other value is kept.
+    /// Note the defaults double as the "unpinned" sentinels: a caller
+    /// that wants `concurrency = 0` (all cores), `frontier_concurrency =
+    /// 1` (sequential scans), degree-aware scheduling or the CSR backend
+    /// *regardless of these options* must set them after this call, not
+    /// before.
     pub fn configure_sim(&self, mut sim: routesim::SimConfig) -> routesim::SimConfig {
         if sim.concurrency == 0 {
             sim.concurrency = self.concurrency;
@@ -208,6 +224,9 @@ impl PipelineOptions {
         }
         if sim.scheduling == routesim::OriginScheduling::Degree {
             sim.scheduling = self.scheduling;
+        }
+        if sim.csr {
+            sim.csr = self.csr;
         }
         sim
     }
@@ -276,7 +295,7 @@ impl Pipeline {
 
         // 1+2. Extraction and communities-based inference are independent
         //      scans of the pooled snapshot.
-        let (data, mut inference) = if workers > 1 {
+        let (mut data, mut inference) = if workers > 1 {
             std::thread::scope(|scope| {
                 let extracted = scope.spawn(|| extract(&snapshot));
                 let inference = CommunityInference::from_snapshot(&snapshot, &dictionary);
@@ -285,6 +304,14 @@ impl Pipeline {
         } else {
             (extract(&snapshot), CommunityInference::from_snapshot(&snapshot, &dictionary))
         };
+        if self.options.csr {
+            // Freeze once the graph is structurally complete; every later
+            // stage only *annotates* (which the frozen mirror absorbs in
+            // place), so hybrid detection, valley analysis, the baseline
+            // and the correction sweep — and any clone they take — all
+            // walk the flat CSR arrays.
+            data.graph.freeze();
+        }
 
         // 3. LocPrf Rosetta Stone (reads and extends the inference, so it
         //    stays on the critical path).
@@ -581,6 +608,21 @@ mod tests {
     }
 
     #[test]
+    fn csr_knob_resolves_and_stamps_unpinned_sim_configs() {
+        assert!(PipelineOptions::default().csr, "the CSR mirror is the default backend");
+        let options = PipelineOptions::default().with_csr(false);
+        assert!(!options.csr);
+        // An unpinned sim config takes the pipeline's backend ...
+        let sim = options.configure_sim(SimConfig::small());
+        assert!(!sim.csr);
+        // ... a pinned one is kept (`true` is the unpinned sentinel, so a
+        // config pinned to the map backend survives a CSR pipeline).
+        let pinned = SimConfig::small().with_csr(false);
+        let kept = PipelineOptions::default().configure_sim(pinned);
+        assert!(!kept.csr);
+    }
+
+    #[test]
     fn concurrent_pipeline_reports_are_byte_identical_to_sequential() {
         let scenario = scenario();
         let render = |options: PipelineOptions| {
@@ -613,6 +655,10 @@ mod tests {
                     .with_sweep(SweepOptions::with_concurrency(workers).with_removal_repair(true)),
             );
             assert!(static_schedule == sequential, "concurrency={workers} static/repair diverged");
+            // Nor may the graph backend: the adjacency-map reference path
+            // must render the same bytes as the frozen CSR mirror.
+            let map_backend = render(PipelineOptions::with_concurrency(workers).with_csr(false));
+            assert!(map_backend == sequential, "concurrency={workers} map backend diverged");
         }
     }
 }

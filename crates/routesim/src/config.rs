@@ -79,6 +79,21 @@ pub struct SimConfig {
     /// static striping as the reference schedule. Like the worker
     /// counts, an execution detail with byte-identical output.
     pub scheduling: OriginScheduling,
+
+    /// Run the propagation over the frozen CSR graph mirror (`true`, the
+    /// default) or the adjacency-map backend (`false`, the reference
+    /// path). Both backends visit neighbors in the same order, so this is
+    /// an execution detail with byte-identical output — the determinism
+    /// suite's map-vs-CSR dimension enforces it.
+    pub csr: bool,
+
+    /// Propagate only every `origin_sample`-th eligible origin (after the
+    /// deterministic ASN sort): `0` (the default) propagates all of them.
+    /// Internet-scale experiment presets use a stride so a 100k-AS
+    /// topology completes in seconds rather than propagating 100k
+    /// origins. Unlike the worker knobs this *changes the output* — it is
+    /// part of the scenario's output identity, not an execution detail.
+    pub origin_sample: usize,
 }
 
 impl Default for SimConfig {
@@ -101,6 +116,8 @@ impl Default for SimConfig {
             concurrency: 0,
             frontier_concurrency: 1,
             scheduling: OriginScheduling::default(),
+            csr: true,
+            origin_sample: 0,
         }
     }
 }
@@ -126,6 +143,18 @@ impl SimConfig {
     /// The same configuration pinned to an origin-to-worker schedule.
     pub fn with_scheduling(self, scheduling: OriginScheduling) -> Self {
         SimConfig { scheduling, ..self }
+    }
+
+    /// The same configuration pinned to the CSR (`true`) or adjacency-map
+    /// (`false`) graph backend.
+    pub fn with_csr(self, csr: bool) -> Self {
+        SimConfig { csr, ..self }
+    }
+
+    /// The same configuration pinned to an origin sampling stride
+    /// (`0` = propagate every eligible origin).
+    pub fn with_origin_sample(self, origin_sample: usize) -> Self {
+        SimConfig { origin_sample, ..self }
     }
 
     /// The worker count this configuration resolves to (`0` = all cores).
@@ -200,6 +229,17 @@ mod tests {
         assert!(c.validate().is_err());
         let c = SimConfig { full_feeder_fraction: -0.1, ..SimConfig::default() };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn csr_and_origin_sample_knobs_default_and_pin() {
+        let sim = SimConfig::default();
+        assert!(sim.csr, "the frozen CSR backend is the default");
+        assert_eq!(sim.origin_sample, 0, "default propagates every eligible origin");
+        let pinned = SimConfig::small().with_csr(false).with_origin_sample(16);
+        assert!(!pinned.csr);
+        assert_eq!(pinned.origin_sample, 16);
+        assert!(pinned.validate().is_ok());
     }
 
     #[test]

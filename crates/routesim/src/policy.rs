@@ -113,7 +113,12 @@ impl PolicyTable {
             } else {
                 config.stub_tagging_probability
             };
-            let tags_relationships = rng.gen_bool(tagging_probability);
+            // Classic communities carry the tagging AS in their 16-bit
+            // high half, so an AS past that space cannot define a scheme
+            // at all — exactly as in the real Internet. The probability
+            // draw still happens so the RNG stream (and with it every
+            // pre-existing all-16-bit topology) is unchanged.
+            let tags_relationships = rng.gen_bool(tagging_probability) && asn.is_16bit();
 
             // Pick one of a few realistic LocPrf families and jitter it, so
             // values differ across ASes but stay internally ordered.
@@ -147,12 +152,20 @@ impl PolicyTable {
                 scheme_generator.generate(asn, &mut rng)
             } else {
                 // Non-tagging ASes still have TE/location values defined.
-                CommunityScheme::build(
+                let mut scheme = CommunityScheme::build(
                     asn,
                     irr::SchemeStyle::ClassicHundreds,
                     &[],
                     rng.gen_range(0..6),
-                )
+                );
+                if !asn.is_16bit() {
+                    // A 32-bit AS cannot be named in a classic community:
+                    // strip every value (the `as u16` encoding would
+                    // alias a real 16-bit AS and poison the inference).
+                    scheme.te_values.clear();
+                    scheme.location_count = 0;
+                }
+                scheme
             };
 
             let documented = tags_relationships && rng.gen_bool(config.documentation_probability);
@@ -221,6 +234,27 @@ mod tests {
         let truth = topogen::generate(&TopologyConfig::tiny());
         let policies = PolicyTable::build(&truth, &SimConfig::default());
         (truth, policies)
+    }
+
+    #[test]
+    fn wide_asns_never_define_community_schemes() {
+        // Classic communities cannot name a 32-bit AS; a truncated `as
+        // u16` encoding would alias a 16-bit AS and make communities lie.
+        let config =
+            TopologyConfig { first_asn: 65_500, allow_32bit_asns: true, ..TopologyConfig::tiny() };
+        let truth = topogen::generate(&config);
+        let policies = PolicyTable::build(&truth, &SimConfig::default());
+        let mut wide = 0;
+        for asn in truth.graph.asns().filter(|a| !a.is_16bit()) {
+            wide += 1;
+            let policy = policies.get(asn).expect("every AS has a policy");
+            assert!(!policy.tags_relationships, "{asn} must not tag");
+            assert!(!policy.scheme.tags_relationships());
+            assert!(policy.scheme.te_values.is_empty(), "{asn} must not honour TE");
+            assert_eq!(policy.scheme.location_count, 0);
+            assert!(!policy.documented, "nothing to document for {asn}");
+        }
+        assert!(wide > 0, "the fixture must actually cross the boundary");
     }
 
     #[test]

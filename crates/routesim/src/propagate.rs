@@ -241,6 +241,45 @@ struct Candidate {
     node: u32,
 }
 
+/// Fixed-capacity bitset over node ids: the next-frontier accumulator of
+/// the level-synchronous walks. One bit per node replaces the old
+/// `Vec<NodeId>` push-per-candidate frontier — membership stays a set
+/// under duplicate insertions and the drain yields ids in ascending
+/// order. The reordering is output-invariant: each level's candidate
+/// merge is a per-target minimum over `(path_len, next-hop ASN)` (see
+/// [`better`]), so neither the winners nor the next level's membership
+/// depend on the order the frontier was accumulated in.
+struct NodeBitSet {
+    words: Vec<u64>,
+}
+
+impl NodeBitSet {
+    fn new(nodes: usize) -> Self {
+        NodeBitSet { words: vec![0; nodes.div_ceil(64)] }
+    }
+
+    #[inline]
+    fn insert(&mut self, node: NodeId) {
+        let i = node.index();
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Move the set bits into `out` (cleared first) in ascending node-id
+    /// order, leaving the set empty for the next level.
+    fn drain_into(&mut self, out: &mut Vec<NodeId>) {
+        out.clear();
+        for (w, word) in self.words.iter_mut().enumerate() {
+            let mut bits = *word;
+            *word = 0;
+            while bits != 0 {
+                let b = bits.trailing_zeros();
+                out.push(NodeId((w as u32) * 64 + b));
+                bits &= bits - 1;
+            }
+        }
+    }
+}
+
 /// Below this many frontier nodes per worker, scanning a level is cheaper
 /// than spawning the scoped threads that would stripe it, so the
 /// expansion stays sequential whatever the knob says. Execution only:
@@ -285,6 +324,7 @@ pub fn propagate_origin(
     // while each level's neighbor scan stripes across `workers` threads.
     {
         let mut frontier: Vec<NodeId> = vec![origin_node];
+        let mut next_frontier = NodeBitSet::new(n);
         let mut next_len: u32 = 0;
         while !frontier.is_empty() {
             next_len += 1;
@@ -305,21 +345,20 @@ pub fn propagate_origin(
             // (path_len, next-hop ASN), so the per-target winner does not
             // depend on candidate order, which itself is frontier order at
             // every worker count.
-            let mut next_frontier = Vec::new();
             for (target, sender) in candidates {
                 let cand =
                     RouteInfo { class: RouteClass::Customer, path_len: next_len, next_hop: sender };
                 if better(&routes[target.index()], &cand, graph, RouteClass::Customer) {
-                    // First assignment at this level enters the next
+                    // A node newly routed at this level joins the next
                     // frontier; later candidates can only improve the
-                    // next hop, never re-queue the node.
+                    // next hop, and the bitset keeps membership a set.
                     if routes[target.index()].is_none() {
-                        next_frontier.push(target);
+                        next_frontier.insert(target);
                     }
                     routes[target.index()] = Some(cand);
                 }
             }
-            frontier = next_frontier;
+            next_frontier.drain_into(&mut frontier);
         }
     }
 
@@ -376,21 +415,22 @@ pub fn propagate_origin(
     // next hop (never the level), so each node is scheduled exactly once
     // and the levels can be processed strictly in order.
     {
-        let mut buckets: Vec<Vec<NodeId>> = Vec::new();
-        let schedule = |buckets: &mut Vec<Vec<NodeId>>, level: usize, node: NodeId| {
+        let mut buckets: Vec<NodeBitSet> = Vec::new();
+        let schedule = |buckets: &mut Vec<NodeBitSet>, level: usize, node: NodeId| {
             if buckets.len() <= level {
-                buckets.resize_with(level + 1, Vec::new);
+                buckets.resize_with(level + 1, || NodeBitSet::new(n));
             }
-            buckets[level].push(node);
+            buckets[level].insert(node);
         };
         for id in 0..n as u32 {
             if let Some(info) = routes[id as usize] {
                 schedule(&mut buckets, info.path_len as usize, NodeId(id));
             }
         }
+        let mut frontier: Vec<NodeId> = Vec::new();
         let mut level = 0;
         while level < buckets.len() {
-            let frontier = std::mem::take(&mut buckets[level]);
+            buckets[level].drain_into(&mut frontier);
             level += 1;
             if frontier.is_empty() {
                 continue;

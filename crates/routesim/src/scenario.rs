@@ -59,6 +59,10 @@ pub struct PropagationCache {
 #[derive(Debug, Clone)]
 struct PlaneOutcomes {
     options: PropagationOptions,
+    /// The origin-sampling stride the outcomes were computed under —
+    /// part of the cache key because it selects *which* origins were
+    /// propagated, upstream of the route model.
+    origin_sample: usize,
     outcomes: Arc<Vec<RoutingOutcome>>,
 }
 
@@ -71,17 +75,21 @@ fn plane_slot(plane: IpVersion) -> usize {
 
 impl PropagationCache {
     /// The cached outcomes for a plane, if any entry was computed under
-    /// the same *route model* as `options` — execution knobs (frontier
-    /// worker count, origin scheduling) are ignored, so retuning them
-    /// between sweep points still reuses the cached propagation.
+    /// the same *route model* as `options` and the same origin-sampling
+    /// stride — execution knobs (frontier worker count, origin
+    /// scheduling) are ignored, so retuning them between sweep points
+    /// still reuses the cached propagation.
     fn matching(
         &self,
         plane: IpVersion,
         options: &PropagationOptions,
+        origin_sample: usize,
     ) -> Option<Arc<Vec<RoutingOutcome>>> {
         self.planes[plane_slot(plane)]
             .iter()
-            .find(|entry| entry.options.same_route_model(options))
+            .find(|entry| {
+                entry.origin_sample == origin_sample && entry.options.same_route_model(options)
+            })
             .map(|entry| Arc::clone(&entry.outcomes))
     }
 
@@ -94,11 +102,14 @@ impl PropagationCache {
         &mut self,
         plane: IpVersion,
         options: PropagationOptions,
+        origin_sample: usize,
         outcomes: Arc<Vec<RoutingOutcome>>,
     ) {
         let entries = &mut self.planes[plane_slot(plane)];
-        entries.retain(|entry| !entry.options.same_route_model(&options));
-        entries.insert(0, PlaneOutcomes { options, outcomes });
+        entries.retain(|entry| {
+            entry.origin_sample != origin_sample || !entry.options.same_route_model(&options)
+        });
+        entries.insert(0, PlaneOutcomes { options, origin_sample, outcomes });
         entries.truncate(PROPAGATION_LRU_CAPACITY);
     }
 
@@ -139,12 +150,15 @@ pub struct Scenario {
 
 /// Every [`SimConfig`] knob that feeds the generated artefacts (policies,
 /// registry, collectors, propagation and RIB materialisation) — i.e.
-/// everything except `concurrency`, `frontier_concurrency` and
-/// `scheduling`, which are execution details with byte-identical output
-/// by contract. The exhaustive destructuring is the point: adding a field
-/// to `SimConfig` refuses to compile here until the rebuild logic
-/// accounts for it.
-type OutputKey = ((u64, f64, f64, f64, f64), (f64, f64, f64, bool, f64), (usize, usize, f64, u64));
+/// everything except `concurrency`, `frontier_concurrency`, `scheduling`
+/// and `csr`, which are execution details with byte-identical output by
+/// contract. `origin_sample` *is* in the key: sampling origins changes
+/// which routes exist, so it is an output knob like the probabilities.
+/// The exhaustive destructuring is the point: adding a field to
+/// `SimConfig` refuses to compile here until the rebuild logic accounts
+/// for it.
+type OutputKey =
+    ((u64, f64, f64, f64, f64), (f64, f64, f64, bool, f64), (usize, usize, f64, u64, usize));
 
 fn output_key(sim: &SimConfig) -> OutputKey {
     let SimConfig {
@@ -162,9 +176,11 @@ fn output_key(sim: &SimConfig) -> OutputKey {
         feeders_per_collector,
         full_feeder_fraction,
         timestamp,
+        origin_sample,
         concurrency: _,
         frontier_concurrency: _,
         scheduling: _,
+        csr: _,
     } = *sim;
     (
         (
@@ -181,7 +197,7 @@ fn output_key(sim: &SimConfig) -> OutputKey {
             v6_reachability_relaxation,
             leak_probability,
         ),
-        (collector_count, feeders_per_collector, full_feeder_fraction, timestamp),
+        (collector_count, feeders_per_collector, full_feeder_fraction, timestamp, origin_sample),
     )
 }
 
@@ -201,16 +217,42 @@ fn propagation_options(sim_config: &SimConfig, plane: IpVersion) -> PropagationO
 }
 
 /// The deterministic prefix an AS originates on a plane.
+///
+/// 16-bit ASNs keep the historical mapping (`10.hi.lo.0/24`,
+/// `2001:db8:asn::/48`) so existing golden artefacts stay byte-identical;
+/// larger ASNs — the internet-scale synthetic topologies overflow the
+/// 16-bit space — map into disjoint ranges (first octet `64 + (asn >>
+/// 16)` for v4, a `/64` with the high half in the third hextet for v6),
+/// so prefixes stay unique across the whole generated ASN space. The v4
+/// scheme has 23 usable bits; topologies are nowhere near that, and the
+/// assert turns any future overflow into a loud failure instead of a
+/// silent prefix collision.
 pub fn origin_prefix(asn: Asn, plane: IpVersion) -> Prefix {
     let a = asn.value();
     match plane {
-        IpVersion::V4 => Prefix::V4(Ipv4Net::new_truncated(
+        IpVersion::V4 if a <= 0xFFFF => Prefix::V4(Ipv4Net::new_truncated(
             Ipv4Addr::new(10, ((a >> 8) & 0xFF) as u8, (a & 0xFF) as u8, 0),
             24,
         )),
-        IpVersion::V6 => Prefix::V6(Ipv6Net::new_truncated(
+        IpVersion::V4 => {
+            assert!(a < 1 << 23, "origin_prefix cannot map ASN {a} uniquely into 10/8 + 64/2");
+            Prefix::V4(Ipv4Net::new_truncated(
+                Ipv4Addr::new(
+                    64 + ((a >> 16) & 0x7F) as u8,
+                    ((a >> 8) & 0xFF) as u8,
+                    (a & 0xFF) as u8,
+                    0,
+                ),
+                24,
+            ))
+        }
+        IpVersion::V6 if a <= 0xFFFF => Prefix::V6(Ipv6Net::new_truncated(
             Ipv6Addr::new(0x2001, 0xdb8, (a & 0xFFFF) as u16, 0, 0, 0, 0, 0),
             48,
+        )),
+        IpVersion::V6 => Prefix::V6(Ipv6Net::new_truncated(
+            Ipv6Addr::new(0x2001, 0xdb8, (a >> 16) as u16, (a & 0xFFFF) as u16, 0, 0, 0, 0),
+            64,
         )),
     }
 }
@@ -268,12 +310,21 @@ impl Scenario {
     /// options match (computing and caching them otherwise), and
     /// materialise the collector RIBs.
     fn assemble(
-        truth: GroundTruth,
+        mut truth: GroundTruth,
         topology_config: TopologyConfig,
         sim_config: &SimConfig,
         reuse: &PropagationCache,
     ) -> Scenario {
         sim_config.validate().expect("invalid simulation configuration");
+        // Serve the hot per-plane walks from the flat CSR mirror (or drop
+        // it when the reference adjacency-map backend was requested). A
+        // pure execution knob: the CSR iterates neighbours in the exact
+        // adjacency order, so every downstream byte is identical.
+        if sim_config.csr {
+            truth.graph.freeze();
+        } else {
+            truth.graph.thaw();
+        }
         let policies = PolicyTable::build(&truth, sim_config);
 
         // Document the chosen subset of schemes in the registry.
@@ -299,9 +350,10 @@ impl Scenario {
         let mut propagation = reuse.clone();
         for plane in IpVersion::BOTH {
             let options = propagation_options(sim_config, plane);
-            let outcomes = reuse.matching(plane, &options).unwrap_or_else(|| {
-                Arc::new(Self::propagate_plane(&truth, sim_config, plane, &options))
-            });
+            let outcomes =
+                reuse.matching(plane, &options, sim_config.origin_sample).unwrap_or_else(|| {
+                    Arc::new(Self::propagate_plane(&truth, sim_config, plane, &options))
+                });
             Self::materialise_plane(
                 &truth,
                 &policies,
@@ -311,7 +363,7 @@ impl Scenario {
                 plane,
                 &outcomes,
             );
-            propagation.insert(plane, options, outcomes);
+            propagation.insert(plane, options, sim_config.origin_sample, outcomes);
         }
 
         Scenario {
@@ -342,6 +394,12 @@ impl Scenario {
         let graph = &truth.graph;
         let mut origins: Vec<Asn> = graph.asns().filter(|a| graph.degree(*a, plane) > 0).collect();
         origins.sort();
+        // Origin sampling strides the *sorted* origin list, so which
+        // origins survive is a pure function of the topology and the
+        // knob — never of iteration order or worker count.
+        if sim_config.origin_sample > 1 {
+            origins = origins.into_iter().step_by(sim_config.origin_sample).collect();
+        }
         let (origin_workers, _) = sim_config.propagation_split();
         propagate_origins(graph, &origins, plane, options, origin_workers)
     }
@@ -666,6 +724,64 @@ mod tests {
                 assert!(seen.insert(p), "duplicate prefix {p}");
             }
         }
+    }
+
+    #[test]
+    fn origin_prefixes_stay_unique_past_the_16_bit_asn_boundary() {
+        // The internet-scale topologies hand out ASNs past 65535; the
+        // legacy truncating mapping collided there (ASN 65636 aliased ASN
+        // 100 on both planes). Sweep a dense band straddling the boundary
+        // plus the aliasing pairs explicitly.
+        let mut seen = std::collections::HashSet::new();
+        let asns = (65000u32..66000).chain([100, 356, 131172, 200_000, (1 << 23) - 1]);
+        for asn in asns {
+            for plane in IpVersion::BOTH {
+                let p = origin_prefix(Asn(asn), plane);
+                assert_eq!(p.version(), plane);
+                assert!(seen.insert(p), "duplicate prefix {p} for ASN {asn}");
+            }
+        }
+        // And the 16-bit mapping itself is untouched (golden stability).
+        assert_eq!(origin_prefix(Asn(0x1234), IpVersion::V4).to_string(), "10.18.52.0/24");
+        assert_eq!(origin_prefix(Asn(0x1234), IpVersion::V6).to_string(), "2001:db8:1234::/48");
+    }
+
+    #[test]
+    fn csr_knob_is_invisible_in_scenario_outputs() {
+        let frozen = Scenario::build(&TopologyConfig::tiny(), &SimConfig::small());
+        assert!(frozen.truth.graph.is_frozen(), "csr defaults on");
+        let map = Scenario::build(&TopologyConfig::tiny(), &SimConfig::small().with_csr(false));
+        assert!(!map.truth.graph.is_frozen());
+        assert_same_outputs(&frozen, &map, "csr backend");
+        // And a csr-only patch is the clone-and-patch fast path.
+        let patched = frozen.rebuild_with(|s| s.csr = false);
+        assert_eq!(patched.snapshots, frozen.snapshots);
+        for plane in IpVersion::BOTH {
+            assert!(patched.propagation.shares_outcomes(&frozen.propagation, plane));
+        }
+    }
+
+    #[test]
+    fn origin_sampling_prunes_routes_deterministically() {
+        let full = Scenario::build(&TopologyConfig::tiny(), &SimConfig::small());
+        let sampled =
+            Scenario::build(&TopologyConfig::tiny(), &SimConfig::small().with_origin_sample(4));
+        assert!(sampled.total_rib_entries() > 0);
+        assert!(
+            sampled.total_rib_entries() < full.total_rib_entries(),
+            "a stride of 4 must drop origins"
+        );
+        // Sampled origins are a subset selected by sorted-ASN stride, so
+        // every surviving prefix also exists in the full build.
+        let full_prefixes: std::collections::HashSet<Prefix> =
+            full.merged_snapshot().entries.iter().map(|e| e.prefix).collect();
+        for entry in &sampled.merged_snapshot().entries {
+            assert!(full_prefixes.contains(&entry.prefix));
+        }
+        // An output knob: rebuild_with must re-materialise, and the two
+        // strides must agree with from-scratch builds byte for byte.
+        let rebuilt = full.rebuild_with(|s| s.origin_sample = 4);
+        assert_same_outputs(&rebuilt, &sampled, "origin_sample rebuild");
     }
 
     #[test]
@@ -995,22 +1111,25 @@ mod tests {
         let options_for = |seed: u64| PropagationOptions { seed, ..Default::default() };
         let distinct_outcomes = || Arc::new(Vec::new());
         for seed in 0..=PROPAGATION_LRU_CAPACITY as u64 {
-            cache.insert(IpVersion::V4, options_for(seed), distinct_outcomes());
+            cache.insert(IpVersion::V4, options_for(seed), 0, distinct_outcomes());
         }
         // One past capacity: the oldest (seed 0) is gone, everything else
         // — and nothing on the untouched plane — survives.
-        assert!(cache.matching(IpVersion::V4, &options_for(0)).is_none(), "oldest evicted");
+        assert!(cache.matching(IpVersion::V4, &options_for(0), 0).is_none(), "oldest evicted");
         for seed in 1..=PROPAGATION_LRU_CAPACITY as u64 {
-            assert!(cache.matching(IpVersion::V4, &options_for(seed)).is_some(), "seed {seed}");
+            assert!(cache.matching(IpVersion::V4, &options_for(seed), 0).is_some(), "seed {seed}");
         }
-        assert!(cache.matching(IpVersion::V6, &options_for(1)).is_none(), "planes are separate");
+        assert!(cache.matching(IpVersion::V6, &options_for(1), 0).is_none(), "planes are separate");
+        // The sampling stride is part of the key: a different stride under
+        // the same route model must miss, never alias.
+        assert!(cache.matching(IpVersion::V4, &options_for(1), 4).is_none(), "stride keys");
         // A re-insert of an existing route model replaces (refreshes)
         // instead of duplicating: inserting seed 1 again and then one
         // fresh entry must evict seed 2, not seed 1.
-        cache.insert(IpVersion::V4, options_for(1), distinct_outcomes());
-        cache.insert(IpVersion::V4, options_for(99), distinct_outcomes());
-        assert!(cache.matching(IpVersion::V4, &options_for(1)).is_some(), "refreshed survives");
-        assert!(cache.matching(IpVersion::V4, &options_for(2)).is_none(), "LRU evicted");
+        cache.insert(IpVersion::V4, options_for(1), 0, distinct_outcomes());
+        cache.insert(IpVersion::V4, options_for(99), 0, distinct_outcomes());
+        assert!(cache.matching(IpVersion::V4, &options_for(1), 0).is_some(), "refreshed survives");
+        assert!(cache.matching(IpVersion::V4, &options_for(2), 0).is_none(), "LRU evicted");
     }
 
     #[test]

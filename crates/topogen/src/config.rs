@@ -67,9 +67,17 @@ pub struct TopologyConfig {
     /// Fraction of provider links replaced by sibling (s2s) links.
     pub sibling_fraction: f64,
 
-    /// First ASN allocated; ASNs are sequential from here and must stay in
-    /// 16-bit space so classic communities can name them.
+    /// First ASN allocated; ASNs are sequential from here and by default
+    /// must stay in 16-bit space so classic communities can name them.
     pub first_asn: u32,
+
+    /// Allow the allocated ASN block to spill past the 16-bit boundary
+    /// (the internet-scale presets need it — 100k ASes cannot fit under
+    /// 65536). ASes with 32-bit ASNs participate fully in the topology
+    /// and in routing, but — exactly as in the real Internet — classic
+    /// communities cannot name them, so they never tag, and the policy
+    /// layer gives them an empty community scheme.
+    pub allow_32bit_asns: bool,
 }
 
 impl Default for TopologyConfig {
@@ -94,6 +102,7 @@ impl Default for TopologyConfig {
             hybrid_degree_bias: 1.0,
             sibling_fraction: 0.01,
             first_asn: 100,
+            allow_32bit_asns: false,
         }
     }
 }
@@ -116,6 +125,45 @@ impl TopologyConfig {
             stub_peering_degree: 0.3,
             ..Default::default()
         }
+    }
+
+    /// A CAIDA-shaped topology at roughly `total` ASes: a 13-member
+    /// tier-1 clique (the real Internet's transit-free core has hovered
+    /// around that size for a decade), ~15% tier-2 transit providers and
+    /// the rest stubs, with the peering knobs left at the defaults
+    /// (rank-weighted provider attachment and degree-proportional peering
+    /// are properties of the generator itself). Adoption probabilities
+    /// stay at the paper-era defaults so the hybrid machinery has the
+    /// same relative substrate at every scale.
+    fn internet(total: usize) -> Self {
+        let tier1_count = 13;
+        let tier2_count = total * 15 / 100;
+        TopologyConfig {
+            tier1_count,
+            tier2_count,
+            stub_count: total - tier1_count - tier2_count,
+            allow_32bit_asns: true,
+            ..Default::default()
+        }
+    }
+
+    /// A 10,000-AS internet-shaped topology (≈ the IPv6 AS count the
+    /// years right after the paper).
+    pub fn internet_10k() -> Self {
+        Self::internet(10_000)
+    }
+
+    /// A 50,000-AS internet-shaped topology (≈ the full AS-level
+    /// Internet of the mid-2010s).
+    pub fn internet_50k() -> Self {
+        Self::internet(50_000)
+    }
+
+    /// A 100,000-AS internet-shaped topology (beyond today's ~75k ASes —
+    /// the headroom scale; overflows the 16-bit ASN space, which
+    /// `allow_32bit_asns` permits).
+    pub fn internet_100k() -> Self {
+        Self::internet(100_000)
     }
 
     /// Total number of ASes this configuration will generate.
@@ -154,9 +202,19 @@ impl TopologyConfig {
             }
         }
         let last_asn = self.first_asn as usize + self.total_as_count();
-        if last_asn > u16::MAX as usize {
+        if !self.allow_32bit_asns && last_asn > u16::MAX as usize {
             return Err(format!(
-                "ASN space overflow: {} ASes starting at {} exceed the 16-bit range needed for classic communities",
+                "ASN space overflow: {} ASes starting at {} exceed the 16-bit range needed for classic communities (set allow_32bit_asns to permit this)",
+                self.total_as_count(),
+                self.first_asn
+            ));
+        }
+        // Even with 32-bit ASNs allowed, the simulator's deterministic
+        // origin-prefix mapping has 23 usable bits — far beyond any real
+        // AS count, but worth failing loudly instead of colliding.
+        if last_asn > 1 << 23 {
+            return Err(format!(
+                "ASN space overflow: {} ASes starting at {} exceed the 23-bit origin-prefix space",
                 self.total_as_count(),
                 self.first_asn
             ));
@@ -205,6 +263,35 @@ mod tests {
 
         let c = TopologyConfig { tier2_providers: (0, 2), ..TopologyConfig::default() };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn internet_presets_are_valid_and_sized_as_named() {
+        for (preset, total) in [
+            (TopologyConfig::internet_10k(), 10_000),
+            (TopologyConfig::internet_50k(), 50_000),
+            (TopologyConfig::internet_100k(), 100_000),
+        ] {
+            assert!(preset.validate().is_ok(), "{total}: {:?}", preset.validate());
+            assert_eq!(preset.total_as_count(), total);
+            assert_eq!(preset.tier1_count, 13, "tier-1 clique is CAIDA-sized");
+            let tier2_share = preset.tier2_count as f64 / total as f64;
+            assert!((tier2_share - 0.15).abs() < 0.01, "~15% transit, got {tier2_share}");
+        }
+    }
+
+    #[test]
+    fn allow_32bit_asns_lifts_only_the_16_bit_ceiling() {
+        // Without the flag the 16-bit check still fires (the regression
+        // guard for every pre-existing configuration)...
+        let c = TopologyConfig { stub_count: 70_000, ..TopologyConfig::default() };
+        assert!(c.validate().unwrap_err().contains("ASN space"));
+        // ...with it the same configuration is fine...
+        let c = TopologyConfig { allow_32bit_asns: true, ..c };
+        assert!(c.validate().is_ok());
+        // ...but the origin-prefix ceiling is a hard stop either way.
+        let c = TopologyConfig { stub_count: 1 << 23, ..c };
+        assert!(c.validate().unwrap_err().contains("23-bit"));
     }
 
     #[test]

@@ -101,6 +101,39 @@ fn scheduling_matrix_produces_byte_identical_reports() {
     }
 }
 
+#[test]
+fn backend_matrix_produces_byte_identical_reports() {
+    // The graph backend is the fourth dimension of the execution stack:
+    // the frozen flat CSR arrays and the mutable adjacency maps must
+    // serve identical neighbor orders, so every (backend × worker count)
+    // combination reproduces the bytes of the sequential map-backend
+    // run.
+    let topology = TopologyConfig::tiny();
+    let sim = SimConfig::small();
+    let render = |csr: bool, concurrency: usize| {
+        let pinned = sim.clone().with_concurrency(concurrency).with_csr(csr);
+        let scenario = Scenario::build(&topology, &pinned);
+        let mut pipeline = Pipeline::with_concurrency(concurrency);
+        pipeline.options = pipeline.options.with_csr(csr);
+        let report = pipeline.run(PipelineInput::from_scenario_with(&scenario, &pipeline.options));
+        serde_json::to_string_pretty(&report).expect("report serializes")
+    };
+    let sequential_map = render(false, 1);
+    for csr in [false, true] {
+        for concurrency in [1usize, 2, 8] {
+            if (csr, concurrency) == (false, 1) {
+                continue;
+            }
+            let report = render(csr, concurrency);
+            assert!(
+                report == sequential_map,
+                "csr={csr} concurrency={concurrency} diverged from the sequential map-backend \
+                 report"
+            );
+        }
+    }
+}
+
 /// Render the report with the Figure 2 impact sweep enabled, pinning the
 /// whole stack (simulator, pipeline stages, sweep) to `concurrency`
 /// workers, the sweep's cross-step memo to `cache` and its delta engine

@@ -359,6 +359,49 @@ proptest! {
     }
 
     #[test]
+    fn csr_backend_matches_the_map_backend_on_random_graphs(
+        links in prop::collection::vec((1u32..40, 1u32..40, arb_relationship()), 1..60),
+        relaxation in any::<bool>(),
+        leak_tenths in 0u8..=10,
+        seed in any::<u64>(),
+    ) {
+        let mut graph = AsGraph::new();
+        for (a, b, rel) in &links {
+            if a != b {
+                graph.annotate(Asn(*a), Asn(*b), IpVersion::V6, *rel);
+            }
+        }
+        let mut origins: Vec<Asn> = graph.asns().collect();
+        origins.sort();
+        let options = PropagationOptions {
+            reachability_relaxation: relaxation,
+            leak_probability: f64::from(leak_tenths) / 10.0,
+            seed,
+            ..Default::default()
+        };
+        // The reference: the mutable adjacency-map backend the graph is
+        // born with. The frozen CSR arrays must serve the exact same
+        // neighbor sequences, so propagation and the valley-free walks
+        // are equal — not just equivalent — on arbitrary graphs.
+        let map_outcomes = propagate_origins(&graph, &origins, IpVersion::V6, &options, 1);
+        let mut frozen = graph.clone();
+        frozen.freeze();
+        prop_assert!(frozen.is_frozen());
+        for threads in [1usize, 2] {
+            let csr_outcomes =
+                propagate_origins(&frozen, &origins, IpVersion::V6, &options, threads);
+            prop_assert_eq!(&csr_outcomes, &map_outcomes, "threads={}", threads);
+        }
+        if let Some(root) = origins.first().copied() {
+            use hybrid_as_rel::graph::valley::valley_free_distances;
+            prop_assert_eq!(
+                valley_free_distances(&frozen, root, IpVersion::V6),
+                valley_free_distances(&graph, root, IpVersion::V6)
+            );
+        }
+    }
+
+    #[test]
     fn parallel_correction_sweep_matches_sequential_on_random_graphs(
         links in prop::collection::vec((1u32..40, 1u32..40, arb_relationship()), 1..60),
         corrections in prop::collection::vec((any::<usize>(), arb_relationship()), 0..8),

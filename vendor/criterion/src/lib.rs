@@ -176,7 +176,13 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
     }
 }
 
-fn append_json_line(path: &std::path::Path, id: &str, mean: Duration, min: Duration, max: Duration) {
+fn append_json_line(
+    path: &std::path::Path,
+    id: &str,
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+) {
     use std::io::Write;
     // Benchmark ids in this workspace are plain `[A-Za-z0-9_/=-]` strings,
     // but escape the JSON string characters anyway.

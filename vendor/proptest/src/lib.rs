@@ -107,14 +107,12 @@ macro_rules! prop_assert_ne {
         let left = $left;
         let right = $right;
         if left == right {
-            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
-                format!(
-                    "assertion failed: `{} != {}`\n  both: {:?}",
-                    stringify!($left),
-                    stringify!($right),
-                    left
-                ),
-            ));
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
         }
     }};
 }

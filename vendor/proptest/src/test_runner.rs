@@ -55,7 +55,8 @@ where
     F: Fn(S::Value) -> Result<(), TestCaseError>,
 {
     for case in 0..config.cases {
-        let mut rng = TestRng::seed_from_u64(BASE_SEED ^ u64::from(case).wrapping_mul(0x9E3779B97F4A7C15));
+        let mut rng =
+            TestRng::seed_from_u64(BASE_SEED ^ u64::from(case).wrapping_mul(0x9E3779B97F4A7C15));
         let value = strategy.new_value(&mut rng);
         let shown = format!("{value:?}");
         if let Err(e) = test(value) {

@@ -25,12 +25,8 @@ fn init_state(seed: [u8; 32]) -> [u32; 16] {
     let mut state = [0u32; 16];
     state[..4].copy_from_slice(&CHACHA_CONSTANTS);
     for i in 0..8 {
-        state[4 + i] = u32::from_le_bytes([
-            seed[4 * i],
-            seed[4 * i + 1],
-            seed[4 * i + 2],
-            seed[4 * i + 3],
-        ]);
+        state[4 + i] =
+            u32::from_le_bytes([seed[4 * i], seed[4 * i + 1], seed[4 * i + 2], seed[4 * i + 3]]);
     }
     // Counter (words 12–13) and nonce (words 14–15) start at zero.
     state

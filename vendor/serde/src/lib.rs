@@ -135,13 +135,9 @@ pub fn get_field<'a>(entries: &'a [(String, Value)], name: &str) -> Option<&'a V
 
 /// Deserialize a struct field, falling back to [`Deserialize::from_missing`]
 /// when the key is absent. Used by the derive macro.
-pub fn field<T: Deserialize>(
-    entries: &[(String, Value)],
-    name: &'static str,
-) -> Result<T, Error> {
+pub fn field<T: Deserialize>(entries: &[(String, Value)], name: &'static str) -> Result<T, Error> {
     match get_field(entries, name) {
-        Some(v) => T::from_value(v)
-            .map_err(|e| Error(format!("field `{name}`: {e}"))),
+        Some(v) => T::from_value(v).map_err(|e| Error(format!("field `{name}`: {e}"))),
         None => T::from_missing(name),
     }
 }
@@ -284,10 +280,7 @@ impl Serialize for String {
 
 impl Deserialize for String {
     fn from_value(value: &Value) -> Result<Self, Error> {
-        value
-            .as_str()
-            .map(str::to_owned)
-            .ok_or_else(|| Error::expected("string", value))
+        value.as_str().map(str::to_owned).ok_or_else(|| Error::expected("string", value))
     }
 }
 

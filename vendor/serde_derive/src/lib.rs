@@ -99,9 +99,7 @@ fn parse_input(input: TokenStream) -> Result<Input, String> {
 
     if let Some(TokenTree::Punct(p)) = tokens.get(i) {
         if p.as_char() == '<' {
-            return Err(format!(
-                "serde shim derive does not support generic type `{name}`"
-            ));
+            return Err(format!("serde shim derive does not support generic type `{name}`"));
         }
     }
 
@@ -314,9 +312,9 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                         "__obj.push(({name:?}.to_string(), ::serde::Serialize::to_value(&self.{name})));"
                     );
                     match &f.skip_if {
-                        Some(path) => pushes.push_str(&format!(
-                            "if !(({path})(&self.{name})) {{ {push} }}"
-                        )),
+                        Some(path) => {
+                            pushes.push_str(&format!("if !(({path})(&self.{name})) {{ {push} }}"))
+                        }
                         None => pushes.push_str(&push),
                     }
                 }
@@ -327,9 +325,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         }
         Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
         Shape::Tuple(n) => {
-            let items: Vec<String> = (0..*n)
-                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
-                .collect();
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
             format!("::serde::Value::Array(vec![{}])", items.join(", "))
         }
         Shape::Unit => "::serde::Value::Null".to_string(),

@@ -13,7 +13,7 @@
 //!
 //! The valley-free BFS runs over the *phase-layered* graph: states are
 //! `(node, phase)` with `phase ∈ {climbing, peered, descending}` and the
-//! transitions of [`crate::valley::phase_transition`]. Distances are the
+//! transitions of the crate's valley-free phase machine. Distances are the
 //! unique minimal fixed point of the Bellman equations over that layered
 //! graph, so any procedure that converges to the fixed point reproduces
 //! the full recomputation *exactly* — byte-identical metrics, not merely
@@ -39,7 +39,7 @@
 //! The fallback criterion is deliberately conservative: it may rebuild
 //! when a cleverer analysis could have repaired, but it never repairs
 //! when a rebuild was needed. [`DeltaOutcome`] reports which path ran so
-//! callers (the sweep's [`SweepCache`-style] tiers, the criterion benches)
+//! callers (the sweep's `SweepCache`-style tiers, the criterion benches)
 //! can count delta repairs against full rebuilds.
 
 use bgp_types::{Asn, IpVersion, Relationship};

@@ -14,7 +14,7 @@
 //!   valley-free distance map incrementally when one edge's relationship
 //!   changes (frontier re-expansion with a proven full-BFS fallback),
 //!   the engine behind the Figure 2 correction sweep.
-//! * [`customer_tree`] — customer trees and cones ("all ASes reachable
+//! * [`customer_tree`](mod@customer_tree) — customer trees and cones ("all ASes reachable
 //!   from a root through p2c links"), the metric Figure 2 of the paper is
 //!   built on.
 //! * [`tiers`] — a simple transit-degree tier classification (tier-1 /

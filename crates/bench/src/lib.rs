@@ -72,6 +72,46 @@ fn parse_scheduling_knob(
     }
 }
 
+/// Parse the adversarial-scenario knob: unset or empty means the classic
+/// (well-behaved) policy; otherwise only `classic`, `leak`,
+/// `prefix-hijack` and `subprefix-hijack` (case-insensitive) are
+/// accepted. Unlike the execution knobs above this one *changes the
+/// routes* — and therefore the report — but it must stay invisible to
+/// worker counts.
+fn parse_scenario_knob(
+    name: &str,
+    value: Option<&str>,
+) -> Result<routesim::PolicyScenario, String> {
+    use routesim::PolicyScenario;
+    match value.map(str::trim) {
+        None | Some("") => Ok(PolicyScenario::Classic),
+        Some(raw) if raw.eq_ignore_ascii_case("classic") => Ok(PolicyScenario::Classic),
+        Some(raw) if raw.eq_ignore_ascii_case("leak") => Ok(PolicyScenario::RouteLeak),
+        Some(raw) if raw.eq_ignore_ascii_case("prefix-hijack") => Ok(PolicyScenario::PrefixHijack),
+        Some(raw) if raw.eq_ignore_ascii_case("subprefix-hijack") => {
+            Ok(PolicyScenario::SubprefixHijack)
+        }
+        Some(raw) => Err(format!(
+            "{name} must be \"classic\", \"leak\", \"prefix-hijack\" or \"subprefix-hijack\", \
+             got {raw:?}"
+        )),
+    }
+}
+
+/// Parse a fraction knob: unset or empty means `default`; anything else
+/// must be a float in `[0, 1]`. Malformed or out-of-range values are a
+/// hard error naming the variable — a typo'd `HYBRID_DEPLOYMENT=0.5x`
+/// must not silently run an undefended scenario labelled as half-ROV.
+fn parse_fraction_knob(name: &str, value: Option<&str>, default: f64) -> Result<f64, String> {
+    match value.map(str::trim) {
+        None | Some("") => Ok(default),
+        Some(raw) => match raw.parse::<f64>() {
+            Ok(fraction) if (0.0..=1.0).contains(&fraction) => Ok(fraction),
+            _ => Err(format!("{name} must be a fraction in [0, 1], got {raw:?}")),
+        },
+    }
+}
+
 /// Read `name` from the environment and hand it to `parse`, turning a
 /// parse error into a panic with the parser's message — a malformed knob
 /// should stop an experiment run loudly, not silently mislabel it.
@@ -122,8 +162,9 @@ pub fn propagation_split() -> (usize, usize) {
 
 /// Whether the sweep's incremental delta-BFS engine is enabled, from the
 /// `HYBRID_INCREMENTAL` environment variable: unset or empty means on
-/// (the default); only the boolean spellings of [`parse_bool_knob`] are
-/// accepted, anything else is a hard error. The knob never changes the
+/// (the default); only the usual boolean spellings (`1`/`0`, `true`/
+/// `false`, `on`/`off`, `yes`/`no`) are accepted, anything else is a
+/// hard error. The knob never changes the
 /// measured numbers — curve, coverage, census are byte-identical either
 /// way; only the opt-in `sweep_stats` execution counters (which describe
 /// *how* the sweep ran) reflect it.
@@ -169,15 +210,39 @@ pub fn configured_csr() -> bool {
     env_knob("HYBRID_CSR", |v| parse_bool_knob("HYBRID_CSR", v, true))
 }
 
+/// The adversarial scenario the experiment bins propagate under, from
+/// the `HYBRID_SCENARIO` environment variable: unset or empty means
+/// `classic` (the well-behaved Gao–Rexford policy); `leak`,
+/// `prefix-hijack` and `subprefix-hijack` select the attack scenarios
+/// (see [`routesim::PolicyScenario`]), anything else is a hard error.
+/// An **output** knob: non-classic scenarios change the routes and the
+/// report — byte-identically at every worker count.
+pub fn configured_scenario() -> routesim::PolicyScenario {
+    env_knob("HYBRID_SCENARIO", |v| parse_scenario_knob("HYBRID_SCENARIO", v))
+}
+
+/// The fraction of ASes deploying the scenario's defensive policy (ROV
+/// against hijacks, ASPA-lite against leaks), from the
+/// `HYBRID_DEPLOYMENT` environment variable: unset or empty means `0`
+/// (no defence); anything else must be a float in `[0, 1]`. Like
+/// `HYBRID_SCENARIO`, an output knob that is invisible to worker counts
+/// (deployment is sampled per AS from a dedicated seed).
+pub fn configured_deployment() -> f64 {
+    env_knob("HYBRID_DEPLOYMENT", |v| parse_fraction_knob("HYBRID_DEPLOYMENT", v, 0.0))
+}
+
 /// The pipeline execution options the env knobs resolve to — the single
-/// place `HYBRID_THREADS`, `HYBRID_FRONTIER`, `HYBRID_SCHEDULING` and
-/// `HYBRID_CSR` become a [`PipelineOptions`] (the sweep knobs ride
-/// separately via [`configured_sweep`]).
+/// place `HYBRID_THREADS`, `HYBRID_FRONTIER`, `HYBRID_SCHEDULING`,
+/// `HYBRID_CSR`, `HYBRID_SCENARIO` and `HYBRID_DEPLOYMENT` become a
+/// [`PipelineOptions`] (the sweep knobs ride separately via
+/// [`configured_sweep`]).
 fn configured_options() -> PipelineOptions {
     PipelineOptions::with_concurrency(configured_concurrency())
         .with_frontier(configured_frontier())
         .with_scheduling(configured_scheduling())
         .with_csr(configured_csr())
+        .with_scenario(configured_scenario())
+        .with_deployment(configured_deployment())
 }
 
 /// Apply `HYBRID_THREADS`, `HYBRID_FRONTIER` and `HYBRID_SCHEDULING` to
@@ -282,8 +347,14 @@ where
             small = true;
         } else if arg == "--scale" {
             i += 1;
-            let value =
-                args.get(i).ok_or_else(|| "--scale needs a value: 10k, 50k or 100k".to_string())?;
+            // Missing value is a hard error naming the flag — both when
+            // `--scale` is the final token and when the next token is
+            // another `--flag` (which would otherwise be swallowed as the
+            // value and rejected with a misleading message).
+            let value = args
+                .get(i)
+                .filter(|v| !v.starts_with("--"))
+                .ok_or_else(|| "--scale needs a value: 10k, 50k or 100k".to_string())?;
             scale = Some(parse_scale_value(value)?);
         } else if let Some(value) = arg.strip_prefix("--scale=") {
             scale = Some(parse_scale_value(value)?);
@@ -412,6 +483,135 @@ pub fn collector_sensitivity(
             )
         })
         .collect()
+}
+
+/// The adversarial scenarios the distortion experiment iterates over, in
+/// display order (classic first, as the undistorted reference row).
+pub const ADVERSARIAL_SCENARIOS: [routesim::PolicyScenario; 4] = [
+    routesim::PolicyScenario::Classic,
+    routesim::PolicyScenario::RouteLeak,
+    routesim::PolicyScenario::PrefixHijack,
+    routesim::PolicyScenario::SubprefixHijack,
+];
+
+/// One row of [`leak_distortion`]: what the inference pipeline sees when
+/// the simulated Internet misbehaves under `scenario` with no defensive
+/// deployment.
+#[derive(Debug, Clone)]
+pub struct ScenarioDistortion {
+    /// The scenario this row propagated under (deployment pinned to 0).
+    pub scenario: routesim::PolicyScenario,
+    /// Gao baseline accuracy against ground truth on the IPv4 plane.
+    pub baseline_v4: InferenceAccuracy,
+    /// Gao baseline accuracy against ground truth on the IPv6 plane.
+    pub baseline_v6: InferenceAccuracy,
+    /// Hybrid links the pipeline detected.
+    pub hybrids_detected: usize,
+    /// Detected hybrids whose relationship pair matches the ground truth
+    /// (the precision numerator; under the classic scenario communities
+    /// never lie, so every detection is correct).
+    pub hybrids_correct: usize,
+    /// Valley fraction of classifiable IPv6 paths.
+    pub valley_fraction: f64,
+}
+
+impl ScenarioDistortion {
+    /// Fraction of detected hybrids that agree with the ground truth
+    /// (`1.0` when nothing was detected — no detections, no errors).
+    pub fn hybrid_precision(&self) -> f64 {
+        if self.hybrids_detected == 0 {
+            1.0
+        } else {
+            self.hybrids_correct as f64 / self.hybrids_detected as f64
+        }
+    }
+}
+
+/// Adversarial distortion experiment: run the full inference pipeline
+/// against every [`ADVERSARIAL_SCENARIOS`] member (undefended —
+/// deployment 0) and measure how far the inferred relationships drift
+/// from the ground truth. The rows pin `policy_scenario` and
+/// `policy_deployment` explicitly, so the output is identical whatever
+/// `HYBRID_SCENARIO`/`HYBRID_DEPLOYMENT` say — the bin *is* the sweep.
+pub fn leak_distortion(scale: &ExperimentScale) -> Vec<ScenarioDistortion> {
+    let mut pool = scenario_pool(scale);
+    ADVERSARIAL_SCENARIOS
+        .iter()
+        .map(|&scenario_kind| {
+            let scenario = pool.scenario_with(|sim| {
+                sim.policy_scenario = scenario_kind;
+                sim.policy_deployment = 0.0;
+            });
+            let report = run_measurement(&scenario);
+            let hybrids_correct = report
+                .hybrids
+                .findings
+                .iter()
+                .filter(|f| scenario.truth.relationship_pair(f.a, f.b) == Some(f.relationships))
+                .count();
+            ScenarioDistortion {
+                scenario: scenario_kind,
+                baseline_v4: report.baseline_accuracy_v4.expect("simulated runs carry truth"),
+                baseline_v6: report.baseline_accuracy_v6.expect("simulated runs carry truth"),
+                hybrids_detected: report.hybrids.findings.len(),
+                hybrids_correct,
+                valley_fraction: report.valleys.valley_fraction(),
+            }
+        })
+        .collect()
+}
+
+/// One row of [`rov_sweep`]: the pipeline's view of an attacked Internet
+/// at a given defensive-deployment fraction.
+#[derive(Debug, Clone)]
+pub struct DeploymentImpact {
+    /// The attack this row propagated under.
+    pub scenario: routesim::PolicyScenario,
+    /// Fraction of ASes deploying the scenario's defence (ROV against
+    /// hijacks, ASPA-lite against leaks).
+    pub fraction: f64,
+    /// Gao baseline accuracy against ground truth on the IPv6 plane.
+    pub baseline_v6: InferenceAccuracy,
+    /// Hybrid links the pipeline detected.
+    pub hybrids_detected: usize,
+    /// Valley fraction of classifiable IPv6 paths.
+    pub valley_fraction: f64,
+    /// Average valley-free path change after the Figure 2 correction
+    /// sweep (negative = corrections shorten paths).
+    pub avg_path_delta: f64,
+    /// Diameter change after the correction sweep.
+    pub diameter_delta: i64,
+}
+
+/// Defensive-deployment sweep: for each attack scenario, propagate at
+/// every deployment fraction in `fractions` and measure inference
+/// distortion plus the correction sweep's impact. Like
+/// [`leak_distortion`], every row pins the scenario knobs explicitly, so
+/// the environment cannot leak into the output.
+pub fn rov_sweep(scale: &ExperimentScale, fractions: &[f64]) -> Vec<DeploymentImpact> {
+    let mut pool = scenario_pool(scale);
+    let attacks = [routesim::PolicyScenario::SubprefixHijack, routesim::PolicyScenario::RouteLeak];
+    let mut rows = Vec::with_capacity(attacks.len() * fractions.len());
+    for &attack in &attacks {
+        for &fraction in fractions {
+            let scenario = pool.scenario_with(|sim| {
+                sim.policy_scenario = attack;
+                sim.policy_deployment = fraction;
+            });
+            let report = run_measurement_with_impact(&scenario, 5, Some(64));
+            let curve = report.impact.expect("impact sweep requested");
+            rows.push(DeploymentImpact {
+                scenario: attack,
+                fraction,
+                baseline_v6: report.baseline_accuracy_v6.expect("simulated runs carry truth"),
+                hybrids_detected: report.hybrids.findings.len(),
+                valley_fraction: report.valleys.valley_fraction(),
+                avg_path_delta: curve.avg_path_delta(),
+                diameter_delta: curve.diameter_delta(),
+            });
+        }
+    }
+    rows
 }
 
 /// The misinferred (plane-blind) graph of a scenario: the IPv4-derived
@@ -671,6 +871,60 @@ mod tests {
 
         let err = scale_from_argv(["--scale"]).expect_err("missing value rejected");
         assert!(err.contains("--scale"), "{err}");
+    }
+
+    #[test]
+    fn scale_missing_value_is_a_hard_error_naming_the_flag() {
+        // Final-token case: `--scale` with nothing after it.
+        let err = scale_from_argv(["--tiny", "--scale"]).expect_err("missing value rejected");
+        assert!(err.contains("--scale"), "message names the flag: {err}");
+        assert!(err.contains("10k"), "message lists the legal values: {err}");
+        // Followed-by-a-flag case: `--scale --tiny` must be treated as a
+        // missing value, not as the (nonsense) value "--tiny".
+        let err = scale_from_argv(["--scale", "--tiny"]).expect_err("flag is not a value");
+        assert!(err.contains("--scale") && err.contains("10k"), "{err}");
+        assert!(!err.contains("got"), "this is a missing value, not a bad one: {err}");
+    }
+
+    #[test]
+    fn scenario_knob_parses_all_scenarios_and_rejects_everything_else() {
+        use routesim::PolicyScenario;
+        assert_eq!(parse_scenario_knob("HYBRID_SCENARIO", None), Ok(PolicyScenario::Classic));
+        assert_eq!(parse_scenario_knob("HYBRID_SCENARIO", Some("")), Ok(PolicyScenario::Classic));
+        assert_eq!(
+            parse_scenario_knob("HYBRID_SCENARIO", Some("classic")),
+            Ok(PolicyScenario::Classic)
+        );
+        assert_eq!(
+            parse_scenario_knob("HYBRID_SCENARIO", Some(" Leak ")),
+            Ok(PolicyScenario::RouteLeak)
+        );
+        assert_eq!(
+            parse_scenario_knob("HYBRID_SCENARIO", Some("prefix-hijack")),
+            Ok(PolicyScenario::PrefixHijack)
+        );
+        assert_eq!(
+            parse_scenario_knob("HYBRID_SCENARIO", Some("SUBPREFIX-HIJACK")),
+            Ok(PolicyScenario::SubprefixHijack)
+        );
+        let err = parse_scenario_knob("HYBRID_SCENARIO", Some("hijack")).unwrap_err();
+        assert!(err.contains("HYBRID_SCENARIO") && err.contains("hijack"), "{err}");
+        assert!(err.contains("subprefix-hijack"), "message lists the legal values: {err}");
+    }
+
+    #[test]
+    fn fraction_knob_accepts_the_unit_interval_and_rejects_everything_else() {
+        assert_eq!(parse_fraction_knob("HYBRID_DEPLOYMENT", None, 0.0), Ok(0.0));
+        assert_eq!(parse_fraction_knob("HYBRID_DEPLOYMENT", Some(""), 0.0), Ok(0.0));
+        assert_eq!(parse_fraction_knob("HYBRID_DEPLOYMENT", Some("0"), 0.5), Ok(0.0));
+        assert_eq!(parse_fraction_knob("HYBRID_DEPLOYMENT", Some(" 0.5 "), 0.0), Ok(0.5));
+        assert_eq!(parse_fraction_knob("HYBRID_DEPLOYMENT", Some("1"), 0.0), Ok(1.0));
+        for bad in ["0.5x", "-0.1", "1.5", "half", "NaN"] {
+            let err = parse_fraction_knob("HYBRID_DEPLOYMENT", Some(bad), 0.0)
+                .expect_err(&format!("{bad:?} must be rejected"));
+            assert!(err.contains("HYBRID_DEPLOYMENT"), "message names the variable: {err}");
+            assert!(err.contains(bad), "message quotes the value: {err}");
+        }
     }
 
     #[test]

@@ -11,18 +11,23 @@
 //! the diff only when the output change is intended.
 //!
 //! The child environment is pinned (`HYBRID_THREADS`, `HYBRID_FRONTIER`,
-//! `HYBRID_INCREMENTAL`, `HYBRID_REMOVAL_REPAIR`), so the comparison is
-//! reproducible whatever the caller's shell exports — and the second run
-//! flips every knob to prove the bytes do not depend on them. One knob is
-//! deliberately *inherited* rather than pinned: `HYBRID_SCHEDULING` is
-//! forced to `static` only on the flipped run, while the reference run
-//! takes whatever the job environment exports, so a CI matrix leg can
-//! re-prove the goldens under either origin schedule.
+//! `HYBRID_INCREMENTAL`, `HYBRID_REMOVAL_REPAIR`, `HYBRID_DEPLOYMENT`),
+//! so the comparison is reproducible whatever the caller's shell exports
+//! — and the second run flips every knob to prove the bytes do not
+//! depend on them. Two knobs are deliberately *inherited* rather than
+//! pinned: `HYBRID_SCHEDULING` is forced to `static` only on the flipped
+//! run, while the reference run takes whatever the job environment
+//! exports, so a CI matrix leg can re-prove the goldens under either
+//! origin schedule; and `HYBRID_SCENARIO` is inherited by *both* runs —
+//! a scenario is an output knob, so each scenario leg compares against
+//! its own golden directory (`tests/golden/exp/` for classic, a
+//! `tests/golden/exp/<scenario>/` subdirectory otherwise) and the
+//! worker-knob flip must still reproduce the bytes within the leg.
 
 use std::path::PathBuf;
 use std::process::Command;
 
-/// The nine experiment binaries and their build-time executable paths.
+/// The eleven experiment binaries and their build-time executable paths.
 const BINS: &[(&str, &str)] = &[
     ("exp_a1_baseline_accuracy", env!("CARGO_BIN_EXE_exp_a1_baseline_accuracy")),
     ("exp_a2_coverage_sweep", env!("CARGO_BIN_EXE_exp_a2_coverage_sweep")),
@@ -33,10 +38,23 @@ const BINS: &[(&str, &str)] = &[
     ("exp_e4_valley_paths", env!("CARGO_BIN_EXE_exp_e4_valley_paths")),
     ("exp_f1_customer_tree_example", env!("CARGO_BIN_EXE_exp_f1_customer_tree_example")),
     ("exp_f2_customer_tree_sweep", env!("CARGO_BIN_EXE_exp_f2_customer_tree_sweep")),
+    ("exp_leak_distortion", env!("CARGO_BIN_EXE_exp_leak_distortion")),
+    ("exp_rov_sweep", env!("CARGO_BIN_EXE_exp_rov_sweep")),
 ];
 
+/// The golden directory for the active scenario leg: the classic
+/// (default) scenario owns `tests/golden/exp/` itself, so the goldens
+/// that predate the scenario suite keep their paths; every other
+/// scenario compares against its own subdirectory, named after the
+/// `HYBRID_SCENARIO` spelling CI exports (`leak`, `subprefix-hijack`).
 fn golden_dir() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/exp")
+    let base = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/exp");
+    match std::env::var("HYBRID_SCENARIO") {
+        Ok(scenario) if !scenario.is_empty() && !scenario.eq_ignore_ascii_case("classic") => {
+            base.join(scenario.to_ascii_lowercase())
+        }
+        _ => base,
+    }
 }
 
 /// Run one binary at `--tiny` scale under the given execution knobs and
@@ -56,7 +74,11 @@ fn run_tiny(
         .env("HYBRID_THREADS", threads)
         .env("HYBRID_FRONTIER", frontier)
         .env("HYBRID_INCREMENTAL", incremental)
-        .env("HYBRID_REMOVAL_REPAIR", "0");
+        .env("HYBRID_REMOVAL_REPAIR", "0")
+        // Pinned to "no defence": the scenario legs exercise the attack
+        // itself; the deployment sweep has its own bin and goldens.
+        // HYBRID_SCENARIO is deliberately inherited (see the module doc).
+        .env("HYBRID_DEPLOYMENT", "");
     if let Some(scheduling) = scheduling {
         command.env("HYBRID_SCHEDULING", scheduling);
     }

@@ -104,7 +104,7 @@ impl PipelineInput {
 /// knob — every worker count produces byte-identical reports (the
 /// determinism suite runs the same seeds at `concurrency` 1, 2 and 8 and
 /// compares the JSON byte-for-byte).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PipelineOptions {
     /// Worker threads for the parallel sections: `0` uses all available
     /// parallelism (the default), `1` is the fully sequential path.
@@ -139,6 +139,20 @@ pub struct PipelineOptions {
     /// `PipelineOptions::default()` carries; like `concurrency`, the knob
     /// never changes the report bytes.
     pub sweep: SweepOptions,
+    /// The adversarial scenario any scenario built on this pipeline's
+    /// behalf propagates under (see [`routesim::PolicyScenario`]).
+    /// Resolved into `SimConfig::policy_scenario` by
+    /// [`configure_sim`](Self::configure_sim). Unlike every knob above,
+    /// this is an **output** knob: a non-default scenario changes the
+    /// routes, so it changes the report — but it must stay invisible to
+    /// worker counts (the determinism matrix pins that).
+    pub policy_scenario: routesim::PolicyScenario,
+    /// The fraction of ASes deploying the scenario's defensive policy
+    /// (ROV / ASPA-lite), in `[0, 1]`. Resolved into
+    /// `SimConfig::policy_deployment` by
+    /// [`configure_sim`](Self::configure_sim). An output knob, like
+    /// [`policy_scenario`](Self::policy_scenario).
+    pub policy_deployment: f64,
 }
 
 impl Default for PipelineOptions {
@@ -149,6 +163,8 @@ impl Default for PipelineOptions {
             scheduling: routesim::OriginScheduling::default(),
             csr: true,
             sweep: SweepOptions::default(),
+            policy_scenario: routesim::PolicyScenario::default(),
+            policy_deployment: 0.0,
         }
     }
 }
@@ -193,6 +209,16 @@ impl PipelineOptions {
         PipelineOptions { csr, ..self }
     }
 
+    /// These options with the given adversarial scenario.
+    pub fn with_scenario(self, policy_scenario: routesim::PolicyScenario) -> Self {
+        PipelineOptions { policy_scenario, ..self }
+    }
+
+    /// These options with the given defensive-deployment fraction.
+    pub fn with_deployment(self, policy_deployment: f64) -> Self {
+        PipelineOptions { policy_deployment, ..self }
+    }
+
     /// The worker count these options resolve to (`0` = all cores).
     pub fn workers(&self) -> usize {
         routesim::effective_concurrency(self.concurrency)
@@ -206,15 +232,17 @@ impl PipelineOptions {
 
     /// Stamp these options onto a simulator configuration so a scenario
     /// built for this pipeline run propagates under the same worker
-    /// budget, frontier split, origin schedule and graph backend. Only
-    /// knobs the configuration leaves at their *default values* are
-    /// overwritten (`concurrency == 0`, `frontier_concurrency == 1`,
-    /// `scheduling == Degree`, `csr == true`); any other value is kept.
-    /// Note the defaults double as the "unpinned" sentinels: a caller
-    /// that wants `concurrency = 0` (all cores), `frontier_concurrency =
-    /// 1` (sequential scans), degree-aware scheduling or the CSR backend
-    /// *regardless of these options* must set them after this call, not
-    /// before.
+    /// budget, frontier split, origin schedule, graph backend and
+    /// adversarial scenario. Only knobs the configuration leaves at their
+    /// *default values* are overwritten (`concurrency == 0`,
+    /// `frontier_concurrency == 1`, `scheduling == Degree`, `csr ==
+    /// true`, `policy_scenario == Classic`, `policy_deployment == 0.0`);
+    /// any other value is kept. Note the defaults double as the
+    /// "unpinned" sentinels: a caller that wants `concurrency = 0` (all
+    /// cores), `frontier_concurrency = 1` (sequential scans), degree-aware
+    /// scheduling, the CSR backend, the classic policy or a zero
+    /// deployment *regardless of these options* must set them after this
+    /// call, not before.
     pub fn configure_sim(&self, mut sim: routesim::SimConfig) -> routesim::SimConfig {
         if sim.concurrency == 0 {
             sim.concurrency = self.concurrency;
@@ -227,6 +255,12 @@ impl PipelineOptions {
         }
         if sim.csr {
             sim.csr = self.csr;
+        }
+        if sim.policy_scenario == routesim::PolicyScenario::Classic {
+            sim.policy_scenario = self.policy_scenario;
+        }
+        if sim.policy_deployment == 0.0 {
+            sim.policy_deployment = self.policy_deployment;
         }
         sim
     }
@@ -427,6 +461,11 @@ impl Pipeline {
             sweep_stats,
             baseline_accuracy_v4,
             baseline_accuracy_v6,
+            // Recorded only off the classic default so classic reports —
+            // including every pre-scenario golden snapshot — keep their
+            // exact bytes.
+            policy_scenario: (self.options.policy_scenario != routesim::PolicyScenario::Classic)
+                .then_some(self.options.policy_scenario),
         }
     }
 }
@@ -620,6 +659,27 @@ mod tests {
         let pinned = SimConfig::small().with_csr(false);
         let kept = PipelineOptions::default().configure_sim(pinned);
         assert!(!kept.csr);
+    }
+
+    #[test]
+    fn scenario_knobs_resolve_and_stamp_unpinned_sim_configs() {
+        use routesim::PolicyScenario;
+        assert_eq!(PipelineOptions::default().policy_scenario, PolicyScenario::Classic);
+        assert_eq!(PipelineOptions::default().policy_deployment, 0.0);
+        let options = PipelineOptions::default()
+            .with_scenario(PolicyScenario::RouteLeak)
+            .with_deployment(0.5);
+        // An unpinned sim config takes the pipeline's scenario ...
+        let sim = options.configure_sim(SimConfig::small());
+        assert_eq!(sim.policy_scenario, PolicyScenario::RouteLeak);
+        assert_eq!(sim.policy_deployment, 0.5);
+        // ... a pinned one is kept (Classic / 0.0 are the unpinned
+        // sentinels, so any other value survives the stamp).
+        let pinned =
+            SimConfig::small().with_scenario(PolicyScenario::SubprefixHijack).with_deployment(0.25);
+        let kept = options.configure_sim(pinned);
+        assert_eq!(kept.policy_scenario, PolicyScenario::SubprefixHijack);
+        assert_eq!(kept.policy_deployment, 0.25);
     }
 
     #[test]

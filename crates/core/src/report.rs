@@ -84,6 +84,13 @@ pub struct Report {
     pub baseline_accuracy_v4: Option<InferenceAccuracy>,
     /// A1: baseline accuracy on the IPv6 plane.
     pub baseline_accuracy_v6: Option<InferenceAccuracy>,
+    /// The adversarial scenario the pipeline's execution options carried
+    /// (`PipelineOptions::policy_scenario`), recorded when it is not the
+    /// classic default. The key is omitted from the JSON under the
+    /// classic policy, so pre-existing report snapshots and the
+    /// determinism contract are untouched.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub policy_scenario: Option<routesim::PolicyScenario>,
 }
 
 impl Report {
@@ -96,6 +103,9 @@ impl Report {
 
 impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(scenario) = self.policy_scenario {
+            writeln!(f, "Adversarial scenario:     {scenario:?}")?;
+        }
         let d = &self.dataset;
         writeln!(f, "== Dataset (E1) ==")?;
         writeln!(f, "IPv6 AS paths (distinct): {}", d.ipv6_paths)?;
@@ -257,6 +267,29 @@ mod tests {
         assert!(text.contains("-1.57"));
         assert!(text.contains("diameter -4"));
         assert!(text.contains("Gao"));
+    }
+
+    #[test]
+    fn policy_scenario_is_omitted_when_classic_and_round_trips_when_present() {
+        // Absent (classic): no key, no display line — pre-scenario report
+        // snapshots keep their exact bytes.
+        let plain = Report::default();
+        assert!(plain.policy_scenario.is_none());
+        assert!(!plain.to_json().contains("policy_scenario"));
+        assert!(!plain.to_string().contains("Adversarial scenario"));
+        let back: Report = serde_json::from_str(&plain.to_json()).unwrap();
+        assert!(back.policy_scenario.is_none());
+
+        // Present: serialized, displayed, and round-tripped.
+        let report = Report {
+            policy_scenario: Some(routesim::PolicyScenario::RouteLeak),
+            ..Default::default()
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"policy_scenario\": \"RouteLeak\""));
+        let back: Report = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.policy_scenario, report.policy_scenario);
+        assert!(report.to_string().contains("Adversarial scenario:     RouteLeak"));
     }
 
     #[test]

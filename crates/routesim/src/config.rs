@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::policy::PolicyScenario;
 use crate::propagate::OriginScheduling;
 
 /// All knobs of the route-propagation and measurement-visibility model.
@@ -94,6 +95,21 @@ pub struct SimConfig {
     /// origins. Unlike the worker knobs this *changes the output* — it is
     /// part of the scenario's output identity, not an execution detail.
     pub origin_sample: usize,
+
+    /// The adversarial scenario propagation runs under (see
+    /// [`PolicyScenario`]): the classic valley-free walk by default, or a
+    /// deterministic route leak / (sub)prefix hijack. Like
+    /// `origin_sample` this *changes the output* and is part of the
+    /// scenario's output identity.
+    pub policy_scenario: PolicyScenario,
+
+    /// Fraction of ASes (in `[0, 1]`) that deploy the scenario's
+    /// defensive policy — ASPA-lite against route leaks, ROV against
+    /// hijacks — sampled deterministically per AS from the simulation
+    /// seed (see [`crate::policy::PolicyDeployment`]). `0` (the default)
+    /// deploys nowhere; inert under the classic scenario. Output
+    /// identity, not an execution detail.
+    pub policy_deployment: f64,
 }
 
 impl Default for SimConfig {
@@ -118,6 +134,8 @@ impl Default for SimConfig {
             scheduling: OriginScheduling::default(),
             csr: true,
             origin_sample: 0,
+            policy_scenario: PolicyScenario::default(),
+            policy_deployment: 0.0,
         }
     }
 }
@@ -157,6 +175,16 @@ impl SimConfig {
         SimConfig { origin_sample, ..self }
     }
 
+    /// The same configuration pinned to an adversarial scenario.
+    pub fn with_scenario(self, policy_scenario: PolicyScenario) -> Self {
+        SimConfig { policy_scenario, ..self }
+    }
+
+    /// The same configuration pinned to a defensive deployment fraction.
+    pub fn with_deployment(self, policy_deployment: f64) -> Self {
+        SimConfig { policy_deployment, ..self }
+    }
+
     /// The worker count this configuration resolves to (`0` = all cores).
     pub fn effective_concurrency(&self) -> usize {
         crate::shard::effective_concurrency(self.concurrency)
@@ -193,6 +221,7 @@ impl SimConfig {
             ("community_scrub_probability", self.community_scrub_probability),
             ("leak_probability", self.leak_probability),
             ("full_feeder_fraction", self.full_feeder_fraction),
+            ("policy_deployment", self.policy_deployment),
         ] {
             if !(0.0..=1.0).contains(&p) {
                 return Err(format!("{name} must be within [0, 1], got {p}"));
@@ -240,6 +269,20 @@ mod tests {
         assert!(!pinned.csr);
         assert_eq!(pinned.origin_sample, 16);
         assert!(pinned.validate().is_ok());
+    }
+
+    #[test]
+    fn scenario_knobs_default_pin_and_validate() {
+        let sim = SimConfig::default();
+        assert_eq!(sim.policy_scenario, PolicyScenario::Classic, "default stays classic");
+        assert_eq!(sim.policy_deployment, 0.0, "default deploys nowhere");
+        let pinned =
+            SimConfig::small().with_scenario(PolicyScenario::RouteLeak).with_deployment(0.5);
+        assert_eq!(pinned.policy_scenario, PolicyScenario::RouteLeak);
+        assert_eq!(pinned.policy_deployment, 0.5);
+        assert!(pinned.validate().is_ok());
+        let bad = SimConfig { policy_deployment: 1.5, ..SimConfig::default() };
+        assert!(bad.validate().unwrap_err().contains("policy_deployment"));
     }
 
     #[test]

@@ -24,7 +24,12 @@
 //!    to MRT TABLE_DUMP_V2 files via the `mrt` crate;
 //! 5. documents a configurable subset of community schemes in a synthetic
 //!    IRR registry, which the inference pipeline later parses — the same
-//!    partial-knowledge situation the paper faces.
+//!    partial-knowledge situation the paper faces;
+//! 6. optionally runs an **adversarial scenario** ([`PolicyScenario`]):
+//!    a deterministic route leak or (sub)prefix hijack, against a
+//!    partially deployed defensive policy (ROV / ASPA-lite, sampled per
+//!    AS by [`PolicyDeployment`]) — the per-AS route decision dispatches
+//!    through [`policy::PolicyEngine`] at every adoption point.
 //!
 //! The top-level entry point is [`scenario::Scenario::build`], which runs
 //! all of the above and returns everything an experiment needs.
@@ -42,10 +47,13 @@ pub mod shard;
 
 pub use collector::{CollectorSetup, FeederKind};
 pub use config::SimConfig;
-pub use policy::{AsPolicy, PolicyTable};
+pub use policy::{
+    AsPolicy, AspaLitePolicy, ClassicPolicy, Policy, PolicyDeployment, PolicyEngine, PolicyModel,
+    PolicyScenario, PolicyTable, RovPolicy,
+};
 pub use propagate::{
-    propagate_origin, propagate_origins, OriginScheduling, PropagationOptions, RouteClass,
-    RoutingOutcome,
+    propagate_origin, propagate_origin_with, propagate_origins, OriginScheduling,
+    PropagationOptions, RouteClass, RouteInfo, RouteTaint, RoutingOutcome,
 };
 pub use scenario::{PropagationCache, Scenario, ScenarioPool, PROPAGATION_LRU_CAPACITY};
 pub use shard::{effective_concurrency, shard_frontier, shard_map, shard_map_lpt, shard_map_owned};

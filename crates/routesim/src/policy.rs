@@ -1,17 +1,23 @@
 //! Per-AS routing policies: LocPrf bases, community schemes, tagging and
-//! scrubbing behaviour.
+//! scrubbing behaviour — plus the route-decision policy engine that lets
+//! the propagation core dispatch acceptance per AS under adversarial
+//! scenarios (route leaks, prefix hijacks) and defensive deployments
+//! (ROV, ASPA-lite).
 
 use std::collections::HashMap;
 
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
 
-use bgp_types::{Asn, Relationship};
+use asgraph::{AsGraph, NodeId};
+use bgp_types::{Asn, IpVersion, Relationship};
 use irr::{CommunityScheme, RelationshipTag, SchemeGenerator};
 use topogen::{GroundTruth, PlannedTier};
 
 use crate::config::SimConfig;
+use crate::propagate::RouteInfo;
 
 /// The LocPrf values an AS assigns to routes by the relationship class of
 /// the neighbor it learned them from. Real ASes use wildly different
@@ -225,6 +231,277 @@ impl PolicyTable {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Route-decision policy engine
+// ---------------------------------------------------------------------------
+
+/// The adversarial scenario a propagation runs under. `Classic` is the
+/// paper's model — every AS runs the valley-free Gao–Rexford export
+/// policy — and the default; the others inject one structural deviation
+/// each, chosen deterministically from the graph (see
+/// [`PolicyEngine::build`]), so the same configuration always produces
+/// the same bytes at every worker count.
+///
+/// Unlike the worker knobs this *changes the output*: it is part of the
+/// scenario's output identity, not an execution detail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum PolicyScenario {
+    /// Every AS runs the classic valley-free walk (the default).
+    #[default]
+    Classic,
+    /// A chosen AS re-exports its peer-/provider-learned routes to peers
+    /// and providers (a full-table route leak), and the leaked routes
+    /// spread downhill from the adopters.
+    RouteLeak,
+    /// An attacker AS originates the victim's exact prefix; every AS
+    /// picks between the two origins by the ordinary route preference.
+    PrefixHijack,
+    /// An attacker AS originates a more-specific subprefix of the
+    /// victim's prefix; longest-prefix match means the attacker's route
+    /// wins wherever it is heard at all.
+    SubprefixHijack,
+}
+
+/// Deterministic per-AS sampler for partial defensive-policy deployment.
+///
+/// Each AS's draw is an independent ChaCha8 stream seeded from the
+/// deployment seed and its own ASN, so whether an AS deploys never
+/// depends on iteration order or worker count — the deployment pattern
+/// is a pure function of `(fraction, seed, asn)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyDeployment {
+    /// Fraction of ASes that deploy the scenario's defensive policy,
+    /// in `[0, 1]`. `0` (the default) deploys nowhere, `1` everywhere.
+    pub fraction: f64,
+    /// Seed mixed with each ASN for the per-AS deployment draw.
+    pub seed: u64,
+}
+
+impl Default for PolicyDeployment {
+    fn default() -> Self {
+        PolicyDeployment { fraction: 0.0, seed: 0 }
+    }
+}
+
+impl PolicyDeployment {
+    /// Does `asn` deploy the defensive policy under this sampling plan?
+    pub fn deploys(&self, asn: Asn) -> bool {
+        if self.fraction <= 0.0 {
+            return false;
+        }
+        if self.fraction >= 1.0 {
+            return true;
+        }
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(self.seed ^ (u64::from(asn.value()) << 16) ^ 0x6465_706c);
+        rng.gen_bool(self.fraction)
+    }
+}
+
+/// The per-AS route-acceptance decision: given a candidate route, may
+/// this AS install it? The propagation core consults this at every
+/// adoption point, so a policy can veto routes whatever phase delivers
+/// them. Implementations must be pure — acceptance may depend only on
+/// the candidate — to keep propagation deterministic and cacheable.
+pub trait PolicyModel {
+    /// True when the AS accepts (installs) `candidate`.
+    fn accepts(&self, candidate: &RouteInfo) -> bool;
+}
+
+/// The classic Gao–Rexford acceptor: installs everything the export
+/// rules deliver (the pre-refactor behaviour).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClassicPolicy;
+
+impl PolicyModel for ClassicPolicy {
+    fn accepts(&self, _candidate: &RouteInfo) -> bool {
+        true
+    }
+}
+
+/// Route-origin validation: rejects candidates whose origin is a hijack
+/// (the [`crate::propagate::RouteTaint::hijacked`] bit), modelling an AS that drops
+/// RPKI-invalid announcements.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RovPolicy;
+
+impl PolicyModel for RovPolicy {
+    fn accepts(&self, candidate: &RouteInfo) -> bool {
+        !candidate.taint.hijacked
+    }
+}
+
+/// ASPA-lite path validation: rejects candidates that traversed a route
+/// leak (the [`crate::propagate::RouteTaint::leaked`] bit), modelling provider-set
+/// verification of the upstream path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AspaLitePolicy;
+
+impl PolicyModel for AspaLitePolicy {
+    fn accepts(&self, candidate: &RouteInfo) -> bool {
+        !candidate.taint.leaked
+    }
+}
+
+/// One AS's route-decision policy, enum-dispatched so the frozen-CSR hot
+/// path stays free of virtual calls: each variant forwards to its
+/// [`PolicyModel`] implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Policy {
+    /// The classic valley-free acceptor ([`ClassicPolicy`]).
+    #[default]
+    Classic,
+    /// Route-origin validation ([`RovPolicy`]).
+    Rov,
+    /// ASPA-lite path validation ([`AspaLitePolicy`]).
+    AspaLite,
+}
+
+impl Policy {
+    /// Dispatch [`PolicyModel::accepts`] for this policy.
+    pub fn accepts(self, candidate: &RouteInfo) -> bool {
+        match self {
+            Policy::Classic => ClassicPolicy.accepts(candidate),
+            Policy::Rov => RovPolicy.accepts(candidate),
+            Policy::AspaLite => AspaLitePolicy.accepts(candidate),
+        }
+    }
+}
+
+fn plane_slot(plane: IpVersion) -> usize {
+    match plane {
+        IpVersion::V4 => 0,
+        IpVersion::V6 => 1,
+    }
+}
+
+/// Everything the propagation core needs to run one scenario: the per-AS
+/// policy assignment plus the structurally chosen attacker and leaker
+/// nodes. Built once per propagation batch and shared read-only across
+/// the origin workers — plain data, so sharing it cannot perturb
+/// determinism.
+#[derive(Debug, Clone)]
+pub struct PolicyEngine {
+    scenario: PolicyScenario,
+    /// Per-node policy, indexed by `NodeId`; empty means "everyone runs
+    /// `Policy::Classic`" and keeps the hot path allocation-free.
+    policies: Vec<Policy>,
+    attacker: [Option<NodeId>; 2],
+    leaker: [Option<NodeId>; 2],
+}
+
+impl PolicyEngine {
+    /// The engine of the default scenario: every AS classic, no attacker,
+    /// no leaker. Propagating under this engine reproduces the
+    /// pre-refactor walk bit for bit.
+    pub fn classic() -> Self {
+        PolicyEngine {
+            scenario: PolicyScenario::Classic,
+            policies: Vec::new(),
+            attacker: [None; 2],
+            leaker: [None; 2],
+        }
+    }
+
+    /// Build the engine for `scenario` over `graph`.
+    ///
+    /// The attacker (hijack scenarios) is the highest-degree AS of each
+    /// plane, the leaker ([`PolicyScenario::RouteLeak`]) the
+    /// highest-degree AS that has at least one provider — both with ties
+    /// broken towards the lowest ASN, a purely structural choice that
+    /// ignores the deployment seed. The defensive policy —
+    /// [`Policy::AspaLite`] against leaks, [`Policy::Rov`] against
+    /// hijacks — is assigned to the ASes `deployment` samples.
+    pub fn build(graph: &AsGraph, scenario: PolicyScenario, deployment: PolicyDeployment) -> Self {
+        if scenario == PolicyScenario::Classic {
+            return PolicyEngine::classic();
+        }
+        let defense = match scenario {
+            PolicyScenario::RouteLeak => Policy::AspaLite,
+            _ => Policy::Rov,
+        };
+        let policies = if deployment.fraction > 0.0 {
+            let mut table = vec![Policy::Classic; graph.node_count()];
+            for asn in graph.asns() {
+                if deployment.deploys(asn) {
+                    if let Some(node) = graph.node(asn) {
+                        table[node.index()] = defense;
+                    }
+                }
+            }
+            table
+        } else {
+            Vec::new()
+        };
+        let mut attacker = [None; 2];
+        let mut leaker = [None; 2];
+        for plane in IpVersion::BOTH {
+            let slot = plane_slot(plane);
+            attacker[slot] = highest_degree_node(graph, plane, false);
+            leaker[slot] = highest_degree_node(graph, plane, true);
+        }
+        PolicyEngine { scenario, policies, attacker, leaker }
+    }
+
+    /// The scenario this engine runs.
+    pub fn scenario(&self) -> PolicyScenario {
+        self.scenario
+    }
+
+    /// The policy assigned to `node`.
+    pub fn policy_of(&self, node: NodeId) -> Policy {
+        self.policies.get(node.index()).copied().unwrap_or(Policy::Classic)
+    }
+
+    /// May `node` install `candidate`? The all-classic fast path answers
+    /// without touching the table.
+    #[inline]
+    pub fn accepts(&self, node: NodeId, candidate: &RouteInfo) -> bool {
+        if self.policies.is_empty() {
+            return true;
+        }
+        self.policy_of(node).accepts(candidate)
+    }
+
+    /// The hijack-scenario attacker on `plane`, if the plane has one.
+    pub fn attacker(&self, plane: IpVersion) -> Option<NodeId> {
+        self.attacker[plane_slot(plane)]
+    }
+
+    /// The route-leak leaker on `plane`, if the plane has one.
+    pub fn leaker(&self, plane: IpVersion) -> Option<NodeId> {
+        self.leaker[plane_slot(plane)]
+    }
+}
+
+/// The highest-degree node of `plane` (ties to the lowest ASN), or the
+/// highest-degree node that has a provider when `needs_provider` — the
+/// deterministic structural pick for attackers and leakers. Nodes absent
+/// from the plane are never picked.
+fn highest_degree_node(graph: &AsGraph, plane: IpVersion, needs_provider: bool) -> Option<NodeId> {
+    let mut asns: Vec<Asn> = graph.asns().collect();
+    asns.sort();
+    let mut best: Option<(usize, NodeId)> = None;
+    for asn in asns {
+        let degree = graph.degree(asn, plane);
+        if degree == 0 {
+            continue;
+        }
+        let Some(node) = graph.node(asn) else { continue };
+        if needs_provider
+            && !graph
+                .neighbors_by_id(node, plane)
+                .any(|(_, rel)| rel == Some(Relationship::CustomerToProvider))
+        {
+            continue;
+        }
+        if best.is_none_or(|(d, _)| degree > d) {
+            best = Some((degree, node));
+        }
+    }
+    best.map(|(_, node)| node)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -329,6 +606,124 @@ mod tests {
         let non_tagger = policies.iter().find(|p| !p.tags_relationships).cloned();
         if let Some(non_tagger) = non_tagger {
             assert_eq!(non_tagger.ingress_community(Relationship::ProviderToCustomer), None);
+        }
+    }
+
+    fn tainted(hijacked: bool, leaked: bool) -> RouteInfo {
+        RouteInfo {
+            class: crate::propagate::RouteClass::Provider,
+            path_len: 2,
+            next_hop: NodeId(0),
+            taint: crate::propagate::RouteTaint { hijacked, leaked },
+        }
+    }
+
+    #[test]
+    fn policy_dispatch_matches_the_model_implementations() {
+        for (hijacked, leaked) in [(false, false), (true, false), (false, true), (true, true)] {
+            let candidate = tainted(hijacked, leaked);
+            assert!(Policy::Classic.accepts(&candidate));
+            assert_eq!(Policy::Rov.accepts(&candidate), RovPolicy.accepts(&candidate));
+            assert_eq!(Policy::Rov.accepts(&candidate), !hijacked);
+            assert_eq!(Policy::AspaLite.accepts(&candidate), AspaLitePolicy.accepts(&candidate));
+            assert_eq!(Policy::AspaLite.accepts(&candidate), !leaked);
+        }
+    }
+
+    #[test]
+    fn deployment_sampler_is_deterministic_and_respects_the_bounds() {
+        let half = PolicyDeployment { fraction: 0.5, seed: 9 };
+        let asns: Vec<Asn> = (1u32..=512).map(Asn).collect();
+        let first: Vec<bool> = asns.iter().map(|&a| half.deploys(a)).collect();
+        let second: Vec<bool> = asns.iter().rev().map(|&a| half.deploys(a)).collect();
+        // Same answers whatever order the ASes are asked in.
+        for (i, asn) in asns.iter().enumerate() {
+            assert_eq!(first[i], second[asns.len() - 1 - i], "{asn} flipped");
+        }
+        let deployed = first.iter().filter(|d| **d).count();
+        assert!((100..400).contains(&deployed), "0.5 fraction drew {deployed}/512");
+        // The endpoints are exact, not sampled.
+        let none = PolicyDeployment { fraction: 0.0, seed: 9 };
+        let all = PolicyDeployment { fraction: 1.0, seed: 9 };
+        assert!(asns.iter().all(|&a| !none.deploys(a)));
+        assert!(asns.iter().all(|&a| all.deploys(a)));
+        // A different seed draws a different pattern.
+        let reseeded = PolicyDeployment { fraction: 0.5, seed: 10 };
+        assert!(asns.iter().any(|&a| half.deploys(a) != reseeded.deploys(a)));
+    }
+
+    #[test]
+    fn classic_engine_accepts_everything_and_names_no_adversaries() {
+        let truth = topogen::generate(&TopologyConfig::tiny());
+        let engine = PolicyEngine::build(
+            &truth.graph,
+            PolicyScenario::Classic,
+            PolicyDeployment { fraction: 1.0, seed: 3 },
+        );
+        for plane in IpVersion::BOTH {
+            assert_eq!(engine.attacker(plane), None);
+            assert_eq!(engine.leaker(plane), None);
+        }
+        for id in 0..truth.graph.node_count() as u32 {
+            assert_eq!(engine.policy_of(NodeId(id)), Policy::Classic);
+            assert!(engine.accepts(NodeId(id), &tainted(true, true)));
+        }
+    }
+
+    #[test]
+    fn engine_assigns_the_scenario_defense_to_sampled_ases() {
+        let truth = topogen::generate(&TopologyConfig::tiny());
+        let deployment = PolicyDeployment { fraction: 0.5, seed: 3 };
+        let leak = PolicyEngine::build(&truth.graph, PolicyScenario::RouteLeak, deployment);
+        let hijack = PolicyEngine::build(&truth.graph, PolicyScenario::SubprefixHijack, deployment);
+        let mut defended = 0;
+        for asn in truth.graph.asns() {
+            let node = truth.graph.node(asn).unwrap();
+            let expected = if deployment.deploys(asn) {
+                defended += 1;
+                (Policy::AspaLite, Policy::Rov)
+            } else {
+                (Policy::Classic, Policy::Classic)
+            };
+            assert_eq!((leak.policy_of(node), hijack.policy_of(node)), expected, "{asn}");
+        }
+        assert!(defended > 0, "the fixture must actually deploy somewhere");
+        // Zero deployment keeps the all-classic fast path.
+        let bare = PolicyEngine::build(
+            &truth.graph,
+            PolicyScenario::RouteLeak,
+            PolicyDeployment::default(),
+        );
+        assert!(bare.accepts(NodeId(0), &tainted(true, true)));
+    }
+
+    #[test]
+    fn attacker_and_leaker_are_structural_and_deterministic() {
+        let truth = topogen::generate(&TopologyConfig::tiny());
+        let deployment = PolicyDeployment { fraction: 0.3, seed: 1 };
+        let a = PolicyEngine::build(&truth.graph, PolicyScenario::RouteLeak, deployment);
+        // The picks ignore the deployment seed entirely.
+        let b = PolicyEngine::build(
+            &truth.graph,
+            PolicyScenario::RouteLeak,
+            PolicyDeployment { fraction: 0.9, seed: 77 },
+        );
+        for plane in IpVersion::BOTH {
+            assert_eq!(a.attacker(plane), b.attacker(plane));
+            assert_eq!(a.leaker(plane), b.leaker(plane));
+            let attacker = a.attacker(plane).expect("the fixture has nodes on both planes");
+            let leaker = a.leaker(plane).expect("the fixture has customers on both planes");
+            let attacker_asn = truth.graph.asn(attacker);
+            let leaker_asn = truth.graph.asn(leaker);
+            // The attacker is a (the) highest-degree AS of the plane...
+            let max_degree = truth.graph.asns().map(|x| truth.graph.degree(x, plane)).max();
+            assert_eq!(Some(truth.graph.degree(attacker_asn, plane)), max_degree);
+            // ...and the leaker has a provider to betray.
+            assert!(truth
+                .graph
+                .neighbors_by_id(leaker, plane)
+                .any(|(_, rel)| rel == Some(Relationship::CustomerToProvider)));
+            assert!(truth.graph.degree(leaker_asn, plane) > 0);
         }
     }
 }

@@ -22,6 +22,15 @@
 //!   or provider-learned route to a peer/provider that should not have
 //!   received it.
 //!
+//! On top of the classic walk, every adoption point dispatches through a
+//! per-AS [`PolicyEngine`]: under the
+//! default [`PolicyScenario::Classic`] assignment every AS accepts
+//! everything and the walk reproduces the pre-refactor routes bit for
+//! bit, while the adversarial scenarios (route leak, prefix and
+//! subprefix hijack) seed extra origins or deterministic leaks and let
+//! partially deployed defensive policies (ROV, ASPA-lite) veto the
+//! tainted candidates — see [`propagate_origin_with`].
+//!
 //! Execution is parallel on two levels, both steered by knobs that never
 //! change the selected routes: origins shard across workers
 //! ([`propagate_origins`]), and *within* one origin the Phase 1/3 walks
@@ -40,6 +49,7 @@ use serde::{Deserialize, Serialize};
 use asgraph::{AsGraph, NodeId};
 use bgp_types::{Asn, IpVersion, Relationship};
 
+use crate::policy::{PolicyDeployment, PolicyEngine, PolicyScenario};
 use crate::shard::shard_frontier;
 
 /// How origins are assigned to the workers of [`propagate_origins`].
@@ -86,6 +96,19 @@ impl RouteClass {
     }
 }
 
+/// What a route has been through on its way here. Candidates inherit the
+/// taint of the route their sender selected, so the bits are transitive:
+/// any AS downstream of a hijacked origin or a leaked hop sees them, and
+/// the defensive policies ([`crate::policy::RovPolicy`],
+/// [`crate::policy::AspaLitePolicy`]) key their vetoes off them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RouteTaint {
+    /// The route's origin is a hijacker, not the legitimate holder.
+    pub hijacked: bool,
+    /// The route traversed at least one leaked export.
+    pub leaked: bool,
+}
+
 /// One AS's selected route towards the origin.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RouteInfo {
@@ -96,6 +119,8 @@ pub struct RouteInfo {
     /// The neighbor the route was learned from (towards the origin).
     /// Meaningless for the origin itself.
     pub next_hop: NodeId,
+    /// What the route has been through (hijacked origin, leaked hop).
+    pub taint: RouteTaint,
 }
 
 /// Options controlling the propagation deviations and its execution.
@@ -107,6 +132,13 @@ pub struct PropagationOptions {
     pub leak_probability: f64,
     /// Seed mixed with the origin ASN for the leak draws.
     pub seed: u64,
+    /// The adversarial scenario the walk runs under (see
+    /// [`PolicyScenario`]). Route model, not an execution detail: the
+    /// non-classic scenarios change the selected routes.
+    pub scenario: PolicyScenario,
+    /// Partial deployment of the scenario's defensive policy (see
+    /// [`PolicyDeployment`]). Route model like the scenario itself.
+    pub deployment: PolicyDeployment,
     /// Worker threads for the *within-origin* frontier expansion: each
     /// level of the Phase 1/3 level-synchronous walks and the Phase 2
     /// exporter scan stripe their neighbor scans across this many
@@ -127,6 +159,8 @@ impl Default for PropagationOptions {
             reachability_relaxation: false,
             leak_probability: 0.0,
             seed: 0,
+            scenario: PolicyScenario::default(),
+            deployment: PolicyDeployment::default(),
             frontier_concurrency: 1,
             scheduling: OriginScheduling::default(),
         }
@@ -145,6 +179,16 @@ impl PropagationOptions {
         PropagationOptions { scheduling, ..self }
     }
 
+    /// These options pinned to an adversarial scenario.
+    pub fn with_scenario(self, scenario: PolicyScenario) -> Self {
+        PropagationOptions { scenario, ..self }
+    }
+
+    /// These options pinned to a defensive deployment plan.
+    pub fn with_deployment(self, deployment: PolicyDeployment) -> Self {
+        PropagationOptions { deployment, ..self }
+    }
+
     /// True when `other` selects exactly the same routes: every field
     /// that feeds route selection matches, ignoring the execution-only
     /// `frontier_concurrency` and `scheduling`. The scenario layer's
@@ -159,12 +203,16 @@ impl PropagationOptions {
             reachability_relaxation,
             leak_probability,
             seed,
+            scenario,
+            deployment,
             frontier_concurrency: _,
             scheduling: _,
         } = *self;
         reachability_relaxation == other.reachability_relaxation
             && leak_probability == other.leak_probability
             && seed == other.seed
+            && scenario == other.scenario
+            && deployment == other.deployment
     }
 }
 
@@ -294,24 +342,117 @@ fn level_workers(requested: usize, frontier_len: usize) -> usize {
     requested.min(frontier_len / MIN_FRONTIER_PER_WORKER).max(1)
 }
 
-/// Propagate one origin's prefix over one plane.
+/// Propagate one origin's prefix over one plane, building the scenario's
+/// [`PolicyEngine`] from the options. Batch callers should build the
+/// engine once and use [`propagate_origin_with`] instead —
+/// [`propagate_origins`] does.
 pub fn propagate_origin(
     graph: &AsGraph,
     origin: Asn,
     plane: IpVersion,
     options: &PropagationOptions,
 ) -> RoutingOutcome {
+    let engine = PolicyEngine::build(graph, options.scenario, options.deployment);
+    propagate_origin_with(graph, origin, plane, options, &engine)
+}
+
+/// Propagate one origin's prefix over one plane under a prebuilt
+/// [`PolicyEngine`] (which must match `options.scenario` /
+/// `options.deployment` — [`propagate_origin`] guarantees this).
+///
+/// The scenario decides the seeding:
+///
+/// * `Classic` and `RouteLeak` run the single-source walk from the
+///   origin (`RouteLeak` adds the deterministic leak step);
+/// * `PrefixHijack` seeds the attacker as a second, tainted origin and
+///   lets the ordinary preference order pick the winner per AS;
+/// * `SubprefixHijack` runs the attacker's walk (with the victim
+///   blocked — it knows its own prefix) and the victim's walk
+///   separately, then merges with the attacker winning wherever its
+///   more-specific announcement was heard (longest-prefix match).
+pub fn propagate_origin_with(
+    graph: &AsGraph,
+    origin: Asn,
+    plane: IpVersion,
+    options: &PropagationOptions,
+    engine: &PolicyEngine,
+) -> RoutingOutcome {
     let n = graph.node_count();
-    let mut routes: Vec<Option<RouteInfo>> = vec![None; n];
     let Some(origin_node) = graph.node(origin) else {
-        return RoutingOutcome { origin, plane, routes };
+        return RoutingOutcome { origin, plane, routes: vec![None; n] };
     };
     if graph.degree(origin, plane) == 0 {
         // The origin is not present on this plane at all.
-        return RoutingOutcome { origin, plane, routes };
+        return RoutingOutcome { origin, plane, routes: vec![None; n] };
     }
-    routes[origin_node.index()] =
-        Some(RouteInfo { class: RouteClass::Origin, path_len: 0, next_hop: origin_node });
+    let clean = RouteTaint::default();
+    let hijacked = RouteTaint { hijacked: true, leaked: false };
+    // A node never attacks itself: when the structural pick lands on the
+    // origin, the scenario degenerates to the classic walk for this one
+    // origin.
+    let attacker = match engine.scenario() {
+        PolicyScenario::PrefixHijack | PolicyScenario::SubprefixHijack => {
+            engine.attacker(plane).filter(|&a| a != origin_node)
+        }
+        _ => None,
+    };
+    let routes = match (engine.scenario(), attacker) {
+        (PolicyScenario::SubprefixHijack, Some(attacker)) => {
+            let attacker_routes = run_walk(
+                graph,
+                origin,
+                plane,
+                options,
+                engine,
+                &[(attacker, hijacked)],
+                Some(origin_node),
+            );
+            let victim_routes =
+                run_walk(graph, origin, plane, options, engine, &[(origin_node, clean)], None);
+            attacker_routes
+                .iter()
+                .zip(victim_routes.iter())
+                .enumerate()
+                .map(|(i, (atk, vic))| if i == origin_node.index() { *vic } else { atk.or(*vic) })
+                .collect()
+        }
+        (PolicyScenario::PrefixHijack, Some(attacker)) => run_walk(
+            graph,
+            origin,
+            plane,
+            options,
+            engine,
+            &[(origin_node, clean), (attacker, hijacked)],
+            None,
+        ),
+        _ => run_walk(graph, origin, plane, options, engine, &[(origin_node, clean)], None),
+    };
+    RoutingOutcome { origin, plane, routes }
+}
+
+/// The five-phase walk from `seeds`, with every adoption gated by the
+/// engine's per-AS policy and `blocked` never installing anything
+/// (neither a route nor an export — its prefix knowledge is handled by
+/// the caller). Deterministic at every worker count: the per-target
+/// merges are order-independent minima and every candidate batch is
+/// sorted before it is applied.
+fn run_walk(
+    graph: &AsGraph,
+    origin: Asn,
+    plane: IpVersion,
+    options: &PropagationOptions,
+    engine: &PolicyEngine,
+    seeds: &[(NodeId, RouteTaint)],
+    blocked: Option<NodeId>,
+) -> Vec<Option<RouteInfo>> {
+    let n = graph.node_count();
+    let mut routes: Vec<Option<RouteInfo>> = vec![None; n];
+    for &(seed, taint) in seeds {
+        routes[seed.index()] =
+            Some(RouteInfo { class: RouteClass::Origin, path_len: 0, next_hop: seed, taint });
+    }
+    let admit =
+        |target: NodeId, cand: &RouteInfo| Some(target) != blocked && engine.accepts(target, cand);
     let workers = crate::shard::effective_concurrency(options.frontier_concurrency);
 
     // ---- Phase 1: customer routes (and the origin's siblings) -----------
@@ -323,7 +464,8 @@ pub fn propagate_origin(
     // reaches exactly the fixed point of the old priority-queue walk —
     // while each level's neighbor scan stripes across `workers` threads.
     {
-        let mut frontier: Vec<NodeId> = vec![origin_node];
+        let mut frontier: Vec<NodeId> = seeds.iter().map(|&(seed, _)| seed).collect();
+        frontier.sort_by_key(|seed| seed.0);
         let mut next_frontier = NodeBitSet::new(n);
         let mut next_len: u32 = 0;
         while !frontier.is_empty() {
@@ -346,9 +488,15 @@ pub fn propagate_origin(
             // depend on candidate order, which itself is frontier order at
             // every worker count.
             for (target, sender) in candidates {
-                let cand =
-                    RouteInfo { class: RouteClass::Customer, path_len: next_len, next_hop: sender };
-                if better(&routes[target.index()], &cand, graph, RouteClass::Customer) {
+                let cand = RouteInfo {
+                    class: RouteClass::Customer,
+                    path_len: next_len,
+                    next_hop: sender,
+                    taint: routes[sender.index()].expect("frontier nodes are routed").taint,
+                };
+                if admit(target, &cand)
+                    && better(&routes[target.index()], &cand, graph, RouteClass::Customer)
+                {
                     // A node newly routed at this level joins the next
                     // frontier; later candidates can only improve the
                     // next hop, and the bitset keeps membership a set.
@@ -389,6 +537,7 @@ pub fn propagate_origin(
                             class: RouteClass::Peer,
                             path_len: info.path_len + 1,
                             next_hop: node,
+                            taint: info.taint,
                         },
                     ));
                 }
@@ -397,12 +546,12 @@ pub fn propagate_origin(
         peer_candidates
             .sort_by_key(|(next, cand)| (next.0, cand.path_len, graph.asn(cand.next_hop).value()));
         for (next, cand) in peer_candidates {
-            if better(&routes[next.index()], &cand, graph, RouteClass::Peer) {
+            if admit(next, &cand) && better(&routes[next.index()], &cand, graph, RouteClass::Peer) {
                 routes[next.index()] = Some(cand);
             }
         }
         // Sibling closure for peer routes.
-        sibling_closure(graph, plane, &mut routes, RouteClass::Peer);
+        sibling_closure(graph, plane, &mut routes, RouteClass::Peer, engine, blocked);
     }
 
     // ---- Phase 3: provider routes ------------------------------------------
@@ -448,9 +597,15 @@ pub fn propagate_origin(
                 });
             let next_len = level as u32;
             for (target, sender) in candidates {
-                let cand =
-                    RouteInfo { class: RouteClass::Provider, path_len: next_len, next_hop: sender };
-                if better(&routes[target.index()], &cand, graph, RouteClass::Provider) {
+                let cand = RouteInfo {
+                    class: RouteClass::Provider,
+                    path_len: next_len,
+                    next_hop: sender,
+                    taint: routes[sender.index()].expect("frontier nodes are routed").taint,
+                };
+                if admit(target, &cand)
+                    && better(&routes[target.index()], &cand, graph, RouteClass::Provider)
+                {
                     if routes[target.index()].is_none() {
                         schedule(&mut buckets, next_len as usize, target);
                     }
@@ -458,7 +613,33 @@ pub fn propagate_origin(
                 }
             }
         }
-        sibling_closure(graph, plane, &mut routes, RouteClass::Provider);
+        sibling_closure(graph, plane, &mut routes, RouteClass::Provider, engine, blocked);
+    }
+
+    // ---- Scenario: deterministic route leak -------------------------------------
+    // The chosen leaker re-exports its peer-/provider-learned route to
+    // every peer and provider — a full-table leak — and the adopters pass
+    // it on downhill. Runs between the strict phases and the
+    // probabilistic deviations so the seeded Phase 4/5 draws observe the
+    // post-leak state exactly like any other route.
+    if engine.scenario() == PolicyScenario::RouteLeak {
+        if let Some(leaker) = engine.leaker(plane) {
+            if Some(leaker) != blocked {
+                if let Some(info) = routes[leaker.index()] {
+                    if matches!(info.class, RouteClass::Peer | RouteClass::Provider) {
+                        deterministic_leak(
+                            graph,
+                            plane,
+                            &mut routes,
+                            leaker,
+                            info,
+                            engine,
+                            blocked,
+                        );
+                    }
+                }
+            }
+        }
     }
 
     // ---- Phase 4: route leaks -------------------------------------------------
@@ -493,6 +674,7 @@ pub fn propagate_origin(
                     class: RouteClass::Leaked,
                     path_len: info.path_len + 1,
                     next_hop: node,
+                    taint: RouteTaint { hijacked: info.taint.hijacked, leaked: true },
                 };
                 let adopt = match snapshot[next.index()] {
                     None => true,
@@ -512,7 +694,7 @@ pub fn propagate_origin(
         for (next, cand) in adoptions {
             // Never replace the route of a node that is itself leaking (its
             // exported route was computed from the snapshot).
-            if leakers[next.index()] {
+            if leakers[next.index()] || !admit(next, &cand) {
                 continue;
             }
             let replace = match routes[next.index()] {
@@ -552,7 +734,11 @@ pub fn propagate_origin(
                     class: RouteClass::Relaxed,
                     path_len: current.path_len + 1,
                     next_hop: node,
+                    taint: current.taint,
                 };
+                if !admit(next, &cand) {
+                    continue;
+                }
                 routes[next.index()] = Some(cand);
                 heap.push(Reverse(Candidate {
                     path_len: cand.path_len,
@@ -563,7 +749,94 @@ pub fn propagate_origin(
         }
     }
 
-    RoutingOutcome { origin, plane, routes }
+    routes
+}
+
+/// The [`PolicyScenario::RouteLeak`] step: the leaker exports its
+/// selected peer-/provider-learned route to every peer and provider
+/// (the forbidden directions — customers already received it through the
+/// ordinary Phase 3 export), and the leaked routes then spread downhill
+/// over provider-to-customer and sibling links. An AS adopts a leaked
+/// route only where it looks attractive — it has no route at all, or the
+/// leak is strictly shorter than its provider-learned route — and a node
+/// that adopted never re-adopts, so the spread is monotone and
+/// terminates. Deterministic: every round's candidate batch is sorted by
+/// `(target, path_len, next-hop ASN)` before it is applied, and there is
+/// no RNG anywhere.
+fn deterministic_leak(
+    graph: &AsGraph,
+    plane: IpVersion,
+    routes: &mut [Option<RouteInfo>],
+    leaker: NodeId,
+    info: RouteInfo,
+    engine: &PolicyEngine,
+    blocked: Option<NodeId>,
+) {
+    let leak_adopt = |current: &Option<RouteInfo>, cand: &RouteInfo| match current {
+        None => true,
+        Some(existing) => {
+            existing.class == RouteClass::Provider && cand.path_len < existing.path_len
+        }
+    };
+    let taint = RouteTaint { hijacked: info.taint.hijacked, leaked: true };
+    let mut candidates: Vec<(NodeId, RouteInfo)> = graph
+        .neighbors_by_id(leaker, plane)
+        .filter(|(_, rel)| {
+            matches!(rel, Some(Relationship::CustomerToProvider) | Some(Relationship::PeerToPeer))
+        })
+        .map(|(next, _)| {
+            (
+                next,
+                RouteInfo {
+                    class: RouteClass::Leaked,
+                    path_len: info.path_len + 1,
+                    next_hop: leaker,
+                    taint,
+                },
+            )
+        })
+        .collect();
+    let mut frontier: Vec<NodeId> = Vec::new();
+    while !candidates.is_empty() {
+        candidates
+            .sort_by_key(|(next, cand)| (next.0, cand.path_len, graph.asn(cand.next_hop).value()));
+        frontier.clear();
+        for (next, cand) in candidates.drain(..) {
+            if next == leaker || Some(next) == blocked || !engine.accepts(next, &cand) {
+                continue;
+            }
+            if leak_adopt(&routes[next.index()], &cand) {
+                // First adoption per target wins (the batch is sorted
+                // best-first); an adopter joins the frontier once.
+                if routes[next.index()].map(|r| r.class) != Some(RouteClass::Leaked) {
+                    frontier.push(next);
+                }
+                routes[next.index()] = Some(cand);
+            }
+        }
+        let mut next_candidates: Vec<(NodeId, RouteInfo)> = Vec::new();
+        for &node in &frontier {
+            let Some(adopted) = routes[node.index()] else { continue };
+            for (next, rel) in graph.neighbors_by_id(node, plane) {
+                let carries = matches!(
+                    rel,
+                    Some(Relationship::ProviderToCustomer) | Some(Relationship::SiblingToSibling)
+                );
+                if carries {
+                    next_candidates.push((
+                        next,
+                        RouteInfo {
+                            class: RouteClass::Leaked,
+                            path_len: adopted.path_len + 1,
+                            next_hop: node,
+                            taint: adopted.taint,
+                        },
+                    ));
+                }
+            }
+        }
+        candidates = next_candidates;
+    }
 }
 
 /// Propagate many origins on one plane, sharding the per-origin rounds
@@ -595,15 +868,20 @@ pub fn propagate_origins(
     concurrency: usize,
 ) -> Vec<RoutingOutcome> {
     let workers = crate::shard::effective_concurrency(concurrency);
+    // One engine for the whole batch: the policy assignment and the
+    // attacker/leaker picks depend only on (graph, scenario, deployment),
+    // never on the origin, and sharing the read-only engine across the
+    // workers keeps the per-origin rounds pure.
+    let engine = PolicyEngine::build(graph, options.scenario, options.deployment);
     match options.scheduling {
         OriginScheduling::Degree => crate::shard::shard_map_lpt(
             origins,
             workers,
             |&origin| graph.degree(origin, plane) as u64,
-            |&origin| propagate_origin(graph, origin, plane, options),
+            |&origin| propagate_origin_with(graph, origin, plane, options, &engine),
         ),
         OriginScheduling::Static => crate::shard::shard_map(origins, workers, |&origin| {
-            propagate_origin(graph, origin, plane, options)
+            propagate_origin_with(graph, origin, plane, options, &engine)
         }),
     }
 }
@@ -634,12 +912,15 @@ fn better(
 }
 
 /// Propagate routes of the given class across sibling links (transparent
-/// forwarding within an organisation).
+/// forwarding within an organisation), observing the per-AS policies and
+/// the walk's blocked node like every other adoption point.
 fn sibling_closure(
     graph: &AsGraph,
     plane: IpVersion,
     routes: &mut [Option<RouteInfo>],
     class: RouteClass,
+    engine: &PolicyEngine,
+    blocked: Option<NodeId>,
 ) {
     let mut queue: Vec<NodeId> = (0..routes.len() as u32)
         .map(NodeId)
@@ -651,7 +932,11 @@ fn sibling_closure(
             if rel != Some(Relationship::SiblingToSibling) {
                 continue;
             }
-            let cand = RouteInfo { class, path_len: info.path_len + 1, next_hop: node };
+            let cand =
+                RouteInfo { class, path_len: info.path_len + 1, next_hop: node, taint: info.taint };
+            if Some(next) == blocked || !engine.accepts(next, &cand) {
+                continue;
+            }
             if better(&routes[next.index()], &cand, graph, class) {
                 routes[next.index()] = Some(cand);
                 queue.push(next);
@@ -959,6 +1244,11 @@ mod tests {
             !base.same_route_model(&PropagationOptions { reachability_relaxation: true, ..base })
         );
         assert!(!base.same_route_model(&PropagationOptions { leak_probability: 0.5, ..base }));
+        // The adversarial knobs are route-model fields, not execution
+        // knobs: changing either must invalidate a cached propagation.
+        assert!(!base.same_route_model(&base.with_scenario(PolicyScenario::RouteLeak)));
+        assert!(!base
+            .same_route_model(&base.with_deployment(PolicyDeployment { fraction: 0.5, seed: 0 })));
     }
 
     #[test]
@@ -1014,5 +1304,152 @@ mod tests {
         assert_eq!(outcome.route(&g, Asn(1)).unwrap().class, RouteClass::Customer);
         assert_eq!(outcome.path(&g, Asn(9)).unwrap(), vec![Asn(9), Asn(1), Asn(2), Asn(3)]);
         assert_eq!(outcome.route(&g, Asn(9)).unwrap().class, RouteClass::Provider);
+    }
+
+    // ---- adversarial scenarios -------------------------------------------
+
+    /// Options pinned to `scenario` at the given deployment fraction
+    /// (deployment seed fixed so tests are reproducible).
+    fn scenario_options(scenario: PolicyScenario, fraction: f64) -> PropagationOptions {
+        PropagationOptions::default()
+            .with_scenario(scenario)
+            .with_deployment(PolicyDeployment { fraction, seed: 0xadd5 })
+    }
+
+    #[test]
+    fn route_leak_scenario_injects_tainted_routes_deterministically() {
+        // Origin 1 sells transit to nobody: 1 --c2p--> 2, 2 --p2p-- 3,
+        // 3 --c2p--> 4. Under Gao-Rexford, 3 learns 1's prefix over the
+        // peering but must not re-export it upward, so 4 stays unrouted.
+        // The leaker (3: the highest-degree AS that has a provider)
+        // re-exports the peer route to 4 — a textbook route leak.
+        let mut g = AsGraph::new();
+        g.annotate_both(Asn(2), Asn(1), Relationship::ProviderToCustomer);
+        g.annotate_both(Asn(2), Asn(3), Relationship::PeerToPeer);
+        g.annotate_both(Asn(4), Asn(3), Relationship::ProviderToCustomer);
+        let engine =
+            PolicyEngine::build(&g, PolicyScenario::RouteLeak, PolicyDeployment::default());
+        assert_eq!(engine.leaker(IpVersion::V4), g.node(Asn(3)), "3 is the expected leaker");
+
+        let classic = propagate_origin(&g, Asn(1), IpVersion::V4, &PropagationOptions::default());
+        assert_eq!(classic.route(&g, Asn(4)), None, "valley-free export keeps 4 unrouted");
+
+        let options = scenario_options(PolicyScenario::RouteLeak, 0.0);
+        let leaked = propagate_origin(&g, Asn(1), IpVersion::V4, &options);
+        let route_at_4 = leaked.route(&g, Asn(4)).expect("the leak must reach 4");
+        assert_eq!(route_at_4.class, RouteClass::Leaked);
+        assert!(route_at_4.taint.leaked, "the leaked route carries its taint");
+        // No RNG anywhere in the deterministic leak step: the outcome is
+        // identical run to run.
+        assert_eq!(leaked, propagate_origin(&g, Asn(1), IpVersion::V4, &options));
+
+        // Full ASPA-lite deployment filters the leaked export back out.
+        let defended = propagate_origin(
+            &g,
+            Asn(1),
+            IpVersion::V4,
+            &scenario_options(PolicyScenario::RouteLeak, 1.0),
+        );
+        assert_eq!(defended.route(&g, Asn(4)), None, "ASPA-lite at 100% drops the leak");
+    }
+
+    #[test]
+    fn prefix_hijack_diverts_routes_and_rov_filters_them() {
+        let g = fixture_graph();
+        let engine =
+            PolicyEngine::build(&g, PolicyScenario::PrefixHijack, PolicyDeployment::default());
+        let attacker = engine.attacker(IpVersion::V4).expect("fixture has a highest-degree node");
+        // Pick a victim that is not the attacker.
+        let victim = g.asns().find(|&a| g.node(a) != Some(attacker)).unwrap();
+        let options = scenario_options(PolicyScenario::PrefixHijack, 0.0);
+        let outcome = propagate_origin(&g, victim, IpVersion::V4, &options);
+        // The victim always keeps its own clean origin route; the
+        // attacker originates the hijacked copy.
+        let victim_route = outcome.route(&g, victim).unwrap();
+        assert_eq!(victim_route.class, RouteClass::Origin);
+        assert!(!victim_route.taint.hijacked);
+        let attacker_route = outcome.routes[attacker.index()].unwrap();
+        assert_eq!(attacker_route.class, RouteClass::Origin);
+        assert!(attacker_route.taint.hijacked);
+        // Undefended, the hijack captures part of the topology.
+        let hijacked_count = outcome.routes.iter().flatten().filter(|r| r.taint.hijacked).count();
+        assert!(hijacked_count > 1, "the hijack must spread past the attacker");
+        // Full ROV deployment confines the hijack to the attacker itself.
+        let defended = propagate_origin(
+            &g,
+            victim,
+            IpVersion::V4,
+            &scenario_options(PolicyScenario::PrefixHijack, 1.0),
+        );
+        let defended_hijacked: Vec<usize> = defended
+            .routes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.filter(|r| r.taint.hijacked).map(|_| i))
+            .collect();
+        assert_eq!(defended_hijacked, vec![attacker.index()], "ROV at 100% confines the hijack");
+    }
+
+    #[test]
+    fn subprefix_hijack_wins_everywhere_it_reaches_except_the_victim() {
+        let g = fixture_graph();
+        let engine =
+            PolicyEngine::build(&g, PolicyScenario::SubprefixHijack, PolicyDeployment::default());
+        let attacker = engine.attacker(IpVersion::V4).expect("fixture has a highest-degree node");
+        let victim = g.asns().find(|&a| g.node(a) != Some(attacker)).unwrap();
+        let options = scenario_options(PolicyScenario::SubprefixHijack, 0.0);
+        let outcome = propagate_origin(&g, victim, IpVersion::V4, &options);
+        // Longest-prefix match: the victim keeps its own clean route no
+        // matter what; everything the attacker's (victim-blocked)
+        // announcement reaches is captured.
+        let victim_node = g.node(victim).unwrap();
+        assert!(!outcome.routes[victim_node.index()].unwrap().taint.hijacked);
+        let hijacked: Vec<usize> = outcome
+            .routes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.filter(|r| r.taint.hijacked).map(|_| i))
+            .collect();
+        assert!(hijacked.len() > 1, "the more-specific prefix must capture real estate");
+        // Every captured node is genuinely attacker-reachable (the
+        // blocked walk covers at most the unblocked reach) ...
+        let reference = propagate_origin(&g, g.asn(attacker), IpVersion::V4, &options);
+        for &i in &hijacked {
+            assert!(reference.routes[i].is_some(), "node {i} hijacked but attacker-unreachable");
+        }
+        // ... and nobody loses connectivity outright: the merge falls
+        // back to the victim's clean walk wherever the attacker is
+        // absent, so the classic routed set survives.
+        let classic = propagate_origin(&g, victim, IpVersion::V4, &PropagationOptions::default());
+        for (i, route) in classic.routes.iter().enumerate() {
+            if route.is_some() {
+                assert!(outcome.routes[i].is_some(), "node {i} lost its route to the hijack");
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_outcomes_are_worker_count_invisible() {
+        let g = fixture_graph();
+        let mut origins: Vec<Asn> = g.asns().collect();
+        origins.sort();
+        for scenario in [
+            PolicyScenario::RouteLeak,
+            PolicyScenario::PrefixHijack,
+            PolicyScenario::SubprefixHijack,
+        ] {
+            for fraction in [0.0, 0.5, 1.0] {
+                let options = scenario_options(scenario, fraction).with_frontier(2);
+                let sequential = propagate_origins(&g, &origins, IpVersion::V6, &options, 1);
+                for workers in [2usize, 8] {
+                    let parallel =
+                        propagate_origins(&g, &origins, IpVersion::V6, &options, workers);
+                    assert_eq!(
+                        parallel, sequential,
+                        "scenario={scenario:?} fraction={fraction} workers={workers} diverged"
+                    );
+                }
+            }
+        }
     }
 }

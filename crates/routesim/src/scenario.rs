@@ -24,7 +24,7 @@ use topogen::{GroundTruth, TopologyConfig};
 
 use crate::collector::{build_collectors, CollectorSetup, FeederKind};
 use crate::config::SimConfig;
-use crate::policy::PolicyTable;
+use crate::policy::{PolicyDeployment, PolicyScenario, PolicyTable};
 use crate::propagate::{propagate_origins, PropagationOptions, RoutingOutcome};
 use crate::shard::shard_map;
 
@@ -157,8 +157,12 @@ pub struct Scenario {
 /// The exhaustive destructuring is the point: adding a field to
 /// `SimConfig` refuses to compile here until the rebuild logic accounts
 /// for it.
-type OutputKey =
-    ((u64, f64, f64, f64, f64), (f64, f64, f64, bool, f64), (usize, usize, f64, u64, usize));
+type OutputKey = (
+    (u64, f64, f64, f64, f64),
+    (f64, f64, f64, bool, f64),
+    (usize, usize, f64, u64, usize),
+    (PolicyScenario, f64),
+);
 
 fn output_key(sim: &SimConfig) -> OutputKey {
     let SimConfig {
@@ -177,6 +181,8 @@ fn output_key(sim: &SimConfig) -> OutputKey {
         full_feeder_fraction,
         timestamp,
         origin_sample,
+        policy_scenario,
+        policy_deployment,
         concurrency: _,
         frontier_concurrency: _,
         scheduling: _,
@@ -198,6 +204,7 @@ fn output_key(sim: &SimConfig) -> OutputKey {
             leak_probability,
         ),
         (collector_count, feeders_per_collector, full_feeder_fraction, timestamp, origin_sample),
+        (policy_scenario, policy_deployment),
     )
 }
 
@@ -211,6 +218,11 @@ fn propagation_options(sim_config: &SimConfig, plane: IpVersion) -> PropagationO
         reachability_relaxation: plane == IpVersion::V6 && sim_config.v6_reachability_relaxation,
         leak_probability: sim_config.leak_probability,
         seed: sim_config.seed,
+        scenario: sim_config.policy_scenario,
+        deployment: PolicyDeployment {
+            fraction: sim_config.policy_deployment,
+            seed: sim_config.seed ^ 0x6465_706c,
+        },
         frontier_concurrency: frontier_workers,
         scheduling: sim_config.scheduling,
     }

@@ -102,6 +102,48 @@ fn scheduling_matrix_produces_byte_identical_reports() {
 }
 
 #[test]
+fn scenario_matrix_produces_byte_identical_reports() {
+    use hybrid_as_rel::sim::PolicyScenario;
+    // Adversarial scenarios are *output* knobs — a route leak or hijack
+    // changes the report — but within a (scenario, deployment) point the
+    // execution stack must stay invisible: every worker count reproduces
+    // the sequential bytes, because the attacker/leaker picks are
+    // structural and deployment is sampled per AS from a dedicated seed.
+    let topology = TopologyConfig::tiny();
+    let base = SimConfig::small();
+    let mut per_point = Vec::new();
+    for scenario in
+        [PolicyScenario::RouteLeak, PolicyScenario::PrefixHijack, PolicyScenario::SubprefixHijack]
+    {
+        for deployment in [0.0, 0.5, 1.0] {
+            let sim = base.clone().with_scenario(scenario).with_deployment(deployment);
+            let sequential = report_json(&topology, &sim, 1);
+            for concurrency in [2usize, 8] {
+                let parallel = report_json(&topology, &sim, concurrency);
+                assert!(
+                    parallel == sequential,
+                    "scenario={scenario:?} deployment={deployment} concurrency={concurrency} \
+                     diverged from the sequential report"
+                );
+            }
+            per_point.push((scenario, deployment, sequential));
+        }
+    }
+    // And the scenarios genuinely are output knobs: at deployment 0 each
+    // attack produces a report distinct from the classic run's.
+    let classic = report_json(&topology, &base, 1);
+    for (scenario, deployment, report) in &per_point {
+        if *deployment == 0.0 {
+            assert!(
+                *report != classic,
+                "undefended scenario={scenario:?} produced the classic report — the attack \
+                 did not distort the measurement"
+            );
+        }
+    }
+}
+
+#[test]
 fn backend_matrix_produces_byte_identical_reports() {
     // The graph backend is the fourth dimension of the execution stack:
     // the frozen flat CSR arrays and the mutable adjacency maps must

@@ -359,6 +359,50 @@ proptest! {
     }
 
     #[test]
+    fn classic_policy_dispatch_is_invisible_on_random_graphs(
+        links in prop::collection::vec((1u32..40, 1u32..40, arb_relationship()), 1..60),
+        relaxation in any::<bool>(),
+        leak_tenths in 0u8..=10,
+        deployment_tenths in 0u8..=10,
+        seed in any::<u64>(),
+    ) {
+        use hybrid_as_rel::sim::propagate::propagate_origin_with;
+        use hybrid_as_rel::sim::{PolicyDeployment, PolicyEngine};
+        let mut graph = AsGraph::new();
+        for (a, b, rel) in &links {
+            if a != b {
+                graph.annotate(Asn(*a), Asn(*b), IpVersion::V6, *rel);
+            }
+        }
+        let mut origins: Vec<Asn> = graph.asns().collect();
+        origins.sort();
+        // Under the classic (default) scenario the per-AS policy dispatch
+        // must be a pure refactoring artefact: whatever the deployment
+        // sampler says, every route equals the one an engine-free classic
+        // walk selects — which is what pins the committed goldens to the
+        // pre-dispatch propagation, route by route, on arbitrary graphs.
+        let options = PropagationOptions {
+            reachability_relaxation: relaxation,
+            leak_probability: f64::from(leak_tenths) / 10.0,
+            seed,
+            deployment: PolicyDeployment {
+                fraction: f64::from(deployment_tenths) / 10.0,
+                seed: seed ^ 0xd3b107,
+            },
+            ..Default::default()
+        };
+        let classic = PolicyEngine::classic();
+        for &origin in &origins {
+            let dispatched = hybrid_as_rel::sim::propagate_origin(
+                &graph, origin, IpVersion::V6, &options,
+            );
+            let reference =
+                propagate_origin_with(&graph, origin, IpVersion::V6, &options, &classic);
+            prop_assert_eq!(&dispatched, &reference, "origin={}", origin);
+        }
+    }
+
+    #[test]
     fn csr_backend_matches_the_map_backend_on_random_graphs(
         links in prop::collection::vec((1u32..40, 1u32..40, arb_relationship()), 1..60),
         relaxation in any::<bool>(),

@@ -1,0 +1,267 @@
+//! Arena-backed flat storage for resident snapshots.
+//!
+//! A resident service keeps one scenario's analysis products alive for
+//! millions of queries, so the storage goals flip relative to the
+//! build-once pipeline: a snapshot should be a handful of large contiguous
+//! allocations (cheap to share behind an `Arc`, friendly to the allocator
+//! and the cache) rather than thousands of small per-origin vectors. This
+//! module owns the two flatteners the PR 7 CSR work left open:
+//!
+//! * [`SliceArena`] — variable-length slices of `T` packed into one data
+//!   vector, addressed by dense `u32` ids. Used for per-origin RIB path
+//!   storage (each observed AS path becomes one slice).
+//! * [`LabelArena`] — the full three-phase BFS label arrays of a fixed
+//!   set of hot roots, flattened into two vectors. A point query for a hot
+//!   root materialises its [`DistanceMap`] by copying one stride out of
+//!   the arena instead of re-running the layered BFS.
+//!
+//! Both report `heap_bytes()` so the service's `memory_footprint()` gauge
+//! can break a snapshot down per component.
+
+use std::mem::size_of;
+
+use bgp_types::{Asn, IpVersion};
+
+use crate::delta::DistanceMap;
+use crate::graph::AsGraph;
+use crate::valley::{layered_search, PHASES};
+
+/// Variable-length slices packed into one contiguous allocation, addressed
+/// by dense `u32` ids in push order.
+///
+/// `offsets` has one entry per slice plus a trailing sentinel, so slice
+/// `i` lives at `data[offsets[i]..offsets[i + 1]]` — the same layout the
+/// frozen CSR core uses for adjacency.
+#[derive(Debug, Clone, Default)]
+pub struct SliceArena<T> {
+    data: Vec<T>,
+    offsets: Vec<u32>,
+}
+
+impl<T: Clone> SliceArena<T> {
+    /// An empty arena.
+    pub fn new() -> Self {
+        SliceArena { data: Vec::new(), offsets: vec![0] }
+    }
+
+    /// Append one slice, returning its dense id (ids count up from 0 in
+    /// push order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packed data would exceed `u32::MAX` items — arenas
+    /// index with `u32` by design, like the CSR core.
+    pub fn push(&mut self, items: &[T]) -> u32 {
+        let id = u32::try_from(self.len()).expect("SliceArena id exceeds u32 range");
+        self.data.extend_from_slice(items);
+        self.offsets
+            .push(u32::try_from(self.data.len()).expect("SliceArena offset exceeds u32 range"));
+        id
+    }
+
+    /// The slice stored under `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn get(&self, id: u32) -> &[T] {
+        let i = id as usize;
+        &self.data[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Number of slices stored.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when no slice has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total items across all slices.
+    pub fn total_items(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Iterate over all slices in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &[T]> + '_ {
+        (0..self.len()).map(move |i| self.get(i as u32))
+    }
+
+    /// Release over-allocated capacity; a resident snapshot calls this
+    /// once after assembly so the reported bytes match what stays live.
+    pub fn shrink_to_fit(&mut self) {
+        self.data.shrink_to_fit();
+        self.offsets.shrink_to_fit();
+    }
+
+    /// Estimated heap bytes held by the arena.
+    pub fn heap_bytes(&self) -> usize {
+        self.data.capacity() * size_of::<T>() + self.offsets.capacity() * size_of::<u32>()
+    }
+}
+
+/// Sentinel for "unreachable" in the flattened label arrays (the layered
+/// BFS already uses `u32::MAX` internally for unlabelled states).
+const UNREACHABLE: u32 = u32::MAX;
+
+/// Precomputed three-phase BFS labels for a fixed set of hot roots on one
+/// plane, flattened into two contiguous vectors.
+///
+/// Layout: root stride `r` (position of the root in the sorted `roots`
+/// list) owns `best[r * nodes * PHASES..][..nodes * PHASES]` and
+/// `out[r * nodes..][..nodes]`, both indexed by [`crate::graph::NodeId`]
+/// index. [`LabelArena::distance_map`] copies one stride back out into a
+/// mutable [`DistanceMap`], which is exactly the state the delta engine
+/// needs to answer a what-if correction without a fresh BFS.
+#[derive(Debug, Clone)]
+pub struct LabelArena {
+    plane: IpVersion,
+    nodes: usize,
+    roots: Vec<Asn>,
+    best: Vec<u32>,
+    out: Vec<u32>,
+}
+
+impl LabelArena {
+    /// Run the layered BFS for each of `roots` (sorted, deduped, roots
+    /// absent from the graph dropped) and flatten the labels.
+    pub fn build(graph: &AsGraph, plane: IpVersion, roots: &[Asn]) -> Self {
+        let mut roots: Vec<Asn> = roots.iter().copied().filter(|&r| graph.contains(r)).collect();
+        roots.sort_unstable();
+        roots.dedup();
+        let nodes = graph.node_count();
+        let mut best = Vec::with_capacity(roots.len() * nodes * PHASES);
+        let mut out = Vec::with_capacity(roots.len() * nodes);
+        for &root in &roots {
+            let (b, o) = layered_search(graph, root, plane);
+            for labels in &b {
+                best.extend_from_slice(labels);
+            }
+            out.extend(o.iter().map(|d| d.unwrap_or(UNREACHABLE)));
+        }
+        LabelArena { plane, nodes, roots, best, out }
+    }
+
+    /// The plane the labels were computed on.
+    pub fn plane(&self) -> IpVersion {
+        self.plane
+    }
+
+    /// The precomputed roots, sorted ascending.
+    pub fn roots(&self) -> &[Asn] {
+        &self.roots
+    }
+
+    /// Whether `root` has a precomputed stride.
+    pub fn contains(&self, root: Asn) -> bool {
+        self.roots.binary_search(&root).is_ok()
+    }
+
+    /// The min-over-phase distance from `root` to the node at `index`
+    /// (`None` when the root is not precomputed or the node unreachable).
+    pub fn distance(&self, root: Asn, index: usize) -> Option<u32> {
+        let r = self.roots.binary_search(&root).ok()?;
+        if index >= self.nodes {
+            return None;
+        }
+        let d = self.out[r * self.nodes + index];
+        (d != UNREACHABLE).then_some(d)
+    }
+
+    /// Materialise a mutable [`DistanceMap`] for `root` by copying its
+    /// stride out of the arena — byte-identical to
+    /// [`DistanceMap::compute`] on the same graph, without the BFS.
+    pub fn distance_map(&self, root: Asn) -> Option<DistanceMap> {
+        let r = self.roots.binary_search(&root).ok()?;
+        let best = self.best[r * self.nodes * PHASES..][..self.nodes * PHASES]
+            .chunks_exact(PHASES)
+            .map(|c| [c[0], c[1], c[2]])
+            .collect();
+        let out = self.out[r * self.nodes..][..self.nodes]
+            .iter()
+            .map(|&d| (d != UNREACHABLE).then_some(d))
+            .collect();
+        Some(DistanceMap::from_parts(root, self.plane, best, out))
+    }
+
+    /// Estimated heap bytes held by the arena.
+    pub fn heap_bytes(&self) -> usize {
+        self.roots.capacity() * size_of::<Asn>()
+            + self.best.capacity() * size_of::<u32>()
+            + self.out.capacity() * size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use bgp_types::Relationship;
+
+    use super::*;
+
+    fn sample_graph() -> AsGraph {
+        let mut g = AsGraph::new();
+        g.annotate_both(Asn(1), Asn(2), Relationship::ProviderToCustomer);
+        g.annotate_both(Asn(2), Asn(3), Relationship::ProviderToCustomer);
+        g.annotate_both(Asn(2), Asn(4), Relationship::PeerToPeer);
+        g.annotate(Asn(4), Asn(5), IpVersion::V6, Relationship::ProviderToCustomer);
+        g
+    }
+
+    #[test]
+    fn slice_arena_round_trips_slices() {
+        let mut arena = SliceArena::new();
+        assert!(arena.is_empty());
+        let a = arena.push(&[1u32, 2, 3]);
+        let b = arena.push(&[]);
+        let c = arena.push(&[9]);
+        assert_eq!((a, b, c), (0, 1, 2));
+        assert_eq!(arena.get(0), &[1, 2, 3]);
+        assert_eq!(arena.get(1), &[] as &[u32]);
+        assert_eq!(arena.get(2), &[9]);
+        assert_eq!(arena.len(), 3);
+        assert_eq!(arena.total_items(), 4);
+        let collected: Vec<&[u32]> = arena.iter().collect();
+        assert_eq!(collected.len(), 3);
+        arena.shrink_to_fit();
+        assert!(arena.heap_bytes() >= 4 * size_of::<u32>() + 4 * size_of::<u32>());
+    }
+
+    #[test]
+    fn label_arena_matches_fresh_compute() {
+        let g = sample_graph();
+        let arena = LabelArena::build(&g, IpVersion::V6, &[Asn(1), Asn(4), Asn(4), Asn(99)]);
+        assert_eq!(arena.roots(), &[Asn(1), Asn(4)], "sorted, deduped, absent roots dropped");
+        for &root in arena.roots() {
+            let fresh = DistanceMap::compute(&g, root, IpVersion::V6);
+            let cached = arena.distance_map(root).expect("root is precomputed");
+            assert_eq!(cached.distances(), fresh.distances());
+            for idx in 0..g.node_count() {
+                assert_eq!(arena.distance(root, idx), fresh.distance(idx));
+            }
+        }
+        assert!(arena.distance_map(Asn(99)).is_none());
+        assert!(!arena.contains(Asn(99)));
+        assert!(arena.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn label_arena_stride_supports_delta_repair() {
+        use crate::delta::{EdgeCorrection, RemovalPolicy};
+        let mut g = sample_graph();
+        let arena = LabelArena::build(&g, IpVersion::V4, &[Asn(1)]);
+        let mut cached = arena.distance_map(Asn(1)).expect("root precomputed");
+        let c = EdgeCorrection::observe(
+            &g,
+            Asn(2),
+            Asn(4),
+            IpVersion::V4,
+            Relationship::ProviderToCustomer,
+        );
+        g.annotate(Asn(2), Asn(4), IpVersion::V4, Relationship::ProviderToCustomer);
+        cached.apply_correction_with(&g, &c, RemovalPolicy::Repair);
+        let fresh = DistanceMap::compute(&g, Asn(1), IpVersion::V4);
+        assert_eq!(cached.distances(), fresh.distances());
+    }
+}

@@ -202,6 +202,15 @@ impl EdgeView {
     }
 }
 
+/// Per-component byte estimate behind [`AsGraph::memory_footprint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryBreakdown {
+    /// Bytes held by the adjacency-map backend (always resident).
+    pub map_bytes: usize,
+    /// Bytes held by the frozen CSR mirror (0 while thawed).
+    pub csr_bytes: usize,
+}
+
 /// An undirected AS-level multigraph-free graph where every link carries
 /// independent IPv4 and IPv6 presence flags and relationship annotations.
 ///
@@ -412,6 +421,14 @@ impl AsGraph {
     /// layer reports this alongside timings so the regression gate can
     /// catch space as well as time regressions.
     pub fn memory_footprint(&self) -> usize {
+        let b = self.memory_breakdown();
+        b.map_bytes + b.csr_bytes
+    }
+
+    /// [`AsGraph::memory_footprint`] split per storage component, so
+    /// resident-service gauges can report the map backend and the CSR
+    /// mirror separately.
+    pub fn memory_breakdown(&self) -> MemoryBreakdown {
         use std::mem::size_of;
         let adjacency_entries: usize = self.adjacency.iter().map(Vec::capacity).sum();
         let map_bytes = self.node_to_asn.capacity() * size_of::<Asn>()
@@ -424,7 +441,7 @@ impl AsGraph {
             (c.offsets.capacity() + c.targets.capacity() + c.edge_ids.capacity()) * size_of::<u32>()
                 + c.plane_info.iter().map(Vec::capacity).sum::<usize>()
         });
-        map_bytes + csr_bytes
+        MemoryBreakdown { map_bytes, csr_bytes }
     }
 
     /// Re-pack the CSR bytes of both directed entries of `eid` after an

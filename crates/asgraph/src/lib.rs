@@ -21,6 +21,9 @@
 //!   tier-2 / stub) used to characterise where hybrid links sit.
 //! * [`metrics`] — degree statistics, connected components, and plain
 //!   (non-policy) shortest-path metrics.
+//! * [`arena`] — contiguous slice/label arenas for resident snapshots:
+//!   flat per-origin path storage and precomputed BFS label strides that
+//!   materialise a [`delta::DistanceMap`] without re-running the search.
 //!
 //! ```
 //! use asgraph::{AsGraph, Relationship, IpVersion};
@@ -43,6 +46,7 @@
 #![deny(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
+pub mod arena;
 pub mod customer_tree;
 pub mod delta;
 pub mod graph;
@@ -50,10 +54,11 @@ pub mod metrics;
 pub mod tiers;
 pub mod valley;
 
+pub use arena::{LabelArena, SliceArena};
 pub use bgp_types::{Asn, IpVersion, Relationship};
 pub use customer_tree::{customer_cone_sizes, customer_tree, tree_union_metrics, TreeMetrics};
 pub use delta::{DeltaOutcome, DistanceMap, EdgeCorrection, RemovalPolicy};
-pub use graph::{AsGraph, EdgeId, EdgeView, NeighborsById, NodeId};
+pub use graph::{AsGraph, EdgeId, EdgeView, MemoryBreakdown, NeighborsById, NodeId};
 pub use metrics::{connected_components, degree_stats, GraphSummary};
 pub use tiers::{classify_tiers, Tier, TierMap};
 pub use valley::{classify_path, is_valley_free, valley_free_distances, PathValidity};

@@ -19,23 +19,7 @@ use routesim::propagate::{propagate_origin, propagate_origins, PropagationOption
 use routesim::{OriginScheduling, Scenario};
 use topogen::HybridClass;
 
-/// Record a non-timing gauge (bytes, counts) into the `CRITERION_JSON`
-/// channel, one JSONL row in the shim's shape, so `bench_compare
-/// --record` folds it into the committed BENCH snapshot next to the
-/// timing rows — the `*_ns` fields carry the gauge value verbatim and
-/// the id says what the unit really is.
-fn record_gauge(id: &str, value: u128) {
-    use std::io::Write;
-    let Some(path) = std::env::var_os("CRITERION_JSON") else { return };
-    if path.is_empty() {
-        return;
-    }
-    let line =
-        format!("{{\"id\":\"{id}\",\"mean_ns\":{value},\"min_ns\":{value},\"max_ns\":{value}}}\n");
-    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
-        let _ = f.write_all(line.as_bytes());
-    }
-}
+use bench::record_gauge;
 
 fn components(c: &mut Criterion) {
     let scale = bench::bench_scale();
@@ -159,13 +143,18 @@ fn components(c: &mut Criterion) {
     {
         let mut scale_graph = topogen::generate(&scale.topology).graph;
         scale_graph.freeze();
+        let breakdown = scale_graph.memory_breakdown();
         let bytes = scale_graph.memory_footprint();
         println!(
-            "memory/graph_bytes/{name}: {bytes} bytes frozen ({} nodes, {} edges)",
+            "memory/graph_bytes/{name}: {bytes} bytes frozen ({} nodes, {} edges; map {} + csr {})",
             scale_graph.node_count(),
-            scale_graph.edge_count()
+            scale_graph.edge_count(),
+            breakdown.map_bytes,
+            breakdown.csr_bytes,
         );
         record_gauge(&format!("memory/graph_bytes/{name}"), bytes as u128);
+        record_gauge(&format!("memory/graph_map_bytes/{name}"), breakdown.map_bytes as u128);
+        record_gauge(&format!("memory/graph_csr_bytes/{name}"), breakdown.csr_bytes as u128);
         let mut scale_origins: Vec<Asn> =
             scale_graph.asns().filter(|a| scale_graph.degree(*a, IpVersion::V4) > 0).collect();
         scale_origins.sort();

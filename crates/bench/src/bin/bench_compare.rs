@@ -9,7 +9,9 @@
 //! regresses by more than the threshold (25% unless `--threshold`
 //! overrides it), or when a baseline benchmark is missing from the run
 //! (renames must be accompanied by a recorded baseline, otherwise the
-//! gate would silently stop tracking them).
+//! gate would silently stop tracking them). Gauge rows — `memory/*`
+//! footprints and the `service/latency_*` / `service/throughput_*`
+//! loadgen summaries — are compared and reported but never gate.
 //!
 //! Wall-clock comparisons only hold on comparable hardware, so the gate
 //! skips itself with a clear message (`--force` gates anyway) when only
@@ -41,6 +43,22 @@ struct Row {
     mean_ns: u128,
     min_ns: u128,
     max_ns: u128,
+}
+
+/// Whether a benchmark id names a gauge rather than a wall-clock timing.
+///
+/// Gauges — byte footprints and the loadgen throughput/latency summaries —
+/// ride the same `CRITERION_JSON` channel and land in the committed
+/// snapshots for trend-watching, but they are not wall-clock means: memory
+/// gauges are exact and should only move when the code changes them
+/// deliberately, and the service latency/throughput gauges are one
+/// loadgen run, far noisier than a criterion mean. Both are therefore
+/// reported in the table with a `gauge` verdict and exempted from the
+/// >threshold regression gate and from the missing-benchmark failure.
+fn is_gauge(id: &str) -> bool {
+    id.starts_with("memory/")
+        || id.starts_with("service/latency")
+        || id.starts_with("service/throughput")
 }
 
 fn main() {
@@ -170,13 +188,27 @@ fn run() -> Result<i32, String> {
     let mut regressions: Vec<String> = Vec::new();
     let mut missing: Vec<&str> = Vec::new();
     for (id, base_mean) in &baseline.means {
+        let gauge = is_gauge(id);
         let Some(row) = rows.get(id) else {
-            missing.push(id);
+            if gauge {
+                // A gauge that stopped being emitted (e.g. a skipped
+                // bench-scale row) is a note, never a gate failure.
+                println!("  {id:<32} gauge absent from this run (not gated)");
+                table.push_str(&format!("| `{id}` | — | — | — | gauge (absent) |\n"));
+            } else {
+                missing.push(id);
+            }
             continue;
         };
         let ratio = if *base_mean == 0 { 1.0 } else { row.mean_ns as f64 / *base_mean as f64 };
         let delta = 100.0 * (ratio - 1.0);
-        let verdict = if delta > threshold { "REGRESSED" } else { "ok" };
+        let verdict = if gauge {
+            "gauge"
+        } else if delta > threshold {
+            "REGRESSED"
+        } else {
+            "ok"
+        };
         println!(
             "  {id:<32} {:>12} ns -> {:>12} ns  {delta:+7.1}%  {verdict}",
             base_mean, row.mean_ns
@@ -185,7 +217,7 @@ fn run() -> Result<i32, String> {
             "| `{id}` | {} ns | {} ns | {delta:+.1}% | {verdict} |\n",
             base_mean, row.mean_ns
         ));
-        if delta > threshold {
+        if !gauge && delta > threshold {
             regressions.push(format!("{id} ({delta:+.1}%)"));
         }
     }
@@ -462,6 +494,24 @@ mod tests {
 
     fn paths(names: &[&str]) -> Vec<PathBuf> {
         names.iter().map(PathBuf::from).collect()
+    }
+
+    #[test]
+    fn gauges_are_recognised_by_id_prefix() {
+        assert!(is_gauge("memory/graph_bytes/scale=10k"));
+        assert!(is_gauge("memory/graph_map_bytes/scale=50k"));
+        assert!(is_gauge("memory/rib_arena_bytes/scale=bench"));
+        assert!(is_gauge("memory/label_arena_bytes/scale=bench"));
+        assert!(is_gauge("service/latency_p50_ns"));
+        assert!(is_gauge("service/latency_p99_ns"));
+        assert!(is_gauge("service/throughput_qps"));
+        // The timed service rows ARE gated: only the loadgen summaries
+        // and byte footprints are exempt.
+        assert!(!is_gauge("service/relationship_batch"));
+        assert!(!is_gauge("service/customer_tree"));
+        assert!(!is_gauge("service/what_if"));
+        assert!(!is_gauge("propagate/threads=4"));
+        assert!(!is_gauge("pipeline/threads=2"));
     }
 
     #[test]

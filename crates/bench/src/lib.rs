@@ -231,6 +231,106 @@ pub fn configured_deployment() -> f64 {
     env_knob("HYBRID_DEPLOYMENT", |v| parse_fraction_knob("HYBRID_DEPLOYMENT", v, 0.0))
 }
 
+/// Parse a socket-address knob: unset or empty means `default`; anything
+/// else must be a literal `ip:port` address (`127.0.0.1:7411`,
+/// `[::1]:7411`). Hostnames are rejected — resolution is environment-
+/// dependent, and a typo'd `HYBRID_ADDR=localhost:7411x` must stop the
+/// daemon loudly rather than bind somewhere surprising.
+fn parse_addr_knob(
+    name: &str,
+    value: Option<&str>,
+    default: &str,
+) -> Result<std::net::SocketAddr, String> {
+    let raw = match value.map(str::trim) {
+        None | Some("") => default,
+        Some(raw) => raw,
+    };
+    raw.parse::<std::net::SocketAddr>().map_err(|_| {
+        format!("{name} must be a literal ip:port address like \"127.0.0.1:7411\", got {raw:?}")
+    })
+}
+
+/// Parse a positive-count knob: unset or empty means `default`; anything
+/// else must be an integer `>= 1` (unlike the worker-count knobs there is
+/// no "0 = all" meaning — a zero-request batch cannot make progress).
+fn parse_positive_knob(name: &str, value: Option<&str>, default: usize) -> Result<usize, String> {
+    match value.map(str::trim) {
+        None | Some("") => Ok(default),
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(count) if count >= 1 => Ok(count),
+            _ => Err(format!("{name} must be a positive integer (>= 1), got {raw:?}")),
+        },
+    }
+}
+
+/// Parse a milliseconds knob: unset or empty means `default`; anything
+/// else must be a plain non-negative integer (`0` is legal — it means
+/// "re-check every time").
+fn parse_millis_knob(name: &str, value: Option<&str>, default: u64) -> Result<u64, String> {
+    match value.map(str::trim) {
+        None | Some("") => Ok(default),
+        Some(raw) => raw.parse::<u64>().map_err(|_| {
+            format!("{name} must be a non-negative integer (milliseconds), got {raw:?}")
+        }),
+    }
+}
+
+/// The address the resident daemon binds, from the `HYBRID_ADDR`
+/// environment variable: unset or empty means `127.0.0.1:7411`; anything
+/// else must be a literal `ip:port` (port `0` asks the OS for a free
+/// port — the daemon prints what it actually bound). A hard error
+/// otherwise, like every knob here.
+pub fn configured_addr() -> std::net::SocketAddr {
+    env_knob("HYBRID_ADDR", |v| parse_addr_knob("HYBRID_ADDR", v, "127.0.0.1:7411"))
+}
+
+/// The daemon's per-connection batch cap, from the `HYBRID_BATCH`
+/// environment variable: how many already-buffered requests one accept-
+/// loop tick answers through the worker pool. Unset or empty means `32`;
+/// anything else must be `>= 1`. Execution only — responses are
+/// byte-identical at every batch size (the service determinism suite
+/// pins it).
+pub fn configured_batch() -> usize {
+    env_knob("HYBRID_BATCH", |v| parse_positive_knob("HYBRID_BATCH", v, 32))
+}
+
+/// How stale a connection's snapshot handle may grow before it re-checks
+/// the epoch cell, from the `HYBRID_EPOCH_CHECK_MS` environment variable,
+/// in milliseconds. Unset or empty means `50`; `0` re-checks every batch;
+/// anything that is not a non-negative integer is a hard error. Execution
+/// only — it bounds reload visibility latency, never response bytes.
+pub fn configured_epoch_check_ms() -> u64 {
+    env_knob("HYBRID_EPOCH_CHECK_MS", |v| parse_millis_knob("HYBRID_EPOCH_CHECK_MS", v, 50))
+}
+
+/// The pipeline the resident service builds its snapshot with: the
+/// default measurement pipeline under the env-knob execution options —
+/// exactly what [`run_measurement`] runs, exposed as a value so `hybridd`
+/// and `loadgen --check` construct provably the same pipeline.
+pub fn configured_pipeline() -> Pipeline {
+    Pipeline { options: configured_options(), ..Default::default() }
+}
+
+/// Record a non-timing gauge (bytes, counts, rates) into the
+/// `CRITERION_JSON` channel, one JSONL row in the criterion shim's shape,
+/// so `bench_compare --record` folds it into the committed BENCH snapshot
+/// next to the timing rows — the `*_ns` fields carry the gauge value
+/// verbatim and the id says what the unit really is. Gauge ids (see
+/// `bench_compare`'s `is_gauge`) are reported but exempt from the
+/// wall-clock regression gate.
+pub fn record_gauge(id: &str, value: u128) {
+    use std::io::Write;
+    let Some(path) = std::env::var_os("CRITERION_JSON") else { return };
+    if path.is_empty() {
+        return;
+    }
+    let line =
+        format!("{{\"id\":\"{id}\",\"mean_ns\":{value},\"min_ns\":{value},\"max_ns\":{value}}}\n");
+    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+        let _ = f.write_all(line.as_bytes());
+    }
+}
+
 /// The pipeline execution options the env knobs resolve to — the single
 /// place `HYBRID_THREADS`, `HYBRID_FRONTIER`, `HYBRID_SCHEDULING`,
 /// `HYBRID_CSR`, `HYBRID_SCENARIO` and `HYBRID_DEPLOYMENT` become a
@@ -924,6 +1024,62 @@ mod tests {
                 .expect_err(&format!("{bad:?} must be rejected"));
             assert!(err.contains("HYBRID_DEPLOYMENT"), "message names the variable: {err}");
             assert!(err.contains(bad), "message quotes the value: {err}");
+        }
+    }
+
+    #[test]
+    fn addr_knob_accepts_literal_addresses_and_defaults_when_absent() {
+        let default = "127.0.0.1:7411".parse().unwrap();
+        assert_eq!(parse_addr_knob("HYBRID_ADDR", None, "127.0.0.1:7411"), Ok(default));
+        assert_eq!(parse_addr_knob("HYBRID_ADDR", Some(""), "127.0.0.1:7411"), Ok(default));
+        assert_eq!(parse_addr_knob("HYBRID_ADDR", Some("  "), "127.0.0.1:7411"), Ok(default));
+        assert_eq!(
+            parse_addr_knob("HYBRID_ADDR", Some(" 127.0.0.1:0 "), "127.0.0.1:7411"),
+            Ok("127.0.0.1:0".parse().unwrap())
+        );
+        assert_eq!(
+            parse_addr_knob("HYBRID_ADDR", Some("[::1]:7411"), "127.0.0.1:7411"),
+            Ok("[::1]:7411".parse().unwrap())
+        );
+        // Hostnames, bare ports and garbage are all hard errors.
+        for bad in ["localhost:7411", "7411", "127.0.0.1", "127.0.0.1:port"] {
+            let err = parse_addr_knob("HYBRID_ADDR", Some(bad), "127.0.0.1:7411")
+                .expect_err(&format!("{bad:?} must be rejected"));
+            assert!(err.contains("HYBRID_ADDR"), "message names the variable: {err}");
+            assert!(err.contains(bad), "message quotes the value: {err}");
+            assert!(err.contains("ip:port"), "message says what is legal: {err}");
+        }
+    }
+
+    #[test]
+    fn batch_knob_requires_a_positive_count() {
+        assert_eq!(parse_positive_knob("HYBRID_BATCH", None, 32), Ok(32));
+        assert_eq!(parse_positive_knob("HYBRID_BATCH", Some(""), 32), Ok(32));
+        assert_eq!(parse_positive_knob("HYBRID_BATCH", Some(" 8 "), 32), Ok(8));
+        assert_eq!(parse_positive_knob("HYBRID_BATCH", Some("1"), 32), Ok(1));
+        // Unlike the worker knobs, zero is illegal: a zero-request batch
+        // cannot make progress, so it must not parse.
+        for bad in ["0", "-1", "2x", "eight", "1.5"] {
+            let err = parse_positive_knob("HYBRID_BATCH", Some(bad), 32)
+                .expect_err(&format!("{bad:?} must be rejected"));
+            assert!(err.contains("HYBRID_BATCH"), "message names the variable: {err}");
+            assert!(err.contains(bad), "message quotes the value: {err}");
+            assert!(err.contains(">= 1"), "message says what is legal: {err}");
+        }
+    }
+
+    #[test]
+    fn epoch_check_knob_accepts_any_millisecond_count_including_zero() {
+        assert_eq!(parse_millis_knob("HYBRID_EPOCH_CHECK_MS", None, 50), Ok(50));
+        assert_eq!(parse_millis_knob("HYBRID_EPOCH_CHECK_MS", Some(""), 50), Ok(50));
+        assert_eq!(parse_millis_knob("HYBRID_EPOCH_CHECK_MS", Some("0"), 50), Ok(0));
+        assert_eq!(parse_millis_knob("HYBRID_EPOCH_CHECK_MS", Some(" 250 "), 50), Ok(250));
+        for bad in ["-5", "50ms", "0.5", "fast"] {
+            let err = parse_millis_knob("HYBRID_EPOCH_CHECK_MS", Some(bad), 50)
+                .expect_err(&format!("{bad:?} must be rejected"));
+            assert!(err.contains("HYBRID_EPOCH_CHECK_MS"), "message names the variable: {err}");
+            assert!(err.contains(bad), "message quotes the value: {err}");
+            assert!(err.contains("milliseconds"), "message says the unit: {err}");
         }
     }
 

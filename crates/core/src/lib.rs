@@ -55,6 +55,7 @@ pub mod impact;
 pub mod locpref;
 pub mod pipeline;
 pub mod report;
+pub mod service;
 pub mod valley;
 
 pub use baselines::{degree_heuristic_inference, gao_inference, InferenceAccuracy};
@@ -63,6 +64,7 @@ pub use extract::{ExtractedData, ObservedPath};
 pub use hybrid::{HybridFinding, HybridReport};
 pub use impact::{CorrectionStep, ImpactCurve};
 pub use locpref::LocPrfRosetta;
-pub use pipeline::{Pipeline, PipelineInput, PipelineOptions};
+pub use pipeline::{Pipeline, PipelineArtifacts, PipelineInput, PipelineOptions};
 pub use report::Report;
+pub use service::{ResidentState, ServiceMemory, VisibilityStats, WhatIfReply};
 pub use valley::{ValleyAttribution, ValleyReport};

@@ -266,6 +266,24 @@ impl PipelineOptions {
     }
 }
 
+/// The intermediate products of a pipeline run that a resident service
+/// wants to keep alive after the report is assembled: the extracted
+/// per-plane data, the final (LocPrf-extended) inference, and the
+/// inference-annotated graph the valley analysis walked. A one-shot
+/// experiment drops these; a query daemon answers relationship,
+/// customer-tree, visibility and what-if queries straight from them
+/// without a second `Pipeline::run`.
+#[derive(Debug)]
+pub struct PipelineArtifacts {
+    /// The extracted graph, paths and entry counts.
+    pub data: crate::extract::ExtractedData,
+    /// The community inference after the LocPrf extension.
+    pub inference: CommunityInference,
+    /// `data.graph` with the inferred relationships annotated onto it —
+    /// the graph every relationship/valley point query reads.
+    pub annotated: asgraph::AsGraph,
+}
+
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
 pub struct Pipeline {
@@ -324,6 +342,15 @@ impl Pipeline {
     /// what the sequential path computes, so the report is byte-identical
     /// at every worker count.
     pub fn run(&self, input: PipelineInput) -> Report {
+        self.run_with_artifacts(input).0
+    }
+
+    /// [`run`](Self::run), additionally returning the
+    /// [`PipelineArtifacts`] the run produced along the way. The report is
+    /// byte-identical to [`run`](Self::run) — the artifacts are state the
+    /// run already built (the annotated graph existed transiently inside
+    /// the valley-analysis stage) handed to the caller instead of dropped.
+    pub fn run_with_artifacts(&self, input: PipelineInput) -> (Report, PipelineArtifacts) {
         let PipelineInput { snapshot, dictionary, truth } = input;
         let workers = self.options.workers();
 
@@ -358,13 +385,13 @@ impl Pipeline {
         //         all read (data, inference) without touching each other.
         //         The caller thread counts against the worker budget, so
         //         only spawn up to `workers - 1` helpers.
-        let (hybrids, valleys, baseline) = if workers > 2 {
+        let (hybrids, (valleys, annotated), baseline) = if workers > 2 {
             std::thread::scope(|scope| {
                 let hybrids = scope.spawn(|| detect_hybrids(&data, &inference));
                 let valleys = scope.spawn(|| {
                     let mut annotated = data.graph.clone();
                     inference.annotate_graph(&mut annotated);
-                    analyze_valleys(&data, &annotated, IpVersion::V6)
+                    (analyze_valleys(&data, &annotated, IpVersion::V6), annotated)
                 });
                 let baseline = gao_inference(&data, BaselineInput::BothPlanes);
                 (
@@ -380,7 +407,11 @@ impl Pipeline {
                 inference.annotate_graph(&mut annotated);
                 let valleys = analyze_valleys(&data, &annotated, IpVersion::V6);
                 let baseline = gao_inference(&data, BaselineInput::BothPlanes);
-                (hybrids.join().expect("hybrid detection worker panicked"), valleys, baseline)
+                (
+                    hybrids.join().expect("hybrid detection worker panicked"),
+                    (valleys, annotated),
+                    baseline,
+                )
             })
         } else {
             let hybrids = detect_hybrids(&data, &inference);
@@ -388,7 +419,7 @@ impl Pipeline {
             inference.annotate_graph(&mut annotated);
             let valleys = analyze_valleys(&data, &annotated, IpVersion::V6);
             let baseline = gao_inference(&data, BaselineInput::BothPlanes);
-            (hybrids, valleys, baseline)
+            (hybrids, (valleys, annotated), baseline)
         };
 
         // 6. Dataset summary.
@@ -453,7 +484,7 @@ impl Pipeline {
             (None, None)
         };
 
-        Report {
+        let report = Report {
             dataset,
             hybrids,
             valleys,
@@ -466,7 +497,8 @@ impl Pipeline {
             // exact bytes.
             policy_scenario: (self.options.policy_scenario != routesim::PolicyScenario::Classic)
                 .then_some(self.options.policy_scenario),
-        }
+        };
+        (report, PipelineArtifacts { data, inference, annotated })
     }
 }
 

@@ -1,0 +1,51 @@
+//! The resident daemon binary: build one scenario snapshot, then serve
+//! queries until killed.
+//!
+//! ```text
+//! hybridd [--tiny | --small | --scale 10k|50k|100k]
+//! ```
+//!
+//! The listen address and execution knobs come from the environment
+//! (`HYBRID_ADDR`, `HYBRID_BATCH`, `HYBRID_EPOCH_CHECK_MS`,
+//! `HYBRID_WORKERS`); see the repository README's "Resident service"
+//! section.
+
+use std::io::Write;
+use std::sync::Arc;
+
+use hybrid_tor::service::ResidentState;
+use hybridd::{Server, ServerConfig};
+
+fn main() {
+    let scale = bench::scale_from_args();
+    let pipeline = bench::configured_pipeline();
+    let scenario = bench::build_scenario(&scale);
+
+    let state = ResidentState::build(&scenario, &pipeline);
+    let memory = state.memory();
+
+    let config = ServerConfig {
+        workers: bench::threads(),
+        batch: bench::configured_batch(),
+        epoch_check_ms: bench::configured_epoch_check_ms(),
+    };
+    let rebuild: hybridd::Rebuild = Arc::new(move || ResidentState::build(&scenario, &pipeline));
+    let server = Server::bind(bench::configured_addr(), state, rebuild, config)
+        .unwrap_or_else(|e| panic!("hybridd: cannot bind {}: {e}", bench::configured_addr()));
+    let addr = server.local_addr().expect("bound listener has a local address");
+
+    // Flush explicitly: stdout may be block-buffered under a pipe, and the
+    // CI smoke test greps this line to know the daemon is up.
+    println!("hybridd: listening on {addr}");
+    println!(
+        "hybridd: resident memory {} bytes (graph map {} + graph csr {} + rib arena {} + label arena {})",
+        memory.total(),
+        memory.graph_map_bytes,
+        memory.graph_csr_bytes,
+        memory.rib_arena_bytes,
+        memory.label_arena_bytes,
+    );
+    std::io::stdout().flush().ok();
+
+    server.run().expect("accept loop failed");
+}

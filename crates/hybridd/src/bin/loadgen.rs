@@ -1,0 +1,132 @@
+//! The measurement/validation client binary.
+//!
+//! ```text
+//! loadgen [--requests N] [--clients C] [--seed S] [--wait-secs W]
+//!         [--check [--tiny | --small | --scale 10k|50k|100k]]
+//! ```
+//!
+//! Connects to `HYBRID_ADDR` (default `127.0.0.1:7411`), replays a
+//! deterministic query mix, and prints throughput and p50/p99 latency.
+//! With `--check` it also rebuilds the resident state locally — from the
+//! given scale flags and the same env-configured pipeline the daemon uses
+//! — and byte-compares every response; any mismatch exits non-zero.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use hybrid_tor::service::ResidentState;
+use hybridd::{loadgen, LoadgenConfig};
+
+struct Args {
+    requests: usize,
+    clients: usize,
+    seed: u64,
+    wait: Duration,
+    check: bool,
+    scale_args: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        requests: 1000,
+        clients: 4,
+        seed: 42,
+        wait: Duration::from_secs(30),
+        check: false,
+        scale_args: Vec::new(),
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value_of =
+            |flag: &str| argv.next().ok_or_else(|| format!("{flag} requires a value"));
+        match arg.as_str() {
+            "--requests" => {
+                args.requests = parse_count("--requests", &value_of("--requests")?)?;
+            }
+            "--clients" => {
+                args.clients = parse_count("--clients", &value_of("--clients")?)?;
+            }
+            "--seed" => {
+                let raw = value_of("--seed")?;
+                args.seed = raw
+                    .parse()
+                    .map_err(|_| format!("--seed must be an unsigned integer, got {raw:?}"))?;
+            }
+            "--wait-secs" => {
+                let raw = value_of("--wait-secs")?;
+                let secs: u64 = raw.parse().map_err(|_| {
+                    format!("--wait-secs must be an unsigned integer (seconds), got {raw:?}")
+                })?;
+                args.wait = Duration::from_secs(secs);
+            }
+            "--check" => args.check = true,
+            // Scale flags are forwarded verbatim to the bench parser so
+            // `--check` rebuilds exactly the scenario the daemon serves.
+            "--tiny" | "--small" => args.scale_args.push(arg),
+            "--scale" => {
+                let value = value_of("--scale")?;
+                args.scale_args.push(arg);
+                args.scale_args.push(value);
+            }
+            other if other.starts_with("--scale=") => args.scale_args.push(arg),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_count(flag: &str, raw: &str) -> Result<usize, String> {
+    match raw.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!("{flag} must be a positive integer (>= 1), got {raw:?}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("loadgen: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let expected = if args.check {
+        let scale =
+            bench::scale_from_argv(&args.scale_args).unwrap_or_else(|message| panic!("{message}"));
+        let scenario = bench::build_scenario(&scale);
+        Some(ResidentState::build(&scenario, &bench::configured_pipeline()))
+    } else {
+        None
+    };
+
+    let config = LoadgenConfig {
+        addr: bench::configured_addr().to_string(),
+        requests: args.requests,
+        clients: args.clients,
+        seed: args.seed,
+        wait: args.wait,
+    };
+    let report = match loadgen::run(&config, expected.as_ref()) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "loadgen: {} requests in {:.3}s ({:.0} qps), p50 {} ns, p99 {} ns, mismatches {}",
+        report.requests,
+        report.elapsed.as_secs_f64(),
+        report.throughput_qps,
+        report.p50_ns,
+        report.p99_ns,
+        report.mismatches,
+    );
+    if report.mismatches > 0 {
+        eprintln!("loadgen: {} responses differed from the fresh pipeline", report.mismatches);
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,206 @@
+//! The resident daemon: accept loop, per-connection batching, epoch-aware
+//! snapshot sharing.
+//!
+//! Architecture (the performance story of the crate):
+//!
+//! * **Immutable snapshots.** The scenario state lives in a
+//!   [`routesim::EpochCell`] as an `Arc<Versioned<ResidentState>>`. Every
+//!   connection holds its own handle; a reload builds the replacement
+//!   outside any lock and publishes it with one pointer swap, so queries
+//!   never block on a rebuild.
+//! * **Batching.** A connection reads one request (blocking), then drains
+//!   whatever complete frames the read buffer already holds — up to the
+//!   configured batch size — and answers the whole batch against the
+//!   snapshot captured at its start.
+//! * **Fan-out.** A batch is answered through [`routesim::shard_map`],
+//!   the same deterministic in-order worker pool the pipeline uses, so
+//!   responses come back in request order at any worker count.
+//!
+//! Responses are a pure function of (snapshot, request) — the what-if
+//! scratch graph is restored after every query — so the byte stream a
+//! client sees is independent of worker count, batch size, and connection
+//! interleaving. The service determinism suite pins exactly that.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hybrid_tor::service::ResidentState;
+use routesim::{shard_map, EpochCell, Versioned};
+
+use crate::protocol::{read_frame, write_frame, Request, Response};
+
+/// How a reloaded snapshot is produced: a closure rebuilding the resident
+/// state from the daemon's original inputs.
+pub type Rebuild = Arc<dyn Fn() -> ResidentState + Send + Sync>;
+
+/// Execution knobs of one server.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads for per-batch query fan-out (resolved; `>= 1`).
+    pub workers: usize,
+    /// Maximum requests answered per batch tick (`>= 1`).
+    pub batch: usize,
+    /// How stale a connection's snapshot handle may grow before it
+    /// re-checks the epoch cell, in milliseconds (`0` = every batch).
+    pub epoch_check_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { workers: 1, batch: 32, epoch_check_ms: 50 }
+    }
+}
+
+/// A bound daemon, ready to serve.
+pub struct Server {
+    listener: TcpListener,
+    cell: Arc<EpochCell<ResidentState>>,
+    rebuild: Rebuild,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Bind to `addr` with an initial snapshot and a rebuild recipe for
+    /// [`Request::Reload`].
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        state: ResidentState,
+        rebuild: Rebuild,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server { listener, cell: Arc::new(EpochCell::new(state)), rebuild, config })
+    }
+
+    /// The address the server actually bound (port 0 resolves here).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The epoch cell, for callers that publish reloads out of band.
+    pub fn cell(&self) -> Arc<EpochCell<ResidentState>> {
+        Arc::clone(&self.cell)
+    }
+
+    /// Accept connections forever, one handler thread per connection.
+    pub fn run(self) -> std::io::Result<()> {
+        for stream in self.listener.incoming() {
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let cell = Arc::clone(&self.cell);
+            let rebuild = Arc::clone(&self.rebuild);
+            let config = self.config.clone();
+            std::thread::spawn(move || {
+                // A failed connection only ends that connection.
+                let _ = handle_connection(stream, cell, rebuild, &config);
+            });
+        }
+        Ok(())
+    }
+}
+
+/// What one batch slot resolved to before the sequential write-back pass.
+enum Planned {
+    /// A pure response, computed on the worker pool.
+    Pure(Response),
+    /// A reload: published (and answered) sequentially, in stream order.
+    Reload,
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    cell: Arc<EpochCell<ResidentState>>,
+    rebuild: Rebuild,
+    config: &ServerConfig,
+) -> Result<(), crate::protocol::WireError> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut snapshot: Arc<Versioned<ResidentState>> = cell.load();
+    let mut checked = Instant::now();
+    loop {
+        // Block for the first request of the tick; stop serving on EOF or
+        // a transport-level framing violation (a peer that sends garbage
+        // lengths cannot be resynchronised).
+        let first = match read_frame(&mut reader) {
+            Ok(frame) => frame,
+            Err(_) => return Ok(()),
+        };
+        let mut frames = vec![first];
+        // Greedily drain already-buffered complete frames into the batch:
+        // pipelined clients get amortised fan-out, single-shot clients
+        // keep single-request latency.
+        while frames.len() < config.batch && !reader.buffer().is_empty() {
+            frames.push(match read_frame(&mut reader) {
+                Ok(frame) => frame,
+                Err(_) => return Ok(()),
+            });
+        }
+
+        // Refresh the snapshot handle at batch granularity, rate-limited
+        // by the epoch-check knob (load() is cheap but not free).
+        if checked.elapsed() >= Duration::from_millis(config.epoch_check_ms) {
+            snapshot = cell.load();
+            checked = Instant::now();
+        }
+
+        let requests: Vec<Result<Request, crate::protocol::WireError>> =
+            frames.iter().map(|frame| Request::decode(frame)).collect();
+        let state = snapshot.value();
+        let planned: Vec<Planned> = shard_map(&requests, config.workers, |request| {
+            match request {
+                Ok(Request::Reload) => Planned::Reload,
+                Ok(request) => Planned::Pure(answer(state, request)),
+                // A malformed payload is an application-level error: the
+                // framing is intact, so the stream stays usable.
+                Err(e) => Planned::Pure(Response::Error(e.to_string())),
+            }
+        });
+        for plan in planned {
+            let response = match plan {
+                Planned::Pure(response) => response,
+                Planned::Reload => {
+                    let epoch = cell.publish((rebuild)());
+                    snapshot = cell.load();
+                    checked = Instant::now();
+                    Response::Reloaded { epoch }
+                }
+            };
+            write_frame(&mut writer, &response.encode())?;
+        }
+        writer.flush()?;
+    }
+}
+
+/// Answer one request against one snapshot. Pure: equal `(state, request)`
+/// pairs produce equal responses, which is what lets the server fan a
+/// batch out over workers — and what lets `loadgen --check` recompute the
+/// expected bytes locally. [`Request::Reload`] is the one non-pure request
+/// and is intercepted by the server loop before this function.
+pub fn answer(state: &ResidentState, request: &Request) -> Response {
+    match *request {
+        Request::Relationship { a, b, plane } => {
+            Response::Relationship(state.relationship(a, b, plane))
+        }
+        Request::CustomerTree { root, plane } => {
+            Response::CustomerTree(state.customer_tree(root, plane))
+        }
+        Request::Visibility { asn } => Response::Visibility(state.visibility(asn)),
+        Request::WhatIf { a, b, plane, new, root } => state
+            .what_if(a, b, plane, new, root)
+            .map(Response::WhatIf)
+            .unwrap_or_else(Response::Error),
+        Request::Summary => Response::Json(state.summary_json().to_string()),
+        Request::ReportJson => Response::Json(state.report_json().to_string()),
+        Request::MemStats => Response::MemStats(state.memory()),
+        Request::Universe => Response::Universe {
+            asns: state.universe().to_vec(),
+            hybrid_pairs: state.hybrid_pairs().to_vec(),
+        },
+        Request::Reload => Response::Error("reload is handled by the server loop".to_string()),
+    }
+}

@@ -40,6 +40,7 @@
 
 pub mod collector;
 pub mod config;
+pub mod epoch;
 pub mod policy;
 pub mod propagate;
 pub mod scenario;
@@ -47,6 +48,7 @@ pub mod shard;
 
 pub use collector::{CollectorSetup, FeederKind};
 pub use config::SimConfig;
+pub use epoch::{EpochCell, Versioned};
 pub use policy::{
     AsPolicy, AspaLitePolicy, ClassicPolicy, Policy, PolicyDeployment, PolicyEngine, PolicyModel,
     PolicyScenario, PolicyTable, RovPolicy,

@@ -19,7 +19,7 @@ use hybridd::{answer, loadgen, LoadgenConfig, Request, Server, ServerConfig};
 fn service(c: &mut Criterion) {
     let scale = bench::bench_scale();
     let scenario = bench::build_scenario(&scale);
-    let state = ResidentState::build(&scenario, &bench::configured_pipeline());
+    let state = ResidentState::build(&scenario, &bench::ExecKnobs::from_env().pipeline());
 
     // Per-component snapshot footprint: the CSR-backed graph against the
     // two arenas the resident mode adds. Gauges, not timings.
@@ -76,16 +76,17 @@ fn service(c: &mut Criterion) {
 
     // End-to-end over loopback TCP: a real daemon, real framing, real
     // batching, measured by the loadgen the CI smoke test also runs.
+    let knobs = bench::ExecKnobs::from_env();
     let rebuild: hybridd::Rebuild =
-        Arc::new(move || ResidentState::build(&scenario, &bench::configured_pipeline()));
+        Arc::new(move || ResidentState::build(&scenario, &bench::ExecKnobs::from_env().pipeline()));
     let server = Server::bind(
         "127.0.0.1:0",
         state,
         rebuild,
         ServerConfig {
-            workers: bench::threads(),
-            batch: bench::configured_batch(),
-            epoch_check_ms: bench::configured_epoch_check_ms(),
+            workers: knobs.threads(),
+            batch: knobs.batch,
+            epoch_check_ms: knobs.epoch_check_ms,
         },
     )
     .expect("bind an ephemeral loopback port");

@@ -1,6 +1,7 @@
 //! bench_compare — the workspace's benchmark regression gate.
 //!
-//! Runs both criterion harnesses (`paper_experiments` + `components`) via
+//! Runs every criterion harness (`paper_experiments`, `components`,
+//! `service`, `ingest`) via
 //! `cargo bench -p bench` with the shim's `CRITERION_JSON` channel
 //! enabled, writes the results as a `BENCH_*.json` snapshot in the same
 //! format as the committed baselines, and compares every tracked group

@@ -9,7 +9,7 @@ fn main() {
         "running coverage sweep over {} documentation rates ({} worker threads, HYBRID_THREADS \
          to change; sweep points reuse the base scenario's propagation)...",
         rates.len(),
-        bench::threads()
+        bench::ExecKnobs::from_env().threads()
     );
     let rows: Vec<Vec<String>> = bench::coverage_sweep(&scale, &rates)
         .into_iter()

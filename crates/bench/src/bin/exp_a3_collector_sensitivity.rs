@@ -8,7 +8,7 @@ fn main() {
     eprintln!(
         "running collector sensitivity sweep ({} worker threads, HYBRID_THREADS to change; \
          sweep points reuse the base scenario's propagation)...",
-        bench::threads()
+        bench::ExecKnobs::from_env().threads()
     );
     let rows: Vec<Vec<String>> = bench::collector_sensitivity(&scale, &counts)
         .into_iter()

@@ -13,7 +13,7 @@ fn main() {
     eprintln!(
         "building scenario ({} ASes, {} worker threads; set HYBRID_THREADS to override)...",
         scale.topology.total_as_count(),
-        bench::threads()
+        bench::ExecKnobs::from_env().threads()
     );
     let scenario = bench::build_scenario(&scale);
     eprintln!("running measurement pipeline...");

@@ -13,7 +13,7 @@ fn main() {
     eprintln!(
         "building scenario ({} ASes, {} worker threads, HYBRID_THREADS to change)...",
         scale.topology.total_as_count(),
-        bench::threads()
+        bench::ExecKnobs::from_env().threads()
     );
     let scenario = bench::build_scenario(&scale);
     let report = bench::run_measurement(&scenario);

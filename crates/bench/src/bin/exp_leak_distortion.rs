@@ -17,7 +17,7 @@ fn main() {
          change; sweep points reuse the base topology)...",
         bench::ADVERSARIAL_SCENARIOS.len(),
         scale.topology.total_as_count(),
-        bench::threads()
+        bench::ExecKnobs::from_env().threads()
     );
     let rows: Vec<Vec<String>> = bench::leak_distortion(&scale)
         .into_iter()

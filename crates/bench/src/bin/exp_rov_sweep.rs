@@ -17,7 +17,7 @@ fn main() {
          HYBRID_THREADS to change)...",
         fractions.len(),
         scale.topology.total_as_count(),
-        bench::threads()
+        bench::ExecKnobs::from_env().threads()
     );
     let rows: Vec<Vec<String>> = bench::rov_sweep(&scale, &fractions)
         .into_iter()

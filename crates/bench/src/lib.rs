@@ -17,9 +17,10 @@ use bgp_types::{Asn, IpVersion};
 use hybrid_tor::baselines::{gao_inference, BaselineInput, InferenceAccuracy};
 use hybrid_tor::hybrid::HybridFinding;
 use hybrid_tor::impact::SweepOptions;
+use hybrid_tor::ingest::{TemporalSweep, UpdateStream, WindowOutcome};
 use hybrid_tor::pipeline::{Pipeline, PipelineInput, PipelineOptions};
 use hybrid_tor::report::Report;
-use routesim::{Scenario, ScenarioPool, SimConfig};
+use routesim::{Scenario, ScenarioPool, SimConfig, UpdateStreamConfig};
 use topogen::fixtures::figure1_topology;
 use topogen::TopologyConfig;
 
@@ -120,117 +121,6 @@ fn env_knob<T>(name: &str, parse: impl Fn(Option<&str>) -> Result<T, String>) ->
     parse(value.as_deref()).unwrap_or_else(|message| panic!("{message}"))
 }
 
-/// Worker-thread count for scenario building, the pipeline and the impact
-/// sweep, taken from the `HYBRID_THREADS` environment variable. Unset or
-/// empty means `0` = all available cores; `HYBRID_THREADS=1` forces the
-/// sequential path — consistently with `SimConfig::concurrency` and
-/// `PipelineOptions::concurrency`; anything that is not a non-negative
-/// integer is a hard error. Output is byte-identical either way — the
-/// knob only trades wall-clock time.
-pub fn configured_concurrency() -> usize {
-    env_knob("HYBRID_THREADS", |v| parse_count_knob("HYBRID_THREADS", v, 0))
-}
-
-/// The worker count the experiment bins actually run with —
-/// [`configured_concurrency`] resolved against the host (`0` = all
-/// cores). One helper instead of per-bin copies of the same
-/// `effective_concurrency(configured_concurrency())` expression, which
-/// had already drifted apart once.
-pub fn threads() -> usize {
-    routesim::effective_concurrency(configured_concurrency())
-}
-
-/// Within-origin frontier worker count, from the `HYBRID_FRONTIER`
-/// environment variable: `0` = give the frontier the whole worker
-/// budget, `1` = sequential level scans — the same convention as
-/// `HYBRID_THREADS`. Unset or empty means `1`: by default the whole
-/// budget goes to per-origin sharding, which scales better whenever
-/// there are more origins than cores; anything that is not a
-/// non-negative integer is a hard error. Output is byte-identical at
-/// every value.
-pub fn configured_frontier() -> usize {
-    env_knob("HYBRID_FRONTIER", |v| parse_count_knob("HYBRID_FRONTIER", v, 1))
-}
-
-/// The `(origin workers, frontier workers)` split the experiment bins'
-/// propagation actually runs with: both env knobs resolved against the
-/// host and composed so their product never exceeds the core budget
-/// (see `SimConfig::propagation_split`).
-pub fn propagation_split() -> (usize, usize) {
-    configured_sim(&SimConfig::default()).propagation_split()
-}
-
-/// Whether the sweep's incremental delta-BFS engine is enabled, from the
-/// `HYBRID_INCREMENTAL` environment variable: unset or empty means on
-/// (the default); only the usual boolean spellings (`1`/`0`, `true`/
-/// `false`, `on`/`off`, `yes`/`no`) are accepted, anything else is a
-/// hard error. The knob never changes the
-/// measured numbers — curve, coverage, census are byte-identical either
-/// way; only the opt-in `sweep_stats` execution counters (which describe
-/// *how* the sweep ran) reflect it.
-pub fn configured_incremental() -> bool {
-    env_knob("HYBRID_INCREMENTAL", |v| parse_bool_knob("HYBRID_INCREMENTAL", v, true))
-}
-
-/// Whether the sweep repairs load-bearing removals in place instead of
-/// falling back to a full BFS, from the `HYBRID_REMOVAL_REPAIR`
-/// environment variable: unset or empty means off (the conservative
-/// default), same boolean spellings as `HYBRID_INCREMENTAL`. Like the
-/// other sweep knobs it only moves the `sweep_stats` counters, never a
-/// measured number.
-pub fn configured_removal_repair() -> bool {
-    env_knob("HYBRID_REMOVAL_REPAIR", |v| parse_bool_knob("HYBRID_REMOVAL_REPAIR", v, false))
-}
-
-/// How propagation assigns origins to workers, from the
-/// `HYBRID_SCHEDULING` environment variable: `degree` (the default,
-/// LPT binning by node degree) or `static` (index striping). Execution
-/// only — output is byte-identical under both schedules.
-pub fn configured_scheduling() -> routesim::OriginScheduling {
-    env_knob("HYBRID_SCHEDULING", |v| parse_scheduling_knob("HYBRID_SCHEDULING", v))
-}
-
-/// The sweep execution options the experiment bins run with:
-/// `HYBRID_THREADS` workers, memoization on, the incremental engine
-/// steered by `HYBRID_INCREMENTAL` and the removal-repair tier by
-/// `HYBRID_REMOVAL_REPAIR`.
-pub fn configured_sweep() -> SweepOptions {
-    SweepOptions::with_concurrency(configured_concurrency())
-        .with_incremental(configured_incremental())
-        .with_removal_repair(configured_removal_repair())
-}
-
-/// Whether graphs are frozen into the flat CSR backend before the heavy
-/// traversals run, from the `HYBRID_CSR` environment variable: unset or
-/// empty means on (the default), same boolean spellings as
-/// `HYBRID_INCREMENTAL`, anything else is a hard error. Execution only —
-/// reports are byte-identical under both backends; the knob exists so
-/// the benches can A/B the map backend.
-pub fn configured_csr() -> bool {
-    env_knob("HYBRID_CSR", |v| parse_bool_knob("HYBRID_CSR", v, true))
-}
-
-/// The adversarial scenario the experiment bins propagate under, from
-/// the `HYBRID_SCENARIO` environment variable: unset or empty means
-/// `classic` (the well-behaved Gao–Rexford policy); `leak`,
-/// `prefix-hijack` and `subprefix-hijack` select the attack scenarios
-/// (see [`routesim::PolicyScenario`]), anything else is a hard error.
-/// An **output** knob: non-classic scenarios change the routes and the
-/// report — byte-identically at every worker count.
-pub fn configured_scenario() -> routesim::PolicyScenario {
-    env_knob("HYBRID_SCENARIO", |v| parse_scenario_knob("HYBRID_SCENARIO", v))
-}
-
-/// The fraction of ASes deploying the scenario's defensive policy (ROV
-/// against hijacks, ASPA-lite against leaks), from the
-/// `HYBRID_DEPLOYMENT` environment variable: unset or empty means `0`
-/// (no defence); anything else must be a float in `[0, 1]`. Like
-/// `HYBRID_SCENARIO`, an output knob that is invisible to worker counts
-/// (deployment is sampled per AS from a dedicated seed).
-pub fn configured_deployment() -> f64 {
-    env_knob("HYBRID_DEPLOYMENT", |v| parse_fraction_knob("HYBRID_DEPLOYMENT", v, 0.0))
-}
-
 /// Parse a socket-address knob: unset or empty means `default`; anything
 /// else must be a literal `ip:port` address (`127.0.0.1:7411`,
 /// `[::1]:7411`). Hostnames are rejected — resolution is environment-
@@ -275,40 +165,182 @@ fn parse_millis_knob(name: &str, value: Option<&str>, default: u64) -> Result<u6
     }
 }
 
-/// The address the resident daemon binds, from the `HYBRID_ADDR`
-/// environment variable: unset or empty means `127.0.0.1:7411`; anything
-/// else must be a literal `ip:port` (port `0` asks the OS for a free
-/// port — the daemon prints what it actually bound). A hard error
-/// otherwise, like every knob here.
-pub fn configured_addr() -> std::net::SocketAddr {
-    env_knob("HYBRID_ADDR", |v| parse_addr_knob("HYBRID_ADDR", v, "127.0.0.1:7411"))
+/// Every `HYBRID_*` knob the experiment bins, the resident daemon and the
+/// load generator honour, resolved once by [`ExecKnobs::from_env`] — the
+/// single replacement for the former family of per-knob `configured_*`
+/// getters (whose strict parsers it keeps). Execution knobs (workers,
+/// frontier split, scheduling, CSR backend, sweep tiers, ingest delta,
+/// service tuning) are byte-invisible in every report; `scenario` and
+/// `deployment` are **output** knobs that change the routes — but still
+/// byte-identically at every worker count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecKnobs {
+    /// `HYBRID_THREADS` — worker threads for scenario building, the
+    /// pipeline and the sweeps: `0` (the default) = all available cores,
+    /// `1` = the sequential path, consistently with
+    /// `SimConfig::concurrency` and `PipelineOptions::concurrency`.
+    pub concurrency: usize,
+    /// `HYBRID_FRONTIER` — within-origin frontier workers: `0` = the
+    /// whole worker budget, `1` (the default) = sequential level scans
+    /// with all parallelism on per-origin sharding.
+    pub frontier: usize,
+    /// `HYBRID_INCREMENTAL` — whether the sweep's incremental delta-BFS
+    /// engine is enabled (default on). Only the opt-in `sweep_stats`
+    /// execution counters reflect it, never a measured number.
+    pub incremental: bool,
+    /// `HYBRID_REMOVAL_REPAIR` — whether the sweep repairs load-bearing
+    /// removals in place instead of falling back to a full BFS (default
+    /// off, the conservative tier).
+    pub removal_repair: bool,
+    /// `HYBRID_SCHEDULING` — how propagation assigns origins to workers:
+    /// `degree` (the default, LPT binning) or `static` (index striping).
+    pub scheduling: routesim::OriginScheduling,
+    /// `HYBRID_CSR` — whether graphs are frozen into the flat CSR
+    /// backend before the heavy traversals run (default on).
+    pub csr: bool,
+    /// `HYBRID_SCENARIO` — the adversarial scenario propagation runs
+    /// under: `classic` (the default), `leak`, `prefix-hijack` or
+    /// `subprefix-hijack`. An **output** knob.
+    pub scenario: routesim::PolicyScenario,
+    /// `HYBRID_DEPLOYMENT` — fraction of ASes deploying the scenario's
+    /// defensive policy, in `[0, 1]` (default `0`). An **output** knob.
+    pub deployment: f64,
+    /// `HYBRID_INGEST_DELTA` — whether streaming replay repairs the
+    /// valley/visibility analyses through the delta engine instead of
+    /// recomputing them per window (default on). Execution only: the
+    /// windowed reports are byte-identical either way, which
+    /// `tests/determinism.rs` pins.
+    pub ingest_delta: bool,
+    /// `HYBRID_UPDATE_WINDOWS` — how many synthetic update windows the
+    /// resident daemon replays on `Reload` requests: `0` (the default)
+    /// keeps the classic full-rebuild reload.
+    pub update_windows: usize,
+    /// `HYBRID_ADDR` — the address the resident daemon binds (default
+    /// `127.0.0.1:7411`; port `0` asks the OS for a free port). Literal
+    /// `ip:port` only — hostnames are rejected.
+    pub addr: std::net::SocketAddr,
+    /// `HYBRID_BATCH` — the daemon's per-connection batch cap: how many
+    /// already-buffered requests one accept-loop tick answers through the
+    /// worker pool (default `32`, must be `>= 1`).
+    pub batch: usize,
+    /// `HYBRID_EPOCH_CHECK_MS` — how stale a connection's snapshot handle
+    /// may grow before it re-checks the epoch cell, in milliseconds
+    /// (default `50`; `0` re-checks every batch).
+    pub epoch_check_ms: u64,
 }
 
-/// The daemon's per-connection batch cap, from the `HYBRID_BATCH`
-/// environment variable: how many already-buffered requests one accept-
-/// loop tick answers through the worker pool. Unset or empty means `32`;
-/// anything else must be `>= 1`. Execution only — responses are
-/// byte-identical at every batch size (the service determinism suite
-/// pins it).
-pub fn configured_batch() -> usize {
-    env_knob("HYBRID_BATCH", |v| parse_positive_knob("HYBRID_BATCH", v, 32))
+impl Default for ExecKnobs {
+    fn default() -> Self {
+        ExecKnobs {
+            concurrency: 0,
+            frontier: 1,
+            incremental: true,
+            removal_repair: false,
+            scheduling: routesim::OriginScheduling::Degree,
+            csr: true,
+            scenario: routesim::PolicyScenario::Classic,
+            deployment: 0.0,
+            ingest_delta: true,
+            update_windows: 0,
+            addr: "127.0.0.1:7411".parse().expect("literal address"),
+            batch: 32,
+            epoch_check_ms: 50,
+        }
+    }
 }
 
-/// How stale a connection's snapshot handle may grow before it re-checks
-/// the epoch cell, from the `HYBRID_EPOCH_CHECK_MS` environment variable,
-/// in milliseconds. Unset or empty means `50`; `0` re-checks every batch;
-/// anything that is not a non-negative integer is a hard error. Execution
-/// only — it bounds reload visibility latency, never response bytes.
-pub fn configured_epoch_check_ms() -> u64 {
-    env_knob("HYBRID_EPOCH_CHECK_MS", |v| parse_millis_knob("HYBRID_EPOCH_CHECK_MS", v, 50))
+impl ExecKnobs {
+    /// Resolve every knob from the environment. A malformed value is a
+    /// hard panic naming the variable and the offending value — an
+    /// experiment run must stop loudly, not silently mislabel itself.
+    pub fn from_env() -> Self {
+        ExecKnobs {
+            concurrency: env_knob("HYBRID_THREADS", |v| parse_count_knob("HYBRID_THREADS", v, 0)),
+            frontier: env_knob("HYBRID_FRONTIER", |v| parse_count_knob("HYBRID_FRONTIER", v, 1)),
+            incremental: env_knob("HYBRID_INCREMENTAL", |v| {
+                parse_bool_knob("HYBRID_INCREMENTAL", v, true)
+            }),
+            removal_repair: env_knob("HYBRID_REMOVAL_REPAIR", |v| {
+                parse_bool_knob("HYBRID_REMOVAL_REPAIR", v, false)
+            }),
+            scheduling: env_knob("HYBRID_SCHEDULING", |v| {
+                parse_scheduling_knob("HYBRID_SCHEDULING", v)
+            }),
+            csr: env_knob("HYBRID_CSR", |v| parse_bool_knob("HYBRID_CSR", v, true)),
+            scenario: env_knob("HYBRID_SCENARIO", |v| parse_scenario_knob("HYBRID_SCENARIO", v)),
+            deployment: env_knob("HYBRID_DEPLOYMENT", |v| {
+                parse_fraction_knob("HYBRID_DEPLOYMENT", v, 0.0)
+            }),
+            ingest_delta: env_knob("HYBRID_INGEST_DELTA", |v| {
+                parse_bool_knob("HYBRID_INGEST_DELTA", v, true)
+            }),
+            update_windows: env_knob("HYBRID_UPDATE_WINDOWS", |v| {
+                parse_count_knob("HYBRID_UPDATE_WINDOWS", v, 0)
+            }),
+            addr: env_knob("HYBRID_ADDR", |v| parse_addr_knob("HYBRID_ADDR", v, "127.0.0.1:7411")),
+            batch: env_knob("HYBRID_BATCH", |v| parse_positive_knob("HYBRID_BATCH", v, 32)),
+            epoch_check_ms: env_knob("HYBRID_EPOCH_CHECK_MS", |v| {
+                parse_millis_knob("HYBRID_EPOCH_CHECK_MS", v, 50)
+            }),
+        }
+    }
+
+    /// The worker count these knobs actually run with — `concurrency`
+    /// resolved against the host (`0` = all cores).
+    pub fn threads(&self) -> usize {
+        routesim::effective_concurrency(self.concurrency)
+    }
+
+    /// The `(origin workers, frontier workers)` split propagation runs
+    /// with: both worker knobs resolved against the host and composed so
+    /// their product never exceeds the core budget (see
+    /// `SimConfig::propagation_split`).
+    pub fn propagation_split(&self) -> (usize, usize) {
+        self.sim(&SimConfig::default()).propagation_split()
+    }
+
+    /// The sweep execution options these knobs resolve to: `concurrency`
+    /// workers, memoization on, the incremental engine steered by
+    /// `incremental` and the removal-repair tier by `removal_repair`.
+    pub fn sweep(&self) -> SweepOptions {
+        SweepOptions::with_concurrency(self.concurrency)
+            .with_incremental(self.incremental)
+            .with_removal_repair(self.removal_repair)
+    }
+
+    /// The pipeline the resident service builds its snapshot with: the
+    /// default measurement pipeline under these execution options —
+    /// exactly what [`run_measurement`] runs, exposed as a value so
+    /// `hybridd` and `loadgen --check` construct provably the same
+    /// pipeline.
+    pub fn pipeline(&self) -> Pipeline {
+        Pipeline { options: PipelineOptions::from(self), ..Default::default() }
+    }
+
+    /// Apply the worker/scheduling/backend/scenario knobs to a simulator
+    /// configuration, via `PipelineOptions::configure_sim`: knobs the
+    /// configuration leaves at their *defaults* take these values,
+    /// anything else is kept. Every scenario the harness builds —
+    /// including the per-rate/per-collector rebuilds inside
+    /// [`coverage_sweep`] and [`collector_sensitivity`] — goes through
+    /// this.
+    pub fn sim(&self, sim: &SimConfig) -> SimConfig {
+        PipelineOptions::from(self).configure_sim(sim.clone())
+    }
 }
 
-/// The pipeline the resident service builds its snapshot with: the
-/// default measurement pipeline under the env-knob execution options —
-/// exactly what [`run_measurement`] runs, exposed as a value so `hybridd`
-/// and `loadgen --check` construct provably the same pipeline.
-pub fn configured_pipeline() -> Pipeline {
-    Pipeline { options: configured_options(), ..Default::default() }
+/// The single place the knob struct becomes pipeline execution options —
+/// the sweep knobs ride separately via [`ExecKnobs::sweep`], the service
+/// knobs via the `ServerConfig` the daemon assembles.
+impl From<&ExecKnobs> for PipelineOptions {
+    fn from(knobs: &ExecKnobs) -> PipelineOptions {
+        PipelineOptions::with_concurrency(knobs.concurrency)
+            .with_frontier(knobs.frontier)
+            .with_scheduling(knobs.scheduling)
+            .with_csr(knobs.csr)
+            .with_scenario(knobs.scenario)
+            .with_deployment(knobs.deployment)
+    }
 }
 
 /// Record a non-timing gauge (bytes, counts, rates) into the
@@ -329,32 +361,6 @@ pub fn record_gauge(id: &str, value: u128) {
     if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
         let _ = f.write_all(line.as_bytes());
     }
-}
-
-/// The pipeline execution options the env knobs resolve to — the single
-/// place `HYBRID_THREADS`, `HYBRID_FRONTIER`, `HYBRID_SCHEDULING`,
-/// `HYBRID_CSR`, `HYBRID_SCENARIO` and `HYBRID_DEPLOYMENT` become a
-/// [`PipelineOptions`] (the sweep knobs ride separately via
-/// [`configured_sweep`]).
-fn configured_options() -> PipelineOptions {
-    PipelineOptions::with_concurrency(configured_concurrency())
-        .with_frontier(configured_frontier())
-        .with_scheduling(configured_scheduling())
-        .with_csr(configured_csr())
-        .with_scenario(configured_scenario())
-        .with_deployment(configured_deployment())
-}
-
-/// Apply `HYBRID_THREADS`, `HYBRID_FRONTIER` and `HYBRID_SCHEDULING` to
-/// a simulator configuration, via [`PipelineOptions::configure_sim`]:
-/// knobs the configuration leaves at their *defaults* (`concurrency ==
-/// 0`, `frontier_concurrency == 1`, `scheduling == Degree`) take the env
-/// values, anything else is kept. Every scenario the harness builds —
-/// including the per-rate/per-collector rebuilds inside
-/// [`coverage_sweep`] and [`collector_sensitivity`], which once ignored
-/// the knob — goes through this.
-fn configured_sim(sim: &SimConfig) -> SimConfig {
-    configured_options().configure_sim(sim.clone())
 }
 
 /// Topology/simulation configuration pair.
@@ -486,14 +492,45 @@ pub fn scale_from_args() -> ExperimentScale {
 /// Build the scenario for a scale, honouring `HYBRID_THREADS` when the
 /// scale does not pin a worker count itself.
 pub fn build_scenario(scale: &ExperimentScale) -> Scenario {
-    Scenario::build(&scale.topology, &configured_sim(&scale.sim))
+    Scenario::build(&scale.topology, &ExecKnobs::from_env().sim(&scale.sim))
 }
 
 /// E1/E2/E3/E4 + A1: run the full measurement pipeline (without the
 /// Figure 2 sweep) and return the report. Honours `HYBRID_THREADS`.
 pub fn run_measurement(scenario: &Scenario) -> Report {
-    let pipeline = Pipeline { options: configured_options(), ..Default::default() };
+    let pipeline = ExecKnobs::from_env().pipeline();
     pipeline.run(PipelineInput::from_scenario_with(scenario, &pipeline.options))
+}
+
+/// G1/G2: synthesise a deterministic update stream over the scenario and
+/// replay it window by window with a [`TemporalSweep`].
+///
+/// The window count comes from `HYBRID_UPDATE_WINDOWS` when set (non-zero),
+/// else `default_windows`; `incremental` selects delta-repaired replay
+/// (the `HYBRID_INGEST_DELTA` resolution, [`ExecKnobs::ingest_delta`]) or
+/// the full per-window recompute. Both modes — and every worker count —
+/// produce byte-identical per-window reports; the determinism matrix and
+/// the golden snapshots pin that, which is why the G-series bins can be
+/// goldens like any other.
+pub fn run_temporal(
+    scenario: &Scenario,
+    incremental: bool,
+    default_windows: usize,
+) -> Vec<WindowOutcome> {
+    let knobs = ExecKnobs::from_env();
+    let windows = if knobs.update_windows > 0 { knobs.update_windows } else { default_windows };
+    let stream = UpdateStream::from_windows(
+        scenario.update_stream(&UpdateStreamConfig { windows, ..Default::default() }),
+    );
+    let pipeline = knobs.pipeline();
+    let base = scenario.pooled_snapshot(pipeline.options.workers());
+    let dictionary = scenario.registry.build_dictionary();
+    TemporalSweep::new(pipeline, incremental).run(
+        &base,
+        &dictionary,
+        Some(&scenario.truth),
+        &stream,
+    )
 }
 
 /// F2: run the measurement including the customer-tree correction sweep.
@@ -507,8 +544,9 @@ pub fn run_measurement_with_impact(
     top_k: usize,
     source_cap: Option<usize>,
 ) -> Report {
+    let knobs = ExecKnobs::from_env();
     let pipeline = Pipeline {
-        options: configured_options().with_sweep(configured_sweep()),
+        options: PipelineOptions::from(&knobs).with_sweep(knobs.sweep()),
         emit_sweep_stats: true,
         ..Pipeline::with_impact(top_k, source_cap)
     };
@@ -538,7 +576,7 @@ pub fn baseline_accuracy(scenario: &Scenario) -> (InferenceAccuracy, InferenceAc
 /// generation and one propagation per plane, every sweep point derived by
 /// patching the base configuration (see [`routesim::ScenarioPool`]).
 pub fn scenario_pool(scale: &ExperimentScale) -> ScenarioPool {
-    ScenarioPool::new(&scale.topology, &configured_sim(&scale.sim))
+    ScenarioPool::new(&scale.topology, &ExecKnobs::from_env().sim(&scale.sim))
 }
 
 /// A2: coverage as a function of the IRR documentation rate.
@@ -737,7 +775,7 @@ pub fn sweep_inputs(scenario: &Scenario) -> (AsGraph, Vec<HybridFinding>) {
         &data.graph,
         &inference,
         &baseline,
-        configured_concurrency(),
+        ExecKnobs::from_env().concurrency,
     );
     let hybrids = hybrid_tor::hybrid::detect_hybrids(&data, &inference).findings;
     (misinferred, hybrids)
@@ -839,16 +877,17 @@ mod tests {
 
     #[test]
     fn env_helpers_resolve_sensibly() {
-        assert!(threads() >= 1, "resolved worker count is at least one");
-        let sweep = configured_sweep();
+        let knobs = ExecKnobs::from_env();
+        assert!(knobs.threads() >= 1, "resolved worker count is at least one");
+        let sweep = knobs.sweep();
         assert!(sweep.cache, "the bins always run with the memo tier on");
-        assert_eq!(sweep.incremental, configured_incremental());
-        assert_eq!(sweep.removal_repair, configured_removal_repair());
-        assert_eq!(sweep.concurrency, configured_concurrency());
-        let (origins, frontier) = propagation_split();
+        assert_eq!(sweep.incremental, knobs.incremental);
+        assert_eq!(sweep.removal_repair, knobs.removal_repair);
+        assert_eq!(sweep.concurrency, knobs.concurrency);
+        let (origins, frontier) = knobs.propagation_split();
         assert!(origins >= 1 && frontier >= 1);
-        assert!(origins * frontier <= threads().max(1), "split never oversubscribes");
-        assert!(configured_csr(), "the CSR backend is the default");
+        assert!(origins * frontier <= knobs.threads().max(1), "split never oversubscribes");
+        assert!(knobs.csr, "the CSR backend is the default");
     }
 
     // The knob parsers are pure functions over `Option<&str>` so these
@@ -1100,7 +1139,7 @@ mod tests {
         let mut pool = scenario_pool(&scale);
         let pooled = pool.scenario_with(|sim| sim.documentation_probability = 0.4);
         assert_eq!(pool.propagation_reuses(), 2, "both planes reused");
-        let mut sim = configured_sim(&scale.sim);
+        let mut sim = ExecKnobs::from_env().sim(&scale.sim);
         sim.documentation_probability = 0.4;
         let scratch = routesim::Scenario::build(&scale.topology, &sim);
         assert_eq!(pooled.snapshots, scratch.snapshots);

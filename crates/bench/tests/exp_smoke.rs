@@ -27,7 +27,7 @@
 use std::path::PathBuf;
 use std::process::Command;
 
-/// The eleven experiment binaries and their build-time executable paths.
+/// The thirteen experiment binaries and their build-time executable paths.
 const BINS: &[(&str, &str)] = &[
     ("exp_a1_baseline_accuracy", env!("CARGO_BIN_EXE_exp_a1_baseline_accuracy")),
     ("exp_a2_coverage_sweep", env!("CARGO_BIN_EXE_exp_a2_coverage_sweep")),
@@ -38,6 +38,8 @@ const BINS: &[(&str, &str)] = &[
     ("exp_e4_valley_paths", env!("CARGO_BIN_EXE_exp_e4_valley_paths")),
     ("exp_f1_customer_tree_example", env!("CARGO_BIN_EXE_exp_f1_customer_tree_example")),
     ("exp_f2_customer_tree_sweep", env!("CARGO_BIN_EXE_exp_f2_customer_tree_sweep")),
+    ("exp_g1_temporal_census", env!("CARGO_BIN_EXE_exp_g1_temporal_census")),
+    ("exp_g2_correction_churn", env!("CARGO_BIN_EXE_exp_g2_correction_churn")),
     ("exp_leak_distortion", env!("CARGO_BIN_EXE_exp_leak_distortion")),
     ("exp_rov_sweep", env!("CARGO_BIN_EXE_exp_rov_sweep")),
 ];
@@ -66,6 +68,7 @@ fn run_tiny(
     threads: &str,
     frontier: &str,
     incremental: &str,
+    ingest_delta: &str,
     scheduling: Option<&str>,
 ) -> String {
     let mut command = Command::new(exe);
@@ -74,7 +77,11 @@ fn run_tiny(
         .env("HYBRID_THREADS", threads)
         .env("HYBRID_FRONTIER", frontier)
         .env("HYBRID_INCREMENTAL", incremental)
+        .env("HYBRID_INGEST_DELTA", ingest_delta)
         .env("HYBRID_REMOVAL_REPAIR", "0")
+        // Pinned so the temporal bins always replay their default window
+        // count, whatever the caller's shell exports.
+        .env("HYBRID_UPDATE_WINDOWS", "")
         // Pinned to "no defence": the scenario legs exercise the attack
         // itself; the deployment sweep has its own bin and goldens.
         // HYBRID_SCENARIO is deliberately inherited (see the module doc).
@@ -103,7 +110,7 @@ fn exp_bins_reproduce_their_goldens_at_every_execution_setting() {
         // The sequential reference run pins the goldens. It inherits
         // HYBRID_SCHEDULING so the CI matrix can flip the schedule for
         // the whole golden comparison.
-        let sequential = run_tiny(name, exe, "1", "1", "1", None);
+        let sequential = run_tiny(name, exe, "1", "1", "1", "1", None);
         let golden_path = dir.join(format!("{name}.txt"));
         if update {
             std::fs::write(&golden_path, &sequential)
@@ -124,17 +131,19 @@ fn exp_bins_reproduce_their_goldens_at_every_execution_setting() {
             );
         }
         // ... and a run with both worker knobs flipped (sharded origins
-        // AND a parallel frontier) plus the origin schedule pinned to
-        // static striping must produce the same bytes: parallelism is
-        // never an output knob, and neither is the schedule. The
-        // incremental switch stays pinned — exp_f2 deliberately prints
-        // the sweep's execution counters, which describe *how* the sweep
-        // ran and so reflect that knob.
-        let parallel = run_tiny(name, exe, "2", "2", "1", Some("static"));
+        // AND a parallel frontier), the origin schedule pinned to static
+        // striping, and delta-repaired ingest switched off must produce
+        // the same bytes: parallelism is never an output knob, neither is
+        // the schedule, and replaying updates with a full per-window
+        // recompute must match the delta-repaired replay at the process
+        // boundary too. The incremental switch stays pinned — exp_f2
+        // deliberately prints the sweep's execution counters, which
+        // describe *how* the sweep ran and so reflect that knob.
+        let parallel = run_tiny(name, exe, "2", "2", "1", "0", Some("static"));
         assert!(
             parallel == sequential,
             "{name} --tiny stdout depends on the worker knobs \
-             (HYBRID_THREADS/HYBRID_FRONTIER/HYBRID_SCHEDULING)"
+             (HYBRID_THREADS/HYBRID_FRONTIER/HYBRID_SCHEDULING/HYBRID_INGEST_DELTA)"
         );
     }
 }

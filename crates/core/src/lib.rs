@@ -52,6 +52,7 @@ pub mod communities;
 pub mod extract;
 pub mod hybrid;
 pub mod impact;
+pub mod ingest;
 pub mod locpref;
 pub mod pipeline;
 pub mod report;
@@ -63,8 +64,14 @@ pub use communities::{CommunityInference, InferenceSource, InferredRelationship}
 pub use extract::{ExtractedData, ObservedPath};
 pub use hybrid::{HybridFinding, HybridReport};
 pub use impact::{CorrectionStep, ImpactCurve};
+pub use ingest::{
+    ApplyStats, ExtractCache, IngestCaches, LiveRib, RepairStats, RibDelta, TemporalSweep,
+    UpdateStream, ValleyCache, WindowOutcome,
+};
 pub use locpref::LocPrfRosetta;
-pub use pipeline::{Pipeline, PipelineArtifacts, PipelineInput, PipelineOptions};
+pub use pipeline::{
+    Pipeline, PipelineArtifacts, PipelineInput, PipelineInputBuilder, PipelineOptions,
+};
 pub use report::Report;
 pub use service::{ResidentState, ServiceMemory, VisibilityStats, WhatIfReply};
 pub use valley::{ValleyAttribution, ValleyReport};

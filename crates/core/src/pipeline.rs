@@ -1,6 +1,6 @@
 //! End-to-end orchestration of the measurement.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use bgp_types::{IpVersion, RibSnapshot};
 use irr::{CommunityDictionary, IrrRegistry};
@@ -11,9 +11,9 @@ use crate::communities::{CommunityInference, InferenceSource};
 use crate::extract::extract;
 use crate::hybrid::detect_hybrids;
 use crate::impact::{correction_sweep_in, ImpactOptions, SweepCache, SweepOptions};
+use crate::ingest::{run_valley_stage, ApplyStats, IngestCaches, LiveRib, UpdateStream};
 use crate::locpref::LocPrfRosetta;
 use crate::report::{DatasetSummary, Report};
-use crate::valley::analyze_valleys;
 
 /// The data a pipeline run consumes: a pooled RIB snapshot, the community
 /// dictionary mined from the IRR, and (optionally, for simulated
@@ -29,6 +29,24 @@ pub struct PipelineInput {
 }
 
 impl PipelineInput {
+    /// Start describing an input: pick one base source (a simulated
+    /// scenario, MRT files on disk, or a raw snapshot), optionally replay
+    /// an [`UpdateStream`] on top of it, and set the execution options
+    /// once. The older `from_*` constructors are thin shims over this.
+    ///
+    /// ```
+    /// use hybrid_tor::pipeline::PipelineInput;
+    /// use routesim::{Scenario, SimConfig};
+    /// use topogen::TopologyConfig;
+    ///
+    /// let scenario = Scenario::build(&TopologyConfig::tiny(), &SimConfig::small());
+    /// let input = PipelineInput::builder().scenario(&scenario).build().unwrap();
+    /// assert!(input.snapshot.len() > 0);
+    /// ```
+    pub fn builder() -> PipelineInputBuilder<'static> {
+        PipelineInputBuilder::default()
+    }
+
     /// Build the input from a simulated scenario: pools its collectors,
     /// parses its registry, and carries the ground truth along. Uses the
     /// default execution options (all available parallelism).
@@ -41,20 +59,11 @@ impl PipelineInput {
     /// with the IRR dictionary build, when more than one worker is
     /// allowed. The pooled entry order is worker-count independent.
     pub fn from_scenario_with(scenario: &routesim::Scenario, options: &PipelineOptions) -> Self {
-        let workers = options.workers();
-        let (snapshot, dictionary) = if workers > 1 {
-            std::thread::scope(|scope| {
-                // The main thread builds the dictionary, so pooling gets
-                // one worker less to keep the total at the budget.
-                let pool_workers = workers - 1;
-                let pooled = scope.spawn(move || scenario.pooled_snapshot(pool_workers));
-                let dictionary = scenario.registry.build_dictionary();
-                (pooled.join().expect("snapshot pooling worker panicked"), dictionary)
-            })
-        } else {
-            (scenario.pooled_snapshot(1), scenario.registry.build_dictionary())
-        };
-        PipelineInput { snapshot, dictionary, truth: Some(scenario.truth.clone()) }
+        Self::builder()
+            .scenario(scenario)
+            .options(*options)
+            .build()
+            .expect("scenario inputs cannot fail")
     }
 
     /// Build the input from MRT files and an IRR dump on disk — the shape
@@ -76,25 +85,141 @@ impl PipelineInput {
         registry_path: impl AsRef<Path>,
         options: &PipelineOptions,
     ) -> Result<Self, std::io::Error> {
-        let read = |path: &dyn AsRef<Path>| {
-            mrt::read_snapshot_from_path(path).map_err(|e| std::io::Error::other(e.to_string()))
+        Self::builder().files(mrt_paths, registry_path).options(*options).build()
+    }
+}
+
+/// One base source for a [`PipelineInputBuilder`].
+#[derive(Debug, Default)]
+enum InputSource<'a> {
+    /// No source chosen yet; [`PipelineInputBuilder::build`] rejects it.
+    #[default]
+    Empty,
+    /// A simulated scenario (snapshot pooling + registry parsing).
+    Scenario(&'a routesim::Scenario),
+    /// MRT TABLE_DUMP_V2 files plus an IRR registry dump on disk.
+    Files { mrt: Vec<PathBuf>, registry: PathBuf },
+    /// An already-pooled snapshot with its dictionary (and optional
+    /// truth). Boxed: the assembled input dwarfs the other variants.
+    Snapshot(Box<PipelineInput>),
+}
+
+/// Builder for [`PipelineInput`]: one base source, an optional update
+/// stream replayed on top of it, and the execution options — declared
+/// once, in one place (see [`PipelineInput::builder`]).
+#[derive(Debug, Default)]
+pub struct PipelineInputBuilder<'a> {
+    options: PipelineOptions,
+    source: InputSource<'a>,
+    updates: Option<&'a UpdateStream>,
+}
+
+impl<'a> PipelineInputBuilder<'a> {
+    /// Use a simulated scenario as the base source (replaces any source
+    /// chosen earlier).
+    pub fn scenario(self, scenario: &'a routesim::Scenario) -> Self {
+        PipelineInputBuilder { source: InputSource::Scenario(scenario), ..self }
+    }
+
+    /// Use MRT files plus an IRR registry dump as the base source
+    /// (replaces any source chosen earlier).
+    pub fn files(self, mrt_paths: &[impl AsRef<Path>], registry_path: impl AsRef<Path>) -> Self {
+        let source = InputSource::Files {
+            mrt: mrt_paths.iter().map(|p| p.as_ref().to_path_buf()).collect(),
+            registry: registry_path.as_ref().to_path_buf(),
         };
-        let workers = options.workers();
-        let mut snapshot = RibSnapshot::default();
-        if workers <= 1 || mrt_paths.len() <= 1 {
-            // Sequential: stop at the first failing file.
-            for path in mrt_paths {
-                snapshot.merge(read(path)?);
-            }
-        } else {
-            let parsed: Vec<Result<RibSnapshot, std::io::Error>> =
-                routesim::shard_map(mrt_paths, workers, |path| read(path));
-            for snap in parsed {
-                snapshot.merge(snap?);
-            }
+        PipelineInputBuilder { source, ..self }
+    }
+
+    /// Use an already-pooled snapshot as the base source (replaces any
+    /// source chosen earlier). `truth` enables accuracy evaluation.
+    pub fn snapshot(
+        self,
+        snapshot: RibSnapshot,
+        dictionary: CommunityDictionary,
+        truth: Option<GroundTruth>,
+    ) -> Self {
+        PipelineInputBuilder {
+            source: InputSource::Snapshot(Box::new(PipelineInput { snapshot, dictionary, truth })),
+            ..self
         }
-        let registry = IrrRegistry::load(registry_path)?;
-        Ok(PipelineInput { snapshot, dictionary: registry.build_dictionary(), truth: None })
+    }
+
+    /// Replay an update stream on top of the base source: the built input
+    /// holds the [`LiveRib`] state after the stream's last window — the
+    /// one-shot "table at time T" shape. For per-window measurement use
+    /// [`crate::ingest::TemporalSweep`] instead.
+    pub fn updates(self, stream: &'a UpdateStream) -> Self {
+        PipelineInputBuilder { updates: Some(stream), ..self }
+    }
+
+    /// Execution options for source assembly (pooling / file-parse
+    /// parallelism). Execution only — the built input is byte-identical
+    /// at every worker count.
+    pub fn options(self, options: PipelineOptions) -> Self {
+        PipelineInputBuilder { options, ..self }
+    }
+
+    /// Assemble the input. Fails when no source was chosen or a file
+    /// source fails to read.
+    pub fn build(self) -> Result<PipelineInput, std::io::Error> {
+        let options = self.options;
+        let mut input = match self.source {
+            InputSource::Empty => {
+                return Err(std::io::Error::other(
+                    "PipelineInput::builder(): no source chosen (scenario / files / snapshot)",
+                ))
+            }
+            InputSource::Scenario(scenario) => {
+                let workers = options.workers();
+                let (snapshot, dictionary) = if workers > 1 {
+                    std::thread::scope(|scope| {
+                        // The main thread builds the dictionary, so pooling
+                        // gets one worker less to keep the total at the
+                        // budget.
+                        let pool_workers = workers - 1;
+                        let pooled = scope.spawn(move || scenario.pooled_snapshot(pool_workers));
+                        let dictionary = scenario.registry.build_dictionary();
+                        (pooled.join().expect("snapshot pooling worker panicked"), dictionary)
+                    })
+                } else {
+                    (scenario.pooled_snapshot(1), scenario.registry.build_dictionary())
+                };
+                PipelineInput { snapshot, dictionary, truth: Some(scenario.truth.clone()) }
+            }
+            InputSource::Files { mrt, registry } => {
+                let read = |path: &PathBuf| {
+                    mrt::read_snapshot_from_path(path)
+                        .map_err(|e| std::io::Error::other(e.to_string()))
+                };
+                let workers = options.workers();
+                let mut snapshot = RibSnapshot::default();
+                if workers <= 1 || mrt.len() <= 1 {
+                    // Sequential: stop at the first failing file.
+                    for path in &mrt {
+                        snapshot.merge(read(path)?);
+                    }
+                } else {
+                    let parsed: Vec<Result<RibSnapshot, std::io::Error>> =
+                        routesim::shard_map(&mrt, workers, read);
+                    for snap in parsed {
+                        snapshot.merge(snap?);
+                    }
+                }
+                let registry = IrrRegistry::load(registry)?;
+                PipelineInput { snapshot, dictionary: registry.build_dictionary(), truth: None }
+            }
+            InputSource::Snapshot(input) => *input,
+        };
+        if let Some(stream) = self.updates {
+            let mut live = LiveRib::from_snapshot(&input.snapshot);
+            let mut stats = ApplyStats::default();
+            for record in stream.windows().iter().flatten() {
+                live.apply_record(record, &mut stats);
+            }
+            input.snapshot = live.snapshot();
+        }
+        Ok(input)
     }
 }
 
@@ -351,12 +476,47 @@ impl Pipeline {
     /// run already built (the annotated graph existed transiently inside
     /// the valley-analysis stage) handed to the caller instead of dropped.
     pub fn run_with_artifacts(&self, input: PipelineInput) -> (Report, PipelineArtifacts) {
+        self.run_inner(input, None)
+    }
+
+    /// [`run_with_artifacts`](Self::run_with_artifacts) against a live
+    /// ingest session: the extraction stage materialises the incrementally
+    /// maintained counters in `caches.extract` instead of rescanning the
+    /// snapshot, and the valley stage's reachability oracle serves from
+    /// the delta-repaired distance maps in `caches.valley`. Both caches
+    /// are exact, so the report is byte-identical to
+    /// [`run`](Self::run) over the same input — the streaming driver
+    /// ([`crate::ingest::TemporalSweep`]) pins that per window, and the
+    /// determinism suite pins it across worker counts.
+    pub fn run_with_caches(
+        &self,
+        input: PipelineInput,
+        caches: &mut IngestCaches,
+    ) -> (Report, PipelineArtifacts) {
+        self.run_inner(input, Some(caches))
+    }
+
+    fn run_inner(
+        &self,
+        input: PipelineInput,
+        caches: Option<&mut IngestCaches>,
+    ) -> (Report, PipelineArtifacts) {
         let PipelineInput { snapshot, dictionary, truth } = input;
         let workers = self.options.workers();
+        // Split the cache bundle: extraction reads one half, the valley
+        // stage mutates the other.
+        let (extract_cache, valley_cache) = match caches {
+            Some(caches) => (Some(&caches.extract), Some(&mut caches.valley)),
+            None => (None, None),
+        };
 
         // 1+2. Extraction and communities-based inference are independent
-        //      scans of the pooled snapshot.
-        let (mut data, mut inference) = if workers > 1 {
+        //      scans of the pooled snapshot. A streaming session skips the
+        //      extraction scan entirely: the counters were maintained
+        //      route-by-route as updates applied.
+        let (mut data, mut inference) = if let Some(cache) = extract_cache {
+            (cache.materialize(), CommunityInference::from_snapshot(&snapshot, &dictionary))
+        } else if workers > 1 {
             std::thread::scope(|scope| {
                 let extracted = scope.spawn(|| extract(&snapshot));
                 let inference = CommunityInference::from_snapshot(&snapshot, &dictionary);
@@ -391,7 +551,7 @@ impl Pipeline {
                 let valleys = scope.spawn(|| {
                     let mut annotated = data.graph.clone();
                     inference.annotate_graph(&mut annotated);
-                    (analyze_valleys(&data, &annotated, IpVersion::V6), annotated)
+                    (run_valley_stage(&data, &annotated, valley_cache), annotated)
                 });
                 let baseline = gao_inference(&data, BaselineInput::BothPlanes);
                 (
@@ -405,7 +565,7 @@ impl Pipeline {
                 let hybrids = scope.spawn(|| detect_hybrids(&data, &inference));
                 let mut annotated = data.graph.clone();
                 inference.annotate_graph(&mut annotated);
-                let valleys = analyze_valleys(&data, &annotated, IpVersion::V6);
+                let valleys = run_valley_stage(&data, &annotated, valley_cache);
                 let baseline = gao_inference(&data, BaselineInput::BothPlanes);
                 (
                     hybrids.join().expect("hybrid detection worker panicked"),
@@ -417,7 +577,7 @@ impl Pipeline {
             let hybrids = detect_hybrids(&data, &inference);
             let mut annotated = data.graph.clone();
             inference.annotate_graph(&mut annotated);
-            let valleys = analyze_valleys(&data, &annotated, IpVersion::V6);
+            let valleys = run_valley_stage(&data, &annotated, valley_cache);
             let baseline = gao_inference(&data, BaselineInput::BothPlanes);
             (hybrids, (valleys, annotated), baseline)
         };

@@ -102,6 +102,14 @@ impl ResidentState {
     /// everything else answers from the state it builds.
     pub fn build(scenario: &routesim::Scenario, pipeline: &Pipeline) -> Self {
         let input = PipelineInput::from_scenario_with(scenario, &pipeline.options);
+        Self::from_input(input, pipeline)
+    }
+
+    /// [`build`](Self::build) from an already-assembled input — the shape
+    /// a streaming daemon uses: it keeps a [`crate::ingest::LiveRib`]
+    /// resident, applies an update window, and rebuilds the snapshot from
+    /// the live table instead of re-propagating a scenario.
+    pub fn from_input(input: PipelineInput, pipeline: &Pipeline) -> Self {
         let (report, artifacts) = pipeline.run_with_artifacts(input);
         let annotated = artifacts.annotated;
 

@@ -71,12 +71,30 @@ pub fn analyze_valleys(
     annotated: &AsGraph,
     plane: IpVersion,
 ) -> ValleyReport {
-    let mut report = ValleyReport { total_paths: data.paths(plane).len(), ..Default::default() };
-
     // Cache the valley-free distance maps per path head, so paths sharing a
     // feeder reuse one BFS.
     let mut reach_cache: std::collections::HashMap<Asn, Vec<Option<u32>>> =
         std::collections::HashMap::new();
+    analyze_valleys_impl(data, annotated, plane, &mut |graph, head, origin| {
+        let distances =
+            reach_cache.entry(head).or_insert_with(|| valley_free_distances(graph, head, plane));
+        graph.node(origin).and_then(|n| distances[n.index()]).is_some()
+    })
+}
+
+/// [`analyze_valleys`] with an injected reachability oracle: `reachable`
+/// answers "does a valley-free path from `head` to `origin` exist on the
+/// annotated graph?". The default analysis passes a fresh-BFS closure; the
+/// streaming ingest path ([`crate::ingest`]) passes one backed by
+/// delta-repaired [`asgraph::DistanceMap`]s. Both oracles are exact, so
+/// every caller produces the same report.
+pub(crate) fn analyze_valleys_impl(
+    data: &ExtractedData,
+    annotated: &AsGraph,
+    plane: IpVersion,
+    reachable: &mut dyn FnMut(&AsGraph, Asn, Asn) -> bool,
+) -> ValleyReport {
+    let mut report = ValleyReport { total_paths: data.paths(plane).len(), ..Default::default() };
 
     for observed in data.paths(plane) {
         let path = &observed.path;
@@ -96,11 +114,7 @@ pub fn analyze_valleys(
                 report.valley_paths += 1;
                 let head = path[0];
                 let origin = *path.last().expect("non-empty");
-                let distances = reach_cache
-                    .entry(head)
-                    .or_insert_with(|| valley_free_distances(annotated, head, plane));
-                let reachable = annotated.node(origin).and_then(|n| distances[n.index()]).is_some();
-                if reachable {
+                if reachable(annotated, head, origin) {
                     report.violation_valleys += 1;
                 } else {
                     report.reachability_valleys += 1;

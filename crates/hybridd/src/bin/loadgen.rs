@@ -95,13 +95,13 @@ fn main() -> ExitCode {
         let scale =
             bench::scale_from_argv(&args.scale_args).unwrap_or_else(|message| panic!("{message}"));
         let scenario = bench::build_scenario(&scale);
-        Some(ResidentState::build(&scenario, &bench::configured_pipeline()))
+        Some(ResidentState::build(&scenario, &bench::ExecKnobs::from_env().pipeline()))
     } else {
         None
     };
 
     let config = LoadgenConfig {
-        addr: bench::configured_addr().to_string(),
+        addr: bench::ExecKnobs::from_env().addr.to_string(),
         requests: args.requests,
         clients: args.clients,
         seed: args.seed,

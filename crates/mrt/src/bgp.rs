@@ -490,6 +490,44 @@ pub fn encode_update(attrs: &PathAttributes, prefix: &Prefix) -> BytesMut {
     msg
 }
 
+/// Encode a BGP UPDATE that withdraws `prefixes` (no announcements).
+///
+/// IPv4 prefixes travel in the classic withdrawn-routes field, IPv6
+/// prefixes in an `MP_UNREACH_NLRI` attribute — the two forms a collector
+/// archive actually contains.
+pub fn encode_withdrawal(prefixes: &[Prefix]) -> BytesMut {
+    let mut withdrawn = BytesMut::new();
+    let mut unreach_nlri = BytesMut::new();
+    for prefix in prefixes {
+        match prefix.version() {
+            IpVersion::V4 => encode_prefix(&mut withdrawn, prefix),
+            IpVersion::V6 => encode_prefix(&mut unreach_nlri, prefix),
+        }
+    }
+    let mut attr_blob = BytesMut::new();
+    if !unreach_nlri.is_empty() {
+        let mut attr_body = BytesMut::with_capacity(3 + unreach_nlri.len());
+        attr_body.put_u16(IpVersion::V6.afi());
+        attr_body.put_u8(1); // SAFI unicast
+        attr_body.put_slice(&unreach_nlri);
+        put_attr(&mut attr_blob, flags::OPTIONAL, attr_type::MP_UNREACH_NLRI, &attr_body);
+    }
+
+    let mut body = BytesMut::new();
+    body.put_u16(withdrawn.len() as u16);
+    body.put_slice(&withdrawn);
+    body.put_u16(attr_blob.len() as u16);
+    body.put_slice(&attr_blob);
+
+    let total_len = 16 + 2 + 1 + body.len();
+    let mut msg = BytesMut::with_capacity(total_len);
+    msg.put_slice(&BGP_MARKER);
+    msg.put_u16(total_len as u16);
+    msg.put_u8(BGP_MSG_UPDATE);
+    msg.put_slice(&body);
+    msg
+}
+
 /// Decode a BGP message; returns `None` for non-UPDATE messages
 /// (OPEN/KEEPALIVE/NOTIFICATION), which collectors also archive.
 pub fn decode_update(mut buf: Bytes) -> Result<Option<BgpUpdate>, MrtError> {
@@ -698,6 +736,28 @@ mod tests {
         let update = decode_update(msg).unwrap().expect("should be an UPDATE");
         assert_eq!(update.attrs, attrs);
         assert_eq!(update.announced, vec![prefix]);
+    }
+
+    #[test]
+    fn withdrawal_roundtrip_both_planes() {
+        let prefixes: Vec<Prefix> = vec![
+            "198.51.100.0/24".parse().unwrap(),
+            "2001:db8:100::/40".parse().unwrap(),
+            "10.0.0.0/8".parse().unwrap(),
+        ];
+        let msg = encode_withdrawal(&prefixes).freeze();
+        let update = decode_update(msg).unwrap().expect("should be an UPDATE");
+        assert!(update.announced.is_empty());
+        assert_eq!(update.attrs, PathAttributes::default());
+        // Classic v4 withdrawals come first, MP_UNREACH v6 ones after.
+        assert_eq!(
+            update.withdrawn,
+            vec![
+                "198.51.100.0/24".parse::<Prefix>().unwrap(),
+                "10.0.0.0/8".parse().unwrap(),
+                "2001:db8:100::/40".parse().unwrap(),
+            ]
+        );
     }
 
     #[test]

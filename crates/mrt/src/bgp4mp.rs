@@ -7,7 +7,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use bgp_types::{Asn, IpVersion, PathAttributes, Prefix};
 
-use crate::bgp::{decode_update, encode_update, BgpUpdate};
+use crate::bgp::{decode_update, encode_update, encode_withdrawal, BgpUpdate};
 use crate::error::MrtError;
 
 /// A BGP4MP_MESSAGE_AS4 record: one BGP message with its session context.
@@ -40,6 +40,19 @@ impl Bgp4mpMessage {
     ) -> Self {
         let msg = encode_update(attrs, prefix).freeze();
         let update = decode_update(msg).expect("self-encoded update must decode");
+        Bgp4mpMessage { peer_asn, local_asn, interface_index: 0, peer_addr, local_addr, update }
+    }
+
+    /// Convenience constructor for an UPDATE withdrawing `prefixes`.
+    pub fn withdrawal(
+        peer_asn: Asn,
+        local_asn: Asn,
+        peer_addr: IpAddr,
+        local_addr: IpAddr,
+        prefixes: &[Prefix],
+    ) -> Self {
+        let msg = encode_withdrawal(prefixes).freeze();
+        let update = decode_update(msg).expect("self-encoded withdrawal must decode");
         Bgp4mpMessage { peer_asn, local_asn, interface_index: 0, peer_addr, local_addr, update }
     }
 
@@ -79,17 +92,16 @@ impl Bgp4mpMessage {
             }
         }
         match &self.update {
-            Some(u) => {
-                // Re-encode announce-only updates; withdraw-only and mixed
-                // updates are rare in our synthetic archives, announcements
-                // are emitted one prefix per message.
-                if let Some(prefix) = u.announced.first() {
-                    buf.put_slice(&encode_update(&u.attrs, prefix));
-                } else {
-                    buf.put_slice(&keepalive());
-                }
+            // Announcements are emitted one prefix per message in our
+            // synthetic archives; a mixed update degrades to its
+            // announcement half.
+            Some(u) if !u.announced.is_empty() => {
+                buf.put_slice(&encode_update(&u.attrs, &u.announced[0]));
             }
-            None => buf.put_slice(&keepalive()),
+            Some(u) if !u.withdrawn.is_empty() => {
+                buf.put_slice(&encode_withdrawal(&u.withdrawn));
+            }
+            _ => buf.put_slice(&keepalive()),
         }
     }
 
@@ -192,6 +204,27 @@ mod tests {
         let mut bytes = buf.freeze();
         let back = Bgp4mpMessage::decode(&mut bytes).unwrap();
         assert_eq!(back.update.unwrap().announced, vec![prefix]);
+    }
+
+    #[test]
+    fn withdrawal_roundtrip() {
+        let prefixes: Vec<Prefix> =
+            vec!["2001:db8:200::/40".parse().unwrap(), "198.51.100.0/24".parse().unwrap()];
+        let msg = Bgp4mpMessage::withdrawal(
+            Asn(6939),
+            Asn(65000),
+            "2001:db8::1".parse().unwrap(),
+            "2001:db8::2".parse().unwrap(),
+            &prefixes,
+        );
+        let mut buf = BytesMut::new();
+        msg.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        let back = Bgp4mpMessage::decode(&mut bytes).unwrap();
+        assert_eq!(back, msg);
+        let update = back.update.unwrap();
+        assert!(update.announced.is_empty());
+        assert_eq!(update.withdrawn.len(), 2);
     }
 
     #[test]

@@ -1,7 +1,6 @@
 //! Sequential MRT readers and the snapshot-level convenience API.
 
 use std::collections::HashMap;
-use std::fs::File;
 use std::io::{BufReader, Read};
 use std::path::Path;
 
@@ -64,9 +63,9 @@ impl<R: Read> MrtReader<R> {
                 MrtError::Io(e)
             }
         })?;
-        let body = MrtRecord::decode_body(&header, Bytes::from(body))?;
+        let record = MrtRecord::decode(header, Bytes::from(body))?;
         self.records_read += 1;
-        Ok(Some(MrtRecord { header, body }))
+        Ok(Some(record))
     }
 
     /// Iterate the remaining records.
@@ -81,6 +80,83 @@ pub struct RecordIter<R> {
 }
 
 impl<R: Read> Iterator for RecordIter<R> {
+    type Item = Result<MrtRecord, MrtError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.reader.next_record().transpose()
+    }
+}
+
+/// Zero-copy MRT reader over an in-memory buffer.
+///
+/// Unlike [`MrtReader`], which allocates a fresh `Vec` per record body,
+/// this reader slices record bodies out of one shared [`Bytes`] buffer —
+/// every body is a cheap reference-counted view, so reading a whole file
+/// costs a single allocation (the buffer itself). This is the path
+/// [`read_snapshot_from_path`] and the batched pipeline loaders use.
+pub struct MrtBytesReader {
+    buf: Bytes,
+    records_read: u64,
+}
+
+impl MrtBytesReader {
+    /// Wrap a buffer holding a whole MRT stream.
+    pub fn new(buf: Bytes) -> Self {
+        MrtBytesReader { buf, records_read: 0 }
+    }
+
+    /// How many records have been decoded so far.
+    pub fn records_read(&self) -> u64 {
+        self.records_read
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Decode the next record, or `Ok(None)` at a clean end of buffer.
+    ///
+    /// A buffer that ends in the middle of a record yields
+    /// [`MrtError::Truncated`].
+    pub fn next_record(&mut self) -> Result<Option<MrtRecord>, MrtError> {
+        if self.buf.is_empty() {
+            return Ok(None);
+        }
+        if self.buf.len() < MrtHeader::WIRE_LEN {
+            return Err(MrtError::truncated("MRT header", MrtHeader::WIRE_LEN, self.buf.len()));
+        }
+        let mut header_bytes = self.buf.slice(..MrtHeader::WIRE_LEN);
+        let header = MrtHeader::decode(&mut header_bytes)?;
+        let body_len = header.length as usize;
+        let total = MrtHeader::WIRE_LEN + body_len;
+        if self.buf.len() < total {
+            return Err(MrtError::truncated(
+                "MRT record body",
+                body_len,
+                self.buf.len() - MrtHeader::WIRE_LEN,
+            ));
+        }
+        // Both slices share the underlying storage: no copies.
+        let body = self.buf.slice(MrtHeader::WIRE_LEN..total);
+        self.buf = self.buf.slice(total..);
+        let record = MrtRecord::decode(header, body)?;
+        self.records_read += 1;
+        Ok(Some(record))
+    }
+
+    /// Iterate the remaining records.
+    pub fn records(self) -> BytesRecordIter {
+        BytesRecordIter { reader: self }
+    }
+}
+
+/// Iterator adapter over [`MrtBytesReader`].
+pub struct BytesRecordIter {
+    reader: MrtBytesReader,
+}
+
+impl Iterator for BytesRecordIter {
     type Item = Result<MrtRecord, MrtError>;
 
     fn next(&mut self) -> Option<Self::Item> {
@@ -120,12 +196,25 @@ fn read_exact_or_eof(reader: &mut impl Read, buf: &mut [u8]) -> Result<ReadOutco
 /// * BGP4MP announcements are added with [`RouteSource::MrtUpdates`].
 /// * Unsupported records are skipped.
 pub fn read_snapshot(source: impl Read) -> Result<RibSnapshot, MrtError> {
-    let mut reader = MrtReader::new(BufReader::new(source));
+    collect_snapshot(MrtReader::new(BufReader::new(source)).records())
+}
+
+/// [`read_snapshot`] over an in-memory buffer, using the zero-copy
+/// [`MrtBytesReader`]: record bodies are slices of `buf`, not copies.
+pub fn read_snapshot_bytes(buf: Bytes) -> Result<RibSnapshot, MrtError> {
+    collect_snapshot(MrtBytesReader::new(buf).records())
+}
+
+/// Fold a decoded record stream into a [`RibSnapshot`].
+fn collect_snapshot(
+    records: impl Iterator<Item = Result<MrtRecord, MrtError>>,
+) -> Result<RibSnapshot, MrtError> {
     let mut snapshot = RibSnapshot::default();
     let mut peer_table: Option<PeerIndexTable> = None;
     let mut peer_cache: HashMap<u16, PeerId> = HashMap::new();
 
-    while let Some(record) = reader.next_record()? {
+    for record in records {
+        let record = record?;
         if snapshot.timestamp == 0 {
             snapshot.timestamp = record.header.timestamp as u64;
         }
@@ -174,9 +263,12 @@ pub fn read_snapshot(source: impl Read) -> Result<RibSnapshot, MrtError> {
 }
 
 /// [`read_snapshot`] from a file path.
+///
+/// The file is read into one buffer and decoded through the zero-copy
+/// [`MrtBytesReader`], so the whole load performs a single allocation.
 pub fn read_snapshot_from_path(path: impl AsRef<Path>) -> Result<RibSnapshot, MrtError> {
-    let file = File::open(path)?;
-    read_snapshot(file)
+    let buf = std::fs::read(path)?;
+    read_snapshot_bytes(Bytes::from(buf))
 }
 
 #[cfg(test)]
@@ -285,6 +377,47 @@ mod tests {
         let first_len = MrtHeader::WIRE_LEN + first.header.length as usize;
         let rest = &buf[first_len..];
         assert!(matches!(read_snapshot(rest), Err(MrtError::MissingPeerIndexTable)));
+    }
+
+    #[test]
+    fn bytes_reader_matches_read_based_reader() {
+        let mut snap = RibSnapshot::new(CollectorId::new("zero-copy"), 1_280_000_000);
+        snap.push(entry(peer(6939, "2001:db8::1"), "2001:db8:100::/40", "6939 2914 3333"));
+        snap.push(entry(peer(174, "2001:db8::2"), "2001:db8:100::/40", "174 3333"));
+        snap.push(entry(peer(3356, "192.0.2.1"), "198.51.100.0/24", "3356 112"));
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, &snap).unwrap();
+
+        let via_read: Vec<_> =
+            MrtReader::new(&buf[..]).records().collect::<Result<_, _>>().unwrap();
+        let mut bytes_reader = MrtBytesReader::new(Bytes::from(buf.clone()));
+        let mut via_bytes = Vec::new();
+        while let Some(r) = bytes_reader.next_record().unwrap() {
+            via_bytes.push(r);
+        }
+        assert_eq!(via_read, via_bytes);
+        assert_eq!(bytes_reader.records_read(), via_bytes.len() as u64);
+        assert_eq!(bytes_reader.remaining(), 0);
+
+        let from_bytes = read_snapshot_bytes(Bytes::from(buf.clone())).unwrap();
+        let from_read = read_snapshot(&buf[..]).unwrap();
+        assert_eq!(from_bytes, from_read);
+    }
+
+    #[test]
+    fn bytes_reader_reports_truncation() {
+        let mut snap = RibSnapshot::new(CollectorId::new("c"), 10);
+        snap.push(entry(peer(1, "192.0.2.1"), "10.0.0.0/8", "1 2"));
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, &snap).unwrap();
+        // Cut inside the last record's body.
+        buf.truncate(buf.len() - 3);
+        let err = read_snapshot_bytes(Bytes::from(buf.clone())).unwrap_err();
+        assert!(matches!(err, MrtError::Truncated { .. }));
+        // Cut inside a header.
+        buf.truncate(5);
+        let err = read_snapshot_bytes(Bytes::from(buf)).unwrap_err();
+        assert!(matches!(err, MrtError::Truncated { .. }));
     }
 
     #[test]

@@ -14,7 +14,7 @@ pub enum MrtType {
     /// BGP4MP (type 16).
     Bgp4mp,
     /// BGP4MP_ET (type 17) — extended timestamps; the microsecond field is
-    /// read and discarded.
+    /// surfaced as [`MrtRecord::micros`].
     Bgp4mpEt,
 }
 
@@ -120,43 +120,63 @@ pub enum MrtRecordBody {
 pub struct MrtRecord {
     /// The common header (length reflects the encoded body).
     pub header: MrtHeader,
+    /// Microsecond fraction of the timestamp for BGP4MP_ET records
+    /// (RFC 6396 §3), `None` for every other record type.
+    pub micros: Option<u32>,
     /// The decoded body.
     pub body: MrtRecordBody,
 }
 
 impl MrtRecord {
-    /// Decode a record body given its header and raw bytes.
-    pub fn decode_body(header: &MrtHeader, mut body: Bytes) -> Result<MrtRecordBody, MrtError> {
-        match (MrtType::from_code(header.mrt_type), header.subtype) {
+    /// A record with no extended-timestamp field.
+    pub fn new(header: MrtHeader, body: MrtRecordBody) -> Self {
+        MrtRecord { header, micros: None, body }
+    }
+
+    /// The record time in microseconds since the UNIX epoch: the header's
+    /// second-granularity timestamp, refined by the BGP4MP_ET microsecond
+    /// field when present.
+    pub fn timestamp_micros(&self) -> u64 {
+        self.header.timestamp as u64 * 1_000_000 + self.micros.unwrap_or(0) as u64
+    }
+
+    /// Decode a record given its header and raw body bytes.
+    pub fn decode(header: MrtHeader, mut body: Bytes) -> Result<MrtRecord, MrtError> {
+        let mut micros = None;
+        let body = match (MrtType::from_code(header.mrt_type), header.subtype) {
             (Some(MrtType::TableDumpV2), td2_subtype::PEER_INDEX_TABLE) => {
-                Ok(MrtRecordBody::PeerIndexTable(PeerIndexTable::decode(&mut body)?))
+                MrtRecordBody::PeerIndexTable(PeerIndexTable::decode(&mut body)?)
             }
             (Some(MrtType::TableDumpV2), td2_subtype::RIB_IPV4_UNICAST)
             | (Some(MrtType::TableDumpV2), td2_subtype::RIB_IPV6_UNICAST) => {
-                Ok(MrtRecordBody::RibEntries(RibAfiEntries::decode(header.subtype, &mut body)?))
+                MrtRecordBody::RibEntries(RibAfiEntries::decode(header.subtype, &mut body)?)
             }
             (Some(MrtType::Bgp4mp), bgp4mp_subtype::MESSAGE_AS4) => {
-                Ok(MrtRecordBody::Bgp4mp(Bgp4mpMessage::decode(&mut body)?))
+                MrtRecordBody::Bgp4mp(Bgp4mpMessage::decode(&mut body)?)
             }
             (Some(MrtType::Bgp4mpEt), bgp4mp_subtype::MESSAGE_AS4) => {
-                // Extended timestamp: 4 extra microsecond bytes first.
+                // Extended timestamp: 4 microsecond bytes precede the message.
                 if body.remaining() < 4 {
                     return Err(MrtError::truncated("BGP4MP_ET microseconds", 4, body.remaining()));
                 }
-                body.advance(4);
-                Ok(MrtRecordBody::Bgp4mp(Bgp4mpMessage::decode(&mut body)?))
+                micros = Some(body.get_u32());
+                MrtRecordBody::Bgp4mp(Bgp4mpMessage::decode(&mut body)?)
             }
-            _ => Ok(MrtRecordBody::Unsupported {
+            _ => MrtRecordBody::Unsupported {
                 mrt_type: header.mrt_type,
                 subtype: header.subtype,
                 body,
-            }),
-        }
+            },
+        };
+        Ok(MrtRecord { header, micros, body })
     }
 
     /// Encode the whole record (header + body) into a buffer.
     pub fn encode(&self, buf: &mut BytesMut) {
         let mut body = BytesMut::new();
+        if let Some(micros) = self.micros {
+            body.put_u32(micros);
+        }
         match &self.body {
             MrtRecordBody::PeerIndexTable(t) => t.encode(&mut body),
             MrtRecordBody::RibEntries(r) => r.encode(&mut body),
@@ -201,17 +221,73 @@ mod tests {
     fn unsupported_records_preserve_bytes() {
         let header = MrtHeader { timestamp: 0, mrt_type: 48, subtype: 1, length: 3 };
         let body = Bytes::from_static(&[9, 9, 9]);
-        let decoded = MrtRecord::decode_body(&header, body.clone()).unwrap();
-        match &decoded {
+        let record = MrtRecord::decode(header, body.clone()).unwrap();
+        match &record.body {
             MrtRecordBody::Unsupported { mrt_type: 48, subtype: 1, body: b } => {
                 assert_eq!(b, &body);
             }
             other => panic!("unexpected body {other:?}"),
         }
+        assert_eq!(record.micros, None);
         // And they re-encode verbatim.
-        let record = MrtRecord { header, body: decoded };
         let mut out = BytesMut::new();
         record.encode(&mut out);
         assert_eq!(&out[MrtHeader::WIRE_LEN..], &[9, 9, 9]);
+    }
+
+    #[test]
+    fn bgp4mp_et_micros_roundtrip() {
+        use crate::bgp4mp::Bgp4mpMessage;
+        use bgp_types::{Asn, PathAttributes, Prefix};
+
+        let attrs = PathAttributes::with_path("6939 3333".parse().unwrap());
+        let prefix: Prefix = "2001:db8::/32".parse().unwrap();
+        let msg = Bgp4mpMessage::announcement(
+            Asn(6939),
+            Asn(65000),
+            "2001:db8::1".parse().unwrap(),
+            "2001:db8::2".parse().unwrap(),
+            &attrs,
+            &prefix,
+        );
+        let record = MrtRecord {
+            header: MrtHeader {
+                timestamp: 1_280_620_800,
+                mrt_type: MrtType::Bgp4mpEt.code(),
+                subtype: bgp4mp_subtype::MESSAGE_AS4,
+                length: 0,
+            },
+            micros: Some(250_125),
+            body: MrtRecordBody::Bgp4mp(msg),
+        };
+        let mut buf = BytesMut::new();
+        record.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        let header = MrtHeader::decode(&mut bytes).unwrap();
+        let back = MrtRecord::decode(header, bytes).unwrap();
+        assert_eq!(back.micros, Some(250_125));
+        assert_eq!(back.body, record.body);
+        assert_eq!(back.timestamp_micros(), 1_280_620_800u64 * 1_000_000 + 250_125);
+        // Plain BGP4MP records carry no microsecond field.
+        assert_eq!(
+            MrtRecord::new(
+                MrtHeader { timestamp: 7, mrt_type: 16, subtype: 4, length: 0 },
+                record.body.clone(),
+            )
+            .timestamp_micros(),
+            7_000_000
+        );
+    }
+
+    #[test]
+    fn bgp4mp_et_truncated_micros_is_error() {
+        let header = MrtHeader {
+            timestamp: 1,
+            mrt_type: MrtType::Bgp4mpEt.code(),
+            subtype: bgp4mp_subtype::MESSAGE_AS4,
+            length: 2,
+        };
+        let err = MrtRecord::decode(header, Bytes::from_static(&[0, 1])).unwrap_err();
+        assert!(matches!(err, MrtError::Truncated { .. }));
     }
 }

@@ -80,15 +80,15 @@ pub fn write_snapshot(sink: impl Write, snapshot: &RibSnapshot) -> Result<(), Mr
             })
             .collect(),
     };
-    writer.write_record(&MrtRecord {
-        header: MrtHeader {
+    writer.write_record(&MrtRecord::new(
+        MrtHeader {
             timestamp,
             mrt_type: MrtType::TableDumpV2.code(),
             subtype: td2_subtype::PEER_INDEX_TABLE,
             length: 0,
         },
-        body: MrtRecordBody::PeerIndexTable(table),
-    })?;
+        MrtRecordBody::PeerIndexTable(table),
+    ))?;
 
     // Group entries by prefix, preserving first-seen order.
     let mut order: Vec<Prefix> = Vec::new();
@@ -115,15 +115,10 @@ pub fn write_snapshot(sink: impl Write, snapshot: &RibSnapshot) -> Result<(), Mr
             entries: grouped.remove(prefix).unwrap_or_default(),
         };
         let subtype = rib.subtype();
-        writer.write_record(&MrtRecord {
-            header: MrtHeader {
-                timestamp,
-                mrt_type: MrtType::TableDumpV2.code(),
-                subtype,
-                length: 0,
-            },
-            body: MrtRecordBody::RibEntries(rib),
-        })?;
+        writer.write_record(&MrtRecord::new(
+            MrtHeader { timestamp, mrt_type: MrtType::TableDumpV2.code(), subtype, length: 0 },
+            MrtRecordBody::RibEntries(rib),
+        ))?;
     }
     writer.flush()
 }

@@ -45,6 +45,7 @@ pub mod policy;
 pub mod propagate;
 pub mod scenario;
 pub mod shard;
+pub mod updates;
 
 pub use collector::{CollectorSetup, FeederKind};
 pub use config::SimConfig;
@@ -59,3 +60,4 @@ pub use propagate::{
 };
 pub use scenario::{PropagationCache, Scenario, ScenarioPool, PROPAGATION_LRU_CAPACITY};
 pub use shard::{effective_concurrency, shard_frontier, shard_map, shard_map_lpt, shard_map_owned};
+pub use updates::UpdateStreamConfig;

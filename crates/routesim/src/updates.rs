@@ -1,0 +1,209 @@
+//! Deterministic synthetic BGP4MP_ET update streams over a scenario's
+//! pooled RIB.
+//!
+//! A real measurement replays the "updates" archives a collector records
+//! between its periodic TABLE_DUMP_V2 snapshots. The simulator plays that
+//! role here: starting from the pooled snapshot a scenario already
+//! produced, it flaps a deterministic, seed-driven subset of the table —
+//! withdrawing routes, re-announcing them later, and occasionally
+//! re-announcing a prefix with the attributes of a different table entry
+//! (the path-change shape BGP path hunting produces). Every event is
+//! emitted as a `BGP4MP_ET` `MESSAGE_AS4` record with a microsecond
+//! timestamp, so replaying the stream exercises the same wire format a
+//! RouteViews updates file uses.
+//!
+//! The stream is windowed: each window models the updates between two
+//! consecutive table snapshots, and all records inside one window share a
+//! header timestamp (windows are one second apart; the microsecond field
+//! orders events within the window). The same `(scenario, config)` pair
+//! always yields byte-identical records.
+
+use std::collections::BTreeMap;
+use std::net::IpAddr;
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use bgp_types::{Asn, PathAttributes, PeerId, Prefix};
+use mrt::record::bgp4mp_subtype;
+use mrt::{Bgp4mpMessage, MrtHeader, MrtRecord, MrtRecordBody, MrtType};
+
+use crate::scenario::Scenario;
+
+/// Shape of a synthetic update stream (see [`Scenario::update_stream`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateStreamConfig {
+    /// Number of windows (inter-snapshot intervals) to synthesise.
+    pub windows: usize,
+    /// Events (withdrawals / announcements) per window.
+    pub events_per_window: usize,
+    /// Seed for the event choices, independent of the scenario seed.
+    pub seed: u64,
+}
+
+impl Default for UpdateStreamConfig {
+    fn default() -> Self {
+        UpdateStreamConfig { windows: 4, events_per_window: 24, seed: 11 }
+    }
+}
+
+/// The ASN the synthetic collector speaks BGP from. Reserved, like a real
+/// collector's private peering ASN; it never appears in any AS path.
+const COLLECTOR_ASN: Asn = Asn(64_999);
+
+fn collector_addr(peer: IpAddr) -> IpAddr {
+    match peer {
+        IpAddr::V4(_) => "192.0.2.254".parse().expect("literal parses"),
+        IpAddr::V6(_) => "2001:db8::ffff".parse().expect("literal parses"),
+    }
+}
+
+impl Scenario {
+    /// Synthesise a windowed BGP4MP_ET update stream over this scenario's
+    /// pooled RIB: per window, `events_per_window` seed-driven withdrawals
+    /// and (re-)announcements of entries drawn from the table. Withdrawn
+    /// routes are re-announced in later events, usually with their
+    /// original attributes, occasionally with the attributes of another
+    /// table entry (a path change). The result is deterministic in
+    /// `(self, config)` and independent of every execution knob.
+    pub fn update_stream(&self, config: &UpdateStreamConfig) -> Vec<Vec<MrtRecord>> {
+        // The same collapsed view a streaming consumer keeps: one route
+        // per (prefix, peer), last write wins.
+        let base = self.pooled_snapshot(1);
+        let mut table: BTreeMap<(Prefix, PeerId), PathAttributes> = BTreeMap::new();
+        for entry in &base.entries {
+            table.insert((entry.prefix, entry.peer), entry.attrs.clone());
+        }
+        let keys: Vec<(Prefix, PeerId)> = table.keys().copied().collect();
+        let originals: Vec<PathAttributes> = table.into_values().collect();
+
+        let mut windows = Vec::with_capacity(config.windows);
+        if keys.is_empty() {
+            windows.resize_with(config.windows, Vec::new);
+            return windows;
+        }
+
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x7570_6474);
+        let mut alive = vec![true; keys.len()];
+        let start = self.sim_config.timestamp + 60;
+        for window in 0..config.windows {
+            let timestamp = u32::try_from(start + window as u64).unwrap_or(u32::MAX);
+            let mut records = Vec::with_capacity(config.events_per_window);
+            for event in 0..config.events_per_window {
+                let i = rng.gen_range(0..keys.len());
+                let (prefix, peer) = keys[i];
+                let message = if alive[i] {
+                    if rng.gen_bool(0.125) {
+                        // Path change: keep the route but borrow another
+                        // entry's attributes (path, communities, LocPrf).
+                        let j = rng.gen_range(0..keys.len());
+                        Bgp4mpMessage::announcement(
+                            peer.asn,
+                            COLLECTOR_ASN,
+                            peer.addr,
+                            collector_addr(peer.addr),
+                            &originals[j],
+                            &prefix,
+                        )
+                    } else {
+                        alive[i] = false;
+                        Bgp4mpMessage::withdrawal(
+                            peer.asn,
+                            COLLECTOR_ASN,
+                            peer.addr,
+                            collector_addr(peer.addr),
+                            &[prefix],
+                        )
+                    }
+                } else {
+                    alive[i] = true;
+                    Bgp4mpMessage::announcement(
+                        peer.asn,
+                        COLLECTOR_ASN,
+                        peer.addr,
+                        collector_addr(peer.addr),
+                        &originals[i],
+                        &prefix,
+                    )
+                };
+                records.push(MrtRecord {
+                    header: MrtHeader {
+                        timestamp,
+                        mrt_type: MrtType::Bgp4mpEt.code(),
+                        subtype: bgp4mp_subtype::MESSAGE_AS4,
+                        length: 0,
+                    },
+                    micros: Some(event as u32 * 1_000),
+                    body: MrtRecordBody::Bgp4mp(message),
+                });
+            }
+            windows.push(records);
+        }
+        windows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use topogen::TopologyConfig;
+
+    fn scenario() -> Scenario {
+        Scenario::build(&TopologyConfig::tiny(), &SimConfig::small())
+    }
+
+    #[test]
+    fn stream_is_deterministic_and_windowed() {
+        let scenario = scenario();
+        let config = UpdateStreamConfig { windows: 3, events_per_window: 8, seed: 5 };
+        let a = scenario.update_stream(&config);
+        let b = scenario.update_stream(&config);
+        assert_eq!(a, b, "same seed, same records");
+        assert_eq!(a.len(), 3);
+        for (w, records) in a.iter().enumerate() {
+            assert_eq!(records.len(), 8);
+            for (e, record) in records.iter().enumerate() {
+                assert_eq!(record.header.mrt_type, MrtType::Bgp4mpEt.code());
+                assert_eq!(
+                    record.header.timestamp as u64,
+                    scenario.sim_config.timestamp + 60 + w as u64
+                );
+                assert_eq!(record.micros, Some(e as u32 * 1_000));
+                assert!(matches!(record.body, MrtRecordBody::Bgp4mp(_)));
+            }
+        }
+        let different = scenario.update_stream(&UpdateStreamConfig { seed: 6, ..config });
+        assert_ne!(a, different, "the seed steers the event choices");
+    }
+
+    #[test]
+    fn stream_mixes_withdrawals_and_announcements() {
+        let scenario = scenario();
+        let stream = scenario.update_stream(&UpdateStreamConfig {
+            windows: 4,
+            events_per_window: 32,
+            seed: 1,
+        });
+        let mut announced = 0usize;
+        let mut withdrawn = 0usize;
+        for record in stream.iter().flatten() {
+            let MrtRecordBody::Bgp4mp(message) = &record.body else { panic!("bgp4mp only") };
+            let update = message.update.as_ref().expect("every event is an UPDATE");
+            announced += update.announced.len();
+            withdrawn += update.withdrawn.len();
+        }
+        assert!(announced > 0, "some announcements");
+        assert!(withdrawn > 0, "some withdrawals");
+    }
+
+    #[test]
+    fn empty_table_yields_empty_windows() {
+        let mut scenario = scenario();
+        scenario.snapshots.clear();
+        let stream = scenario.update_stream(&UpdateStreamConfig::default());
+        assert_eq!(stream.len(), 4);
+        assert!(stream.iter().all(Vec::is_empty));
+    }
+}

@@ -238,6 +238,63 @@ fn impact_sweep_matrix_produces_byte_identical_reports() {
 }
 
 #[test]
+fn ingest_replay_matrix_produces_byte_identical_reports() {
+    use hybrid_as_rel::sim::UpdateStreamConfig;
+    use hybrid_as_rel::tor::ingest::{TemporalSweep, UpdateStream};
+    // The streaming ingest path adds two execution dimensions on top of
+    // the worker count: delta-repaired replay vs full per-window
+    // recompute (`HYBRID_INGEST_DELTA` in the harness). Per window, every
+    // (concurrency × mode) combination must render the bytes of the
+    // sequential full-recompute run — the caches are exact, never an
+    // output knob.
+    let topology = TopologyConfig::tiny();
+    let sim = SimConfig::small();
+    let scenario = Scenario::build(&topology, &sim);
+    let stream = UpdateStream::from_windows(scenario.update_stream(&UpdateStreamConfig {
+        windows: 3,
+        events_per_window: 24,
+        seed: 17,
+    }));
+    let base = scenario.pooled_snapshot(1);
+    let dictionary = scenario.registry.build_dictionary();
+    let render = |concurrency: usize, incremental: bool| -> Vec<String> {
+        TemporalSweep::new(Pipeline::with_concurrency(concurrency), incremental)
+            .run(&base, &dictionary, Some(&scenario.truth), &stream)
+            .into_iter()
+            .map(|o| serde_json::to_string_pretty(&o.report).expect("report serializes"))
+            .collect()
+    };
+    let reference = render(1, false);
+    assert_eq!(reference.len(), 3);
+    for concurrency in [1usize, 2, 8] {
+        for incremental in [false, true] {
+            if (concurrency, incremental) == (1, false) {
+                continue;
+            }
+            let rendered = render(concurrency, incremental);
+            assert!(
+                rendered == reference,
+                "ingest replay diverged at concurrency={concurrency} incremental={incremental}"
+            );
+        }
+    }
+    // And replaying the stream to its end is byte-identical to a one-shot
+    // pipeline run over the final table state — the builder's
+    // update-stream source is exactly that shape.
+    let input = PipelineInput::builder()
+        .snapshot(base.clone(), dictionary.clone(), Some(scenario.truth.clone()))
+        .updates(&stream)
+        .build()
+        .expect("snapshot sources cannot fail");
+    let oneshot = Pipeline::with_concurrency(1).run(input);
+    assert!(
+        serde_json::to_string_pretty(&oneshot).expect("report serializes")
+            == *reference.last().expect("three windows"),
+        "one-shot recompute at the stream's end diverged from the replayed final window"
+    );
+}
+
+#[test]
 fn fixture_report_matches_the_committed_golden_snapshot() {
     let scenario = Scenario::build_from_truth(
         two_plane_fixture(),

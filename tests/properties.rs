@@ -628,6 +628,55 @@ proptest! {
             );
         }
     }
+
+    #[test]
+    fn replayed_update_stream_matches_the_equivalent_table_dump(
+        stream_seed in any::<u64>(),
+        windows in 1usize..4,
+        events in 4usize..32,
+    ) {
+        use hybrid_as_rel::mrt::{read_snapshot_bytes, write_snapshot};
+        use hybrid_as_rel::sim::UpdateStreamConfig;
+        use hybrid_as_rel::tor::ingest::{ApplyStats, LiveRib, TemporalSweep, UpdateStream};
+        use hybrid_as_rel::tor::pipeline::{Pipeline, PipelineInput};
+
+        let scenario = Scenario::build(&TopologyConfig::tiny(), &SimConfig::small());
+        let config =
+            UpdateStreamConfig { windows, events_per_window: events, seed: stream_seed };
+        let stream = UpdateStream::from_windows(scenario.update_stream(&config));
+        let base = scenario.pooled_snapshot(1);
+        let dictionary = scenario.registry.build_dictionary();
+        let pipeline = Pipeline::with_concurrency(1);
+
+        // Streaming replay with delta-repaired caches.
+        let outcomes = TemporalSweep::new(pipeline.clone(), true).run(
+            &base,
+            &dictionary,
+            Some(&scenario.truth),
+            &stream,
+        );
+        let replayed = outcomes.last().expect("stream has windows").report.to_json();
+
+        // The equivalent final table dump: apply the same records to a
+        // fresh RIB, round-trip its snapshot through the MRT wire format
+        // (what a collector would have dumped at time T), and run a
+        // one-shot pipeline on the re-read table.
+        let mut live = LiveRib::from_snapshot(&base);
+        let mut stats = ApplyStats::default();
+        for record in stream.windows().iter().flatten() {
+            live.apply_record(record, &mut stats);
+        }
+        let mut dump = Vec::new();
+        write_snapshot(&mut dump, &live.snapshot()).expect("encode table dump");
+        let reread = read_snapshot_bytes(dump.into()).expect("decode table dump");
+        prop_assert_eq!(&reread, &live.snapshot(), "table dump round trip");
+
+        let input = PipelineInput::builder()
+            .snapshot(reread, dictionary, Some(scenario.truth.clone()))
+            .build()
+            .expect("snapshot inputs cannot fail");
+        prop_assert_eq!(pipeline.run(input).to_json(), replayed);
+    }
 }
 
 // Deterministic (non-proptest) checks that belong with the properties.
